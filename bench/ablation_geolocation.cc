@@ -1,0 +1,112 @@
+// Ablation: the geolocation population split (§4.2), scored against
+// simulator ground truth.
+//
+//  1. precision/recall of the bytes-weighted-midpoint labelling — the paper
+//     could only argue its method is "conservative"; ground truth lets us
+//     measure how conservative;
+//  2. what happens if CDNs are NOT excluded (the paper's stated reason for
+//     excluding them);
+//  3. connection-count weighting instead of byte weighting.
+#include <iostream>
+#include <unordered_map>
+
+#include "bench/common.h"
+#include "core/offline.h"
+#include "geo/intl.h"
+#include "sim/population.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace lockdown;
+
+struct Score {
+  std::size_t tp = 0, fp = 0, fn = 0, tn = 0;
+  [[nodiscard]] double precision() const {
+    return tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+  }
+  [[nodiscard]] double recall() const {
+    return tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+  }
+};
+
+}  // namespace
+
+int main() {
+  using core::DeviceIndex;
+  const auto cfg = bench::DefaultConfig();
+  const auto& collection = bench::SharedCollection();
+  const auto& study = bench::SharedStudy();
+  const auto& ds = collection.dataset;
+  const auto& catalog = world::ServiceCatalog::Default();
+
+  // Ground truth residency per dataset device.
+  const auto anonymizer = core::MeasurementPipeline::MakeAnonymizer(cfg);
+  sim::Population population(cfg.generator.population);
+  std::unordered_map<std::uint64_t, bool> intl_by_id;
+  for (const auto& dev : population.devices()) {
+    intl_by_id.emplace(anonymizer.AnonymizeMac(dev.mac).value,
+                       population.student_of(dev).residency ==
+                           sim::Residency::kInternational);
+  }
+
+  // A geo database variant with CDNs "un-flagged", to ablate the exclusion.
+  const world::GeoDatabase geo_with_cdn_flag(catalog);
+
+  struct Variant {
+    const char* name;
+    bool exclude_cdn;
+    bool weight_by_bytes;
+  };
+  const Variant variants[] = {
+      {"paper method (bytes-weighted, CDNs excluded)", true, true},
+      {"CDNs included", false, true},
+      {"connection-count weighted", true, false},
+  };
+
+  util::TablePrinter table({"variant", "labeled intl", "precision", "recall"});
+  for (const Variant& v : variants) {
+    // Accumulate midpoints manually so the variants can bend the rules.
+    std::unordered_map<DeviceIndex, geo::MidpointAccumulator> acc;
+    const auto feb_end = util::TimestampOf(util::CivilDate{2020, 3, 1});
+    for (const core::Flow& f : ds.flows()) {
+      const auto ts = core::Dataset::StartOf(f);
+      if (ts >= feb_end) continue;
+      const auto info = geo_with_cdn_flag.Lookup(f.server_ip);
+      if (!info) continue;
+      if (v.exclude_cdn && info->is_cdn) continue;
+      const double w =
+          v.weight_by_bytes ? static_cast<double>(f.total_bytes()) : 1.0;
+      acc[f.device].Add(info->location, w);
+    }
+    Score score;
+    std::size_t labeled = 0;
+    for (const DeviceIndex dev : study.PostShutdownDevices()) {
+      const auto truth_it = intl_by_id.find(ds.device(dev).id.value);
+      if (truth_it == intl_by_id.end()) continue;
+      const bool truth = truth_it->second;
+      bool predicted = false;
+      const auto it = acc.find(dev);
+      if (it != acc.end() && !it->second.empty()) {
+        predicted = !geo::UsBorder::Contains(it->second.Midpoint());
+      }
+      labeled += predicted;
+      if (predicted && truth) ++score.tp;
+      if (predicted && !truth) ++score.fp;
+      if (!predicted && truth) ++score.fn;
+      if (!predicted && !truth) ++score.tn;
+    }
+    table.AddRow({v.name, std::to_string(labeled),
+                  util::FormatDouble(100.0 * score.precision(), 1) + "%",
+                  util::FormatDouble(100.0 * score.recall(), 1) + "%"});
+  }
+
+  std::cout << "ABLATION — international-student labelling (§4.2) vs ground truth\n";
+  table.Print(std::cout);
+  std::cout
+      << "\nThe paper argues its labelling is conservative (high precision, "
+         "modest recall)\nand that CDN exclusion is necessary because edges "
+         "serve from next to campus\n— including them drags midpoints into "
+         "the US and recall drops.\n";
+  return 0;
+}

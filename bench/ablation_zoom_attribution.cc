@@ -1,0 +1,64 @@
+// Ablation: how much Zoom traffic does each attribution tier catch?
+//
+// The paper's §5.1 method has three tiers: zoom.us domains, the published
+// relay IP list, and IP ranges recovered from the Wayback Machine after Zoom
+// removed them from the support page. This bench quantifies each tier
+// against simulator ground truth (every flow whose server truly belongs to a
+// Zoom service) — i.e., why the wayback step was worth the effort.
+#include <iostream>
+
+#include "bench/common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace lockdown;
+  const auto& collection = bench::SharedCollection();
+  const auto& ds = collection.dataset;
+  const auto& catalog = world::ServiceCatalog::Default();
+  const apps::ZoomMatcher matcher(catalog);
+
+  const auto zoom = catalog.FindByName("zoom");
+  const auto media = catalog.FindByName("zoom-media");
+  const auto legacy = catalog.FindByName("zoom-media-legacy");
+
+  std::uint64_t truth_bytes = 0;
+  std::uint64_t by_domain = 0, by_current_ip = 0, by_historical_ip = 0;
+  for (const core::Flow& f : ds.flows()) {
+    const auto svc = catalog.FindByIp(f.server_ip);
+    const bool is_zoom = svc == zoom || svc == media || svc == legacy;
+    if (!is_zoom) continue;
+    truth_bytes += f.total_bytes();
+    const std::string_view host = ds.DomainName(f.domain);
+    if (!host.empty() && matcher.MatchesDomain(host)) {
+      by_domain += f.total_bytes();
+    } else if (matcher.MatchesCurrentIp(f.server_ip)) {
+      by_current_ip += f.total_bytes();
+    } else if (matcher.MatchesHistoricalIp(f.server_ip)) {
+      by_historical_ip += f.total_bytes();
+    }
+  }
+
+  const auto pct = [truth_bytes](std::uint64_t v) {
+    return util::FormatDouble(100.0 * static_cast<double>(v) /
+                                  static_cast<double>(truth_bytes), 1) + "%";
+  };
+  util::TablePrinter table({"attribution tier", "zoom bytes", "share of truth",
+                            "cumulative"});
+  std::uint64_t cumulative = by_domain;
+  table.AddRow({"zoom.us domains (DNS-mapped)", bench::Gb(by_domain) + " GB",
+                pct(by_domain), pct(cumulative)});
+  cumulative += by_current_ip;
+  table.AddRow({"+ published relay IP list", bench::Gb(by_current_ip) + " GB",
+                pct(by_current_ip), pct(cumulative)});
+  cumulative += by_historical_ip;
+  table.AddRow({"+ wayback-recovered IP ranges", bench::Gb(by_historical_ip) + " GB",
+                pct(by_historical_ip), pct(cumulative)});
+
+  std::cout << "ABLATION — Zoom attribution tiers (ground truth: "
+            << bench::Gb(truth_bytes) << " GB of true Zoom traffic)\n";
+  table.Print(std::cout);
+  std::cout << "\nDomain matching alone misses the raw-IP media relays that "
+               "carry most of the bytes;\nwithout the wayback ranges, traffic "
+               "to retired relays would go unattributed (§5.1).\n";
+  return 0;
+}

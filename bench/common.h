@@ -1,0 +1,71 @@
+// Shared scaffolding for the figure benches: one collected dataset per
+// process, scale configurable via LOCKDOWN_STUDENTS (default 800).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/pipeline.h"
+#include "core/study.h"
+#include "util/strings.h"
+
+namespace lockdown::bench {
+
+inline core::StudyConfig DefaultConfig() {
+  core::StudyConfig cfg;
+  cfg.generator.population.num_students = 1200;
+  cfg.generator.population.seed = 2020;
+  if (const char* env = std::getenv("LOCKDOWN_STUDENTS")) {
+    const int n = std::atoi(env);
+    if (n > 0) cfg.generator.population.num_students = n;
+  }
+  if (const char* env = std::getenv("LOCKDOWN_SEED")) {
+    cfg.generator.population.seed = static_cast<std::uint64_t>(std::atoll(env));
+  }
+  return cfg;
+}
+
+/// Collects once per process; every figure in a binary reuses the dataset.
+inline const core::CollectionResult& SharedCollection() {
+  static const core::CollectionResult result = [] {
+    const core::StudyConfig cfg = DefaultConfig();
+    std::fprintf(stderr, "[bench] simulating %d students (seed %llu)...\n",
+                 cfg.generator.population.num_students,
+                 static_cast<unsigned long long>(cfg.generator.population.seed));
+    return core::MeasurementPipeline::Collect(cfg);
+  }();
+  return result;
+}
+
+inline const core::LockdownStudy& SharedStudy() {
+  static const core::LockdownStudy study(SharedCollection().dataset,
+                                         world::ServiceCatalog::Default());
+  return study;
+}
+
+inline std::string Gb(double bytes, int precision = 2) {
+  return util::FormatDouble(bytes / 1e9, precision);
+}
+
+inline std::string Mb(double bytes, int precision = 1) {
+  return util::FormatDouble(bytes / 1e6, precision);
+}
+
+inline std::string DateOfDay(int day) {
+  return util::FormatDate(util::StudyCalendar::DateAt(day));
+}
+
+/// Marks the paper's event dates in daily tables.
+inline std::string EventMarker(int day) {
+  using SC = util::StudyCalendar;
+  const util::CivilDate d = SC::DateAt(day);
+  if (d == SC::kStateOfEmergency) return "<- state of emergency";
+  if (d == SC::kWhoPandemic) return "<- WHO declares pandemic";
+  if (d == SC::kStayAtHome) return "<- stay-at-home order";
+  if (d == SC::kBreakStart) return "<- academic break starts";
+  if (d == SC::kBreakEnd) return "<- classes resume online";
+  return "";
+}
+
+}  // namespace lockdown::bench

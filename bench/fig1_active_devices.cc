@@ -1,0 +1,36 @@
+// Figure 1: "The number of active devices per day, broken down by device
+// type." Reproduces the series behind the plot: weekday/weekend oscillation,
+// the mid-March collapse, and the post-shutdown dominance of unclassified
+// devices.
+#include <iostream>
+
+#include "bench/common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace lockdown;
+  const auto& study = bench::SharedStudy();
+  const auto rows = study.ActiveDevicesPerDay();
+
+  util::TablePrinter table(
+      {"date", "mobile", "laptop+desktop", "iot", "unclassified", "total", ""});
+  int peak = 0, trough = 1 << 30;
+  const int shutdown = util::StudyCalendar::DayIndex(util::StudyCalendar::kStayAtHome);
+  for (const auto& row : rows) {
+    peak = std::max(peak, row.total);
+    if (row.day >= shutdown) trough = std::min(trough, row.total);
+    table.AddRow({bench::DateOfDay(row.day),
+                  std::to_string(row.by_class[0]), std::to_string(row.by_class[1]),
+                  std::to_string(row.by_class[2]), std::to_string(row.by_class[3]),
+                  std::to_string(row.total), bench::EventMarker(row.day)});
+  }
+  std::cout << "FIG 1 — active devices per day by device type\n";
+  table.Print(std::cout);
+  std::cout << "\npeak active devices:   " << peak
+            << "   (paper: 32,019 at full campus scale)\n"
+            << "trough after shutdown: " << trough << "   (paper: 4,973)\n"
+            << "trough/peak ratio:     "
+            << util::FormatDouble(100.0 * trough / peak, 1)
+            << "%   (paper: 15.5%)\n";
+  return 0;
+}

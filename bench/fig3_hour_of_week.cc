@@ -1,0 +1,49 @@
+// Figure 3: "Normalized median volume of traffic per device per hour of week
+// for four weeks of the measurement period." Thursday-anchored, normalized
+// by the minimum positive hourly value across all four weeks.
+#include <iostream>
+
+#include "bench/common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace lockdown;
+  const auto& study = bench::SharedStudy();
+  const auto result = study.HourOfWeekVolume();
+
+  util::TablePrinter table({"day", "hour", "wk 2/20", "wk 3/19", "wk 4/9", "wk 5/14"});
+  static constexpr const char* kDays[] = {"Thu", "Fri", "Sat", "Sun",
+                                          "Mon", "Tue", "Wed"};
+  for (int bin = 0; bin < analysis::HourOfWeekSeries::kHours; ++bin) {
+    table.AddRow({kDays[bin / 24], std::to_string(bin % 24),
+                  util::FormatDouble(result.weeks[0].at(bin), 1),
+                  util::FormatDouble(result.weeks[1].at(bin), 1),
+                  util::FormatDouble(result.weeks[2].at(bin), 1),
+                  util::FormatDouble(result.weeks[3].at(bin), 1)});
+  }
+  std::cout << "FIG 3 — normalized median per-device traffic volume per hour of week\n"
+            << "(normalization divisor: " << bench::Mb(result.normalization)
+            << " MB)\n";
+  table.Print(std::cout);
+
+  // The two qualitative claims.
+  auto day_sum = [&](int week, int day, int from_h, int to_h) {
+    double s = 0;
+    for (int h = from_h; h <= to_h; ++h) s += result.weeks[static_cast<std::size_t>(week)].at(day * 24 + h);
+    return s;
+  };
+  const double pre_morning = day_sum(0, 0, 8, 12) + day_sum(0, 1, 8, 12);
+  const double shut_morning = day_sum(2, 0, 8, 12) + day_sum(2, 1, 8, 12);
+  double pre_weekend = 0, shut_weekend = 0;
+  for (int d = 2; d <= 3; ++d) {
+    pre_weekend += day_sum(0, d, 9, 23);
+    shut_weekend += day_sum(2, d, 9, 23);
+  }
+  std::cout << "\nweekday morning volume, wk 4/9 vs wk 2/20: "
+            << util::FormatDouble(shut_morning / pre_morning, 2)
+            << "x   (paper: spikes earlier and higher during shutdown)\n"
+            << "weekend daytime volume, wk 4/9 vs wk 2/20: "
+            << util::FormatDouble(shut_weekend / pre_weekend, 2)
+            << "x   (paper: weekends relatively unchanged)\n";
+  return 0;
+}

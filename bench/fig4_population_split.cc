@@ -1,0 +1,50 @@
+// Figure 4: "Median bytes per device, excluding Zoom traffic, for
+// international and domestic post-shutdown users. We consider mobile and
+// desktop devices separately from unclassified devices, and exclude IoT
+// devices here."
+#include <iostream>
+
+#include "bench/common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace lockdown;
+  const auto& study = bench::SharedStudy();
+  const auto rows = study.MedianBytesExcludingZoom();
+  const auto& split = study.Split();
+
+  util::TablePrinter table({"date", "intl mob/desk", "dom mob/desk",
+                            "intl unclass", "dom unclass", "(GB/day)"});
+  for (const auto& row : rows) {
+    table.AddRow({bench::DateOfDay(row.day), bench::Gb(row.intl_mobile_desktop),
+                  bench::Gb(row.dom_mobile_desktop), bench::Gb(row.intl_unclassified),
+                  bench::Gb(row.dom_unclassified), bench::EventMarker(row.day)});
+  }
+  std::cout << "FIG 4 — median daily bytes per post-shutdown device, Zoom excluded\n";
+  table.Print(std::cout);
+
+  // Break-week behaviour, the figure's headline contrast.
+  auto avg = [&rows](auto member, int from, int to) {
+    double s = 0;
+    for (int d = from; d <= to; ++d) s += rows[static_cast<std::size_t>(d)].*member;
+    return s / (to - from + 1);
+  };
+  using R = core::LockdownStudy::Fig4Row;
+  const int b0 = util::StudyCalendar::DayIndex(util::StudyCalendar::kBreakStart);
+  const int b1 = util::StudyCalendar::DayIndex(util::StudyCalendar::kBreakEnd) - 1;
+  std::cout << "\nlabeled international devices: " << split.num_international
+            << " of " << study.PostShutdownDevices().size()
+            << " post-shutdown users ("
+            << util::FormatDouble(100.0 * split.num_international /
+                                      study.PostShutdownDevices().size(), 1)
+            << "%; paper: 1,022 of 6,522)\n"
+            << "break-week median vs mid-February, international mob/desk: "
+            << util::FormatDouble(avg(&R::intl_mobile_desktop, b0, b1) /
+                                      avg(&R::intl_mobile_desktop, 16, 21), 2)
+            << "x (paper: rises)\n"
+            << "break-week median vs mid-February, domestic mob/desk:      "
+            << util::FormatDouble(avg(&R::dom_mobile_desktop, b0, b1) /
+                                      avg(&R::dom_mobile_desktop, 16, 21), 2)
+            << "x (paper: stable)\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 6: box-and-whiskers of monthly mobile session duration for
+// (a) Facebook, (b) Instagram, (c) TikTok — domestic vs. international
+// post-shutdown users. Sessions come from overlapping-flow merging with the
+// Instagram-only-domain disambiguation heuristic.
+#include <iostream>
+
+#include "bench/common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace lockdown;
+  const auto& study = bench::SharedStudy();
+
+  static constexpr const char* kMonths[] = {"February", "March", "April", "May"};
+  for (const apps::SocialApp app :
+       {apps::SocialApp::kFacebook, apps::SocialApp::kInstagram,
+        apps::SocialApp::kTikTok}) {
+    std::cout << "FIG 6" << (app == apps::SocialApp::kFacebook ? "a"
+                             : app == apps::SocialApp::kInstagram ? "b" : "c")
+              << " — " << apps::ToString(app)
+              << " mobile duration per device (hours/month)\n";
+    util::TablePrinter table({"month", "group", "n", "p1", "q1", "median", "q3",
+                              "p95", "p99"});
+    for (int month = 2; month <= 5; ++month) {
+      const auto box = study.SocialDurations(app, month);
+      const auto add = [&table, month](const char* group,
+                                       const analysis::BoxStats& b) {
+        table.AddRow({kMonths[month - 2], group, std::to_string(b.n),
+                      util::FormatDouble(b.p1, 2), util::FormatDouble(b.q1, 2),
+                      util::FormatDouble(b.median, 2), util::FormatDouble(b.q3, 2),
+                      util::FormatDouble(b.p95, 2), util::FormatDouble(b.p99, 2)});
+      };
+      add("domestic", box.domestic);
+      add("international", box.international);
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  const auto fb2 = study.SocialDurations(apps::SocialApp::kFacebook, 2);
+  const auto fb5 = study.SocialDurations(apps::SocialApp::kFacebook, 5);
+  const auto tt2 = study.SocialDurations(apps::SocialApp::kTikTok, 2);
+  const auto tt5 = study.SocialDurations(apps::SocialApp::kTikTok, 5);
+  std::cout << "paper claims vs. measured:\n"
+            << "  FB domestic May/Feb median:    "
+            << util::FormatDouble(fb5.domestic.median / fb2.domestic.median, 2)
+            << "x (paper: decreases)\n"
+            << "  FB international May/Feb:      "
+            << util::FormatDouble(
+                   fb5.international.median / std::max(fb2.international.median, 1e-9), 2)
+            << "x (paper: increases)\n"
+            << "  TikTok domestic q3 May/Feb:    "
+            << util::FormatDouble(tt5.domestic.q3 / std::max(tt2.domestic.q3, 1e-9), 2)
+            << "x (paper: upper tail grows)\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 7: box plots of Steam (a) total bytes and (b) connection counts per
+// device per month, domestic vs. international post-shutdown users.
+#include <iostream>
+
+#include "bench/common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace lockdown;
+  const auto& study = bench::SharedStudy();
+  static constexpr const char* kMonths[] = {"February", "March", "April", "May"};
+
+  std::cout << "FIG 7a — Steam bytes per device per month (MB)\n";
+  util::TablePrinter bytes_table(
+      {"month", "group", "n", "p1", "q1", "median", "q3", "p95"});
+  std::cout.flush();
+  for (int month = 2; month <= 5; ++month) {
+    const auto box = study.SteamUsage(month);
+    const auto add = [&bytes_table, month](const char* group,
+                                           const analysis::BoxStats& b) {
+      bytes_table.AddRow({kMonths[month - 2], group, std::to_string(b.n),
+                          bench::Mb(b.p1), bench::Mb(b.q1), bench::Mb(b.median),
+                          bench::Mb(b.q3), bench::Mb(b.p95)});
+    };
+    add("domestic", box.dom_bytes);
+    add("international", box.intl_bytes);
+  }
+  bytes_table.Print(std::cout);
+
+  std::cout << "\nFIG 7b — Steam connections per device per month\n";
+  util::TablePrinter conns_table(
+      {"month", "group", "n", "p1", "q1", "median", "q3", "p95"});
+  for (int month = 2; month <= 5; ++month) {
+    const auto box = study.SteamUsage(month);
+    const auto add = [&conns_table, month](const char* group,
+                                           const analysis::BoxStats& b) {
+      conns_table.AddRow({kMonths[month - 2], group, std::to_string(b.n),
+                          util::FormatDouble(b.p1, 0), util::FormatDouble(b.q1, 0),
+                          util::FormatDouble(b.median, 0),
+                          util::FormatDouble(b.q3, 0),
+                          util::FormatDouble(b.p95, 0)});
+    };
+    add("domestic", box.dom_conns);
+    add("international", box.intl_conns);
+  }
+  conns_table.Print(std::cout);
+
+  const auto feb = study.SteamUsage(2);
+  const auto mar = study.SteamUsage(3);
+  const auto may = study.SteamUsage(5);
+  std::cout << "\npaper claims vs. measured:\n"
+            << "  domestic bytes Mar/Feb median:      "
+            << util::FormatDouble(mar.dom_bytes.median /
+                                      std::max(feb.dom_bytes.median, 1.0), 2)
+            << "x (paper: increases in March)\n"
+            << "  domestic bytes May/Mar median:      "
+            << util::FormatDouble(may.dom_bytes.median /
+                                      std::max(mar.dom_bytes.median, 1.0), 2)
+            << "x (paper: falls in April and May)\n"
+            << "  international bytes Mar/Feb median: "
+            << util::FormatDouble(mar.intl_bytes.median /
+                                      std::max(feb.intl_bytes.median, 1.0), 2)
+            << "x (paper: increases even more)\n"
+            << "  domestic conns May/Feb median:      "
+            << util::FormatDouble(may.dom_conns.median /
+                                      std::max(feb.dom_conns.median, 1.0), 2)
+            << "x (paper: drops over time)\n";
+  return 0;
+}

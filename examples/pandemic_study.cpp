@@ -1,0 +1,180 @@
+// Full reproduction driver: runs every analysis from the paper and writes
+// the series behind each figure as TSV files, ready for plotting.
+//
+//   $ ./pandemic_study [output_dir] [num_students]
+//
+// Produces fig1.tsv .. fig8.tsv plus headline.tsv in output_dir (default
+// "./study_output").
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "core/pipeline.h"
+#include "core/study.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace lockdown;
+
+std::ofstream Open(const std::filesystem::path& dir, const char* name) {
+  std::ofstream out(dir / name);
+  if (!out) {
+    std::cerr << "cannot write " << (dir / name) << "\n";
+    std::exit(1);
+  }
+  return out;
+}
+
+std::string D(double v, int p = 2) { return util::FormatDouble(v, p); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path out_dir = argc > 1 ? argv[1] : "study_output";
+  std::filesystem::create_directories(out_dir);
+
+  core::StudyConfig config = core::StudyConfig::Small(600);
+  if (argc > 2) config.generator.population.num_students = std::atoi(argv[2]);
+
+  std::cout << "Simulating " << config.generator.population.num_students
+            << " students...\n";
+  const auto collection = core::MeasurementPipeline::Collect(config);
+  const core::LockdownStudy study(collection.dataset,
+                                  world::ServiceCatalog::Default());
+  std::cout << "Dataset: " << collection.dataset.num_flows() << " flows, "
+            << collection.dataset.num_devices() << " devices. Writing "
+            << out_dir << "/fig*.tsv\n";
+
+  {  // Figure 1 + Figure 2 share the daily axis.
+    auto f1 = Open(out_dir, "fig1_active_devices.tsv");
+    util::DelimitedWriter w1(f1);
+    w1.WriteHeader({"date", "mobile", "laptop_desktop", "iot", "unclassified", "total"});
+    for (const auto& row : study.ActiveDevicesPerDay()) {
+      w1.WriteRow({util::FormatDate(util::StudyCalendar::DateAt(row.day)),
+                   std::to_string(row.by_class[0]), std::to_string(row.by_class[1]),
+                   std::to_string(row.by_class[2]), std::to_string(row.by_class[3]),
+                   std::to_string(row.total)});
+    }
+    auto f2 = Open(out_dir, "fig2_bytes_per_device.tsv");
+    util::DelimitedWriter w2(f2);
+    w2.WriteHeader({"date", "mean_mobile", "med_mobile", "mean_laptop", "med_laptop",
+                    "mean_iot", "med_iot", "mean_unclassified", "med_unclassified"});
+    for (const auto& row : study.BytesPerDevicePerDay()) {
+      std::vector<std::string> cells = {
+          util::FormatDate(util::StudyCalendar::DateAt(row.day))};
+      for (int c = 0; c < core::kNumReportClasses; ++c) {
+        cells.push_back(D(row.mean[static_cast<std::size_t>(c)], 0));
+        cells.push_back(D(row.median[static_cast<std::size_t>(c)], 0));
+      }
+      w2.WriteRow(cells);
+    }
+  }
+
+  {  // Figure 3.
+    auto f = Open(out_dir, "fig3_hour_of_week.tsv");
+    util::DelimitedWriter w(f);
+    w.WriteHeader({"hour_of_week", "wk_0220", "wk_0319", "wk_0409", "wk_0514"});
+    const auto how = study.HourOfWeekVolume();
+    for (int h = 0; h < analysis::HourOfWeekSeries::kHours; ++h) {
+      w.WriteRow({std::to_string(h), D(how.weeks[0].at(h)), D(how.weeks[1].at(h)),
+                  D(how.weeks[2].at(h)), D(how.weeks[3].at(h))});
+    }
+  }
+
+  {  // Figure 4.
+    auto f = Open(out_dir, "fig4_population_split.tsv");
+    util::DelimitedWriter w(f);
+    w.WriteHeader({"date", "intl_mobile_desktop", "dom_mobile_desktop",
+                   "intl_unclassified", "dom_unclassified"});
+    for (const auto& row : study.MedianBytesExcludingZoom()) {
+      w.WriteRow({util::FormatDate(util::StudyCalendar::DateAt(row.day)),
+                  D(row.intl_mobile_desktop, 0), D(row.dom_mobile_desktop, 0),
+                  D(row.intl_unclassified, 0), D(row.dom_unclassified, 0)});
+    }
+  }
+
+  {  // Figure 5.
+    auto f = Open(out_dir, "fig5_zoom.tsv");
+    util::DelimitedWriter w(f);
+    w.WriteHeader({"date", "zoom_bytes"});
+    const auto zoom = study.ZoomDailyBytes();
+    for (int day = 0; day < zoom.num_days(); ++day) {
+      w.WriteRow({util::FormatDate(util::StudyCalendar::DateAt(day)),
+                  D(zoom.at(day), 0)});
+    }
+  }
+
+  {  // Figure 6 (a, b, c).
+    auto f = Open(out_dir, "fig6_social_durations.tsv");
+    util::DelimitedWriter w(f);
+    w.WriteHeader({"app", "month", "group", "n", "p1", "q1", "median", "q3", "p95",
+                   "p99"});
+    for (const auto app : {apps::SocialApp::kFacebook, apps::SocialApp::kInstagram,
+                           apps::SocialApp::kTikTok}) {
+      for (int month = 2; month <= 5; ++month) {
+        const auto box = study.SocialDurations(app, month);
+        const auto emit = [&](const char* group, const analysis::BoxStats& b) {
+          w.WriteRow({apps::ToString(app), std::to_string(month), group,
+                      std::to_string(b.n), D(b.p1), D(b.q1), D(b.median), D(b.q3),
+                      D(b.p95), D(b.p99)});
+        };
+        emit("domestic", box.domestic);
+        emit("international", box.international);
+      }
+    }
+  }
+
+  {  // Figure 7 (a, b).
+    auto f = Open(out_dir, "fig7_steam.tsv");
+    util::DelimitedWriter w(f);
+    w.WriteHeader({"month", "group", "metric", "n", "p1", "q1", "median", "q3",
+                   "p95"});
+    for (int month = 2; month <= 5; ++month) {
+      const auto box = study.SteamUsage(month);
+      const auto emit = [&](const char* group, const char* metric,
+                            const analysis::BoxStats& b) {
+        w.WriteRow({std::to_string(month), group, metric, std::to_string(b.n),
+                    D(b.p1, 0), D(b.q1, 0), D(b.median, 0), D(b.q3, 0),
+                    D(b.p95, 0)});
+      };
+      emit("domestic", "bytes", box.dom_bytes);
+      emit("international", "bytes", box.intl_bytes);
+      emit("domestic", "connections", box.dom_conns);
+      emit("international", "connections", box.intl_conns);
+    }
+  }
+
+  {  // Figure 8.
+    auto f = Open(out_dir, "fig8_switch_gameplay.tsv");
+    util::DelimitedWriter w(f);
+    w.WriteHeader({"date", "gameplay_bytes_3day_ma"});
+    const auto series = study.SwitchGameplayDaily(3);
+    for (int day = 0; day < series.num_days(); ++day) {
+      w.WriteRow({util::FormatDate(util::StudyCalendar::DateAt(day)),
+                  D(series.at(day), 0)});
+    }
+  }
+
+  {  // Headline stats.
+    auto f = Open(out_dir, "headline.tsv");
+    util::DelimitedWriter w(f);
+    w.WriteHeader({"statistic", "value"});
+    const auto h = study.HeadlineStats();
+    const auto sw = study.CountSwitches();
+    w.WriteRow({"peak_active_devices", std::to_string(h.peak_active_devices)});
+    w.WriteRow({"trough_active_devices", std::to_string(h.trough_active_devices)});
+    w.WriteRow({"post_shutdown_users", std::to_string(h.post_shutdown_users)});
+    w.WriteRow({"traffic_increase", D(h.traffic_increase)});
+    w.WriteRow({"distinct_sites_increase", D(h.distinct_sites_increase)});
+    w.WriteRow({"international_devices", std::to_string(h.international_devices)});
+    w.WriteRow({"switches_february", std::to_string(sw.active_february)});
+    w.WriteRow({"switches_post_shutdown", std::to_string(sw.active_post_shutdown)});
+    w.WriteRow({"switches_new_apr_may", std::to_string(sw.new_in_april_may)});
+  }
+
+  std::cout << "Done. Every figure's series is in " << out_dir << ".\n";
+  return 0;
+}

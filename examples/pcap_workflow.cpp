@@ -1,0 +1,62 @@
+// Packet-level workflow: simulate a short window of campus traffic, render
+// it as a real .pcap file (tcpdump/wireshark-compatible), then re-ingest the
+// pcap through the flow assembler and print a conn.log — the path an adopter
+// with their own captures would take.
+//
+//   $ ./pcap_workflow [pcap_path]
+#include <fstream>
+#include <iostream>
+
+#include "flow/assembler.h"
+#include "flow/conn_log.h"
+#include "pcapio/tap_pcap.h"
+#include "sim/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace lockdown;
+  const char* pcap_path = argc > 1 ? argv[1] : "campus_sample.pcap";
+
+  // One pre-pandemic day of a very small dorm.
+  sim::GeneratorConfig config;
+  config.population.num_students = 6;
+  config.first_day = 10;
+  config.last_day = 11;
+  sim::TrafficGenerator generator(config);
+  std::vector<flow::TapEvent> events;
+  generator.Run([&events](const flow::TapEvent& ev) { events.push_back(ev); });
+  std::cout << "simulated " << events.size() << " tap events\n";
+
+  // Render as packets and write a real pcap file.
+  const auto document = pcapio::SynthesizePcap(events);
+  {
+    std::ofstream out(pcap_path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(document.data()),
+              static_cast<std::streamsize>(document.size()));
+  }
+  std::cout << "wrote " << pcap_path << " (" << document.size() / 1024
+            << " KiB; open it in wireshark)\n";
+
+  // Re-ingest the pcap as if it were a foreign capture.
+  std::vector<flow::FlowRecord> flows;
+  flow::Assembler assembler(flow::AssemblerConfig{},
+                            [&flows](const flow::FlowRecord& r) {
+                              flows.push_back(r);
+                            });
+  const auto stats = pcapio::IngestPcap(
+      document,
+      [&config](net::Ipv4Address ip) { return config.client_pool.Contains(ip); },
+      [&assembler](const flow::TapEvent& ev) { assembler.Ingest(ev); });
+  assembler.Finish();
+  if (!stats) {
+    std::cerr << "pcap ingest failed\n";
+    return 1;
+  }
+  std::cout << "ingested " << stats->packets << " packets ("
+            << stats->ignored << " ignored) -> " << flows.size()
+            << " flows\n\nfirst lines of the extracted conn.log:\n";
+  std::vector<flow::FlowRecord> head(flows.begin(),
+                                     flows.begin() + std::min<std::size_t>(
+                                                         flows.size(), 10));
+  flow::WriteConnLog(std::cout, head);
+  return 0;
+}

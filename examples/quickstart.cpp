@@ -1,0 +1,47 @@
+// Quickstart: simulate a small campus through the full measurement pipeline
+// and print the study's headline numbers.
+//
+//   $ ./quickstart [num_students]
+//
+// ~10 lines of API: configure, collect, analyze.
+#include <cstdlib>
+#include <iostream>
+
+#include "core/pipeline.h"
+#include "core/study.h"
+
+int main(int argc, char** argv) {
+  using namespace lockdown;
+
+  core::StudyConfig config = core::StudyConfig::Small(/*num_students=*/200);
+  if (argc > 1) config.generator.population.num_students = std::atoi(argv[1]);
+
+  std::cout << "Simulating " << config.generator.population.num_students
+            << " students, 2020-02-01 .. 2020-05-31...\n";
+  const core::CollectionResult collection =
+      core::MeasurementPipeline::Collect(config);
+  std::cout << "Collected " << collection.dataset.num_flows() << " flows from "
+            << collection.dataset.num_devices() << " devices ("
+            << collection.stats.tap_excluded << " tap-excluded events, "
+            << collection.stats.devices_observed -
+                   collection.stats.devices_retained
+            << " visitor devices dropped).\n\n";
+
+  const core::LockdownStudy study(collection.dataset,
+                                  world::ServiceCatalog::Default());
+  const auto headline = study.HeadlineStats();
+  std::cout << "Peak active devices/day:  " << headline.peak_active_devices << "\n"
+            << "Post-shutdown users:      " << headline.post_shutdown_users << "\n"
+            << "Traffic change Feb->Apr/May (post-shutdown cohort): "
+            << static_cast<int>(100 * headline.traffic_increase) << "%\n"
+            << "Distinct-site change:     "
+            << static_cast<int>(100 * headline.distinct_sites_increase) << "%\n"
+            << "International devices:    " << headline.international_devices
+            << " (" << static_cast<int>(100 * headline.international_share)
+            << "% of post-shutdown users)\n";
+
+  const auto zoom = study.ZoomDailyBytes();
+  const int apr15 = util::StudyCalendar::DayIndex(util::CivilDate{2020, 4, 15});
+  std::cout << "Zoom on Wednesday 4/15:   " << zoom.at(apr15) / 1e9 << " GB\n";
+  return 0;
+}

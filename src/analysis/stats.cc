@@ -1,0 +1,70 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lockdown::analysis {
+
+double Mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double PercentileInPlace(std::span<double> xs, double pct) noexcept {
+  if (xs.empty()) return 0.0;
+  const double clamped = std::clamp(pct, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(lo), xs.end());
+  const double v_lo = xs[lo];
+  if (frac == 0.0 || lo + 1 >= xs.size()) return v_lo;
+  const double v_hi =
+      *std::min_element(xs.begin() + static_cast<std::ptrdiff_t>(lo) + 1, xs.end());
+  return v_lo + frac * (v_hi - v_lo);
+}
+
+double Percentile(std::span<const double> xs, double pct) {
+  std::vector<double> copy(xs.begin(), xs.end());
+  return PercentileInPlace(copy, pct);
+}
+
+double Median(std::span<const double> xs) { return Percentile(xs, 50.0); }
+
+BoxStats ComputeBoxStats(std::vector<double> xs) {
+  BoxStats out;
+  out.n = xs.size();
+  if (xs.empty()) return out;
+  out.mean = Mean(xs);
+  std::sort(xs.begin(), xs.end());
+  const auto at = [&xs](double pct) {
+    const double rank = pct / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= xs.size()) return xs[lo];
+    return xs[lo] + frac * (xs[lo + 1] - xs[lo]);
+  };
+  out.p1 = at(1.0);
+  out.q1 = at(25.0);
+  out.median = at(50.0);
+  out.q3 = at(75.0);
+  out.p95 = at(95.0);
+  out.p99 = at(99.0);
+  return out;
+}
+
+double CosineSimilarity(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace lockdown::analysis

@@ -1,0 +1,47 @@
+// Summary statistics used throughout the study. The paper relies on medians
+// ("the rest of the analysis in this work will rely on median values", §4)
+// and box-and-whiskers summaries whose whiskers span the 1st to 95th
+// percentile (Figs. 6 and 7).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace lockdown::analysis {
+
+/// Arithmetic mean; 0 for empty input.
+[[nodiscard]] double Mean(std::span<const double> xs) noexcept;
+
+/// Percentile in [0, 100] with linear interpolation between order statistics
+/// (the common "linear" / type-7 definition). 0 for empty input. The input
+/// span is copied; use PercentileInPlace for repeated queries.
+[[nodiscard]] double Percentile(std::span<const double> xs, double pct);
+
+/// Percentile over a mutable buffer the caller allows to be reordered.
+[[nodiscard]] double PercentileInPlace(std::span<double> xs, double pct) noexcept;
+
+/// Median (50th percentile).
+[[nodiscard]] double Median(std::span<const double> xs);
+
+/// Box-and-whiskers summary matching the paper's figures: whiskers p1..p95,
+/// box Q1..Q3, plus p99 (discussed in the TikTok analysis).
+struct BoxStats {
+  std::size_t n = 0;
+  double p1 = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+};
+
+[[nodiscard]] BoxStats ComputeBoxStats(std::vector<double> xs);
+
+/// Cosine similarity of two equal-length vectors; 0 if either is all-zero.
+/// Used to compare diurnal shapes (the Feldmann et al. weekday-vs-weekend
+/// convergence question the paper contrasts itself against).
+[[nodiscard]] double CosineSimilarity(std::span<const double> a,
+                                      std::span<const double> b);
+
+}  // namespace lockdown::analysis

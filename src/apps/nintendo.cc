@@ -1,0 +1,31 @@
+#include "apps/nintendo.h"
+
+#include "util/strings.h"
+
+namespace lockdown::apps {
+
+namespace {
+bool AnyMatch(std::string_view host, const std::vector<std::string>& domains) {
+  for (const std::string& d : domains) {
+    if (util::DomainMatches(host, d)) return true;
+  }
+  return false;
+}
+}  // namespace
+
+NintendoSignature::NintendoSignature()
+    : gameplay_{"npln.srv.nintendo.net", "p2prel.srv.nintendo.net",
+                "mm.p2p.srv.nintendo.net", "nncs1.app.nintendowifi.net"},
+      non_gameplay_{"atum.hac.lp1.d4c.nintendo.net", "sun.hac.lp1.d4c.nintendo.net",
+                    "accounts.nintendo.com", "ctest.cdn.nintendo.net",
+                    "receive-lp1.dg.srv.nintendo.net", "conntest.nintendowifi.net"} {}
+
+bool NintendoSignature::IsNintendo(std::string_view host) const {
+  return AnyMatch(host, gameplay_) || AnyMatch(host, non_gameplay_);
+}
+
+bool NintendoSignature::IsGameplay(std::string_view host) const {
+  return AnyMatch(host, gameplay_);
+}
+
+}  // namespace lockdown::apps

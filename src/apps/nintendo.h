@@ -1,0 +1,36 @@
+// Nintendo Switch traffic signatures (paper §5.3.2): the domain list a
+// Switch contacts (cross-checked against 90DNS in the paper) and the subset
+// used for "system updates, game updates and downloads, and other
+// non-gameplay traffic", which is filtered out to isolate gameplay.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lockdown::apps {
+
+class NintendoSignature {
+ public:
+  NintendoSignature();
+
+  /// Any Nintendo server domain (gameplay or not).
+  [[nodiscard]] bool IsNintendo(std::string_view host) const;
+
+  /// Gameplay traffic: Nintendo domains that are not update/download/
+  /// account/telemetry endpoints.
+  [[nodiscard]] bool IsGameplay(std::string_view host) const;
+
+  [[nodiscard]] const std::vector<std::string>& gameplay_domains() const noexcept {
+    return gameplay_;
+  }
+  [[nodiscard]] const std::vector<std::string>& non_gameplay_domains() const noexcept {
+    return non_gameplay_;
+  }
+
+ private:
+  std::vector<std::string> gameplay_;
+  std::vector<std::string> non_gameplay_;
+};
+
+}  // namespace lockdown::apps

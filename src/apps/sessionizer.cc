@@ -1,0 +1,50 @@
+#include "apps/sessionizer.h"
+
+#include <algorithm>
+
+namespace lockdown::apps {
+
+std::vector<Session> MergeSessions(std::vector<FlowInterval> flows,
+                                   util::Timestamp max_gap) {
+  std::vector<Session> out;
+  if (flows.empty()) return out;
+  std::sort(flows.begin(), flows.end(),
+            [](const FlowInterval& a, const FlowInterval& b) {
+              return a.start < b.start;
+            });
+  Session cur;
+  cur.start = flows[0].start;
+  cur.end = flows[0].end;
+  cur.domains = {flows[0].domain};
+  cur.bytes = flows[0].bytes;
+  cur.flow_count = 1;
+
+  auto flush = [&out](Session& s) {
+    std::sort(s.domains.begin(), s.domains.end());
+    s.domains.erase(std::unique(s.domains.begin(), s.domains.end()),
+                    s.domains.end());
+    out.push_back(std::move(s));
+  };
+
+  for (std::size_t i = 1; i < flows.size(); ++i) {
+    const FlowInterval& f = flows[i];
+    if (f.start <= cur.end + max_gap) {
+      cur.end = std::max(cur.end, f.end);
+      cur.domains.push_back(f.domain);
+      cur.bytes += f.bytes;
+      ++cur.flow_count;
+    } else {
+      flush(cur);
+      cur = Session{};
+      cur.start = f.start;
+      cur.end = f.end;
+      cur.domains = {f.domain};
+      cur.bytes = f.bytes;
+      cur.flow_count = 1;
+    }
+  }
+  flush(cur);
+  return out;
+}
+
+}  // namespace lockdown::apps

@@ -1,0 +1,45 @@
+// Session reconstruction from overlapping flows (paper §5.2):
+//
+//  "the social media sites often use multiple domains to serve content to
+//   users... to compute the duration of an entire user session, we find the
+//   bounds of overlapping flows from different domains belonging to the
+//   same site."
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/time.h"
+
+namespace lockdown::apps {
+
+/// One input flow: its time bounds and an opaque domain tag (callers pass an
+/// interned domain id).
+struct FlowInterval {
+  util::Timestamp start = 0;
+  util::Timestamp end = 0;
+  std::uint32_t domain = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// A merged session: the union bounds of a maximal set of overlapping flows.
+struct Session {
+  util::Timestamp start = 0;
+  util::Timestamp end = 0;
+  std::vector<std::uint32_t> domains;  ///< distinct domain tags, sorted
+  std::uint64_t bytes = 0;
+  int flow_count = 0;
+
+  [[nodiscard]] double duration_s() const noexcept {
+    return static_cast<double>(end - start);
+  }
+};
+
+/// Merges flows into sessions. Flows overlap if their intervals intersect
+/// (or touch within `max_gap` seconds — 0 reproduces the paper's strict
+/// overlap rule). Input order does not matter.
+[[nodiscard]] std::vector<Session> MergeSessions(std::vector<FlowInterval> flows,
+                                                 util::Timestamp max_gap = 0);
+
+}  // namespace lockdown::apps

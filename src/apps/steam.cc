@@ -1,0 +1,18 @@
+#include "apps/steam.h"
+
+#include "util/strings.h"
+
+namespace lockdown::apps {
+
+SteamSignature::SteamSignature()
+    : domains_{"steampowered.com", "steamcommunity.com", "steamcontent.com",
+               "steamusercontent.com", "steamstatic.com"} {}
+
+bool SteamSignature::Matches(std::string_view host) const {
+  for (const std::string& d : domains_) {
+    if (util::DomainMatches(host, d)) return true;
+  }
+  return false;
+}
+
+}  // namespace lockdown::apps

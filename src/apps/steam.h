@@ -1,0 +1,25 @@
+// Steam signature (paper §5.3.1): "We developed a signature for Steam, an
+// online platform for PC games, from the set of domains that their customer
+// support recommends whitelisting."
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lockdown::apps {
+
+class SteamSignature {
+ public:
+  SteamSignature();
+
+  [[nodiscard]] bool Matches(std::string_view host) const;
+  [[nodiscard]] const std::vector<std::string>& domains() const noexcept {
+    return domains_;
+  }
+
+ private:
+  std::vector<std::string> domains_;
+};
+
+}  // namespace lockdown::apps

@@ -1,0 +1,43 @@
+// Zoom attribution (paper §5.1): "we identify all connections that resolve
+// to a zoom.us domain. We also analyze connections where an IP address
+// matches a list of IP addresses from Zoom support, and use the Internet
+// Archive Wayback Machine to find any IP addresses that were previously
+// listed on this page, but were subsequently removed."
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "world/catalog.h"
+
+namespace lockdown::apps {
+
+class ZoomMatcher {
+ public:
+  /// Builds the matcher from explicit lists: the published domain list, the
+  /// current IP ranges, and the historical (wayback-recovered) ranges.
+  ZoomMatcher(std::vector<std::string> domains, std::vector<net::Cidr> current_ranges,
+              std::vector<net::Cidr> historical_ranges);
+
+  /// Builds from the catalog (the reproduction's stand-in for the published
+  /// lists): "zoom" hosts, "zoom-media" block as current, "zoom-media-legacy"
+  /// as historical.
+  explicit ZoomMatcher(const world::ServiceCatalog& catalog);
+
+  /// True if the flow is Zoom traffic: its DNS-mapped hostname matches a
+  /// Zoom domain, or its server address is in a published (or historical) IP
+  /// range. `host` may be empty for raw-IP flows.
+  [[nodiscard]] bool IsZoom(std::string_view host, net::Ipv4Address server) const;
+
+  [[nodiscard]] bool MatchesDomain(std::string_view host) const;
+  [[nodiscard]] bool MatchesCurrentIp(net::Ipv4Address ip) const;
+  [[nodiscard]] bool MatchesHistoricalIp(net::Ipv4Address ip) const;
+
+ private:
+  std::vector<std::string> domains_;
+  std::vector<net::Cidr> current_;
+  std::vector<net::Cidr> historical_;
+};
+
+}  // namespace lockdown::apps

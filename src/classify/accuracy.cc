@@ -1,0 +1,39 @@
+#include "classify/accuracy.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lockdown::classify {
+
+AccuracyReport EstimateAccuracy(std::span<const LabelledDevice> devices,
+                                int sample_size, std::uint64_t seed) {
+  AccuracyReport report;
+  if (devices.empty()) return report;
+
+  // Partial Fisher-Yates for a uniform sample without replacement.
+  std::vector<std::size_t> order(devices.size());
+  std::iota(order.begin(), order.end(), 0u);
+  util::Pcg32 rng(seed, 0xACC);
+  const std::size_t n =
+      std::min<std::size_t>(static_cast<std::size_t>(sample_size), devices.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j =
+        i + rng.NextBounded(static_cast<std::uint32_t>(order.size() - i));
+    std::swap(order[i], order[j]);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const LabelledDevice& d = devices[order[i]];
+    ++report.sampled;
+    if (d.predicted == d.truth) {
+      ++report.correct;
+    } else if (d.predicted == DeviceClass::kUnknown) {
+      ++report.unknown_omissions;
+    } else {
+      ++report.misclassified;
+    }
+  }
+  return report;
+}
+
+}  // namespace lockdown::classify

@@ -1,0 +1,40 @@
+// Classifier accuracy estimation, mirroring the paper's manual review:
+// "we manually reviewed 100 random devices in our dataset and verified that
+//  84 were correctly classified... Only two devices in this sample were
+//  affirmatively misclassified... the dominant source of error (14 devices)
+//  was omission (devices conservatively classified as 'unknown')." (§3)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "classify/classifier.h"
+#include "util/rng.h"
+
+namespace lockdown::classify {
+
+struct AccuracyReport {
+  int sampled = 0;
+  int correct = 0;
+  int misclassified = 0;       ///< affirmatively wrong class
+  int unknown_omissions = 0;   ///< labelled unclassified but had a true class
+
+  [[nodiscard]] double accuracy() const noexcept {
+    return sampled == 0 ? 0.0 : static_cast<double>(correct) / sampled;
+  }
+};
+
+/// One device's predicted vs. true class (the "manual review" ground truth —
+/// in the reproduction, the simulator's device table).
+struct LabelledDevice {
+  DeviceClass predicted = DeviceClass::kUnknown;
+  DeviceClass truth = DeviceClass::kUnknown;
+};
+
+/// Samples `sample_size` devices uniformly (deterministic under `seed`) and
+/// scores the classifier against ground truth.
+[[nodiscard]] AccuracyReport EstimateAccuracy(std::span<const LabelledDevice> devices,
+                                              int sample_size, std::uint64_t seed);
+
+}  // namespace lockdown::classify

@@ -1,0 +1,34 @@
+// Per-device traffic observations — everything the classifier is allowed to
+// see. The pipeline accumulates these while ingesting flows; no simulator
+// ground truth crosses this boundary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lockdown::classify {
+
+struct DeviceObservations {
+  /// OUI bits of the device MAC, extracted before anonymization (as the
+  /// paper's pipeline does, §3). Meaningless if locally_administered.
+  std::uint32_t oui = 0;
+  bool locally_administered = false;
+  /// Distinct cleartext User-Agent strings seen from the device.
+  std::vector<std::string> user_agents;
+  /// Bytes exchanged per remote domain (DNS-mapped). Raw-IP traffic is
+  /// accounted under total_bytes only.
+  std::unordered_map<std::string, std::uint64_t> bytes_by_domain;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t flow_count = 0;
+
+  void AddUserAgent(std::string_view ua) {
+    for (const std::string& seen : user_agents) {
+      if (seen == ua) return;
+    }
+    user_agents.emplace_back(ua);
+  }
+};
+
+}  // namespace lockdown::classify

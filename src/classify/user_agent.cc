@@ -1,0 +1,49 @@
+#include "classify/user_agent.h"
+
+namespace lockdown::classify {
+
+namespace {
+bool Contains(std::string_view haystack, std::string_view needle) noexcept {
+  return haystack.find(needle) != std::string_view::npos;
+}
+}  // namespace
+
+const char* ToString(UaClass c) noexcept {
+  switch (c) {
+    case UaClass::kDesktop: return "desktop";
+    case UaClass::kMobile: return "mobile";
+    case UaClass::kSmartTv: return "smart-tv";
+    case UaClass::kGameConsole: return "game-console";
+    case UaClass::kUnknown: return "unknown";
+  }
+  return "???";
+}
+
+UaClass ClassifyUserAgent(std::string_view ua) noexcept {
+  // Consoles first: their strings embed desktop platform tokens.
+  if (Contains(ua, "Nintendo Switch") || Contains(ua, "PlayStation") ||
+      Contains(ua, "Xbox")) {
+    return UaClass::kGameConsole;
+  }
+  if (Contains(ua, "SMART-TV") || Contains(ua, "SmartTV") ||
+      Contains(ua, "Roku/") || Contains(ua, "Web0S") || Contains(ua, "Tizen") ||
+      Contains(ua, "BRAVIA") || Contains(ua, "AppleTV")) {
+    return UaClass::kSmartTv;
+  }
+  if (Contains(ua, "iPhone") || Contains(ua, "iPad") ||
+      (Contains(ua, "Android") &&
+       (Contains(ua, "Mobile") || Contains(ua, "musically") ||
+        Contains(ua, "Cronet")))) {
+    return UaClass::kMobile;
+  }
+  if (Contains(ua, "Windows NT") || Contains(ua, "Macintosh") ||
+      Contains(ua, "X11;") || Contains(ua, "CrOS")) {
+    return UaClass::kDesktop;
+  }
+  // Android without a Mobile token is typically a tablet — still mobile for
+  // the paper's taxonomy.
+  if (Contains(ua, "Android")) return UaClass::kMobile;
+  return UaClass::kUnknown;
+}
+
+}  // namespace lockdown::classify

@@ -1,0 +1,24 @@
+// User-Agent string parsing for device classification (paper §3).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace lockdown::classify {
+
+/// Device class implied by a single UA string.
+enum class UaClass : std::uint8_t {
+  kDesktop,
+  kMobile,
+  kSmartTv,
+  kGameConsole,
+  kUnknown,
+};
+
+[[nodiscard]] const char* ToString(UaClass c) noexcept;
+
+/// Parses one User-Agent string. Console markers take precedence over the
+/// platform tokens they embed (the Xbox UA contains "Windows NT").
+[[nodiscard]] UaClass ClassifyUserAgent(std::string_view ua) noexcept;
+
+}  // namespace lockdown::classify

@@ -1,0 +1,29 @@
+// Top-level study configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/generator.h"
+
+namespace lockdown::core {
+
+struct StudyConfig {
+  /// Simulated campus (population size, seed, study window).
+  sim::GeneratorConfig generator;
+
+  /// Visitor filter: minimum distinct active days to retain a device ("we
+  /// discard information for devices that appear on the network for fewer
+  /// than 14 days", §3).
+  int visitor_min_days = 14;
+
+  /// Convenience factory: a smaller campus for tests.
+  [[nodiscard]] static StudyConfig Small(int num_students = 120,
+                                         std::uint64_t seed = 2020) {
+    StudyConfig cfg;
+    cfg.generator.population.num_students = num_students;
+    cfg.generator.population.seed = seed;
+    return cfg;
+  }
+};
+
+}  // namespace lockdown::core

@@ -1,0 +1,54 @@
+#include "core/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace lockdown::core {
+
+Dataset::Dataset() {
+  domains_.emplace_back("");  // kNoDomain
+}
+
+DomainId Dataset::InternDomain(std::string_view domain) {
+  if (domain.empty()) return kNoDomain;
+  const auto it = domain_index_.find(std::string(domain));
+  if (it != domain_index_.end()) return it->second;
+  const auto id = static_cast<DomainId>(domains_.size());
+  domains_.emplace_back(domain);
+  domain_index_.emplace(domains_.back(), id);
+  return id;
+}
+
+DeviceIndex Dataset::AddDevice(privacy::DeviceId id) {
+  const auto index = static_cast<DeviceIndex>(devices_.size());
+  devices_.push_back(DeviceEntry{id, {}});
+  return index;
+}
+
+void Dataset::Finalize() {
+  std::sort(flows_.begin(), flows_.end(), [](const Flow& a, const Flow& b) {
+    if (a.device != b.device) return a.device < b.device;
+    return a.start_offset_s < b.start_offset_s;
+  });
+  device_offsets_.assign(devices_.size() + 1, 0);
+  for (const Flow& f : flows_) ++device_offsets_[f.device + 1];
+  for (std::size_t i = 1; i < device_offsets_.size(); ++i) {
+    device_offsets_[i] += device_offsets_[i - 1];
+  }
+  finalized_ = true;
+}
+
+std::span<const Flow> Dataset::FlowsOfDevice(DeviceIndex i) const {
+  if (!finalized_) throw std::logic_error("Dataset::FlowsOfDevice before Finalize");
+  if (i >= devices_.size()) throw std::out_of_range("FlowsOfDevice: bad index");
+  const std::uint64_t begin = device_offsets_[i];
+  const std::uint64_t end = device_offsets_[i + 1];
+  return std::span<const Flow>(flows_).subspan(begin, end - begin);
+}
+
+std::string_view Dataset::DomainName(DomainId id) const {
+  return domains_.at(id);
+}
+
+}  // namespace lockdown::core

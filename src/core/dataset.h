@@ -1,0 +1,96 @@
+// The processed dataset: anonymized, attributed, visitor-filtered flow
+// records in a compact columnar-ish layout, plus per-device observations for
+// classification. This is what remains after the pipeline discards the raw
+// data (§3) — every analysis in the paper runs from here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "classify/observations.h"
+#include "net/ipv4.h"
+#include "privacy/anonymizer.h"
+#include "util/time.h"
+
+namespace lockdown::core {
+
+/// Interned domain id; 0 is reserved for "no domain" (raw-IP traffic).
+using DomainId = std::uint32_t;
+inline constexpr DomainId kNoDomain = 0;
+
+/// Dense per-dataset device index.
+using DeviceIndex = std::uint32_t;
+
+/// One attributed flow. 48 bytes; datasets hold millions.
+struct Flow {
+  std::uint32_t start_offset_s = 0;  ///< seconds since study start
+  float duration_s = 0.0F;
+  DeviceIndex device = 0;
+  DomainId domain = kNoDomain;
+  net::Ipv4Address server_ip;
+  std::uint16_t server_port = 0;
+  std::uint8_t proto = 6;
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
+
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return bytes_up + bytes_down;
+  }
+};
+
+/// A retained device: pseudonymous id plus the observations the classifier
+/// is allowed to use.
+struct DeviceEntry {
+  privacy::DeviceId id;
+  classify::DeviceObservations observations;
+};
+
+class Dataset {
+ public:
+  Dataset();
+
+  // --- Construction (used by the pipeline) --------------------------------
+  DomainId InternDomain(std::string_view domain);
+  DeviceIndex AddDevice(privacy::DeviceId id);
+  void AddFlow(const Flow& flow) { flows_.push_back(flow); }
+  [[nodiscard]] DeviceEntry& device_mutable(DeviceIndex i) {
+    return devices_[i];
+  }
+  /// Sorts flows by (device, start) and builds the per-device index. Call
+  /// once after the last AddFlow.
+  void Finalize();
+
+  // --- Queries -------------------------------------------------------------
+  [[nodiscard]] std::span<const Flow> flows() const noexcept { return flows_; }
+  [[nodiscard]] std::span<const Flow> FlowsOfDevice(DeviceIndex i) const;
+  [[nodiscard]] const DeviceEntry& device(DeviceIndex i) const {
+    return devices_.at(i);
+  }
+  [[nodiscard]] std::size_t num_devices() const noexcept { return devices_.size(); }
+  [[nodiscard]] std::size_t num_flows() const noexcept { return flows_.size(); }
+  [[nodiscard]] std::string_view DomainName(DomainId id) const;
+  [[nodiscard]] std::size_t num_domains() const noexcept { return domains_.size(); }
+
+  /// Absolute timestamp of a flow's start.
+  [[nodiscard]] static util::Timestamp StartOf(const Flow& f) noexcept {
+    return util::StudyCalendar::StartTs() + f.start_offset_s;
+  }
+  /// Study-day index of a flow.
+  [[nodiscard]] static int DayOf(const Flow& f) noexcept {
+    return static_cast<int>(f.start_offset_s / util::kSecondsPerDay);
+  }
+
+ private:
+  std::vector<Flow> flows_;
+  std::vector<DeviceEntry> devices_;
+  std::vector<std::string> domains_;  // [0] = ""
+  std::unordered_map<std::string, DomainId> domain_index_;
+  std::vector<std::uint64_t> device_offsets_;  // CSR after Finalize
+  bool finalized_ = false;
+};
+
+}  // namespace lockdown::core

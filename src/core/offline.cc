@@ -1,0 +1,98 @@
+#include "core/offline.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "flow/assembler.h"
+#include "flow/conn_log.h"
+#include "logs/dhcp_log.h"
+#include "logs/dns_log.h"
+#include "logs/ua_log.h"
+#include "sim/generator.h"
+
+namespace lockdown::core {
+
+namespace {
+
+std::string ReadFileOrThrow(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+std::ofstream OpenForWrite(const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path.string());
+  return out;
+}
+
+}  // namespace
+
+void ExportLogs(const StudyConfig& config, const std::filesystem::path& dir,
+                const world::ServiceCatalog& catalog) {
+  std::filesystem::create_directories(dir);
+
+  sim::TrafficGenerator generator(config.generator, catalog);
+  std::vector<flow::FlowRecord> flows;
+  flow::Assembler assembler(flow::AssemblerConfig{},
+                            [&flows](const flow::FlowRecord& rec) {
+                              flows.push_back(rec);
+                            });
+  generator.Run([&](const flow::TapEvent& ev) {
+    const auto svc = catalog.FindByIp(ev.tuple.dst_ip);
+    if (svc && catalog.Get(*svc).tap_excluded) return;
+    assembler.Ingest(ev);
+  });
+  assembler.Finish();
+
+  {
+    auto out = OpenForWrite(dir / LogFiles::kConn);
+    flow::WriteConnLog(out, flows);
+  }
+  {
+    auto out = OpenForWrite(dir / LogFiles::kDhcp);
+    logs::WriteDhcpLog(out, generator.dhcp_log());
+  }
+  {
+    auto out = OpenForWrite(dir / LogFiles::kDns);
+    logs::WriteDnsLog(out, generator.dns_log());
+  }
+  {
+    std::vector<logs::UaRecord> ua;
+    ua.reserve(generator.ua_sightings().size());
+    for (const sim::UaSighting& s : generator.ua_sightings()) {
+      ua.push_back(logs::UaRecord{s.ts, s.client_ip, std::string(s.user_agent)});
+    }
+    auto out = OpenForWrite(dir / LogFiles::kUa);
+    logs::WriteUaLog(out, ua);
+  }
+}
+
+CollectionResult CollectFromLogs(const std::filesystem::path& dir,
+                                 const StudyConfig& config) {
+  RawInputs inputs;
+  auto flows = flow::ReadConnLog(ReadFileOrThrow(dir / LogFiles::kConn));
+  if (!flows) throw std::runtime_error("malformed conn.log in " + dir.string());
+  inputs.flows = std::move(*flows);
+
+  auto dhcp = logs::ReadDhcpLog(ReadFileOrThrow(dir / LogFiles::kDhcp));
+  if (!dhcp) throw std::runtime_error("malformed dhcp.log in " + dir.string());
+  inputs.dhcp_log = std::move(*dhcp);
+
+  auto dns = logs::ReadDnsLog(ReadFileOrThrow(dir / LogFiles::kDns));
+  if (!dns) throw std::runtime_error("malformed dns.log in " + dir.string());
+  inputs.dns_log = std::move(*dns);
+
+  auto ua = logs::ReadUaLog(ReadFileOrThrow(dir / LogFiles::kUa));
+  if (!ua) throw std::runtime_error("malformed ua.log in " + dir.string());
+  inputs.ua_log = std::move(*ua);
+
+  return MeasurementPipeline::Process(std::move(inputs),
+                                      MeasurementPipeline::MakeAnonymizer(config),
+                                      config.visitor_min_days);
+}
+
+}  // namespace lockdown::core

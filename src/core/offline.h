@@ -1,0 +1,34 @@
+// Offline (two-phase) operation, matching how the real infrastructure runs:
+// a collection box writes conn/DHCP/DNS/UA logs continuously, and the
+// analysis runs later from those files. ExportLogs plays the collection box;
+// CollectFromLogs is the later analysis run.
+#pragma once
+
+#include <filesystem>
+
+#include "core/pipeline.h"
+
+namespace lockdown::core {
+
+/// Filenames used inside an export directory.
+struct LogFiles {
+  static constexpr const char* kConn = "conn.log";
+  static constexpr const char* kDhcp = "dhcp.log";
+  static constexpr const char* kDns = "dns.log";
+  static constexpr const char* kUa = "ua.log";
+};
+
+/// Simulates the campus and writes the four collection logs into `dir`
+/// (created if needed). The tap exclusion list is applied at capture, as at
+/// the real mirror port. Throws std::runtime_error on I/O failure.
+void ExportLogs(const StudyConfig& config, const std::filesystem::path& dir,
+                const world::ServiceCatalog& catalog = world::ServiceCatalog::Default());
+
+/// Reads the four logs from `dir` and runs the processing pipeline.
+/// `config` supplies the anonymization key and visitor threshold (the logs
+/// themselves are un-anonymized, exactly like the real inputs). Throws
+/// std::runtime_error on missing or malformed files.
+[[nodiscard]] CollectionResult CollectFromLogs(const std::filesystem::path& dir,
+                                               const StudyConfig& config);
+
+}  // namespace lockdown::core

@@ -1,0 +1,142 @@
+#include "core/pipeline.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "dhcp/normalizer.h"
+#include "dns/mapper.h"
+#include "flow/assembler.h"
+#include "privacy/visitor_filter.h"
+#include "sim/generator.h"
+#include "util/hash.h"
+#include "world/oui_db.h"
+
+namespace lockdown::core {
+
+privacy::Anonymizer MeasurementPipeline::MakeAnonymizer(const StudyConfig& config) {
+  // Per-run key derived from the seed so runs are reproducible; a deployment
+  // would draw this from a CSPRNG and destroy it after processing.
+  const std::uint64_t seed = config.generator.population.seed;
+  return privacy::Anonymizer(util::SipHashKey{
+      seed * 0x9E3779B97F4A7C15ULL + 0x1234, seed * 0xC2B2AE3D27D4EB4FULL + 0x5678});
+}
+
+CollectionResult MeasurementPipeline::Process(RawInputs inputs,
+                                              const privacy::Anonymizer& anonymizer,
+                                              int visitor_min_days) {
+  CollectionResult result;
+  CollectionStats& stats = result.stats;
+  stats.raw_flows = inputs.flows.size();
+
+  // --- Attribution indexes ---------------------------------------------------
+  const dhcp::IpToMacNormalizer normalizer(inputs.dhcp_log);
+  const dns::IpToDomainMapper mapper(inputs.dns_log);
+
+  // --- Device attribution + visitor filter -----------------------------------
+  privacy::VisitorFilter visitors(visitor_min_days);
+  std::vector<std::uint64_t> record_macs(inputs.flows.size(), 0);
+  for (std::size_t i = 0; i < inputs.flows.size(); ++i) {
+    const flow::FlowRecord& rec = inputs.flows[i];
+    const auto mac = normalizer.Lookup(rec.client_ip, rec.start);
+    if (!mac) {
+      ++stats.unattributed;
+      continue;
+    }
+    record_macs[i] = mac->value();
+    visitors.Observe(anonymizer.AnonymizeMac(*mac), rec.start);
+  }
+  stats.devices_observed = visitors.num_observed();
+  stats.devices_retained = visitors.num_retained();
+
+  // --- Build the dataset -------------------------------------------------------
+  Dataset& ds = result.dataset;
+  std::unordered_map<privacy::DeviceId, DeviceIndex, privacy::DeviceIdHash> index;
+  const util::Timestamp study_start = util::StudyCalendar::StartTs();
+  for (std::size_t i = 0; i < inputs.flows.size(); ++i) {
+    if (record_macs[i] == 0) continue;
+    const net::MacAddress mac(record_macs[i]);
+    const privacy::DeviceId devid = anonymizer.AnonymizeMac(mac);
+    if (!visitors.Retained(devid)) {
+      ++stats.visitor_flows;
+      continue;
+    }
+    const flow::FlowRecord& rec = inputs.flows[i];
+    auto [it, inserted] = index.try_emplace(devid, 0);
+    if (inserted) {
+      it->second = ds.AddDevice(devid);
+      classify::DeviceObservations& obs = ds.device_mutable(it->second).observations;
+      obs.oui = mac.oui();
+      obs.locally_administered = world::OuiDatabase::IsLocallyAdministered(mac);
+    }
+    const DeviceIndex dev = it->second;
+
+    Flow f;
+    f.start_offset_s = static_cast<std::uint32_t>(rec.start - study_start);
+    f.duration_s = static_cast<float>(rec.duration_s);
+    f.device = dev;
+    const auto domain = mapper.Lookup(rec.server_ip, rec.start);
+    f.domain = domain ? ds.InternDomain(*domain) : kNoDomain;
+    f.server_ip = rec.server_ip;
+    f.server_port = rec.server_port;
+    f.proto = static_cast<std::uint8_t>(rec.proto);
+    f.bytes_up = rec.bytes_up;
+    f.bytes_down = rec.bytes_down;
+    ds.AddFlow(f);
+
+    classify::DeviceObservations& obs = ds.device_mutable(dev).observations;
+    obs.total_bytes += f.total_bytes();
+    obs.flow_count += 1;
+    if (domain) obs.bytes_by_domain[std::string(*domain)] += f.total_bytes();
+  }
+
+  // --- User-Agent sightings ------------------------------------------------------
+  for (const logs::UaRecord& ua : inputs.ua_log) {
+    const auto mac = normalizer.Lookup(ua.client_ip, ua.ts);
+    if (!mac) continue;
+    const auto it = index.find(anonymizer.AnonymizeMac(*mac));
+    if (it == index.end()) continue;
+    ds.device_mutable(it->second).observations.AddUserAgent(ua.user_agent);
+    ++stats.ua_sightings;
+  }
+
+  ds.Finalize();
+  return result;
+}
+
+CollectionResult MeasurementPipeline::Collect(const StudyConfig& config,
+                                              const world::ServiceCatalog& catalog) {
+  // --- Stage 1: tap capture + flow extraction ---------------------------------
+  sim::TrafficGenerator generator(config.generator, catalog);
+  RawInputs inputs;
+  std::uint64_t tap_excluded = 0;
+  flow::Assembler assembler(flow::AssemblerConfig{},
+                            [&inputs](const flow::FlowRecord& rec) {
+                              inputs.flows.push_back(rec);
+                            });
+  generator.Run([&](const flow::TapEvent& ev) {
+    // Tap exclusion list (§3): traffic to these networks is never mirrored.
+    const auto svc = catalog.FindByIp(ev.tuple.dst_ip);
+    if (svc && catalog.Get(*svc).tap_excluded) {
+      ++tap_excluded;
+      return;
+    }
+    assembler.Ingest(ev);
+  });
+  assembler.Finish();
+
+  inputs.dhcp_log = generator.dhcp_log();
+  inputs.dns_log = generator.dns_log();
+  inputs.ua_log.reserve(generator.ua_sightings().size());
+  for (const sim::UaSighting& ua : generator.ua_sightings()) {
+    inputs.ua_log.push_back(
+        logs::UaRecord{ua.ts, ua.client_ip, std::string(ua.user_agent)});
+  }
+
+  // --- Stages 2-5 --------------------------------------------------------------
+  CollectionResult result = Process(std::move(inputs), MakeAnonymizer(config),
+                                    config.visitor_min_days);
+  result.stats.tap_excluded = tap_excluded;
+  return result;
+}
+
+}  // namespace lockdown::core

@@ -1,0 +1,76 @@
+// The measurement pipeline (paper §3, after DeKoven et al.):
+//
+//   raw tap traffic --Zeek--> flows
+//   flows + DHCP logs -------> per-device (MAC) attribution
+//   flows + DNS logs --------> per-server domain attribution
+//   MAC/IP -------------------> anonymized; raw data discarded
+//   devices seen < 14 days ---> discarded (campus visitors)
+//
+// Collect() runs the synthetic campus through exactly this sequence and
+// returns the processed Dataset. The tap exclusion list (parts of UCSD,
+// Google Cloud, Amazon, Azure, Riot, Twitch, Qualys, Apple) is applied at
+// ingest, as at the real mirror port. Process() runs the same attribution
+// stages over pre-collected inputs — the deployment mode where flows and
+// logs arrive from disk (see core/offline.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "core/dataset.h"
+#include "dhcp/lease.h"
+#include "dns/record.h"
+#include "flow/record.h"
+#include "logs/ua_log.h"
+#include "privacy/anonymizer.h"
+#include "world/catalog.h"
+
+namespace lockdown::core {
+
+/// Collection statistics, for tests and reporting.
+struct CollectionStats {
+  std::uint64_t raw_flows = 0;          ///< flows the assembler produced
+  std::uint64_t tap_excluded = 0;       ///< tap events dropped by exclusion list
+  std::uint64_t unattributed = 0;       ///< flows with no covering DHCP lease
+  std::uint64_t visitor_flows = 0;      ///< flows dropped by the 14-day filter
+  std::uint64_t devices_observed = 0;   ///< distinct devices pre-filter
+  std::uint64_t devices_retained = 0;   ///< distinct devices post-filter
+  std::uint64_t ua_sightings = 0;       ///< cleartext UA observations kept
+};
+
+struct CollectionResult {
+  Dataset dataset;
+  CollectionStats stats;
+};
+
+/// Everything the collection infrastructure stores before processing: the
+/// flow records plus the three contemporaneous logs.
+struct RawInputs {
+  std::vector<flow::FlowRecord> flows;
+  std::vector<dhcp::Lease> dhcp_log;
+  std::vector<dns::Resolution> dns_log;
+  std::vector<logs::UaRecord> ua_log;
+};
+
+class MeasurementPipeline {
+ public:
+  /// Runs generation + the full processing pipeline.
+  [[nodiscard]] static CollectionResult Collect(
+      const StudyConfig& config,
+      const world::ServiceCatalog& catalog = world::ServiceCatalog::Default());
+
+  /// Runs only the processing stages (attribution, anonymization, visitor
+  /// filtering) over pre-collected inputs. `stats.raw_flows` and
+  /// `stats.tap_excluded` reflect the inputs as given.
+  [[nodiscard]] static CollectionResult Process(RawInputs inputs,
+                                                const privacy::Anonymizer& anonymizer,
+                                                int visitor_min_days);
+
+  /// The anonymizer a given config uses. Exposed so simulation-side tooling
+  /// (accuracy scoring against ground truth) can link pseudonyms; a real
+  /// deployment would never persist this key.
+  [[nodiscard]] static privacy::Anonymizer MakeAnonymizer(const StudyConfig& config);
+};
+
+}  // namespace lockdown::core

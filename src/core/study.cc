@@ -1,0 +1,549 @@
+#include "core/study.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lockdown::core {
+
+using util::StudyCalendar;
+using util::Timestamp;
+
+const char* ToString(ReportClass c) noexcept {
+  switch (c) {
+    case ReportClass::kMobile: return "mobile";
+    case ReportClass::kLaptopDesktop: return "laptop-desktop";
+    case ReportClass::kIot: return "iot";
+    case ReportClass::kUnclassified: return "unclassified";
+  }
+  return "???";
+}
+
+ReportClass LockdownStudy::GroupOf(classify::DeviceClass c) noexcept {
+  switch (c) {
+    case classify::DeviceClass::kMobile: return ReportClass::kMobile;
+    case classify::DeviceClass::kLaptopDesktop: return ReportClass::kLaptopDesktop;
+    case classify::DeviceClass::kIot:
+    case classify::DeviceClass::kGameConsole: return ReportClass::kIot;
+    case classify::DeviceClass::kUnknown: return ReportClass::kUnclassified;
+  }
+  return ReportClass::kUnclassified;
+}
+
+LockdownStudy::LockdownStudy(const Dataset& dataset,
+                             const world::ServiceCatalog& catalog)
+    : dataset_(&dataset),
+      catalog_(&catalog),
+      geo_db_(catalog),
+      zoom_(catalog),
+      shutdown_day_(StudyCalendar::DayIndex(StudyCalendar::kStayAtHome)),
+      post_shutdown_day_(StudyCalendar::DayIndex(StudyCalendar::kBreakEnd)) {
+  // Classify every device.
+  const classify::DeviceClassifier classifier =
+      classify::DeviceClassifier::Default(catalog);
+  classifications_.reserve(dataset.num_devices());
+  report_class_.reserve(dataset.num_devices());
+  for (DeviceIndex i = 0; i < dataset.num_devices(); ++i) {
+    classifications_.push_back(classifier.Classify(dataset.device(i).observations));
+    report_class_.push_back(GroupOf(classifications_.back().device_class));
+  }
+
+  // Precompute per-domain application flags.
+  domain_flags_.resize(dataset.num_domains());
+  for (DomainId d = 0; d < dataset.num_domains(); ++d) {
+    const std::string_view name = dataset.DomainName(d);
+    if (name.empty()) continue;
+    DomainFlags& f = domain_flags_[d];
+    f.zoom = zoom_.MatchesDomain(name);
+    f.fb_family = social_.IsFacebookFamily(name);
+    f.instagram_only = social_.IsInstagramOnly(name);
+    f.tiktok = social_.IsTikTok(name);
+    f.steam = steam_.Matches(name);
+    f.nintendo = nintendo_.IsNintendo(name);
+    f.nintendo_gameplay = nintendo_.IsGameplay(name);
+  }
+
+  // Post-shutdown users: the devices that "remained on campus after the
+  // shutdown" (§4). Students kept departing through the academic break, so a
+  // device counts only if it still has traffic once online classes begin
+  // (3/30) — otherwise the cohort would mix in departing devices and the
+  // §4.1 within-cohort comparisons would reflect demographics, not behaviour.
+  is_post_shutdown_.assign(dataset.num_devices(), 0);
+  for (const Flow& f : dataset.flows()) {
+    if (Dataset::DayOf(f) >= post_shutdown_day_) is_post_shutdown_[f.device] = 1;
+  }
+  for (DeviceIndex i = 0; i < dataset.num_devices(); ++i) {
+    if (is_post_shutdown_[i]) post_shutdown_.push_back(i);
+  }
+
+  ComputeSplit();
+}
+
+bool LockdownStudy::IsZoomFlow(const Flow& f) const noexcept {
+  if (f.domain != kNoDomain) return domain_flags_[f.domain].zoom;
+  return zoom_.MatchesCurrentIp(f.server_ip) || zoom_.MatchesHistoricalIp(f.server_ip);
+}
+
+template <typename Fn>
+void LockdownStudy::SpreadOverHours(const Flow& f, Fn&& add) {
+  const Timestamp start = Dataset::StartOf(f);
+  const auto dur = static_cast<Timestamp>(f.duration_s);
+  const Timestamp end = start + std::max<Timestamp>(dur, 1);
+  const double total = static_cast<double>(f.total_bytes());
+  const double span = static_cast<double>(end - start);
+  Timestamp t = start;
+  while (t < end) {
+    const Timestamp hour_end =
+        (t / util::kSecondsPerHour + 1) * util::kSecondsPerHour;
+    const Timestamp chunk_end = std::min(hour_end, end);
+    add(t, total * static_cast<double>(chunk_end - t) / span);
+    t = chunk_end;
+  }
+}
+
+void LockdownStudy::ComputeSplit() {
+  // §4.2: February traffic of post-shutdown users, bytes-weighted midpoint,
+  // CDNs excluded (handled inside the classifier via the geo database).
+  geo::InternationalClassifier intl(geo_db_);
+  // The classifier keys on opaque device ids; the dense dataset index works
+  // as that key directly.
+  for (const Flow& f : dataset_->flows()) {
+    if (!is_post_shutdown_[f.device]) continue;
+    intl.Observe(privacy::DeviceId{f.device}, f.server_ip, f.total_bytes(),
+                 Dataset::StartOf(f));
+  }
+  split_.international.assign(dataset_->num_devices(), false);
+  for (const DeviceIndex dev : post_shutdown_) {
+    const auto result = intl.Classify(privacy::DeviceId{dev});
+    if (!result) continue;  // no usable Feb traffic -> presumed domestic
+    ++split_.num_with_geo;
+    if (result->international) {
+      split_.international[dev] = true;
+      ++split_.num_international;
+    }
+  }
+}
+
+std::vector<LockdownStudy::ActiveDevicesRow> LockdownStudy::ActiveDevicesPerDay()
+    const {
+  const int days = StudyCalendar::NumDays();
+  const std::size_t n = dataset_->num_devices();
+  std::vector<std::uint8_t> active(static_cast<std::size_t>(days) * n, 0);
+  for (const Flow& f : dataset_->flows()) {
+    const int day = Dataset::DayOf(f);
+    if (day < 0 || day >= days) continue;
+    active[static_cast<std::size_t>(day) * n + f.device] = 1;
+  }
+  std::vector<ActiveDevicesRow> rows(static_cast<std::size_t>(days));
+  for (int day = 0; day < days; ++day) {
+    ActiveDevicesRow& row = rows[static_cast<std::size_t>(day)];
+    row.day = day;
+    const std::uint8_t* base = active.data() + static_cast<std::size_t>(day) * n;
+    for (std::size_t dev = 0; dev < n; ++dev) {
+      if (!base[dev]) continue;
+      ++row.by_class[static_cast<std::size_t>(report_class_[dev])];
+      ++row.total;
+    }
+  }
+  return rows;
+}
+
+std::vector<LockdownStudy::BytesPerDeviceRow> LockdownStudy::BytesPerDevicePerDay()
+    const {
+  const int days = StudyCalendar::NumDays();
+  const std::size_t n = dataset_->num_devices();
+  std::vector<double> bytes(static_cast<std::size_t>(days) * n, 0.0);
+  for (const Flow& f : dataset_->flows()) {
+    const int day = Dataset::DayOf(f);
+    if (day < 0 || day >= days) continue;
+    bytes[static_cast<std::size_t>(day) * n + f.device] +=
+        static_cast<double>(f.total_bytes());
+  }
+  std::vector<BytesPerDeviceRow> rows(static_cast<std::size_t>(days));
+  std::array<std::vector<double>, kNumReportClasses> per_class;
+  for (int day = 0; day < days; ++day) {
+    BytesPerDeviceRow& row = rows[static_cast<std::size_t>(day)];
+    row.day = day;
+    for (auto& v : per_class) v.clear();
+    const double* base = bytes.data() + static_cast<std::size_t>(day) * n;
+    for (std::size_t dev = 0; dev < n; ++dev) {
+      if (base[dev] <= 0.0) continue;
+      per_class[static_cast<std::size_t>(report_class_[dev])].push_back(base[dev]);
+    }
+    for (int c = 0; c < kNumReportClasses; ++c) {
+      auto& v = per_class[static_cast<std::size_t>(c)];
+      row.mean[static_cast<std::size_t>(c)] = analysis::Mean(v);
+      row.median[static_cast<std::size_t>(c)] =
+          analysis::PercentileInPlace(v, 50.0);
+    }
+  }
+  return rows;
+}
+
+LockdownStudy::HourOfWeekResult LockdownStudy::HourOfWeekVolume() const {
+  HourOfWeekResult result;
+  const std::size_t n = dataset_->num_devices();
+  constexpr int kH = analysis::HourOfWeekSeries::kHours;
+  for (std::size_t w = 0; w < 4; ++w) {
+    const Timestamp anchor = util::TimestampOf(StudyCalendar::kFig3Weeks[w]);
+    // Per (device, hour-of-week) volume for this week.
+    std::vector<double> volume(n * static_cast<std::size_t>(kH), 0.0);
+    for (const Flow& f : dataset_->flows()) {
+      SpreadOverHours(f, [&](Timestamp t, double b) {
+        const auto bin = analysis::HourOfWeekSeries::BinOf(t, anchor);
+        if (bin) {
+          volume[f.device * static_cast<std::size_t>(kH) +
+                 static_cast<std::size_t>(*bin)] += b;
+        }
+      });
+    }
+    // Median across devices with substantive traffic in that hour. The
+    // floor keeps heartbeat-only devices (IoT pings, idle gadgets) from
+    // swamping the median — their per-hour kilobytes say nothing about user
+    // behaviour, which is what Fig. 3 tracks.
+    constexpr double kMinHourBytes = 1e6;
+    std::vector<double> column;
+    for (int h = 0; h < kH; ++h) {
+      column.clear();
+      for (std::size_t dev = 0; dev < n; ++dev) {
+        const double v = volume[dev * static_cast<std::size_t>(kH) +
+                                static_cast<std::size_t>(h)];
+        if (v >= kMinHourBytes) column.push_back(v);
+      }
+      result.weeks[w].AddBin(h, analysis::PercentileInPlace(column, 50.0));
+    }
+  }
+  // "the data is normalized by the minimum volume of traffic across all
+  //  weeks" (§4.1).
+  double min_positive = 0.0;
+  for (const auto& week : result.weeks) {
+    const double m = week.MinPositive();
+    if (m > 0.0 && (min_positive == 0.0 || m < min_positive)) min_positive = m;
+  }
+  result.normalization = min_positive;
+  for (auto& week : result.weeks) week.Scale(min_positive);
+  return result;
+}
+
+std::vector<LockdownStudy::Fig4Row> LockdownStudy::MedianBytesExcludingZoom() const {
+  const int days = StudyCalendar::NumDays();
+  const std::size_t n = dataset_->num_devices();
+  std::vector<double> bytes(static_cast<std::size_t>(days) * n, 0.0);
+  for (const Flow& f : dataset_->flows()) {
+    const int day = Dataset::DayOf(f);
+    if (day < 0 || day >= days) continue;
+    if (!is_post_shutdown_[f.device]) continue;
+    if (IsZoomFlow(f)) continue;  // "we exclude Zoom traffic" (§4.2)
+    bytes[static_cast<std::size_t>(day) * n + f.device] +=
+        static_cast<double>(f.total_bytes());
+  }
+  std::vector<Fig4Row> rows(static_cast<std::size_t>(days));
+  std::vector<double> groups[4];
+  for (int day = 0; day < days; ++day) {
+    Fig4Row& row = rows[static_cast<std::size_t>(day)];
+    row.day = day;
+    for (auto& g : groups) g.clear();
+    const double* base = bytes.data() + static_cast<std::size_t>(day) * n;
+    for (std::size_t dev = 0; dev < n; ++dev) {
+      if (base[dev] <= 0.0 || !is_post_shutdown_[dev]) continue;
+      const ReportClass rc = report_class_[dev];
+      // "We consider mobile and desktop devices separately from unclassified
+      //  devices, and exclude IoT devices here" (Fig. 4 caption).
+      int group;
+      if (rc == ReportClass::kMobile || rc == ReportClass::kLaptopDesktop) {
+        group = split_.international[dev] ? 0 : 1;
+      } else if (rc == ReportClass::kUnclassified) {
+        group = split_.international[dev] ? 2 : 3;
+      } else {
+        continue;
+      }
+      groups[group].push_back(base[dev]);
+    }
+    row.intl_mobile_desktop = analysis::PercentileInPlace(groups[0], 50.0);
+    row.dom_mobile_desktop = analysis::PercentileInPlace(groups[1], 50.0);
+    row.intl_unclassified = analysis::PercentileInPlace(groups[2], 50.0);
+    row.dom_unclassified = analysis::PercentileInPlace(groups[3], 50.0);
+  }
+  return rows;
+}
+
+analysis::DailySeries LockdownStudy::ZoomDailyBytes() const {
+  analysis::DailySeries series;
+  for (const Flow& f : dataset_->flows()) {
+    if (!is_post_shutdown_[f.device]) continue;
+    if (!IsZoomFlow(f)) continue;
+    series.Add(Dataset::StartOf(f), static_cast<double>(f.total_bytes()));
+  }
+  return series;
+}
+
+LockdownStudy::SocialBox LockdownStudy::SocialDurations(apps::SocialApp app,
+                                                        int month) const {
+  const Timestamp month_start = util::TimestampOf(util::CivilDate{2020, month, 1});
+  const Timestamp month_end =
+      util::TimestampOf(util::CivilDate{2020, month + 1, 1});
+  std::vector<double> dom;
+  std::vector<double> intl;
+  std::vector<apps::FlowInterval> intervals;
+  for (const DeviceIndex dev : post_shutdown_) {
+    // "We analyze only mobile traffic" (§5.2).
+    if (report_class_[dev] != ReportClass::kMobile) continue;
+    intervals.clear();
+    for (const Flow& f : dataset_->FlowsOfDevice(dev)) {
+      const Timestamp start = Dataset::StartOf(f);
+      if (start < month_start || start >= month_end || f.domain == kNoDomain) {
+        continue;
+      }
+      const DomainFlags& flags = domain_flags_[f.domain];
+      const bool relevant =
+          app == apps::SocialApp::kTikTok ? flags.tiktok : flags.fb_family;
+      if (!relevant) continue;
+      intervals.push_back(apps::FlowInterval{
+          start, start + std::max<Timestamp>(static_cast<Timestamp>(f.duration_s), 1),
+          f.domain, f.total_bytes()});
+    }
+    if (intervals.empty()) continue;
+    double hours = 0.0;
+    for (const apps::Session& session : apps::MergeSessions(intervals)) {
+      if (app != apps::SocialApp::kTikTok) {
+        const apps::SocialApp resolved = social_.ClassifySession(
+            session,
+            [this](std::uint32_t tag) { return dataset_->DomainName(tag); });
+        if (resolved != app) continue;
+      }
+      hours += session.duration_s() / 3600.0;
+    }
+    if (hours <= 0.0) continue;
+    (split_.international[dev] ? intl : dom).push_back(hours);
+  }
+  return SocialBox{analysis::ComputeBoxStats(std::move(dom)),
+                   analysis::ComputeBoxStats(std::move(intl))};
+}
+
+LockdownStudy::SteamBox LockdownStudy::SteamUsage(int month) const {
+  const Timestamp month_start = util::TimestampOf(util::CivilDate{2020, month, 1});
+  const Timestamp month_end =
+      util::TimestampOf(util::CivilDate{2020, month + 1, 1});
+  std::vector<double> dom_bytes, intl_bytes, dom_conns, intl_conns;
+  const std::size_t n = dataset_->num_devices();
+  std::vector<double> bytes(n, 0.0);
+  std::vector<double> conns(n, 0.0);
+  for (const Flow& f : dataset_->flows()) {
+    const Timestamp start = Dataset::StartOf(f);
+    if (start < month_start || start >= month_end || f.domain == kNoDomain) continue;
+    if (!domain_flags_[f.domain].steam) continue;
+    bytes[f.device] += static_cast<double>(f.total_bytes());
+    conns[f.device] += 1.0;
+  }
+  for (const DeviceIndex dev : post_shutdown_) {
+    if (conns[dev] <= 0.0) continue;
+    if (split_.international[dev]) {
+      intl_bytes.push_back(bytes[dev]);
+      intl_conns.push_back(conns[dev]);
+    } else {
+      dom_bytes.push_back(bytes[dev]);
+      dom_conns.push_back(conns[dev]);
+    }
+  }
+  return SteamBox{analysis::ComputeBoxStats(std::move(dom_bytes)),
+                  analysis::ComputeBoxStats(std::move(intl_bytes)),
+                  analysis::ComputeBoxStats(std::move(dom_conns)),
+                  analysis::ComputeBoxStats(std::move(intl_conns))};
+}
+
+namespace {
+
+/// True if the device is a Switch by the §5.3.2 traffic rule.
+bool IsSwitchDevice(const classify::DeviceObservations& obs,
+                    const apps::NintendoSignature& nintendo) {
+  std::uint64_t total = 0;
+  std::uint64_t nintendo_bytes = 0;
+  for (const auto& [domain, b] : obs.bytes_by_domain) {
+    total += b;
+    if (nintendo.IsNintendo(domain)) nintendo_bytes += b;
+  }
+  return total > 0 && nintendo_bytes * 2 >= total;
+}
+
+}  // namespace
+
+analysis::DailySeries LockdownStudy::SwitchGameplayDaily(int ma_window) const {
+  // Switches "active in both February and May" (Fig. 8 caption).
+  const std::size_t n = dataset_->num_devices();
+  std::vector<std::uint8_t> is_switch(n, 0);
+  for (DeviceIndex i = 0; i < n; ++i) {
+    is_switch[i] = IsSwitchDevice(dataset_->device(i).observations, nintendo_);
+  }
+  const int feb_end = StudyCalendar::DayIndex(util::CivilDate{2020, 3, 1});
+  const int may_start = StudyCalendar::DayIndex(util::CivilDate{2020, 5, 1});
+  std::vector<std::uint8_t> in_feb(n, 0), in_may(n, 0);
+  for (const Flow& f : dataset_->flows()) {
+    if (!is_switch[f.device]) continue;
+    const int day = Dataset::DayOf(f);
+    if (day < feb_end) in_feb[f.device] = 1;
+    if (day >= may_start) in_may[f.device] = 1;
+  }
+  analysis::DailySeries series;
+  for (const Flow& f : dataset_->flows()) {
+    if (!is_switch[f.device] || !in_feb[f.device] || !in_may[f.device]) continue;
+    if (f.domain == kNoDomain || !domain_flags_[f.domain].nintendo_gameplay) continue;
+    series.Add(Dataset::StartOf(f), static_cast<double>(f.total_bytes()));
+  }
+  return series.MovingAverage(ma_window);
+}
+
+LockdownStudy::SwitchCounts LockdownStudy::CountSwitches() const {
+  SwitchCounts counts;
+  const std::size_t n = dataset_->num_devices();
+  const int feb_end = StudyCalendar::DayIndex(util::CivilDate{2020, 3, 1});
+  const int april_start = StudyCalendar::DayIndex(util::CivilDate{2020, 4, 1});
+  for (DeviceIndex i = 0; i < n; ++i) {
+    if (!IsSwitchDevice(dataset_->device(i).observations, nintendo_)) continue;
+    const auto flows = dataset_->FlowsOfDevice(i);
+    if (flows.empty()) continue;
+    int first_day = StudyCalendar::NumDays();
+    bool feb = false;
+    bool post = false;
+    for (const Flow& f : flows) {
+      const int day = Dataset::DayOf(f);
+      first_day = std::min(first_day, day);
+      feb |= day < feb_end;
+      post |= day >= post_shutdown_day_;
+    }
+    counts.active_february += feb;
+    counts.active_post_shutdown += post;
+    counts.new_in_april_may += first_day >= april_start;
+  }
+  return counts;
+}
+
+std::vector<LockdownStudy::CategoryVolumeRow> LockdownStudy::CategoryVolumes()
+    const {
+  const int days = StudyCalendar::NumDays();
+  std::vector<CategoryVolumeRow> rows(static_cast<std::size_t>(days));
+  for (int d = 0; d < days; ++d) rows[static_cast<std::size_t>(d)].day = d;
+  for (const Flow& f : dataset_->flows()) {
+    if (!is_post_shutdown_[f.device]) continue;
+    const int day = Dataset::DayOf(f);
+    if (day < 0 || day >= days) continue;
+    CategoryVolumeRow& row = rows[static_cast<std::size_t>(day)];
+    const double bytes = static_cast<double>(f.total_bytes());
+    const auto svc = catalog_->FindByIp(f.server_ip);
+    if (!svc) {
+      row.other += bytes;
+      continue;
+    }
+    switch (catalog_->Get(*svc).category) {
+      case world::Category::kEducation:
+      case world::Category::kEmailCloud:
+        row.education += bytes;
+        break;
+      case world::Category::kVideoConferencing:
+        row.video_conferencing += bytes;
+        break;
+      case world::Category::kStreaming:
+      case world::Category::kMusic:
+        row.streaming += bytes;
+        break;
+      case world::Category::kSocialMedia:
+        row.social_media += bytes;
+        break;
+      case world::Category::kGamingPc:
+      case world::Category::kGamingConsole:
+        row.gaming += bytes;
+        break;
+      case world::Category::kMessaging:
+        row.messaging += bytes;
+        break;
+      default:
+        row.other += bytes;
+        break;
+    }
+  }
+  return rows;
+}
+
+LockdownStudy::DiurnalShapeResult LockdownStudy::DiurnalShape(int first_day,
+                                                              int last_day) const {
+  DiurnalShapeResult result;
+  for (const Flow& f : dataset_->flows()) {
+    const int day = Dataset::DayOf(f);
+    if (day < first_day || day > last_day) continue;
+    const bool weekend =
+        util::IsWeekend(util::WeekdayOf(StudyCalendar::DateAt(day)));
+    auto& profile = weekend ? result.weekend : result.weekday;
+    SpreadOverHours(f, [&profile](Timestamp t, double bytes) {
+      profile[static_cast<std::size_t>(util::HourOf(t))] += bytes;
+    });
+  }
+  for (auto* profile : {&result.weekday, &result.weekend}) {
+    double sum = 0.0;
+    for (double v : *profile) sum += v;
+    if (sum > 0.0) {
+      for (double& v : *profile) v /= sum;
+    }
+  }
+  return result;
+}
+
+LockdownStudy::Headline LockdownStudy::HeadlineStats() const {
+  Headline h;
+  // Peak / trough of total active devices (Fig. 1's 32,019 -> 4,973).
+  const auto rows = ActiveDevicesPerDay();
+  for (const ActiveDevicesRow& row : rows) {
+    h.peak_active_devices = std::max(h.peak_active_devices, row.total);
+    if (row.day >= shutdown_day_ &&
+        (h.trough_active_devices == 0 || row.total < h.trough_active_devices)) {
+      h.trough_active_devices = row.total;
+    }
+  }
+  h.post_shutdown_users = post_shutdown_.size();
+  h.international_devices = split_.num_international;
+  h.international_share =
+      post_shutdown_.empty()
+          ? 0.0
+          : static_cast<double>(split_.num_international) /
+                static_cast<double>(post_shutdown_.size());
+
+  // Traffic increase (post-shutdown users): mean daily bytes Apr+May vs Feb.
+  const int feb_start = 0;
+  const int feb_days = 29;
+  const int apr_start = StudyCalendar::DayIndex(util::CivilDate{2020, 4, 1});
+  const int apr_may_days = 61;
+  double feb_bytes = 0.0;
+  double apr_may_bytes = 0.0;
+  // Distinct sites per device per month.
+  std::unordered_map<std::uint64_t, std::uint8_t> seen_feb, seen_apr, seen_may;
+  const int may_start = StudyCalendar::DayIndex(util::CivilDate{2020, 5, 1});
+  for (const Flow& f : dataset_->flows()) {
+    if (!is_post_shutdown_[f.device]) continue;
+    const int day = Dataset::DayOf(f);
+    if (day >= feb_start && day < feb_days) {
+      feb_bytes += static_cast<double>(f.total_bytes());
+    } else if (day >= apr_start) {
+      apr_may_bytes += static_cast<double>(f.total_bytes());
+    }
+    if (f.domain == kNoDomain) continue;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(f.device) << 32) | f.domain;
+    if (day < feb_days) {
+      seen_feb[key] = 1;
+    } else if (day >= may_start) {
+      seen_may[key] = 1;
+    } else if (day >= apr_start) {
+      seen_apr[key] = 1;
+    }
+  }
+  const double feb_daily = feb_bytes / feb_days;
+  const double apr_may_daily = apr_may_bytes / apr_may_days;
+  h.traffic_increase = feb_daily > 0.0 ? apr_may_daily / feb_daily - 1.0 : 0.0;
+
+  const double sites_feb = static_cast<double>(seen_feb.size());
+  const double sites_apr_may =
+      (static_cast<double>(seen_apr.size()) + static_cast<double>(seen_may.size())) /
+      2.0;
+  h.distinct_sites_increase =
+      sites_feb > 0.0 ? sites_apr_may / sites_feb - 1.0 : 0.0;
+  return h;
+}
+
+}  // namespace lockdown::core

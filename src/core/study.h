@@ -1,0 +1,210 @@
+// LockdownStudy: every analysis in the paper, computed from a processed
+// Dataset. Method names reference the figure or section they reproduce.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "analysis/stats.h"
+#include "analysis/timeseries.h"
+#include "apps/nintendo.h"
+#include "apps/social.h"
+#include "apps/steam.h"
+#include "apps/zoom.h"
+#include "classify/classifier.h"
+#include "core/dataset.h"
+#include "geo/intl.h"
+#include "world/geo_db.h"
+
+namespace lockdown::core {
+
+/// Figure-1 reporting classes (consoles are folded into IoT there).
+enum class ReportClass : std::uint8_t {
+  kMobile = 0,
+  kLaptopDesktop = 1,
+  kIot = 2,
+  kUnclassified = 3,
+};
+inline constexpr int kNumReportClasses = 4;
+
+[[nodiscard]] const char* ToString(ReportClass c) noexcept;
+
+class LockdownStudy {
+ public:
+  /// Builds the study: classifies every device, geolocates February traffic
+  /// and derives the domestic/international split, and precomputes per-domain
+  /// application flags.
+  LockdownStudy(const Dataset& dataset, const world::ServiceCatalog& catalog);
+
+  // --- Device classification ------------------------------------------------
+  [[nodiscard]] std::span<const classify::Classification> classifications() const noexcept {
+    return classifications_;
+  }
+  [[nodiscard]] static ReportClass GroupOf(classify::DeviceClass c) noexcept;
+
+  // --- Figure 1: active devices per day by type ------------------------------
+  struct ActiveDevicesRow {
+    int day = 0;
+    std::array<int, kNumReportClasses> by_class{};
+    int total = 0;
+  };
+  [[nodiscard]] std::vector<ActiveDevicesRow> ActiveDevicesPerDay() const;
+
+  // --- Figure 2: mean & median bytes per active device per day by type -------
+  struct BytesPerDeviceRow {
+    int day = 0;
+    std::array<double, kNumReportClasses> mean{};
+    std::array<double, kNumReportClasses> median{};
+  };
+  [[nodiscard]] std::vector<BytesPerDeviceRow> BytesPerDevicePerDay() const;
+
+  // --- §4: post-shutdown users -----------------------------------------------
+  /// The devices that "remained on campus after the shutdown": any traffic
+  /// once online classes begin (3/30). See the constructor comment for why
+  /// the cohort anchors there rather than at the stay-at-home order.
+  [[nodiscard]] const std::vector<DeviceIndex>& PostShutdownDevices() const noexcept {
+    return post_shutdown_;
+  }
+
+  // --- Figure 3: normalized median per-device volume per hour of week --------
+  struct HourOfWeekResult {
+    /// One series per plotted week (Thursday-anchored; see
+    /// StudyCalendar::kFig3Weeks), already normalized by the minimum
+    /// positive hourly value across all weeks.
+    std::array<analysis::HourOfWeekSeries, 4> weeks;
+    double normalization = 0.0;  ///< the divisor applied
+  };
+  [[nodiscard]] HourOfWeekResult HourOfWeekVolume() const;
+
+  // --- §4.2: international / domestic split ----------------------------------
+  struct PopulationSplit {
+    std::vector<bool> international;  ///< per DeviceIndex; unlabeled => domestic
+    std::size_t num_international = 0;
+    std::size_t num_with_geo = 0;  ///< devices with usable February traffic
+  };
+  [[nodiscard]] const PopulationSplit& Split() const noexcept { return split_; }
+
+  // --- Figure 4: median daily bytes per device excluding Zoom ----------------
+  struct Fig4Row {
+    int day = 0;
+    double intl_mobile_desktop = 0.0;
+    double dom_mobile_desktop = 0.0;
+    double intl_unclassified = 0.0;
+    double dom_unclassified = 0.0;
+  };
+  [[nodiscard]] std::vector<Fig4Row> MedianBytesExcludingZoom() const;
+
+  // --- Figure 5: daily aggregate Zoom traffic (post-shutdown users) ----------
+  [[nodiscard]] analysis::DailySeries ZoomDailyBytes() const;
+
+  // --- Figure 6: social-media mobile durations per month ----------------------
+  struct SocialBox {
+    analysis::BoxStats domestic;
+    analysis::BoxStats international;
+  };
+  /// `month` in 2..5 (February..May). Durations are hours per device over the
+  /// month, from merged sessions (overlapping-flow bounds), FB/IG
+  /// disambiguated by the Instagram-only-domain heuristic.
+  [[nodiscard]] SocialBox SocialDurations(apps::SocialApp app, int month) const;
+
+  // --- Figure 7: Steam bytes & connections per device per month ---------------
+  struct SteamBox {
+    analysis::BoxStats dom_bytes, intl_bytes;
+    analysis::BoxStats dom_conns, intl_conns;
+  };
+  [[nodiscard]] SteamBox SteamUsage(int month) const;
+
+  // --- Figure 8 / §5.3.2: Nintendo Switch ------------------------------------
+  /// Daily gameplay bytes (moving-averaged) over Switches active in both
+  /// February and May, gameplay domains only.
+  [[nodiscard]] analysis::DailySeries SwitchGameplayDaily(int ma_window = 3) const;
+  struct SwitchCounts {
+    std::size_t active_february = 0;
+    std::size_t active_post_shutdown = 0;
+    std::size_t new_in_april_may = 0;  ///< first seen on/after April 1
+  };
+  [[nodiscard]] SwitchCounts CountSwitches() const;
+
+  // --- Extension: work vs. leisure decomposition -------------------------------
+  /// Daily bytes by service category for post-shutdown users. Not a paper
+  /// figure; quantifies the intro's work/leisure framing ("entertainment
+  /// usage increased" / education moved online).
+  struct CategoryVolumeRow {
+    int day = 0;
+    double education = 0.0;       ///< LMS + office/cloud suites
+    double video_conferencing = 0.0;
+    double streaming = 0.0;       ///< video + music
+    double social_media = 0.0;
+    double gaming = 0.0;          ///< PC + console
+    double messaging = 0.0;
+    double other = 0.0;
+  };
+  [[nodiscard]] std::vector<CategoryVolumeRow> CategoryVolumes() const;
+
+  // --- Extension: diurnal shape comparison --------------------------------------
+  /// Hour-of-day volume profiles over a study-day range, split into weekday
+  /// and weekend, each normalized to sum to 1. Feldmann et al. observed
+  /// pandemic weekdays converging toward weekend shapes; the paper reports
+  /// the opposite for this population — this method lets callers test it.
+  struct DiurnalShapeResult {
+    std::array<double, 24> weekday{};
+    std::array<double, 24> weekend{};
+  };
+  [[nodiscard]] DiurnalShapeResult DiurnalShape(int first_day, int last_day) const;
+
+  // --- §4/§4.1/§4.2 headline statistics ---------------------------------------
+  struct Headline {
+    int peak_active_devices = 0;
+    int trough_active_devices = 0;
+    std::size_t post_shutdown_users = 0;
+    /// Mean daily traffic of post-shutdown users, Apr+May vs. Feb (0.58 in
+    /// the paper).
+    double traffic_increase = 0.0;
+    /// Mean distinct sites per device per month, Apr+May vs. Feb (0.34).
+    double distinct_sites_increase = 0.0;
+    std::size_t international_devices = 0;
+    double international_share = 0.0;  ///< of post-shutdown users
+  };
+  [[nodiscard]] Headline HeadlineStats() const;
+
+  [[nodiscard]] const Dataset& dataset() const noexcept { return *dataset_; }
+
+ private:
+  /// Per-domain application flags, precomputed over the interned domains.
+  struct DomainFlags {
+    bool zoom = false;
+    bool fb_family = false;
+    bool instagram_only = false;
+    bool tiktok = false;
+    bool steam = false;
+    bool nintendo = false;
+    bool nintendo_gameplay = false;
+  };
+
+  [[nodiscard]] bool IsZoomFlow(const Flow& f) const noexcept;
+  /// Spreads a flow's bytes uniformly over the hours it spans, calling
+  /// add(hour_timestamp, bytes_in_hour).
+  template <typename Fn>
+  static void SpreadOverHours(const Flow& f, Fn&& add);
+
+  void ComputeSplit();
+
+  const Dataset* dataset_;
+  const world::ServiceCatalog* catalog_;
+  world::GeoDatabase geo_db_;
+  apps::ZoomMatcher zoom_;
+  apps::SocialMediaSignatures social_;
+  apps::SteamSignature steam_;
+  apps::NintendoSignature nintendo_;
+  std::vector<classify::Classification> classifications_;
+  std::vector<ReportClass> report_class_;
+  std::vector<DomainFlags> domain_flags_;  // indexed by DomainId
+  std::vector<DeviceIndex> post_shutdown_;
+  std::vector<std::uint8_t> is_post_shutdown_;  // per device
+  PopulationSplit split_;
+  int shutdown_day_ = 0;       ///< stay-at-home order (Fig. 1 trough search)
+  int post_shutdown_day_ = 0;  ///< online-term start (post-shutdown cohort)
+};
+
+}  // namespace lockdown::core

@@ -1,0 +1,22 @@
+// DHCP lease records, the schema of the campus DHCP logs.
+#pragma once
+
+#include <compare>
+
+#include "net/ipv4.h"
+#include "net/mac.h"
+#include "util/time.h"
+
+namespace lockdown::dhcp {
+
+/// One lease binding: `mac` held `ip` during [start, end).
+struct Lease {
+  net::MacAddress mac;
+  net::Ipv4Address ip;
+  util::Timestamp start = 0;
+  util::Timestamp end = 0;
+
+  friend constexpr auto operator<=>(const Lease&, const Lease&) noexcept = default;
+};
+
+}  // namespace lockdown::dhcp

@@ -1,0 +1,47 @@
+#include "dhcp/normalizer.h"
+
+#include <algorithm>
+
+namespace lockdown::dhcp {
+
+IpToMacNormalizer::IpToMacNormalizer(std::span<const Lease> log) {
+  for (const Lease& lease : log) {
+    index_[lease.ip.value()].push_back(
+        Interval{lease.start, lease.end, lease.mac});
+  }
+  for (auto& [ip, intervals] : index_) {
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval& a, const Interval& b) { return a.start < b.start; });
+  }
+}
+
+std::optional<net::MacAddress> IpToMacNormalizer::Lookup(
+    net::Ipv4Address ip, util::Timestamp ts) const noexcept {
+  const auto it = index_.find(ip.value());
+  if (it == index_.end()) return std::nullopt;
+  const std::vector<Interval>& intervals = it->second;
+  // Last interval with start <= ts.
+  auto pos = std::upper_bound(
+      intervals.begin(), intervals.end(), ts,
+      [](util::Timestamp t, const Interval& iv) { return t < iv.start; });
+  if (pos == intervals.begin()) return std::nullopt;
+  --pos;
+  if (ts < pos->end) return pos->mac;
+  return std::nullopt;
+}
+
+std::optional<net::MacAddress> IpToMacNormalizer::LookupLinear(
+    std::span<const Lease> log, net::Ipv4Address ip, util::Timestamp ts) noexcept {
+  std::optional<net::MacAddress> best;
+  util::Timestamp best_start = 0;
+  for (const Lease& lease : log) {
+    if (lease.ip == ip && lease.start <= ts && ts < lease.end &&
+        (!best || lease.start >= best_start)) {
+      best = lease.mac;
+      best_start = lease.start;
+    }
+  }
+  return best;
+}
+
+}  // namespace lockdown::dhcp

@@ -1,0 +1,64 @@
+#include "dhcp/server.h"
+
+#include <stdexcept>
+
+namespace lockdown::dhcp {
+
+Server::Server(std::vector<net::Cidr> pools, ServerConfig config, util::Pcg32 rng)
+    : config_(config), rng_(rng) {
+  if (pools.empty()) throw std::invalid_argument("Server: no pools");
+  pools_.reserve(pools.size());
+  for (net::Cidr c : pools) pools_.emplace_back(c);
+}
+
+net::Ipv4Address Server::AllocateAddress() {
+  // Prefer recycled addresses so that IP reuse across devices — the case the
+  // IP->MAC normalizer exists to disambiguate — actually occurs in the logs.
+  if (!free_list_.empty()) {
+    const net::Ipv4Address ip = free_list_.back();
+    free_list_.pop_back();
+    return ip;
+  }
+  for (std::size_t i = 0; i < pools_.size(); ++i) {
+    auto& pool = pools_[next_pool_ % pools_.size()];
+    ++next_pool_;
+    if (pool.Remaining() > 0) return pool.Allocate();
+  }
+  throw std::length_error("DHCP pools exhausted");
+}
+
+net::Ipv4Address Server::Acquire(net::MacAddress mac, util::Timestamp now) {
+  auto [it, inserted] = active_.try_emplace(mac.value());
+  ClientState& st = it->second;
+  if (inserted) {
+    st.ip = AllocateAddress();
+    st.lease_end = now + config_.lease_lifetime;
+    st.log_index = log_.size();
+    log_.push_back(Lease{mac, st.ip, now, st.lease_end});
+    return st.ip;
+  }
+  if (now < st.lease_end) {
+    // Live lease: renewing extends it in place.
+    st.lease_end = now + config_.lease_lifetime;
+    log_[st.log_index].end = st.lease_end;
+    return st.ip;
+  }
+  // Lease expired. Most clients get the same address back; some re-bind.
+  if (rng_.Bernoulli(config_.renew_same_ip_prob)) {
+    st.lease_end = now + config_.lease_lifetime;
+    st.log_index = log_.size();
+    log_.push_back(Lease{mac, st.ip, now, st.lease_end});
+    return st.ip;
+  }
+  // Allocate the replacement before recycling the old address, otherwise the
+  // free list would hand the device its own address straight back.
+  const net::Ipv4Address old_ip = st.ip;
+  st.ip = AllocateAddress();
+  free_list_.push_back(old_ip);
+  st.lease_end = now + config_.lease_lifetime;
+  st.log_index = log_.size();
+  log_.push_back(Lease{mac, st.ip, now, st.lease_end});
+  return st.ip;
+}
+
+}  // namespace lockdown::dhcp

@@ -1,0 +1,67 @@
+// Simulation of the campus DHCP service.
+//
+// Devices in the study network have *dynamic* addresses: the paper's pipeline
+// must join the traffic tap against contemporaneous DHCP logs to recover a
+// stable per-device identity (the MAC). We therefore simulate a real lease
+// lifecycle — pools, finite lease lifetimes, renewals that usually keep the
+// same address, and occasional re-binding to a fresh address — so that the
+// IP→MAC normalization the paper performs is a genuine temporal join.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dhcp/lease.h"
+#include "net/allocator.h"
+#include "util/rng.h"
+
+namespace lockdown::dhcp {
+
+/// Lease-lifecycle parameters.
+struct ServerConfig {
+  util::Timestamp lease_lifetime = 6 * util::kSecondsPerHour;
+  /// Probability that a renewal keeps the previous address (a real client
+  /// renewing before expiry always does; this folds in devices that sleep
+  /// past expiry and re-bind).
+  double renew_same_ip_prob = 0.9;
+};
+
+/// Simulated DHCP server over one or more address pools. `Acquire` is called
+/// by the traffic generator whenever a device becomes active; the server
+/// extends or re-issues leases and appends every binding to the log.
+class Server {
+ public:
+  Server(std::vector<net::Cidr> pools, ServerConfig config, util::Pcg32 rng);
+
+  /// Ensures `mac` holds a lease at time `now`, renewing or re-binding as
+  /// needed, and returns the device's current address.
+  net::Ipv4Address Acquire(net::MacAddress mac, util::Timestamp now);
+
+  /// All lease bindings issued so far (the DHCP log). Bindings are closed
+  /// intervals over time; a renewal that kept the address extends the last
+  /// log entry rather than appending a new one.
+  [[nodiscard]] const std::vector<Lease>& log() const noexcept { return log_; }
+
+  /// Number of distinct MACs ever served.
+  [[nodiscard]] std::size_t num_clients() const noexcept { return active_.size(); }
+
+ private:
+  struct ClientState {
+    net::Ipv4Address ip;
+    util::Timestamp lease_end = 0;
+    std::size_t log_index = 0;  // entry in log_ for the current binding
+  };
+
+  net::Ipv4Address AllocateAddress();
+
+  std::vector<net::BlockAllocator> pools_;
+  std::vector<net::Ipv4Address> free_list_;
+  std::size_t next_pool_ = 0;
+  ServerConfig config_;
+  util::Pcg32 rng_;
+  std::unordered_map<std::uint64_t, ClientState> active_;  // keyed by MAC value
+  std::vector<Lease> log_;
+};
+
+}  // namespace lockdown::dhcp

@@ -1,0 +1,36 @@
+#include "dns/mapper.h"
+
+#include <algorithm>
+
+namespace lockdown::dns {
+
+IpToDomainMapper::IpToDomainMapper(std::span<const Resolution> log) {
+  for (const Resolution& r : log) {
+    auto& entries = index_[r.answer.value()];
+    // Drop consecutive duplicates for the same name to keep the index small;
+    // campus resolvers re-resolve popular names every TTL.
+    if (!entries.empty() && entries.back().qname == r.qname) {
+      continue;
+    }
+    entries.push_back(Entry{r.ts, r.qname});
+  }
+  for (auto& [ip, entries] : index_) {
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry& a, const Entry& b) { return a.ts < b.ts; });
+  }
+}
+
+std::optional<std::string_view> IpToDomainMapper::Lookup(
+    net::Ipv4Address ip, util::Timestamp ts) const noexcept {
+  const auto it = index_.find(ip.value());
+  if (it == index_.end()) return std::nullopt;
+  const std::vector<Entry>& entries = it->second;
+  auto pos = std::upper_bound(
+      entries.begin(), entries.end(), ts,
+      [](util::Timestamp t, const Entry& e) { return t < e.ts; });
+  if (pos == entries.begin()) return std::nullopt;
+  --pos;
+  return std::string_view(pos->qname);
+}
+
+}  // namespace lockdown::dns

@@ -1,0 +1,46 @@
+// Remote IP -> domain mapping.
+//
+// "we use contemporaneous DNS logs to convert remote IP addresses ... to
+//  domain names (hence, allowing us to distinguish between different services
+//  in use)." (paper, §3)
+//
+// The mapper inverts the DNS log: for each answer address it keeps the
+// time-sorted resolutions, and a lookup returns the name most recently
+// resolved to that address at-or-before the flow's start (a resolution
+// remains usable until another name claims the address, since clients
+// commonly hold connections past the TTL).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/record.h"
+
+namespace lockdown::dns {
+
+/// Immutable reverse index from (server IP, time) to domain name.
+class IpToDomainMapper {
+ public:
+  explicit IpToDomainMapper(std::span<const Resolution> log);
+
+  /// Domain most recently resolved to `ip` at or before `ts`; nullopt if the
+  /// address never appeared in the log before `ts`.
+  [[nodiscard]] std::optional<std::string_view> Lookup(net::Ipv4Address ip,
+                                                       util::Timestamp ts) const noexcept;
+
+  /// Number of distinct server addresses indexed.
+  [[nodiscard]] std::size_t num_ips() const noexcept { return index_.size(); }
+
+ private:
+  struct Entry {
+    util::Timestamp ts;
+    std::string qname;
+  };
+  std::unordered_map<std::uint32_t, std::vector<Entry>> index_;
+};
+
+}  // namespace lockdown::dns

@@ -1,0 +1,23 @@
+// DNS resolution records, the schema of the campus DNS logs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/ipv4.h"
+#include "net/mac.h"
+#include "util/time.h"
+
+namespace lockdown::dns {
+
+/// One observed resolution: at `ts`, `client` resolved `qname` to `answer`
+/// with the given TTL.
+struct Resolution {
+  util::Timestamp ts = 0;
+  net::MacAddress client;
+  std::string qname;
+  net::Ipv4Address answer;
+  std::int32_t ttl = 0;  ///< seconds
+};
+
+}  // namespace lockdown::dns

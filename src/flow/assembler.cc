@@ -1,0 +1,103 @@
+#include "flow/assembler.h"
+
+#include <utility>
+#include <vector>
+
+namespace lockdown::flow {
+
+Assembler::Assembler(AssemblerConfig config, Sink sink)
+    : config_(config), sink_(std::move(sink)) {}
+
+void Assembler::Emit(const net::FiveTuple& tuple, const Live& live) {
+  FlowRecord rec;
+  rec.start = live.start;
+  rec.duration_s = static_cast<double>(live.last_activity - live.start);
+  rec.client_ip = tuple.src_ip;
+  rec.server_ip = tuple.dst_ip;
+  rec.server_port = tuple.dst_port;
+  rec.proto = tuple.proto;
+  rec.bytes_up = live.bytes_up;
+  rec.bytes_down = live.bytes_down;
+  ++emitted_;
+  sink_(rec);
+}
+
+void Assembler::SweepIdle(util::Timestamp now) {
+  // Collect-then-erase keeps iterator semantics simple; the sweep runs at
+  // most once per sweep_interval so the extra pass is cheap.
+  std::vector<net::FiveTuple> idle;
+  for (const auto& [tuple, live] : table_) {
+    if (now - live.last_activity >= config_.inactivity_timeout) {
+      idle.push_back(tuple);
+    }
+  }
+  for (const net::FiveTuple& tuple : idle) {
+    const auto it = table_.find(tuple);
+    Emit(tuple, it->second);
+    table_.erase(it);
+  }
+}
+
+void Assembler::Ingest(const TapEvent& event) {
+  const util::Timestamp ts = event.ts < now_ ? now_ : event.ts;
+  now_ = ts;
+  if (now_ - last_sweep_ >= config_.sweep_interval) {
+    SweepIdle(now_);
+    last_sweep_ = now_;
+  }
+
+  switch (event.kind) {
+    case EventKind::kOpen: {
+      auto [it, inserted] = table_.try_emplace(event.tuple);
+      if (!inserted) {
+        // Tuple reuse while an old connection lingers: flush the old one.
+        Emit(event.tuple, it->second);
+        it->second = Live{};
+      }
+      it->second.start = ts;
+      it->second.last_activity = ts;
+      it->second.bytes_up = event.bytes_up;
+      it->second.bytes_down = event.bytes_down;
+      break;
+    }
+    case EventKind::kData: {
+      const auto it = table_.find(event.tuple);
+      if (it == table_.end()) {
+        // Mid-stream capture of a connection whose open we missed: treat the
+        // first sighting as the open, as Zeek does for partial connections.
+        ++partials_;
+        Live live;
+        live.start = ts;
+        live.last_activity = ts;
+        live.bytes_up = event.bytes_up;
+        live.bytes_down = event.bytes_down;
+        table_.emplace(event.tuple, live);
+        break;
+      }
+      it->second.last_activity = ts;
+      it->second.bytes_up += event.bytes_up;
+      it->second.bytes_down += event.bytes_down;
+      break;
+    }
+    case EventKind::kClose: {
+      const auto it = table_.find(event.tuple);
+      if (it == table_.end()) {
+        ++partials_;
+        break;
+      }
+      it->second.last_activity = ts;
+      it->second.bytes_up += event.bytes_up;
+      it->second.bytes_down += event.bytes_down;
+      Emit(event.tuple, it->second);
+      table_.erase(it);
+      break;
+    }
+  }
+}
+
+void Assembler::Finish() {
+  for (const auto& [tuple, live] : table_) Emit(tuple, live);
+  table_.clear();
+}
+
+}  // namespace lockdown::flow

@@ -1,0 +1,72 @@
+// Zeek-style connection tracking.
+//
+// The assembler maintains a table of live connections keyed by 5-tuple,
+// accumulates data events, and emits a FlowRecord when the connection closes
+// or goes idle past the inactivity timeout (mirroring Zeek's
+// tcp_inactivity_timeout behaviour: a long-lived session with an idle gap is
+// reported as multiple flows). Events must arrive in non-decreasing time
+// order, as they do from a tap.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "flow/event.h"
+#include "flow/record.h"
+
+namespace lockdown::flow {
+
+struct AssemblerConfig {
+  /// Idle gap after which a live connection is flushed as complete.
+  util::Timestamp inactivity_timeout = 15 * util::kSecondsPerMinute;
+  /// How often to sweep the table for idle connections.
+  util::Timestamp sweep_interval = util::kSecondsPerMinute;
+};
+
+/// Streaming flow extractor. Emits records through a sink callback so the
+/// pipeline never buffers the full connection set.
+class Assembler {
+ public:
+  using Sink = std::function<void(const FlowRecord&)>;
+
+  Assembler(AssemblerConfig config, Sink sink);
+
+  /// Feeds one tap event. Events must be in non-decreasing `ts` order;
+  /// out-of-order events are clamped to the current time.
+  void Ingest(const TapEvent& event);
+
+  /// Flushes every live connection (end of capture).
+  void Finish();
+
+  /// Live connections currently tracked.
+  [[nodiscard]] std::size_t table_size() const noexcept { return table_.size(); }
+
+  /// Records emitted so far.
+  [[nodiscard]] std::uint64_t records_emitted() const noexcept { return emitted_; }
+
+  /// Events whose tuple had no open connection (data/close without open);
+  /// Zeek reports these as partial connections, we count and fold them in.
+  [[nodiscard]] std::uint64_t partial_events() const noexcept { return partials_; }
+
+ private:
+  struct Live {
+    util::Timestamp start = 0;
+    util::Timestamp last_activity = 0;
+    std::uint64_t bytes_up = 0;
+    std::uint64_t bytes_down = 0;
+  };
+
+  void Emit(const net::FiveTuple& tuple, const Live& live);
+  void SweepIdle(util::Timestamp now);
+
+  AssemblerConfig config_;
+  Sink sink_;
+  std::unordered_map<net::FiveTuple, Live, net::FiveTupleHash> table_;
+  util::Timestamp now_ = 0;
+  util::Timestamp last_sweep_ = 0;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t partials_ = 0;
+};
+
+}  // namespace lockdown::flow

@@ -1,0 +1,79 @@
+#include "flow/conn_log.h"
+
+#include <charconv>
+#include <cstdlib>
+#include <ostream>
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace lockdown::flow {
+
+namespace {
+constexpr std::string_view kHeader =
+    "ts\tduration\tid.orig_h\tid.resp_h\tid.resp_p\tproto\torig_bytes\tresp_bytes";
+
+template <typename T>
+bool ParseNum(std::string_view s, T& out) {
+  const auto* end = s.data() + s.size();
+  const auto res = std::from_chars(s.data(), end, out);
+  return res.ec == std::errc() && res.ptr == end;
+}
+
+bool ParseDouble(std::string_view s, double& out) {
+  // from_chars for double is unreliable pre-GCC11 in some configs; strtod via
+  // a bounded buffer keeps this dependency-free.
+  char buf[64];
+  if (s.size() >= sizeof(buf)) return false;
+  s.copy(buf, s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  out = std::strtod(buf, &end);
+  return end == buf + s.size();
+}
+}  // namespace
+
+void WriteConnLog(std::ostream& out, const std::vector<FlowRecord>& records) {
+  out << kHeader << '\n';
+  for (const FlowRecord& r : records) {
+    out << r.start << '\t' << r.duration_s << '\t' << r.client_ip.ToString()
+        << '\t' << r.server_ip.ToString() << '\t' << r.server_port << '\t'
+        << net::ToString(r.proto) << '\t' << r.bytes_up << '\t' << r.bytes_down
+        << '\n';
+  }
+}
+
+std::optional<std::vector<FlowRecord>> ReadConnLog(std::string_view text) {
+  const auto lines = util::Split(text, '\n');
+  if (lines.empty() || util::Trim(lines[0]) != kHeader) return std::nullopt;
+  std::vector<FlowRecord> out;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = util::Trim(lines[i]);
+    if (line.empty()) continue;
+    const auto fields = util::Split(line, '\t');
+    if (fields.size() != 8) return std::nullopt;
+    FlowRecord r;
+    const auto client = net::Ipv4Address::Parse(fields[2]);
+    const auto server = net::Ipv4Address::Parse(fields[3]);
+    unsigned port = 0;
+    if (!ParseNum(fields[0], r.start) || !ParseDouble(fields[1], r.duration_s) ||
+        !client || !server || !ParseNum(fields[4], port) || port > 65535 ||
+        !ParseNum(fields[6], r.bytes_up) || !ParseNum(fields[7], r.bytes_down)) {
+      return std::nullopt;
+    }
+    r.client_ip = *client;
+    r.server_ip = *server;
+    r.server_port = static_cast<net::Port>(port);
+    if (fields[5] == "tcp") {
+      r.proto = net::Protocol::kTcp;
+    } else if (fields[5] == "udp") {
+      r.proto = net::Protocol::kUdp;
+    } else {
+      return std::nullopt;
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace lockdown::flow

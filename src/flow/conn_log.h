@@ -1,0 +1,21 @@
+// conn.log-style serialization of flow records (Zeek-compatible field
+// layout: ts, duration, orig/resp endpoints, byte counts).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "flow/record.h"
+
+namespace lockdown::flow {
+
+/// Writes records as a TSV document with a header line.
+void WriteConnLog(std::ostream& out, const std::vector<FlowRecord>& records);
+
+/// Parses a conn.log document produced by WriteConnLog. Returns nullopt if
+/// the header is missing or a row is malformed.
+[[nodiscard]] std::optional<std::vector<FlowRecord>> ReadConnLog(std::string_view text);
+
+}  // namespace lockdown::flow

@@ -1,0 +1,33 @@
+// Events at the network tap.
+//
+// The tap mirrors traffic between the residential network and the campus
+// backbone. We model what Zeek's connection tracking consumes: connection
+// open, data, and close events keyed by 5-tuple. (Generating individual
+// packets would be needlessly expensive; Zeek's conn.log is itself an
+// aggregate over packets, and every downstream analysis consumes conn-level
+// records.)
+#pragma once
+
+#include <cstdint>
+
+#include "net/endpoint.h"
+#include "util/time.h"
+
+namespace lockdown::flow {
+
+enum class EventKind : std::uint8_t {
+  kOpen,   ///< first packet of a connection
+  kData,   ///< bytes transferred since the previous event
+  kClose,  ///< connection teardown observed
+};
+
+/// One tap event. `bytes_up` is client->server, `bytes_down` server->client.
+struct TapEvent {
+  util::Timestamp ts = 0;
+  EventKind kind = EventKind::kOpen;
+  net::FiveTuple tuple;  ///< src = client (dorm device), dst = remote server
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
+};
+
+}  // namespace lockdown::flow

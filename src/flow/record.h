@@ -1,0 +1,32 @@
+// Flow records: the conn.log-equivalent output of flow assembly, and the
+// device-attributed record the analyses consume.
+#pragma once
+
+#include <cstdint>
+
+#include "net/endpoint.h"
+#include "util/time.h"
+
+namespace lockdown::flow {
+
+/// A completed connection as extracted from the tap (pre-attribution: the
+/// client is still a dynamic IP, the server still a bare address).
+struct FlowRecord {
+  util::Timestamp start = 0;
+  double duration_s = 0.0;
+  net::Ipv4Address client_ip;
+  net::Ipv4Address server_ip;
+  net::Port server_port = 0;
+  net::Protocol proto = net::Protocol::kTcp;
+  std::uint64_t bytes_up = 0;
+  std::uint64_t bytes_down = 0;
+
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return bytes_up + bytes_down;
+  }
+  [[nodiscard]] util::Timestamp end() const noexcept {
+    return start + static_cast<util::Timestamp>(duration_s);
+  }
+};
+
+}  // namespace lockdown::flow

@@ -1,0 +1,77 @@
+#include "geo/border.h"
+
+#include <array>
+
+namespace lockdown::geo {
+
+bool PointInPolygon(world::GeoPoint p,
+                    std::span<const world::GeoPoint> polygon) noexcept {
+  bool inside = false;
+  const std::size_t n = polygon.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const world::GeoPoint& a = polygon[i];
+    const world::GeoPoint& b = polygon[j];
+    // Cast a ray in +lon direction; count lat-crossings.
+    const bool crosses = (a.lat > p.lat) != (b.lat > p.lat);
+    if (crosses) {
+      const double lon_at =
+          a.lon + (p.lat - a.lat) / (b.lat - a.lat) * (b.lon - a.lon);
+      if (p.lon < lon_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+namespace {
+
+// Coarse continental US outline, counter-clockwise, (lat, lon). The Great
+// Lakes dip matters: without it Toronto would land "inside" the US.
+constexpr std::array<world::GeoPoint, 27> kConus = {{
+    {48.9, -124.8},  // NW: Olympic peninsula
+    {49.0, -95.0},   // northern border
+    {47.3, -89.5},   // Lake Superior
+    {45.0, -82.5},   // Lake Huron
+    {42.0, -83.1},   // Detroit
+    {41.7, -81.0},   // Lake Erie south shore
+    {43.2, -79.0},   // Niagara
+    {44.0, -76.5},   // eastern Lake Ontario
+    {45.0, -74.7},   // St. Lawrence
+    {47.3, -68.0},   // northern Maine
+    {44.8, -66.9},   // eastern Maine coast
+    {41.2, -69.9},   // Cape Cod
+    {35.2, -75.4},   // Cape Hatteras
+    {30.0, -80.8},   // north Florida Atlantic coast
+    {25.0, -80.0},   // Miami / Keys
+    {25.0, -81.3},   // Florida Bay
+    {29.5, -83.5},   // Florida gulf coast
+    {29.2, -89.0},   // Mississippi delta
+    {26.0, -97.1},   // Brownsville
+    {29.5, -101.5},  // Rio Grande
+    {31.3, -106.5},  // El Paso
+    {31.3, -111.0},  // southern Arizona
+    {32.5, -114.8},  // Yuma
+    {32.53, -117.13},// San Ysidro border crossing (south of San Diego)
+    {34.0, -120.7},  // SoCal bight
+    {37.0, -122.5},  // Monterey Bay
+    {40.4, -124.4},  // Cape Mendocino
+}};
+
+constexpr world::GeoPoint kAlaskaMin{51.0, -170.0};
+constexpr world::GeoPoint kAlaskaMax{71.5, -129.9};
+constexpr world::GeoPoint kHawaiiMin{18.5, -160.5};
+constexpr world::GeoPoint kHawaiiMax{22.5, -154.5};
+
+bool InBox(world::GeoPoint p, world::GeoPoint lo, world::GeoPoint hi) noexcept {
+  return p.lat >= lo.lat && p.lat <= hi.lat && p.lon >= lo.lon && p.lon <= hi.lon;
+}
+
+}  // namespace
+
+bool UsBorder::Contains(world::GeoPoint p) noexcept {
+  return PointInPolygon(p, kConus) || InBox(p, kAlaskaMin, kAlaskaMax) ||
+         InBox(p, kHawaiiMin, kHawaiiMax);
+}
+
+std::span<const world::GeoPoint> UsBorder::ConusPolygon() noexcept { return kConus; }
+
+}  // namespace lockdown::geo

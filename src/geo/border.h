@@ -1,0 +1,30 @@
+// United States border test: "if a user's midpoint falls outside the borders
+// of the United States, we classify them as an international student" (§4.2).
+//
+// The polygon is a coarse continental-US outline (sufficient for a midpoint
+// test at sub-degree precision is not needed) plus bounding boxes for Alaska
+// and Hawaii.
+#pragma once
+
+#include <span>
+
+#include "world/service.h"
+
+namespace lockdown::geo {
+
+/// Ray-casting point-in-polygon over (lat, lon) vertices. The polygon is
+/// implicitly closed. Points exactly on an edge may land on either side.
+[[nodiscard]] bool PointInPolygon(world::GeoPoint p,
+                                  std::span<const world::GeoPoint> polygon) noexcept;
+
+class UsBorder {
+ public:
+  /// True if the point lies within the US (CONUS polygon, or the Alaska /
+  /// Hawaii boxes).
+  [[nodiscard]] static bool Contains(world::GeoPoint p) noexcept;
+
+  /// The CONUS polygon itself (tests and documentation).
+  [[nodiscard]] static std::span<const world::GeoPoint> ConusPolygon() noexcept;
+};
+
+}  // namespace lockdown::geo

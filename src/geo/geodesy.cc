@@ -1,0 +1,46 @@
+#include "geo/geodesy.h"
+
+#include <cmath>
+
+namespace lockdown::geo {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kEarthRadiusKm = 6371.0;
+double Deg2Rad(double d) noexcept { return d * kPi / 180.0; }
+double Rad2Deg(double r) noexcept { return r * 180.0 / kPi; }
+}  // namespace
+
+Vec3 ToUnitVector(world::GeoPoint p) noexcept {
+  const double lat = Deg2Rad(p.lat);
+  const double lon = Deg2Rad(p.lon);
+  return Vec3{std::cos(lat) * std::cos(lon), std::cos(lat) * std::sin(lon),
+              std::sin(lat)};
+}
+
+world::GeoPoint ToGeoPoint(Vec3 v) noexcept {
+  const double norm = std::sqrt(v.x * v.x + v.y * v.y + v.z * v.z);
+  if (norm <= 0.0) return {0.0, 0.0};
+  const double lat = std::asin(v.z / norm);
+  const double lon = std::atan2(v.y, v.x);
+  return {Rad2Deg(lat), Rad2Deg(lon)};
+}
+
+double GreatCircleKm(world::GeoPoint a, world::GeoPoint b) noexcept {
+  const Vec3 va = ToUnitVector(a);
+  const Vec3 vb = ToUnitVector(b);
+  const double dot = va.x * vb.x + va.y * vb.y + va.z * vb.z;
+  const double clamped = dot > 1.0 ? 1.0 : (dot < -1.0 ? -1.0 : dot);
+  return kEarthRadiusKm * std::acos(clamped);
+}
+
+void MidpointAccumulator::Add(world::GeoPoint p, double weight) noexcept {
+  if (weight <= 0.0) return;
+  const Vec3 v = ToUnitVector(p);
+  sum_.x += v.x * weight;
+  sum_.y += v.y * weight;
+  sum_.z += v.z * weight;
+  total_weight_ += weight;
+}
+
+}  // namespace lockdown::geo

@@ -1,0 +1,52 @@
+#include "logs/dhcp_log.h"
+
+#include <charconv>
+#include <ostream>
+
+#include "util/strings.h"
+
+namespace lockdown::logs {
+
+namespace {
+constexpr std::string_view kHeader = "start\tend\tmac\tip";
+
+template <typename T>
+bool ParseNum(std::string_view s, T& out) {
+  const auto* end = s.data() + s.size();
+  const auto res = std::from_chars(s.data(), end, out);
+  return res.ec == std::errc() && res.ptr == end;
+}
+}  // namespace
+
+void WriteDhcpLog(std::ostream& out, std::span<const dhcp::Lease> leases) {
+  out << kHeader << '\n';
+  for (const dhcp::Lease& lease : leases) {
+    out << lease.start << '\t' << lease.end << '\t' << lease.mac.ToString()
+        << '\t' << lease.ip.ToString() << '\n';
+  }
+}
+
+std::optional<std::vector<dhcp::Lease>> ReadDhcpLog(std::string_view text) {
+  const auto lines = util::Split(text, '\n');
+  if (lines.empty() || util::Trim(lines[0]) != kHeader) return std::nullopt;
+  std::vector<dhcp::Lease> out;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = util::Trim(lines[i]);
+    if (line.empty()) continue;
+    const auto fields = util::Split(line, '\t');
+    if (fields.size() != 4) return std::nullopt;
+    dhcp::Lease lease;
+    const auto mac = net::MacAddress::Parse(fields[2]);
+    const auto ip = net::Ipv4Address::Parse(fields[3]);
+    if (!ParseNum(fields[0], lease.start) || !ParseNum(fields[1], lease.end) ||
+        !mac || !ip) {
+      return std::nullopt;
+    }
+    lease.mac = *mac;
+    lease.ip = *ip;
+    out.push_back(lease);
+  }
+  return out;
+}
+
+}  // namespace lockdown::logs

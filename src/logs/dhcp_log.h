@@ -1,0 +1,23 @@
+// On-disk DHCP log format (TSV with header), so the pipeline can run from
+// collected logs rather than a live tap — the deployment mode of DeKoven et
+// al.'s infrastructure.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "dhcp/lease.h"
+
+namespace lockdown::logs {
+
+/// Writes leases as "start\tend\tmac\tip" rows under a header.
+void WriteDhcpLog(std::ostream& out, std::span<const dhcp::Lease> leases);
+
+/// Parses a document produced by WriteDhcpLog; nullopt on malformed input.
+[[nodiscard]] std::optional<std::vector<dhcp::Lease>> ReadDhcpLog(
+    std::string_view text);
+
+}  // namespace lockdown::logs

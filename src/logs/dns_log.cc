@@ -1,0 +1,53 @@
+#include "logs/dns_log.h"
+
+#include <charconv>
+#include <ostream>
+
+#include "util/strings.h"
+
+namespace lockdown::logs {
+
+namespace {
+constexpr std::string_view kHeader = "ts\tclient\tqname\tanswer\tttl";
+
+template <typename T>
+bool ParseNum(std::string_view s, T& out) {
+  const auto* end = s.data() + s.size();
+  const auto res = std::from_chars(s.data(), end, out);
+  return res.ec == std::errc() && res.ptr == end;
+}
+}  // namespace
+
+void WriteDnsLog(std::ostream& out, std::span<const dns::Resolution> resolutions) {
+  out << kHeader << '\n';
+  for (const dns::Resolution& r : resolutions) {
+    out << r.ts << '\t' << r.client.ToString() << '\t' << r.qname << '\t'
+        << r.answer.ToString() << '\t' << r.ttl << '\n';
+  }
+}
+
+std::optional<std::vector<dns::Resolution>> ReadDnsLog(std::string_view text) {
+  const auto lines = util::Split(text, '\n');
+  if (lines.empty() || util::Trim(lines[0]) != kHeader) return std::nullopt;
+  std::vector<dns::Resolution> out;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = util::Trim(lines[i]);
+    if (line.empty()) continue;
+    const auto fields = util::Split(line, '\t');
+    if (fields.size() != 5) return std::nullopt;
+    dns::Resolution r;
+    const auto mac = net::MacAddress::Parse(fields[1]);
+    const auto ip = net::Ipv4Address::Parse(fields[3]);
+    if (!ParseNum(fields[0], r.ts) || !mac || fields[2].empty() || !ip ||
+        !ParseNum(fields[4], r.ttl)) {
+      return std::nullopt;
+    }
+    r.client = *mac;
+    r.qname = std::string(fields[2]);
+    r.answer = *ip;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace lockdown::logs

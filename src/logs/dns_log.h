@@ -1,0 +1,21 @@
+// On-disk DNS resolution log (TSV with header).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "dns/record.h"
+
+namespace lockdown::logs {
+
+/// Writes resolutions as "ts\tclient\tqname\tanswer\tttl" rows.
+void WriteDnsLog(std::ostream& out, std::span<const dns::Resolution> resolutions);
+
+/// Parses a document produced by WriteDnsLog; nullopt on malformed input.
+[[nodiscard]] std::optional<std::vector<dns::Resolution>> ReadDnsLog(
+    std::string_view text);
+
+}  // namespace lockdown::logs

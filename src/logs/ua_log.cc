@@ -1,0 +1,48 @@
+#include "logs/ua_log.h"
+
+#include <charconv>
+#include <ostream>
+
+#include "util/strings.h"
+
+namespace lockdown::logs {
+
+namespace {
+constexpr std::string_view kHeader = "ts\tclient\tuser_agent";
+}
+
+void WriteUaLog(std::ostream& out, const std::vector<UaRecord>& records) {
+  out << kHeader << '\n';
+  for (const UaRecord& r : records) {
+    out << r.ts << '\t' << r.client_ip.ToString() << '\t';
+    for (char c : r.user_agent) {
+      out << (c == '\t' || c == '\n' ? ' ' : c);
+    }
+    out << '\n';
+  }
+}
+
+std::optional<std::vector<UaRecord>> ReadUaLog(std::string_view text) {
+  const auto lines = util::Split(text, '\n');
+  if (lines.empty() || util::Trim(lines[0]) != kHeader) return std::nullopt;
+  std::vector<UaRecord> out;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
+    if (util::Trim(line).empty()) continue;
+    const auto fields = util::Split(line, '\t');
+    if (fields.size() != 3) return std::nullopt;
+    UaRecord r;
+    const auto* end = fields[0].data() + fields[0].size();
+    if (std::from_chars(fields[0].data(), end, r.ts).ptr != end) {
+      return std::nullopt;
+    }
+    const auto ip = net::Ipv4Address::Parse(fields[1]);
+    if (!ip || fields[2].empty()) return std::nullopt;
+    r.client_ip = *ip;
+    r.user_agent = std::string(util::Trim(fields[2]));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace lockdown::logs

@@ -1,0 +1,30 @@
+// On-disk User-Agent sighting log (TSV with header). UA strings may contain
+// anything except tab/newline, which the writer rejects by substitution.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "util/time.h"
+
+namespace lockdown::logs {
+
+/// A cleartext UA observation, owned-string form (the offline counterpart of
+/// sim::UaSighting).
+struct UaRecord {
+  util::Timestamp ts = 0;
+  net::Ipv4Address client_ip;
+  std::string user_agent;
+};
+
+/// Writes sightings as "ts\tclient\tuser_agent" rows.
+void WriteUaLog(std::ostream& out, const std::vector<UaRecord>& records);
+
+/// Parses a document produced by WriteUaLog; nullopt on malformed input.
+[[nodiscard]] std::optional<std::vector<UaRecord>> ReadUaLog(std::string_view text);
+
+}  // namespace lockdown::logs

@@ -1,0 +1,34 @@
+#include "net/allocator.h"
+
+namespace lockdown::net {
+
+Ipv4Address BlockAllocator::Allocate() {
+  // Reserve the all-zeros (network) and all-ones (broadcast) addresses.
+  if (next_ + 1 >= block_.size()) {
+    throw std::length_error("BlockAllocator exhausted: " + block_.ToString());
+  }
+  return block_.At(next_++);
+}
+
+std::uint64_t BlockAllocator::Remaining() const noexcept {
+  const std::uint64_t used = next_ + 1;  // + broadcast
+  return block_.size() > used ? block_.size() - used : 0;
+}
+
+Cidr SubnetCarver::Carve(int prefix_len) {
+  if (prefix_len < super_.prefix_len() || prefix_len > 32) {
+    throw std::invalid_argument("SubnetCarver: bad prefix length");
+  }
+  const std::uint64_t sub_size = std::uint64_t{1} << (32 - prefix_len);
+  // CIDR blocks must start on a multiple of their size; align up, or the
+  // constructor's base masking would fold this block onto the previous one.
+  const std::uint64_t aligned = (next_index_ + sub_size - 1) & ~(sub_size - 1);
+  if (aligned + sub_size > super_.size()) {
+    throw std::length_error("SubnetCarver exhausted: " + super_.ToString());
+  }
+  const Cidr out(super_.At(aligned), prefix_len);
+  next_index_ = aligned + sub_size;
+  return out;
+}
+
+}  // namespace lockdown::net

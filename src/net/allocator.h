@@ -1,0 +1,48 @@
+// Sequential IP allocation out of CIDR blocks; used to lay out the synthetic
+// Internet (server addresses per service) and the campus client pools.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace lockdown::net {
+
+/// Hands out addresses from a CIDR block in order, skipping the network and
+/// broadcast addresses. Throws std::length_error when exhausted.
+class BlockAllocator {
+ public:
+  explicit BlockAllocator(Cidr block) : block_(block), next_(1) {}
+
+  /// Next unused address in the block.
+  [[nodiscard]] Ipv4Address Allocate();
+
+  /// Addresses still available.
+  [[nodiscard]] std::uint64_t Remaining() const noexcept;
+
+  [[nodiscard]] Cidr block() const noexcept { return block_; }
+
+ private:
+  Cidr block_;
+  std::uint64_t next_;  // index of next address; 0 (network) is skipped
+};
+
+/// Allocates consecutive sub-blocks of a given prefix length out of one large
+/// super-block; each synthetic service gets its own sub-block so that
+/// signature IP-range matching is meaningful.
+class SubnetCarver {
+ public:
+  explicit SubnetCarver(Cidr super_block) : super_(super_block), next_index_(0) {}
+
+  /// Carves the next /prefix_len sub-block. prefix_len must be >= the super
+  /// block's length. Throws std::length_error when exhausted.
+  [[nodiscard]] Cidr Carve(int prefix_len);
+
+ private:
+  Cidr super_;
+  std::uint64_t next_index_;  // measured in addresses from super_ base
+};
+
+}  // namespace lockdown::net

@@ -1,0 +1,61 @@
+#include "net/ipv4.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace lockdown::net {
+
+std::optional<Ipv4Address> Ipv4Address::Parse(std::string_view s) noexcept {
+  std::uint32_t out = 0;
+  int octet_count = 0;
+  std::uint32_t octet = 0;
+  bool have_digit = false;
+  for (char c : s) {
+    if (c >= '0' && c <= '9') {
+      octet = octet * 10 + static_cast<std::uint32_t>(c - '0');
+      if (octet > 255) return std::nullopt;
+      have_digit = true;
+    } else if (c == '.') {
+      if (!have_digit || octet_count == 3) return std::nullopt;
+      out = (out << 8) | octet;
+      octet = 0;
+      have_digit = false;
+      ++octet_count;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!have_digit || octet_count != 3) return std::nullopt;
+  out = (out << 8) | octet;
+  return Ipv4Address(out);
+}
+
+std::string Ipv4Address::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr_ >> 24) & 0xFF,
+                (addr_ >> 16) & 0xFF, (addr_ >> 8) & 0xFF, addr_ & 0xFF);
+  return buf;
+}
+
+std::optional<Cidr> Cidr::Parse(std::string_view s) noexcept {
+  const auto slash = s.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto base = Ipv4Address::Parse(s.substr(0, slash));
+  if (!base) return std::nullopt;
+  int len = 0;
+  const std::string_view len_sv = s.substr(slash + 1);
+  if (len_sv.empty() || len_sv.size() > 2) return std::nullopt;
+  for (char c : len_sv) {
+    if (c < '0' || c > '9') return std::nullopt;
+    len = len * 10 + (c - '0');
+  }
+  if (len > 32) return std::nullopt;
+  return Cidr(*base, len);
+}
+
+std::string Cidr::ToString() const {
+  return base_.ToString() + "/" + std::to_string(prefix_len_);
+}
+
+}  // namespace lockdown::net

@@ -1,0 +1,81 @@
+// IPv4 address and CIDR prefix value types.
+//
+// The pipeline keys flows by IPv4 addresses throughout (the campus residence
+// network in the study period was IPv4). Addresses are a strong value type
+// around a host-order uint32 so they sort naturally and pack tightly in the
+// columnar dataset.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lockdown::net {
+
+/// An IPv4 address; internally host byte order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() noexcept = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order) noexcept
+      : addr_(host_order) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d) noexcept
+      : addr_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | d) {}
+
+  /// Parses dotted-quad; returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<Ipv4Address> Parse(std::string_view s) noexcept;
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return addr_; }
+
+  /// Dotted-quad representation.
+  [[nodiscard]] std::string ToString() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) noexcept = default;
+
+ private:
+  std::uint32_t addr_ = 0;
+};
+
+/// A CIDR prefix, e.g. 10.16.0.0/14.
+class Cidr {
+ public:
+  constexpr Cidr() noexcept = default;
+  /// base is masked down to the prefix; prefix_len in [0, 32].
+  constexpr Cidr(Ipv4Address base, int prefix_len) noexcept
+      : base_(Ipv4Address(base.value() & MaskFor(prefix_len))),
+        prefix_len_(prefix_len) {}
+
+  /// Parses "a.b.c.d/len"; returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<Cidr> Parse(std::string_view s) noexcept;
+
+  [[nodiscard]] constexpr bool Contains(Ipv4Address ip) const noexcept {
+    return (ip.value() & MaskFor(prefix_len_)) == base_.value();
+  }
+
+  [[nodiscard]] constexpr Ipv4Address base() const noexcept { return base_; }
+  [[nodiscard]] constexpr int prefix_len() const noexcept { return prefix_len_; }
+  /// Number of addresses covered by the prefix.
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - prefix_len_);
+  }
+  /// The i-th address inside the prefix (i < size()).
+  [[nodiscard]] constexpr Ipv4Address At(std::uint64_t i) const noexcept {
+    return Ipv4Address(base_.value() + static_cast<std::uint32_t>(i));
+  }
+
+  [[nodiscard]] std::string ToString() const;
+
+  friend constexpr auto operator<=>(const Cidr&, const Cidr&) noexcept = default;
+
+ private:
+  static constexpr std::uint32_t MaskFor(int len) noexcept {
+    return len == 0 ? 0u : ~std::uint32_t{0} << (32 - len);
+  }
+  Ipv4Address base_;
+  int prefix_len_ = 0;
+};
+
+}  // namespace lockdown::net

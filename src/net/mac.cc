@@ -1,0 +1,46 @@
+#include "net/mac.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace lockdown::net {
+
+std::optional<MacAddress> MacAddress::Parse(std::string_view s) noexcept {
+  if (s.size() != 17) return std::nullopt;
+  std::uint64_t value = 0;
+  for (int group = 0; group < 6; ++group) {
+    const std::size_t pos = static_cast<std::size_t>(group) * 3;
+    if (group > 0 && s[pos - 1] != ':') return std::nullopt;
+    std::uint64_t byte = 0;
+    for (int k = 0; k < 2; ++k) {
+      const char c = s[pos + static_cast<std::size_t>(k)];
+      std::uint64_t nibble;
+      if (c >= '0' && c <= '9') {
+        nibble = static_cast<std::uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        nibble = static_cast<std::uint64_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        nibble = static_cast<std::uint64_t>(c - 'A' + 10);
+      } else {
+        return std::nullopt;
+      }
+      byte = (byte << 4) | nibble;
+    }
+    value = (value << 8) | byte;
+  }
+  return MacAddress(value);
+}
+
+std::string MacAddress::ToString() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                static_cast<unsigned>((value_ >> 40) & 0xFF),
+                static_cast<unsigned>((value_ >> 32) & 0xFF),
+                static_cast<unsigned>((value_ >> 24) & 0xFF),
+                static_cast<unsigned>((value_ >> 16) & 0xFF),
+                static_cast<unsigned>((value_ >> 8) & 0xFF),
+                static_cast<unsigned>(value_ & 0xFF));
+  return buf;
+}
+
+}  // namespace lockdown::net

@@ -1,0 +1,47 @@
+// MAC addresses and OUI (organizationally unique identifier) handling.
+//
+// DHCP normalization keys every flow to a device MAC; the classifier then
+// reads the OUI (top 24 bits) to infer the device vendor.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lockdown::net {
+
+/// A 48-bit MAC address stored in the low bits of a uint64.
+class MacAddress {
+ public:
+  constexpr MacAddress() noexcept = default;
+  constexpr explicit MacAddress(std::uint64_t value) noexcept
+      : value_(value & 0xFFFFFFFFFFFFULL) {}
+
+  /// Parses "aa:bb:cc:dd:ee:ff" (case-insensitive); nullopt on malformed input.
+  [[nodiscard]] static std::optional<MacAddress> Parse(std::string_view s) noexcept;
+
+  /// Builds a MAC from a 24-bit OUI and a 24-bit device suffix.
+  [[nodiscard]] static constexpr MacAddress FromOui(std::uint32_t oui,
+                                                    std::uint32_t suffix) noexcept {
+    return MacAddress((std::uint64_t{oui & 0xFFFFFF} << 24) | (suffix & 0xFFFFFF));
+  }
+
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return value_; }
+
+  /// The vendor OUI: top 24 bits.
+  [[nodiscard]] constexpr std::uint32_t oui() const noexcept {
+    return static_cast<std::uint32_t>(value_ >> 24);
+  }
+
+  /// "aa:bb:cc:dd:ee:ff".
+  [[nodiscard]] std::string ToString() const;
+
+  friend constexpr auto operator<=>(MacAddress, MacAddress) noexcept = default;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace lockdown::net

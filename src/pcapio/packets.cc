@@ -1,0 +1,172 @@
+#include "pcapio/packets.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lockdown::pcapio {
+
+namespace {
+
+void PutBe16(std::vector<std::byte>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::byte>(v >> 8));
+  out.push_back(static_cast<std::byte>(v & 0xFF));
+}
+
+void PutBe32(std::vector<std::byte>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::byte>(v >> 24));
+  out.push_back(static_cast<std::byte>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::byte>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::byte>(v & 0xFF));
+}
+
+void PutMac(std::vector<std::byte>& out, net::MacAddress mac) {
+  for (int shift = 40; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::byte>((mac.value() >> shift) & 0xFF));
+  }
+}
+
+std::uint16_t GetBe16(std::span<const std::byte> b, std::size_t off) {
+  return static_cast<std::uint16_t>(
+      (std::to_integer<std::uint16_t>(b[off]) << 8) |
+      std::to_integer<std::uint16_t>(b[off + 1]));
+}
+
+std::uint32_t GetBe32(std::span<const std::byte> b, std::size_t off) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | std::to_integer<std::uint32_t>(b[off + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+std::uint64_t GetMac(std::span<const std::byte> b, std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 6; ++i) {
+    v = (v << 8) | std::to_integer<std::uint64_t>(b[off + static_cast<std::size_t>(i)]);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint16_t InternetChecksum(std::span<const std::byte> data) noexcept {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += GetBe16(data, i);
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(std::to_integer<std::uint16_t>(data[i]) << 8);
+  }
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+std::vector<std::byte> SynthesizePacket(const PacketInfo& info) {
+  const bool tcp = info.tuple.proto == net::Protocol::kTcp;
+  const std::size_t l4_len = tcp ? kTcpHeaderLen : kUdpHeaderLen;
+  const std::uint16_t payload = std::min<std::uint32_t>(
+      info.payload_len,
+      static_cast<std::uint32_t>(65535 - kIpv4HeaderLen - l4_len));
+
+  std::vector<std::byte> out;
+  out.reserve(kEthernetHeaderLen + kIpv4HeaderLen + l4_len + payload);
+
+  // Ethernet.
+  PutMac(out, info.dst_mac);
+  PutMac(out, info.src_mac);
+  PutBe16(out, 0x0800);  // IPv4
+
+  // IPv4 header (no options).
+  const std::size_t ip_off = out.size();
+  out.push_back(static_cast<std::byte>(0x45));  // version 4, IHL 5
+  out.push_back(static_cast<std::byte>(0));     // DSCP/ECN
+  PutBe16(out, static_cast<std::uint16_t>(kIpv4HeaderLen + l4_len + payload));
+  PutBe16(out, 0);       // identification
+  PutBe16(out, 0x4000);  // don't fragment
+  out.push_back(static_cast<std::byte>(64));  // TTL
+  out.push_back(static_cast<std::byte>(tcp ? 6 : 17));
+  PutBe16(out, 0);  // checksum placeholder
+  PutBe32(out, info.tuple.src_ip.value());
+  PutBe32(out, info.tuple.dst_ip.value());
+  const std::uint16_t checksum = InternetChecksum(
+      std::span<const std::byte>(out.data() + ip_off, kIpv4HeaderLen));
+  out[ip_off + 10] = static_cast<std::byte>(checksum >> 8);
+  out[ip_off + 11] = static_cast<std::byte>(checksum & 0xFF);
+
+  // Transport header.
+  if (tcp) {
+    PutBe16(out, info.tuple.src_port);
+    PutBe16(out, info.tuple.dst_port);
+    PutBe32(out, 0);  // seq
+    PutBe32(out, 0);  // ack
+    std::uint8_t flags = 0;
+    if (info.flags.fin) flags |= 0x01;
+    if (info.flags.syn) flags |= 0x02;
+    if (info.flags.rst) flags |= 0x04;
+    if (info.flags.ack) flags |= 0x10;
+    out.push_back(static_cast<std::byte>(0x50));  // data offset 5
+    out.push_back(static_cast<std::byte>(flags));
+    PutBe16(out, 65535);  // window
+    PutBe16(out, 0);      // checksum (not computed: no pseudo-header here)
+    PutBe16(out, 0);      // urgent
+  } else {
+    PutBe16(out, info.tuple.src_port);
+    PutBe16(out, info.tuple.dst_port);
+    PutBe16(out, static_cast<std::uint16_t>(kUdpHeaderLen + payload));
+    PutBe16(out, 0);  // checksum optional in IPv4
+  }
+
+  out.resize(out.size() + payload);  // zero payload
+  return out;
+}
+
+std::optional<PacketInfo> ParsePacket(std::span<const std::byte> packet) {
+  if (packet.size() < kEthernetHeaderLen + kIpv4HeaderLen) return std::nullopt;
+  if (GetBe16(packet, 12) != 0x0800) return std::nullopt;  // not IPv4
+
+  const std::size_t ip = kEthernetHeaderLen;
+  const auto version_ihl = std::to_integer<std::uint8_t>(packet[ip]);
+  if ((version_ihl >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(version_ihl & 0x0F) * 4;
+  if (ihl < kIpv4HeaderLen || packet.size() < ip + ihl) return std::nullopt;
+  if (InternetChecksum(packet.subspan(ip, ihl)) != 0) return std::nullopt;
+
+  PacketInfo info;
+  info.dst_mac = net::MacAddress(GetMac(packet, 0));
+  info.src_mac = net::MacAddress(GetMac(packet, 6));
+  const std::uint16_t total_len = GetBe16(packet, ip + 2);
+  const auto proto = std::to_integer<std::uint8_t>(packet[ip + 9]);
+  info.tuple.src_ip = net::Ipv4Address(GetBe32(packet, ip + 12));
+  info.tuple.dst_ip = net::Ipv4Address(GetBe32(packet, ip + 16));
+
+  const std::size_t l4 = ip + ihl;
+  if (proto == 6) {
+    if (packet.size() < l4 + kTcpHeaderLen) return std::nullopt;
+    info.tuple.proto = net::Protocol::kTcp;
+    info.tuple.src_port = GetBe16(packet, l4);
+    info.tuple.dst_port = GetBe16(packet, l4 + 2);
+    const std::size_t data_off =
+        static_cast<std::size_t>(std::to_integer<std::uint8_t>(packet[l4 + 12]) >> 4) * 4;
+    const auto flags = std::to_integer<std::uint8_t>(packet[l4 + 13]);
+    info.flags.fin = flags & 0x01;
+    info.flags.syn = flags & 0x02;
+    info.flags.rst = flags & 0x04;
+    info.flags.ack = flags & 0x10;
+    if (total_len < ihl + data_off) return std::nullopt;
+    info.payload_len = static_cast<std::uint16_t>(total_len - ihl - data_off);
+  } else if (proto == 17) {
+    if (packet.size() < l4 + kUdpHeaderLen) return std::nullopt;
+    info.tuple.proto = net::Protocol::kUdp;
+    info.tuple.src_port = GetBe16(packet, l4);
+    info.tuple.dst_port = GetBe16(packet, l4 + 2);
+    const std::uint16_t udp_len = GetBe16(packet, l4 + 4);
+    if (udp_len < kUdpHeaderLen) return std::nullopt;
+    info.payload_len = static_cast<std::uint16_t>(udp_len - kUdpHeaderLen);
+  } else {
+    return std::nullopt;
+  }
+  return info;
+}
+
+}  // namespace lockdown::pcapio

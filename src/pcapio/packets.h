@@ -1,0 +1,54 @@
+// Ethernet / IPv4 / TCP / UDP header synthesis and parsing.
+//
+// Enough of the wire format to round-trip the pipeline's unit of analysis —
+// the 5-tuple plus payload size plus TCP SYN/FIN flags — through real packet
+// bytes, with a correct IPv4 header checksum.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/endpoint.h"
+#include "net/mac.h"
+
+namespace lockdown::pcapio {
+
+inline constexpr std::size_t kEthernetHeaderLen = 14;
+inline constexpr std::size_t kIpv4HeaderLen = 20;
+inline constexpr std::size_t kTcpHeaderLen = 20;
+inline constexpr std::size_t kUdpHeaderLen = 8;
+
+/// TCP flags relevant to connection tracking.
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+};
+
+/// What a synthesized/parsed packet carries.
+struct PacketInfo {
+  net::MacAddress src_mac;
+  net::MacAddress dst_mac;
+  net::FiveTuple tuple;
+  std::uint16_t payload_len = 0;
+  TcpFlags flags;  ///< meaningful for TCP only
+};
+
+/// Internet (one's-complement) checksum over a byte range.
+[[nodiscard]] std::uint16_t InternetChecksum(std::span<const std::byte> data) noexcept;
+
+/// Builds a full Ethernet+IPv4+TCP/UDP packet with `payload_len` zero bytes
+/// of payload and a valid IPv4 header checksum. payload_len is clamped so
+/// the IP total length fits in 16 bits.
+[[nodiscard]] std::vector<std::byte> SynthesizePacket(const PacketInfo& info);
+
+/// Parses a packet produced by SynthesizePacket (or any Ethernet+IPv4
+/// TCP/UDP packet). Returns nullopt for non-IPv4 ethertypes, other IP
+/// protocols, truncated headers, or an IPv4 checksum mismatch.
+[[nodiscard]] std::optional<PacketInfo> ParsePacket(std::span<const std::byte> packet);
+
+}  // namespace lockdown::pcapio

@@ -1,0 +1,87 @@
+#include "pcapio/pcap.h"
+
+#include <cstring>
+
+namespace lockdown::pcapio {
+
+namespace {
+
+std::uint32_t Read32(std::span<const std::byte> b, std::size_t off, bool swap) {
+  std::uint32_t v;
+  std::memcpy(&v, b.data() + off, 4);
+  return swap ? __builtin_bswap32(v) : v;
+}
+
+std::uint16_t Read16(std::span<const std::byte> b, std::size_t off, bool swap) {
+  std::uint16_t v;
+  std::memcpy(&v, b.data() + off, 2);
+  return swap ? __builtin_bswap16(v) : v;
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(std::uint32_t snaplen) : snaplen_(snaplen) {
+  // Global header: magic, version 2.4, thiszone 0, sigfigs 0, snaplen,
+  // linktype.
+  Put32(kPcapMagic);
+  Put16(2);
+  Put16(4);
+  Put32(0);
+  Put32(0);
+  Put32(snaplen_);
+  Put32(kLinkTypeEthernet);
+}
+
+void PcapWriter::Put32(std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  buffer_.insert(buffer_.end(), p, p + 4);
+}
+
+void PcapWriter::Put16(std::uint16_t v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  buffer_.insert(buffer_.end(), p, p + 2);
+}
+
+void PcapWriter::Write(std::int64_t ts_us, std::span<const std::byte> packet) {
+  const auto captured =
+      static_cast<std::uint32_t>(std::min<std::size_t>(packet.size(), snaplen_));
+  Put32(static_cast<std::uint32_t>(ts_us / 1000000));
+  Put32(static_cast<std::uint32_t>(ts_us % 1000000));
+  Put32(captured);
+  Put32(static_cast<std::uint32_t>(packet.size()));
+  buffer_.insert(buffer_.end(), packet.begin(), packet.begin() + captured);
+  ++count_;
+}
+
+std::optional<std::vector<Packet>> ReadPcap(std::span<const std::byte> document) {
+  if (document.size() < 24) return std::nullopt;
+  const std::uint32_t magic = Read32(document, 0, false);
+  bool swap = false;
+  if (magic == kPcapMagicSwapped) {
+    swap = true;
+  } else if (magic != kPcapMagic) {
+    return std::nullopt;
+  }
+  if (Read16(document, 4, swap) != 2) return std::nullopt;  // major version
+  if (Read32(document, 20, swap) != kLinkTypeEthernet) return std::nullopt;
+
+  std::vector<Packet> packets;
+  std::size_t off = 24;
+  while (off < document.size()) {
+    if (off + 16 > document.size()) return std::nullopt;  // truncated header
+    const std::uint32_t sec = Read32(document, off, swap);
+    const std::uint32_t usec = Read32(document, off + 4, swap);
+    const std::uint32_t caplen = Read32(document, off + 8, swap);
+    off += 16;
+    if (off + caplen > document.size()) return std::nullopt;  // truncated body
+    Packet pkt;
+    pkt.ts_us = static_cast<std::int64_t>(sec) * 1000000 + usec;
+    pkt.data.assign(document.begin() + static_cast<std::ptrdiff_t>(off),
+                    document.begin() + static_cast<std::ptrdiff_t>(off + caplen));
+    packets.push_back(std::move(pkt));
+    off += caplen;
+  }
+  return packets;
+}
+
+}  // namespace lockdown::pcapio

@@ -1,0 +1,59 @@
+// Classic libpcap file format (the .pcap files tcpdump writes): global
+// header magic 0xa1b2c3d4, version 2.4, per-packet record headers. The
+// reader accepts both byte orders; the writer emits native order with
+// microsecond timestamps and LINKTYPE_ETHERNET.
+//
+// This is the on-ramp for running the pipeline over real captures: parse a
+// pcap, lift packets into tap events (tap_pcap.h), and feed the assembler.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lockdown::pcapio {
+
+inline constexpr std::uint32_t kPcapMagic = 0xA1B2C3D4;
+inline constexpr std::uint32_t kPcapMagicSwapped = 0xD4C3B2A1;
+inline constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+/// One captured packet: timestamp plus the captured bytes.
+struct Packet {
+  std::int64_t ts_us = 0;  ///< microseconds since the epoch
+  std::vector<std::byte> data;
+};
+
+/// Serializes packets into an in-memory pcap document.
+class PcapWriter {
+ public:
+  /// snaplen: maximum captured bytes per packet (longer packets are
+  /// truncated with the original length preserved in the record header).
+  explicit PcapWriter(std::uint32_t snaplen = 65535);
+
+  void Write(std::int64_t ts_us, std::span<const std::byte> packet);
+
+  /// The complete pcap document (header + records written so far).
+  [[nodiscard]] const std::vector<std::byte>& buffer() const noexcept {
+    return buffer_;
+  }
+  [[nodiscard]] std::size_t packets_written() const noexcept { return count_; }
+
+ private:
+  void Put32(std::uint32_t v);
+  void Put16(std::uint16_t v);
+
+  std::vector<std::byte> buffer_;
+  std::uint32_t snaplen_;
+  std::size_t count_ = 0;
+};
+
+/// Parses a pcap document. Returns nullopt if the magic/version is wrong or
+/// a record is truncated. Packets keep their captured (possibly snapped)
+/// bytes.
+[[nodiscard]] std::optional<std::vector<Packet>> ReadPcap(
+    std::span<const std::byte> document);
+
+}  // namespace lockdown::pcapio

@@ -1,0 +1,137 @@
+#include "pcapio/tap_pcap.h"
+
+#include <algorithm>
+
+namespace lockdown::pcapio {
+
+namespace {
+
+/// Deterministic pseudo-MACs for packet synthesis: the tap's unit of
+/// identity is the IP (MAC attribution happens via DHCP logs), so any
+/// consistent mapping works.
+net::MacAddress MacFor(net::Ipv4Address ip) {
+  return net::MacAddress(0x020000000000ULL | ip.value());
+}
+
+}  // namespace
+
+std::vector<std::byte> SynthesizePcap(std::span<const flow::TapEvent> events,
+                                      SynthesizeOptions options) {
+  PcapWriter writer;
+  for (const flow::TapEvent& ev : events) {
+    const std::int64_t ts_us = ev.ts * 1000000;
+    PacketInfo fwd;
+    fwd.src_mac = MacFor(ev.tuple.src_ip);
+    fwd.dst_mac = MacFor(ev.tuple.dst_ip);
+    fwd.tuple = ev.tuple;
+    PacketInfo rev = fwd;
+    std::swap(rev.src_mac, rev.dst_mac);
+    std::swap(rev.tuple.src_ip, rev.tuple.dst_ip);
+    std::swap(rev.tuple.src_port, rev.tuple.dst_port);
+
+    // Byte counts become MTU-sized packets, capped per event.
+    const auto emit = [&](PacketInfo info, std::uint64_t bytes,
+                          std::int64_t base_us) {
+      std::size_t packets = static_cast<std::size_t>(
+          (bytes + options.mtu_payload - 1) / options.mtu_payload);
+      packets = std::clamp<std::size_t>(packets, bytes > 0 ? 1 : 0,
+                                        options.max_packets_per_event);
+      std::uint64_t left = bytes;
+      for (std::size_t i = 0; i < packets; ++i) {
+        info.payload_len = static_cast<std::uint16_t>(
+            std::min<std::uint64_t>(left, options.mtu_payload));
+        if (ev.tuple.proto == net::Protocol::kTcp) info.flags.ack = true;
+        writer.Write(base_us + static_cast<std::int64_t>(i),
+                     SynthesizePacket(info));
+        left -= std::min<std::uint64_t>(left, options.mtu_payload);
+      }
+    };
+
+    switch (ev.kind) {
+      case flow::EventKind::kOpen: {
+        if (ev.tuple.proto == net::Protocol::kTcp) {
+          fwd.flags.syn = true;
+          writer.Write(ts_us, SynthesizePacket(fwd));
+          rev.flags.syn = true;
+          rev.flags.ack = true;
+          writer.Write(ts_us + 1, SynthesizePacket(rev));
+          fwd.flags.syn = false;
+          rev.flags.syn = false;
+          rev.flags.ack = false;
+        } else {
+          // UDP has no handshake: an empty first datagram opens the flow.
+          writer.Write(ts_us, SynthesizePacket(fwd));
+        }
+        // Opens may carry bytes too (aggregated event streams do this).
+        emit(fwd, ev.bytes_up, ts_us + 10);
+        emit(rev, ev.bytes_down, ts_us + 100);
+        break;
+      }
+      case flow::EventKind::kData:
+      case flow::EventKind::kClose: {
+        emit(fwd, ev.bytes_up, ts_us);
+        emit(rev, ev.bytes_down, ts_us + 100);
+        if (ev.kind == flow::EventKind::kClose &&
+            ev.tuple.proto == net::Protocol::kTcp) {
+          PacketInfo fin = fwd;
+          fin.payload_len = 0;
+          fin.flags = TcpFlags{.syn = false, .ack = true, .fin = true, .rst = false};
+          writer.Write(ts_us + 1000, SynthesizePacket(fin));
+        }
+        break;
+      }
+    }
+  }
+  return writer.buffer();
+}
+
+std::optional<IngestStats> IngestPcap(
+    std::span<const std::byte> document,
+    const std::function<bool(net::Ipv4Address)>& client_side,
+    const std::function<void(const flow::TapEvent&)>& sink) {
+  const auto packets = ReadPcap(document);
+  if (!packets) return std::nullopt;
+
+  IngestStats stats;
+  for (const Packet& pkt : *packets) {
+    ++stats.packets;
+    const auto info = ParsePacket(pkt.data);
+    if (!info) {
+      ++stats.ignored;
+      continue;
+    }
+    // Orient the tuple so the monitored client is the source.
+    net::FiveTuple tuple = info->tuple;
+    bool from_client = client_side(tuple.src_ip);
+    if (!from_client && !client_side(tuple.dst_ip)) {
+      ++stats.ignored;  // transit traffic: neither side is monitored
+      continue;
+    }
+    if (!from_client) {
+      std::swap(tuple.src_ip, tuple.dst_ip);
+      std::swap(tuple.src_port, tuple.dst_port);
+    }
+
+    flow::TapEvent ev;
+    ev.ts = pkt.ts_us / 1000000;
+    ev.tuple = tuple;
+    if (from_client) {
+      ev.bytes_up = info->payload_len;
+    } else {
+      ev.bytes_down = info->payload_len;
+    }
+    if (info->tuple.proto == net::Protocol::kTcp && info->flags.syn &&
+        !info->flags.ack) {
+      ev.kind = flow::EventKind::kOpen;
+    } else if (info->flags.fin || info->flags.rst) {
+      ev.kind = flow::EventKind::kClose;
+    } else {
+      ev.kind = flow::EventKind::kData;
+    }
+    sink(ev);
+    ++stats.events;
+  }
+  return stats;
+}
+
+}  // namespace lockdown::pcapio

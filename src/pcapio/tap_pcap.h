@@ -1,0 +1,49 @@
+// Bridging packets and the tap-event model.
+//
+// IngestPcap is the adoption path for real captures: parse a pcap, lift each
+// IPv4 TCP/UDP packet into the tap-event stream (SYN -> open, FIN/RST ->
+// close, everything else -> data), and feed the flow assembler. The inverse,
+// SynthesizePcap, materializes tap events as real packet bytes — useful for
+// tests, demos, and interoperating with external tooling; large data events
+// are emitted as a run of MTU-sized packets, capped per event so exports
+// stay bounded (the cap loses payload bytes, never packets' existence).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "flow/event.h"
+#include "pcapio/pcap.h"
+#include "pcapio/packets.h"
+
+namespace lockdown::pcapio {
+
+struct SynthesizeOptions {
+  std::size_t mtu_payload = 1448;      ///< payload bytes per emitted packet
+  std::size_t max_packets_per_event = 16;  ///< cap for very large data events
+};
+
+/// Renders tap events as an in-memory pcap document. Direction is encoded
+/// naturally: downstream bytes become server->client packets.
+[[nodiscard]] std::vector<std::byte> SynthesizePcap(
+    std::span<const flow::TapEvent> events, SynthesizeOptions options = {});
+
+struct IngestStats {
+  std::size_t packets = 0;
+  std::size_t ignored = 0;  ///< non-IPv4 / non-TCP-UDP / malformed
+  std::size_t events = 0;
+};
+
+/// Parses a pcap document and converts packets into tap events, delivered in
+/// capture order. `client_side` decides which endpoint is the monitored
+/// client (src of the 5-tuple): any address for which it returns true.
+/// Returns nullopt if the document itself is not valid pcap.
+[[nodiscard]] std::optional<IngestStats> IngestPcap(
+    std::span<const std::byte> document,
+    const std::function<bool(net::Ipv4Address)>& client_side,
+    const std::function<void(const flow::TapEvent&)>& sink);
+
+}  // namespace lockdown::pcapio

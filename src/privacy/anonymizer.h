@@ -1,0 +1,60 @@
+// Privacy layer: keyed pseudonymization.
+//
+// "To protect user privacy, the IP and MAC addresses for the devices we study
+//  are anonymized, and the raw data is discarded after being processed."
+//  (paper, §3)
+//
+// Identifiers are pseudonymized with SipHash-2-4 under a per-run 128-bit key.
+// The key lives only inside the Anonymizer; once it is destroyed, pseudonyms
+// cannot be linked back to real identifiers. Pseudonymization is consistent
+// within a run (same MAC -> same DeviceId) so longitudinal per-device
+// analyses still work.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/ipv4.h"
+#include "net/mac.h"
+#include "util/hash.h"
+
+namespace lockdown::privacy {
+
+/// Opaque stable pseudonym for a device (derived from its MAC).
+struct DeviceId {
+  std::uint64_t value = 0;
+  friend constexpr auto operator<=>(DeviceId, DeviceId) noexcept = default;
+};
+
+struct DeviceIdHash {
+  [[nodiscard]] std::size_t operator()(DeviceId id) const noexcept {
+    return static_cast<std::size_t>(id.value * 0x9E3779B97F4A7C15ULL);
+  }
+};
+
+/// Opaque pseudonym for a client IP address.
+struct AnonIp {
+  std::uint64_t value = 0;
+  friend constexpr auto operator<=>(AnonIp, AnonIp) noexcept = default;
+};
+
+/// Keyed, consistent pseudonymizer for device identifiers.
+class Anonymizer {
+ public:
+  /// The key should be drawn fresh per run (e.g. from the study seed in the
+  /// simulator; from a CSPRNG in a deployment) and never persisted.
+  explicit Anonymizer(util::SipHashKey key) noexcept : key_(key) {}
+
+  [[nodiscard]] DeviceId AnonymizeMac(net::MacAddress mac) const noexcept {
+    return DeviceId{util::SipHash24(key_, mac.value() | (1ULL << 63))};
+  }
+
+  [[nodiscard]] AnonIp AnonymizeIp(net::Ipv4Address ip) const noexcept {
+    return AnonIp{util::SipHash24(key_, static_cast<std::uint64_t>(ip.value()))};
+  }
+
+ private:
+  util::SipHashKey key_;
+};
+
+}  // namespace lockdown::privacy

@@ -1,0 +1,155 @@
+// Per-device daily activity planning.
+//
+// Given a device, its owner's persona, and the study day, the activity model
+// emits the day's session plans: which services, when, for how long, how many
+// bytes, and across which hostnames. All of the paper's behavioural findings
+// are generated here, driven by the constants in parameters.h.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/endpoint.h"
+#include "sim/persona.h"
+#include "sim/population.h"
+#include "util/rng.h"
+#include "util/time.h"
+#include "world/catalog.h"
+
+namespace lockdown::sim {
+
+/// One planned connection within a session.
+struct FlowPlan {
+  std::string_view host;  ///< empty for raw-IP connections
+  world::ServiceId service = world::kInvalidService;
+  std::uint64_t bytes_down = 0;
+  std::uint64_t bytes_up = 0;
+  /// Fractions of the session interval this flow spans (flows overlap, which
+  /// is what the analysis-side sessionizer has to undo).
+  double start_frac = 0.0;
+  double end_frac = 1.0;
+  bool raw_ip = false;  ///< connect to an arbitrary address in the service block
+  net::Protocol proto = net::Protocol::kTcp;
+  net::Port port = 443;
+};
+
+/// One planned application session (a burst of overlapping flows).
+struct SessionPlan {
+  util::Timestamp start = 0;
+  double minutes = 0.0;
+  bool expose_ua = false;  ///< one flow carries a cleartext User-Agent
+  std::vector<FlowPlan> flows;
+};
+
+class ActivityModel {
+ public:
+  explicit ActivityModel(const world::ServiceCatalog& catalog);
+
+  /// Plans all sessions for `dev` on `study_day`, appending to `out`. The
+  /// caller has already decided the device is active today.
+  void PlanDay(const Population& pop, const SimDevice& dev, int study_day,
+               util::Pcg32& rng, std::vector<SessionPlan>& out) const;
+
+  [[nodiscard]] const world::ServiceCatalog& catalog() const noexcept {
+    return *catalog_;
+  }
+
+ private:
+  struct ServicePools;
+
+  // Per-device-kind planners.
+  void PlanPhone(const StudentPersona& s, const SimDevice& d, int day,
+                 util::Pcg32& rng, std::vector<SessionPlan>& out) const;
+  void PlanComputer(const StudentPersona& s, const SimDevice& d, int day,
+                    util::Pcg32& rng, std::vector<SessionPlan>& out) const;
+  void PlanTablet(const StudentPersona& s, const SimDevice& d, int day,
+                  util::Pcg32& rng, std::vector<SessionPlan>& out) const;
+  void PlanIotSmall(const SimDevice& d, int day, util::Pcg32& rng,
+                    std::vector<SessionPlan>& out) const;
+  void PlanIotTv(const StudentPersona& s, const SimDevice& d, int day,
+                 util::Pcg32& rng, std::vector<SessionPlan>& out) const;
+  void PlanSwitch(const SimDevice& d, int day, util::Pcg32& rng,
+                  std::vector<SessionPlan>& out) const;
+  void PlanConsoleOther(const SimDevice& d, int day, util::Pcg32& rng,
+                        std::vector<SessionPlan>& out) const;
+  void PlanMiscGadget(const StudentPersona& s, const SimDevice& d, int day,
+                      util::Pcg32& rng, std::vector<SessionPlan>& out) const;
+
+  // Shared building blocks.
+  void PlanSocialApp(const StudentPersona& s, int day, world::ServiceId app,
+                     util::Pcg32& rng, std::vector<SessionPlan>& out) const;
+  void PlanZoomDay(const StudentPersona& s, int day, util::Pcg32& rng,
+                   std::vector<SessionPlan>& out) const;
+  void AddBrowsing(const StudentPersona& s, int day, double mean_sessions,
+                   double bytes_per_minute, util::Pcg32& rng,
+                   std::vector<SessionPlan>& out) const;
+  void AddStreaming(const StudentPersona& s, int day, double mean_sessions,
+                    double bytes_per_minute, util::Pcg32& rng,
+                    std::vector<SessionPlan>& out) const;
+  void PlanSteamDay(const StudentPersona& s, int day, util::Pcg32& rng,
+                    std::vector<SessionPlan>& out) const;
+
+  /// Builds a session whose flows span the first `nhosts` hostnames of a
+  /// service, with a 60/25/15 byte split. When `cdn_assets` is true the
+  /// session may pull part of its bytes from a CDN edge (browsers and
+  /// streaming apps do; appliances and consoles talk only to their own
+  /// backends).
+  SessionPlan MakeSession(world::ServiceId svc, int nhosts, util::Timestamp start,
+                          double minutes, std::uint64_t bytes_down,
+                          util::Pcg32& rng, bool cdn_assets = true) const;
+
+  /// Session start time sampled from the diurnal profile for this day/phase.
+  [[nodiscard]] util::Timestamp SampleStart(int day, util::Pcg32& rng) const;
+  /// Social check-ins spread across waking hours far more evenly than bulk
+  /// traffic: sampled from the square-root-dampened profile. Without this,
+  /// the pre-pandemic evening peak makes February sessions overlap (and
+  /// merge) far more than lock-down sessions, distorting Fig. 6's monthly
+  /// duration comparison.
+  [[nodiscard]] util::Timestamp SampleSocialStart(int day, util::Pcg32& rng) const;
+  /// Start time restricted to an hour window (e.g. Zoom class hours).
+  [[nodiscard]] static util::Timestamp SampleStartInWindow(int day, int first_hour,
+                                                           int last_hour,
+                                                           util::Pcg32& rng);
+  /// Evening-weighted start (gaming, TV).
+  [[nodiscard]] static util::Timestamp SampleEveningStart(int day, util::Pcg32& rng);
+
+  /// Leisure volume multiplier for this student and day (month trend ×
+  /// academic-break boost × per-student scale).
+  [[nodiscard]] static double LeisureVolume(const StudentPersona& s, int day);
+
+  const world::ServiceCatalog* catalog_;
+
+  // Cached service ids.
+  world::ServiceId zoom_, zoom_media_, zoom_media_legacy_;
+  world::ServiceId facebook_, instagram_, tiktok_;
+  world::ServiceId steam_, nintendo_gameplay_, nintendo_services_, playstation_;
+  world::ServiceId spotify_, youtube_, netflix_;
+  world::ServiceId whatsapp_, discord_, apple_;
+  world::ServiceId canvas_, gradescope_, piazza_, gworkspace_, github_, stackoverflow_;
+
+  // Pools (vectors of service ids).
+  std::vector<world::ServiceId> us_social_light_;   // snapchat/twitter/reddit/...
+  std::vector<world::ServiceId> cdn_pool_;          // akamai/aws/cloudfront/...
+  std::vector<world::ServiceId> us_browse_;
+  std::vector<world::ServiceId> us_stream_;
+  std::vector<world::ServiceId> iot_small_backends_;
+  std::vector<world::ServiceId> iot_tv_backends_;
+  // Foreign pools keyed by country code.
+  struct CountryPools {
+    std::vector<world::ServiceId> browse;
+    std::vector<world::ServiceId> stream;
+    std::vector<world::ServiceId> social;
+    std::vector<world::ServiceId> messaging;
+    std::optional<util::ZipfDistribution> browse_zipf;
+  };
+  std::unordered_map<std::string, CountryPools> foreign_;
+
+  // Zipf-ranked popularity over the browsing pools: the head carries the
+  // big-brand sites, the tail the web-us-### long tail.
+  std::optional<util::ZipfDistribution> us_browse_zipf_;
+};
+
+}  // namespace lockdown::sim

@@ -1,0 +1,260 @@
+// Behavioural tuning constants for the synthetic campus.
+//
+// Every constant that shapes a figure cites the paper sentence it supports.
+// Month indices throughout are 0=February, 1=March, 2=April, 3=May (the
+// months of Figures 6 and 7).
+#pragma once
+
+#include <array>
+
+namespace lockdown::sim::params {
+
+// ---------------------------------------------------------------------------
+// Population & departure
+// ---------------------------------------------------------------------------
+
+/// "about 25% of the entire student body population at UC San Diego was
+/// comprised of International students" (§4.2).
+inline constexpr double kInternationalShare = 0.25;
+
+/// Probability a student leaves campus during March. International students
+/// leave less often ("it would have been more difficult for these students to
+/// find flights to return home", §4.2), producing the paper's shrunken but
+/// internationally-skewed post-shutdown population.
+inline constexpr double kDomesticLeaveProb = 0.80;
+inline constexpr double kInternationalLeaveProb = 0.70;
+
+/// Departure-day weights: "students started leaving campus even before
+/// classes became fully remote" (§4), with the bulk leaving between the WHO
+/// declaration (3/11) and the start of break (3/22).
+struct DepartureWindow {
+  int first_day;  ///< study-day index
+  int last_day;   ///< inclusive
+  double weight;
+};
+inline constexpr std::array<DepartureWindow, 3> kDepartureWindows = {{
+    {33, 39, 1.0},   // 3/5 .. 3/11: early movers
+    {40, 50, 5.0},   // 3/12 .. 3/22: the exodus
+    {51, 58, 1.5},   // 3/23 .. 3/29: stragglers during break
+}};
+
+/// Per-student device ownership probabilities.
+inline constexpr double kOwnsPhone = 0.97;
+inline constexpr double kPhoneIsIphone = 0.55;
+inline constexpr double kOwnsLaptop = 0.93;
+inline constexpr double kLaptopIsMac = 0.45;
+inline constexpr double kLaptopIsLinux = 0.05;
+inline constexpr double kOwnsDesktop = 0.07;
+inline constexpr double kOwnsTablet = 0.22;
+inline constexpr double kOwnsIotSmall = 0.30;   // plug/bulb/speaker
+inline constexpr double kOwnsSecondIotSmall = 0.08;
+inline constexpr double kOwnsIotTv = 0.18;      // TV or streaming stick
+inline constexpr double kOwnsSwitch = 0.14;     // scaled: paper saw 1,097 Switches
+inline constexpr double kOwnsConsoleOther = 0.09;
+inline constexpr double kOwnsMiscGadget = 0.60; // e-reader/old tablet/printer
+
+/// Randomized (locally administered) MAC probabilities per device family —
+/// the main driver of "unclassified" devices (§4 fn. 2 suspects unclassified
+/// devices are really mobile/desktop devices).
+inline constexpr double kPhoneRandomMac = 0.45;
+inline constexpr double kLaptopRandomMac = 0.12;
+inline constexpr double kTabletRandomMac = 0.40;
+inline constexpr double kMiscRandomMac = 0.55;
+
+/// Probability a staying student powers on a device they had not used
+/// before, per the paper's "40 new Switches that first appeared in April and
+/// May" (§5.3.2).
+inline constexpr double kNewDeviceProb = 0.12;
+inline constexpr double kNewDeviceIsSwitch = 0.40;
+
+// ---------------------------------------------------------------------------
+// Presence / daily activation
+// ---------------------------------------------------------------------------
+
+/// Probability a present student's primary devices are active on a given day.
+/// "devices are more likely to have network activity on weekdays than
+/// weekends, creating regular dips and spikes" (§4, Fig. 1).
+inline constexpr double kWeekdayActive = 0.93;
+inline constexpr double kWeekendActive = 0.77;
+/// Post-shutdown the dips shrink but persist ("the weekend dips in traffic
+/// persist", §4.1).
+inline constexpr double kWeekdayActiveShutdown = 0.95;
+inline constexpr double kWeekendActiveShutdown = 0.87;
+/// Secondary gadgets are used sporadically pre-lockdown and much more during
+/// it (boredom: everything gets powered on). This is what flips Fig. 1's
+/// post-shutdown composition toward unclassified devices.
+inline constexpr double kSecondaryActivePre = 0.18;
+inline constexpr double kSecondaryActiveShutdown = 0.55;
+inline constexpr double kConsoleActivePre = 0.30;
+inline constexpr double kConsoleActiveShutdown = 0.52;
+
+// ---------------------------------------------------------------------------
+// Diurnal shape
+// ---------------------------------------------------------------------------
+
+/// Hour-of-day weights (24 entries summing to anything; normalized at use).
+/// Pre-pandemic weekdays peak in the evening; during the shutdown "traffic
+/// spikes earlier in the day and peaks at higher volumes than in February.
+/// In contrast, weekends are relatively unchanged" (§4.1, Fig. 3).
+using DiurnalProfile = std::array<double, 24>;
+
+inline constexpr DiurnalProfile kWeekdayPre = {
+    1.2, 0.7, 0.4, 0.25, 0.2, 0.25, 0.5, 1.0, 1.6, 1.9, 2.0, 2.2,
+    2.4, 2.3, 2.2, 2.3, 2.6, 3.0, 3.4, 3.8, 4.2, 4.0, 3.2, 2.0};
+inline constexpr DiurnalProfile kWeekdayShutdown = {
+    1.4, 0.9, 0.5, 0.3, 0.25, 0.3, 0.7, 1.8, 3.2, 3.8, 4.0, 4.1,
+    4.0, 3.9, 3.8, 3.7, 3.8, 3.9, 4.1, 4.3, 4.4, 4.1, 3.2, 2.1};
+inline constexpr DiurnalProfile kWeekend = {
+    1.6, 1.1, 0.7, 0.4, 0.3, 0.3, 0.4, 0.6, 1.0, 1.5, 2.0, 2.4,
+    2.6, 2.7, 2.8, 2.8, 2.9, 3.0, 3.2, 3.4, 3.6, 3.4, 2.8, 2.0};
+
+// ---------------------------------------------------------------------------
+// Overall volume by month
+// ---------------------------------------------------------------------------
+
+/// Per-month general activity multiplier for post-shutdown users.
+/// "the total volume of traffic ... increases by 58% from February to April
+///  and May 2020" and "per-device traffic increased dramatically in April of
+///  2020, [but] returned to pre-pandemic levels in May" (§4.1, §6). The
+/// international series stays elevated longer (Fig. 4).
+inline constexpr std::array<double, 4> kDomesticMonthVolume = {1.00, 1.12, 1.35, 1.10};
+inline constexpr std::array<double, 4> kIntlMonthVolume = {1.00, 1.25, 1.50, 1.35};
+
+/// Extra browsing breadth during lock-down: "users visited 34% more distinct
+/// sites in April and May 2020 than in February" (§4.1).
+inline constexpr std::array<double, 4> kSiteBreadth = {1.0, 1.25, 1.60, 1.60};
+
+// ---------------------------------------------------------------------------
+// Zoom (§5.1, Fig. 5)
+// ---------------------------------------------------------------------------
+
+/// Mean Zoom class-hours per weekday per student once "classes resume
+/// online" (3/30). Small remote activity appears with the WHO declaration
+/// (winter finals went remote) and weekend leisure calls are a trickle
+/// ("On weekends, there is a small spike in traffic in the afternoon").
+inline constexpr double kZoomWeekdaySessionsOnline = 2.4;
+inline constexpr double kZoomWeekdaySessionsFinals = 0.9;
+inline constexpr double kZoomWeekendSessions = 0.35;
+inline constexpr double kZoomClassMinutesMean = 55.0;
+/// Mixed audio/video/screen-share => ~2 MB/min downstream on average.
+inline constexpr double kZoomBytesPerMinute = 2.0e6;
+/// Fraction of a Zoom session's bytes carried by raw-IP media relays (the
+/// traffic only the published IP list can attribute).
+inline constexpr double kZoomMediaShare = 0.85;
+/// Fraction of media sessions still hitting the retired (wayback) relay block.
+inline constexpr double kZoomLegacyRelayShare = 0.06;
+
+// ---------------------------------------------------------------------------
+// Social media (§5.2, Fig. 6) — mobile sessions/day for users of each app
+// ---------------------------------------------------------------------------
+
+struct SocialParams {
+  /// Probability a student uses the app at all, by residency.
+  double penetration_dom;
+  double penetration_intl;
+  /// Mean sessions/day by month, by residency.
+  std::array<double, 4> rate_dom;
+  std::array<double, 4> rate_intl;
+  /// Log-normal session duration (minutes).
+  double dur_mu;
+  double dur_sigma;
+};
+
+/// Facebook: "For domestic users, Facebook usage was relatively unchanged
+/// from February through March, but decreased in May. However, the median
+/// duration for international students increased during the campus shutdown."
+inline constexpr SocialParams kFacebook = {
+    .penetration_dom = 0.62, .penetration_intl = 0.58,
+    .rate_dom = {3.0, 2.7, 2.4, 1.7},
+    .rate_intl = {1.7, 2.3, 2.7, 2.6},
+    .dur_mu = 1.61, .dur_sigma = 1.05};  // median session ~5 min
+
+/// Instagram: "the median is relatively unchanged from February through
+/// April, but decreases in May... the median for international students
+/// increases in May."
+inline constexpr SocialParams kInstagram = {
+    .penetration_dom = 0.56, .penetration_intl = 0.47,
+    .rate_dom = {3.2, 3.2, 3.0, 2.2},
+    .rate_intl = {2.0, 2.6, 2.6, 3.1},
+    .dur_mu = 1.50, .dur_sigma = 1.00};
+
+/// TikTok: domestic median up in March, down in April, back to February's
+/// level in May, with the upper tail growing all term; international users
+/// much less active but with steadily growing variance (§5.2, Fig. 6c).
+inline constexpr SocialParams kTikTok = {
+    .penetration_dom = 0.34, .penetration_intl = 0.26,
+    .rate_dom = {2.2, 3.3, 2.4, 2.2},
+    .rate_intl = {0.7, 1.0, 1.1, 0.9},
+    .dur_mu = 1.80, .dur_sigma = 1.15};
+
+/// TikTok's heavy-tail growth: each month a slice of users escalates,
+/// stretching Q3/p99 while the median recovers ("the third quartile and 99th
+/// percentile both increase steadily over the months").
+inline constexpr std::array<double, 4> kTikTokHeavyUserShare = {0.06, 0.10, 0.15, 0.18};
+inline constexpr double kTikTokHeavyMultiplier = 4.0;
+/// Monthly TikTok adoption growth (Fig. 6c's n= rises from 504 to 715 for
+/// domestic users; "TikTok's popularity increased by 75%...").
+inline constexpr std::array<double, 4> kTikTokAdoption = {0.70, 0.82, 0.92, 1.00};
+
+// ---------------------------------------------------------------------------
+// Steam (§5.3.1, Fig. 7)
+// ---------------------------------------------------------------------------
+
+/// Share of students who are Steam users; international students play more
+/// ("international students ... spend more time on Steam", §1).
+inline constexpr double kSteamPenetrationDom = 0.30;
+inline constexpr double kSteamPenetrationIntl = 0.42;
+/// Casual visitors per month (store browsing only) — Fig. 7's n grows from
+/// 681 to 1,243 domestic devices while medians stay low.
+inline constexpr std::array<double, 4> kSteamCasualVisitProb = {0.20, 0.26, 0.30, 0.38};
+/// Play-hours multiplier by month: "domestic students increase their Steam
+/// usage in March, but this usage falls in April and May. International
+/// students increase their usage even more during March and April, but again
+/// this usage falls in May."
+inline constexpr std::array<double, 4> kSteamHoursDom = {1.0, 1.9, 1.25, 0.9};
+inline constexpr std::array<double, 4> kSteamHoursIntl = {1.3, 2.6, 2.4, 1.35};
+/// Connections per month trend differs from bytes: "Domestic students'
+/// median [connections] drops over time, while international students'
+/// median increases in March and then drops again."
+inline constexpr std::array<double, 4> kSteamConnsDom = {1.0, 0.30, 0.28, 0.30};
+inline constexpr std::array<double, 4> kSteamConnsIntl = {1.0, 1.5, 1.1, 0.8};
+/// Game download probability per play-day (drives the byte-vs-connection
+/// divergence the paper attributes to "game releases or ... the way each
+/// game operates").
+inline constexpr std::array<double, 4> kSteamDownloadProb = {0.010, 0.022, 0.014, 0.010};
+
+// ---------------------------------------------------------------------------
+// Nintendo Switch (§5.3.2, Fig. 8)
+// ---------------------------------------------------------------------------
+
+/// Gameplay hours/day multiplier by phase: "heavy spikes of usage during
+/// academic break and the early part of the Spring academic term, usage
+/// returned to almost pre-pandemic levels in late April and early May before
+/// increasing again."
+inline constexpr double kSwitchPreHours = 0.9;
+inline constexpr double kSwitchBreakMultiplier = 2.3;    // Animal Crossing, 3/20
+inline constexpr double kSwitchEarlyTermMultiplier = 1.8; // 3/30 .. ~4/17
+inline constexpr double kSwitchMidTermMultiplier = 1.0;   // late April lull
+inline constexpr double kSwitchLateMayMultiplier = 1.55;  // "boredom kicks in"
+/// Online gameplay is light (~20 kbps p2p/relay); downloads are far larger.
+inline constexpr double kSwitchGameplayBytesPerMinute = 1.6e5;
+inline constexpr double kSwitchDownloadProb = 0.04;
+inline constexpr double kSwitchDownloadBytesMean = 2.5e9;
+
+// ---------------------------------------------------------------------------
+// Everything else
+// ---------------------------------------------------------------------------
+
+/// Streaming (Netflix/YouTube/bilibili/...) hours multiplier by month —
+/// "entertainment usage increased" (§6).
+inline constexpr std::array<double, 4> kStreamingMonth = {1.0, 1.5, 1.9, 1.5};
+
+/// Mean bytes/minute for a TV-quality video stream (~4 Mbps).
+inline constexpr double kStreamBytesPerMinute = 3.0e7;
+
+/// International students' preference for home-country services when
+/// browsing/streaming ("international students spend less time on US-based
+/// social media applications than their domestic counterparts", §1).
+inline constexpr double kIntlForeignShare = 0.55;
+
+}  // namespace lockdown::sim::params

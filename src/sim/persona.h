@@ -1,0 +1,81 @@
+// Student personas and their devices — the ground truth of the synthetic
+// campus. The measurement pipeline never reads these directly; analyses must
+// recover population structure (device classes, residency) from traffic, as
+// the paper does. Ground truth is used only to *drive* behaviour and to
+// score classifier accuracy (paper §3's manual-review estimate).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "net/mac.h"
+#include "world/user_agents.h"
+
+namespace lockdown::sim {
+
+/// Whether the student's home is in the US.
+enum class Residency : std::uint8_t { kDomestic, kInternational };
+
+[[nodiscard]] constexpr const char* ToString(Residency r) noexcept {
+  return r == Residency::kDomestic ? "domestic" : "international";
+}
+
+/// Ground-truth device kind (what the device actually is).
+enum class DeviceKind : std::uint8_t {
+  kPhone,
+  kLaptop,
+  kDesktop,
+  kTablet,
+  kIotSmall,      ///< plug / bulb / speaker / camera
+  kIotTv,         ///< smart TV or streaming stick
+  kSwitch,        ///< Nintendo Switch
+  kConsoleOther,  ///< PS4 / Xbox
+  kMiscGadget,    ///< e-reader / secondary tablet / hobby board
+};
+
+[[nodiscard]] const char* ToString(DeviceKind k) noexcept;
+
+/// The coarse classes the paper reports (Fig. 1/2); consoles fold into IoT
+/// there, but we keep them distinct and group at reporting time.
+enum class TrueClass : std::uint8_t { kMobile, kLaptopDesktop, kIot, kGameConsole };
+
+[[nodiscard]] const char* ToString(TrueClass c) noexcept;
+
+struct StudentPersona {
+  std::uint32_t index = 0;
+  Residency residency = Residency::kDomestic;
+  std::string_view home_country = "US";  ///< ISO code; "US" for domestic
+  bool leaves_campus = false;
+  int departure_day = -1;  ///< study-day index; -1 if staying
+  /// Per-student overall appetite multiplier (log-normal around 1).
+  double activity_scale = 1.0;
+  /// Fraction of leisure traffic an international student sends to
+  /// home-country services (0 for domestic students).
+  double foreign_share = 0.0;
+  // App membership.
+  bool uses_facebook = false;
+  bool uses_instagram = false;
+  bool uses_tiktok = false;
+  bool uses_steam = false;
+  /// Percentile ranks in [0,1) driving TikTok adoption/escalation cohorts.
+  double tiktok_adoption_rank = 1.0;
+  double tiktok_heavy_rank = 1.0;
+};
+
+struct SimDevice {
+  std::uint32_t index = 0;
+  std::uint32_t owner = 0;  ///< student index
+  DeviceKind kind = DeviceKind::kPhone;
+  TrueClass true_class = TrueClass::kMobile;
+  net::MacAddress mac;
+  bool randomized_mac = false;
+  world::UaPlatform ua_platform = world::UaPlatform::kIphone;
+  /// Probability that a given day of use exposes a User-Agent string in
+  /// cleartext (most traffic is TLS; only some apps leak a UA the tap sees).
+  double ua_visibility = 0.0;
+  /// First study day the device can appear (newly-acquired devices, §5.3.2's
+  /// "40 new Switches that first appeared in April and May").
+  int first_active_day = 0;
+};
+
+}  // namespace lockdown::sim

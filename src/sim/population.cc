@@ -1,0 +1,283 @@
+#include "sim/population.h"
+
+#include <array>
+#include <cmath>
+
+#include "sim/parameters.h"
+#include "sim/timeline.h"
+#include "util/time.h"
+
+namespace lockdown::sim {
+
+namespace {
+
+namespace p = params;
+
+const char* PickHomeCountry(util::Pcg32& rng) {
+  // Rough international-enrolment mix at a large UC campus circa 2020.
+  static constexpr std::array<std::pair<const char*, double>, 14> kMix = {{
+      {"CN", 0.55}, {"KR", 0.10}, {"IN", 0.09}, {"JP", 0.05}, {"GB", 0.04},
+      {"DE", 0.03}, {"RU", 0.03}, {"FR", 0.02}, {"BR", 0.02}, {"MX", 0.02},
+      {"SG", 0.02}, {"VN", 0.01}, {"QA", 0.01}, {"CA", 0.01},
+  }};
+  double r = rng.NextDouble();
+  for (const auto& [country, w] : kMix) {
+    r -= w;
+    if (r < 0.0) return country;
+  }
+  return "CN";
+}
+
+int PickDepartureDay(util::Pcg32& rng) {
+  double total = 0.0;
+  for (const auto& w : p::kDepartureWindows) {
+    total += w.weight * static_cast<double>(w.last_day - w.first_day + 1);
+  }
+  double r = rng.NextDouble() * total;
+  for (const auto& w : p::kDepartureWindows) {
+    const double span = w.weight * static_cast<double>(w.last_day - w.first_day + 1);
+    if (r < span) {
+      return w.first_day + static_cast<int>(r / w.weight);
+    }
+    r -= span;
+  }
+  return p::kDepartureWindows.back().last_day;
+}
+
+}  // namespace
+
+const char* ToString(DeviceKind k) noexcept {
+  switch (k) {
+    case DeviceKind::kPhone: return "phone";
+    case DeviceKind::kLaptop: return "laptop";
+    case DeviceKind::kDesktop: return "desktop";
+    case DeviceKind::kTablet: return "tablet";
+    case DeviceKind::kIotSmall: return "iot-small";
+    case DeviceKind::kIotTv: return "iot-tv";
+    case DeviceKind::kSwitch: return "nintendo-switch";
+    case DeviceKind::kConsoleOther: return "console-other";
+    case DeviceKind::kMiscGadget: return "misc-gadget";
+  }
+  return "???";
+}
+
+const char* ToString(TrueClass c) noexcept {
+  switch (c) {
+    case TrueClass::kMobile: return "mobile";
+    case TrueClass::kLaptopDesktop: return "laptop-desktop";
+    case TrueClass::kIot: return "iot";
+    case TrueClass::kGameConsole: return "game-console";
+  }
+  return "???";
+}
+
+Population::Population(const PopulationConfig& config)
+    : ouis_(world::OuiDatabase::Default()) {
+  util::Pcg32 rng(config.seed, /*stream=*/0xBEEF);
+  students_.reserve(static_cast<std::size_t>(config.num_students));
+  for (int i = 0; i < config.num_students; ++i) {
+    BuildStudent(static_cast<std::uint32_t>(i), rng);
+  }
+}
+
+void Population::BuildStudent(std::uint32_t index, util::Pcg32& rng) {
+  namespace pp = params;
+  StudentPersona s;
+  s.index = index;
+  s.residency = rng.Bernoulli(pp::kInternationalShare) ? Residency::kInternational
+                                                       : Residency::kDomestic;
+  s.home_country = s.residency == Residency::kInternational ? PickHomeCountry(rng) : "US";
+  const double leave_prob = s.residency == Residency::kInternational
+                                ? pp::kInternationalLeaveProb
+                                : pp::kDomesticLeaveProb;
+  s.leaves_campus = rng.Bernoulli(leave_prob);
+  s.departure_day = s.leaves_campus ? PickDepartureDay(rng) : -1;
+  s.activity_scale = rng.LogNormal(0.0, 0.45);
+  if (s.residency == Residency::kInternational) {
+    // Mix of home-country vs. US services; deliberately wide so the paper's
+    // "conservative" geolocation labelling (§4.2) misses the US-leaning tail.
+    s.foreign_share = rng.Uniform(0.45, 0.85);
+  }
+  const bool intl = s.residency == Residency::kInternational;
+  s.uses_facebook = rng.Bernoulli(intl ? pp::kFacebook.penetration_intl
+                                       : pp::kFacebook.penetration_dom);
+  s.uses_instagram = rng.Bernoulli(intl ? pp::kInstagram.penetration_intl
+                                        : pp::kInstagram.penetration_dom);
+  s.uses_tiktok = rng.Bernoulli(intl ? pp::kTikTok.penetration_intl
+                                     : pp::kTikTok.penetration_dom);
+  s.uses_steam =
+      rng.Bernoulli(intl ? pp::kSteamPenetrationIntl : pp::kSteamPenetrationDom);
+  s.tiktok_adoption_rank = rng.NextDouble();
+  s.tiktok_heavy_rank = rng.NextDouble();
+  students_.push_back(s);
+
+  // Devices. The per-kind probabilities produce ~2.7 devices per student,
+  // matching the paper's ~32k device peak over "several thousand" students.
+  if (rng.Bernoulli(pp::kOwnsPhone)) AddDevice(index, DeviceKind::kPhone, rng);
+  if (rng.Bernoulli(pp::kOwnsLaptop)) AddDevice(index, DeviceKind::kLaptop, rng);
+  if (rng.Bernoulli(pp::kOwnsDesktop)) AddDevice(index, DeviceKind::kDesktop, rng);
+  if (rng.Bernoulli(pp::kOwnsTablet)) AddDevice(index, DeviceKind::kTablet, rng);
+  if (rng.Bernoulli(pp::kOwnsIotSmall)) {
+    AddDevice(index, DeviceKind::kIotSmall, rng);
+    if (rng.Bernoulli(pp::kOwnsSecondIotSmall / pp::kOwnsIotSmall)) {
+      AddDevice(index, DeviceKind::kIotSmall, rng);
+    }
+  }
+  if (rng.Bernoulli(pp::kOwnsIotTv)) AddDevice(index, DeviceKind::kIotTv, rng);
+  if (rng.Bernoulli(pp::kOwnsSwitch)) AddDevice(index, DeviceKind::kSwitch, rng);
+  if (rng.Bernoulli(pp::kOwnsConsoleOther)) {
+    AddDevice(index, DeviceKind::kConsoleOther, rng);
+  }
+  if (rng.Bernoulli(pp::kOwnsMiscGadget)) AddDevice(index, DeviceKind::kMiscGadget, rng);
+
+  // Newly-activated devices for staying students (Switch sales "soared",
+  // §5.3.2): they first appear during April/May.
+  if (!s.leaves_campus && rng.Bernoulli(pp::kNewDeviceProb)) {
+    const DeviceKind kind = rng.Bernoulli(pp::kNewDeviceIsSwitch)
+                                ? DeviceKind::kSwitch
+                                : (rng.Bernoulli(0.5) ? DeviceKind::kIotTv
+                                                      : DeviceKind::kMiscGadget);
+    // First appearance over April and early May (study days 60..104), leaving
+    // enough remaining days to clear the 14-distinct-day visitor filter.
+    const int first_day = static_cast<int>(rng.UniformInt(60, 104));
+    AddDevice(index, kind, rng, first_day);
+  }
+}
+
+void Population::AddDevice(std::uint32_t owner, DeviceKind kind, util::Pcg32& rng,
+                           int first_active_day) {
+  namespace pp = params;
+  using world::UaPlatform;
+  using world::VendorHint;
+
+  SimDevice d;
+  d.index = static_cast<std::uint32_t>(devices_.size());
+  d.owner = owner;
+  d.kind = kind;
+  d.first_active_day = first_active_day;
+
+  // ua_visibility is the per-active-day probability of leaking a cleartext
+  // User-Agent. Most traffic is TLS, and many devices never produce an
+  // observable UA at all — the dominant cause of the paper's "unclassified"
+  // devices alongside randomized MACs (§4 fn. 2).
+  VendorHint oui_hint = VendorHint::kGeneric;
+  double random_mac_prob = 0.0;
+  switch (kind) {
+    case DeviceKind::kPhone:
+      d.true_class = TrueClass::kMobile;
+      if (rng.Bernoulli(pp::kPhoneIsIphone)) {
+        d.ua_platform = UaPlatform::kIphone;
+        oui_hint = VendorHint::kComputerOrPhone;  // Apple
+      } else {
+        d.ua_platform = UaPlatform::kAndroidPhone;
+        oui_hint = rng.Bernoulli(0.85) ? VendorHint::kPhone : VendorHint::kGeneric;
+      }
+      random_mac_prob = pp::kPhoneRandomMac;
+      d.ua_visibility = rng.Bernoulli(0.48) ? 0.0 : 0.12;
+      break;
+    case DeviceKind::kLaptop:
+    case DeviceKind::kDesktop:
+      d.true_class = TrueClass::kLaptopDesktop;
+      if (kind == DeviceKind::kLaptop && rng.Bernoulli(pp::kLaptopIsMac)) {
+        d.ua_platform = UaPlatform::kMacDesktop;
+        oui_hint = VendorHint::kComputerOrPhone;  // Apple
+      } else if (rng.Bernoulli(pp::kLaptopIsLinux)) {
+        d.ua_platform = UaPlatform::kLinuxDesktop;
+        oui_hint = VendorHint::kComputer;
+      } else {
+        d.ua_platform = UaPlatform::kWindowsDesktop;
+        oui_hint = rng.Bernoulli(0.8) ? VendorHint::kComputer : VendorHint::kGeneric;
+      }
+      random_mac_prob = pp::kLaptopRandomMac;
+      d.ua_visibility = rng.Bernoulli(0.30) ? 0.0 : 0.25;
+      break;
+    case DeviceKind::kTablet:
+      d.true_class = TrueClass::kMobile;
+      d.ua_platform = UaPlatform::kIpad;
+      oui_hint = VendorHint::kComputerOrPhone;
+      random_mac_prob = pp::kTabletRandomMac;
+      d.ua_visibility = rng.Bernoulli(0.60) ? 0.0 : 0.10;
+      break;
+    case DeviceKind::kIotSmall:
+      d.true_class = TrueClass::kIot;
+      d.ua_platform = UaPlatform::kSmartTv;  // never emitted (visibility 0)
+      oui_hint = VendorHint::kIot;
+      d.ua_visibility = 0.0;
+      break;
+    case DeviceKind::kIotTv:
+      d.true_class = TrueClass::kIot;
+      d.ua_platform = UaPlatform::kSmartTv;
+      // Samsung reuses MAC prefixes across phones and TVs; a TV with a
+      // phone-line OUI and no observed UA becomes an affirmative
+      // misclassification — the rare error mode of the paper's review (2 of
+      // 100 devices).
+      oui_hint = rng.Bernoulli(0.35) ? VendorHint::kPhone : VendorHint::kIot;
+      d.ua_visibility = rng.Bernoulli(0.30) ? 0.0 : 0.30;
+      break;
+    case DeviceKind::kSwitch:
+      d.true_class = TrueClass::kGameConsole;
+      d.ua_platform = UaPlatform::kGameConsole;
+      oui_hint = VendorHint::kNintendo;
+      d.ua_visibility = rng.Bernoulli(0.80) ? 0.0 : 0.08;
+      break;
+    case DeviceKind::kConsoleOther:
+      d.true_class = TrueClass::kGameConsole;
+      d.ua_platform = UaPlatform::kGameConsole;
+      oui_hint = VendorHint::kConsoleOther;
+      d.ua_visibility = rng.Bernoulli(0.80) ? 0.0 : 0.10;
+      break;
+    case DeviceKind::kMiscGadget:
+      // Ground truth is itself mixed: forgotten tablets, e-readers, hobby
+      // boards. Half behave like mobile devices, half like IoT.
+      d.true_class = rng.Bernoulli(0.5) ? TrueClass::kMobile : TrueClass::kIot;
+      d.ua_platform = d.true_class == TrueClass::kMobile ? UaPlatform::kIpad
+                                                         : UaPlatform::kSmartTv;
+      oui_hint = VendorHint::kGeneric;
+      random_mac_prob = pp::kMiscRandomMac;
+      d.ua_visibility = rng.Bernoulli(0.80) ? 0.0 : 0.05;
+      break;
+  }
+
+  d.randomized_mac = rng.Bernoulli(random_mac_prob);
+  if (d.randomized_mac) {
+    // Random 46 bits with the locally-administered bit set and the multicast
+    // bit clear — exactly what phone MAC randomization produces.
+    const std::uint64_t r =
+        (static_cast<std::uint64_t>(rng.Next()) << 32) | rng.Next();
+    d.mac = net::MacAddress((r & 0xFCFFFFFFFFFFULL) | (0x02ULL << 40));
+  } else {
+    std::vector<std::uint32_t> ouis = ouis_.OuisFor(oui_hint);
+    std::uint32_t oui;
+    if (ouis.empty() || (oui_hint == VendorHint::kGeneric && rng.Bernoulli(0.4))) {
+      // A vendor absent from our registry (unknown OUI). Universally
+      // administered, unicast, deterministic-unique per device.
+      oui = 0x00E000u + (d.index % 0xFF);
+    } else {
+      oui = ouis[rng.NextBounded(static_cast<std::uint32_t>(ouis.size()))];
+    }
+    d.mac = net::MacAddress::FromOui(oui, d.index + 1);
+  }
+  devices_.push_back(d);
+}
+
+std::vector<std::uint32_t> Population::DevicesOf(std::uint32_t student) const {
+  std::vector<std::uint32_t> out;
+  for (const SimDevice& d : devices_) {
+    if (d.owner == student) out.push_back(d.index);
+  }
+  return out;
+}
+
+std::size_t Population::CountKind(DeviceKind k) const noexcept {
+  std::size_t n = 0;
+  for (const SimDevice& d : devices_) n += (d.kind == k);
+  return n;
+}
+
+std::size_t Population::CountStaying() const noexcept {
+  std::size_t n = 0;
+  for (const StudentPersona& s : students_) n += !s.leaves_campus;
+  return n;
+}
+
+}  // namespace lockdown::sim

@@ -1,0 +1,50 @@
+// Builds the synthetic student body and its devices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/persona.h"
+#include "util/rng.h"
+#include "world/oui_db.h"
+
+namespace lockdown::sim {
+
+struct PopulationConfig {
+  int num_students = 1200;
+  std::uint64_t seed = 2020;
+};
+
+/// Deterministic population: same config, same students and MACs.
+class Population {
+ public:
+  explicit Population(const PopulationConfig& config);
+
+  [[nodiscard]] const std::vector<StudentPersona>& students() const noexcept {
+    return students_;
+  }
+  [[nodiscard]] const std::vector<SimDevice>& devices() const noexcept {
+    return devices_;
+  }
+  [[nodiscard]] const StudentPersona& student_of(const SimDevice& d) const {
+    return students_[d.owner];
+  }
+
+  /// Devices owned by one student.
+  [[nodiscard]] std::vector<std::uint32_t> DevicesOf(std::uint32_t student) const;
+
+  /// Ground-truth counts, for tests and the classifier-accuracy bench.
+  [[nodiscard]] std::size_t CountKind(DeviceKind k) const noexcept;
+  [[nodiscard]] std::size_t CountStaying() const noexcept;
+
+ private:
+  void BuildStudent(std::uint32_t index, util::Pcg32& rng);
+  void AddDevice(std::uint32_t owner, DeviceKind kind, util::Pcg32& rng,
+                 int first_active_day = 0);
+
+  std::vector<StudentPersona> students_;
+  std::vector<SimDevice> devices_;
+  const world::OuiDatabase& ouis_;
+};
+
+}  // namespace lockdown::sim

@@ -1,0 +1,33 @@
+#include "sim/timeline.h"
+
+namespace lockdown::sim {
+
+const char* ToString(Phase p) noexcept {
+  switch (p) {
+    case Phase::kPrePandemic: return "pre-pandemic";
+    case Phase::kStateOfEmergency: return "state-of-emergency";
+    case Phase::kPandemicDeclared: return "pandemic-declared";
+    case Phase::kStayAtHome: return "stay-at-home";
+    case Phase::kAcademicBreak: return "academic-break";
+    case Phase::kOnlineTerm: return "online-term";
+  }
+  return "???";
+}
+
+Phase PandemicTimeline::PhaseOf(int study_day) noexcept {
+  using SC = util::StudyCalendar;
+  static const int kEmergency = SC::DayIndex(SC::kStateOfEmergency);
+  static const int kDeclared = SC::DayIndex(SC::kWhoPandemic);
+  static const int kStayHome = SC::DayIndex(SC::kStayAtHome);
+  static const int kBreakStart = SC::DayIndex(SC::kBreakStart);
+  static const int kBreakEnd = SC::DayIndex(SC::kBreakEnd);
+
+  if (study_day < kEmergency) return Phase::kPrePandemic;
+  if (study_day < kDeclared) return Phase::kStateOfEmergency;
+  if (study_day < kStayHome) return Phase::kPandemicDeclared;
+  if (study_day < kBreakStart) return Phase::kStayAtHome;
+  if (study_day < kBreakEnd) return Phase::kAcademicBreak;
+  return Phase::kOnlineTerm;
+}
+
+}  // namespace lockdown::sim

@@ -1,0 +1,49 @@
+// The pandemic timeline: maps every study day to a phase of the lock-down.
+// Phase boundaries are the event dates the paper marks in its figures (§4).
+#pragma once
+
+#include "util/time.h"
+
+namespace lockdown::sim {
+
+enum class Phase {
+  kPrePandemic,       ///< 2/1 .. 3/3
+  kStateOfEmergency,  ///< 3/4 .. 3/10 (regional state of emergency)
+  kPandemicDeclared,  ///< 3/11 .. 3/18 (WHO declaration; classes/finals go remote)
+  kStayAtHome,        ///< 3/19 .. 3/21 (stay-at-home order)
+  kAcademicBreak,     ///< 3/22 .. 3/29
+  kOnlineTerm,        ///< 3/30 .. end (spring term fully online)
+};
+
+[[nodiscard]] const char* ToString(Phase p) noexcept;
+
+class PandemicTimeline {
+ public:
+  /// Phase of a 0-based study day index (days before the study clamp to
+  /// kPrePandemic, after to kOnlineTerm).
+  [[nodiscard]] static Phase PhaseOf(int study_day) noexcept;
+
+  [[nodiscard]] static Phase PhaseOf(util::Timestamp ts) noexcept {
+    return PhaseOf(util::StudyCalendar::DayIndex(ts));
+  }
+
+  /// True once the campus shut down (stay-at-home order onward). The paper's
+  /// "post-shutdown users" are the devices active after this point.
+  [[nodiscard]] static bool IsShutdown(int study_day) noexcept {
+    const Phase p = PhaseOf(study_day);
+    return p == Phase::kStayAtHome || p == Phase::kAcademicBreak ||
+           p == Phase::kOnlineTerm;
+  }
+
+  /// True while classes meet (online or not): everything except break.
+  [[nodiscard]] static bool ClassesInSession(int study_day) noexcept {
+    return PhaseOf(study_day) != Phase::kAcademicBreak;
+  }
+
+  /// Calendar month (2..5) of a study day; the unit of Figures 6 and 7.
+  [[nodiscard]] static int MonthOf(int study_day) noexcept {
+    return util::StudyCalendar::DateAt(study_day).month;
+  }
+};
+
+}  // namespace lockdown::sim

@@ -1,0 +1,84 @@
+#include "util/csv.h"
+
+namespace lockdown::util {
+
+DelimitedWriter::DelimitedWriter(std::ostream& out, char delimiter)
+    : out_(out), delimiter_(delimiter) {}
+
+std::string DelimitedWriter::Escape(std::string_view field) const {
+  const bool needs_quote =
+      field.find(delimiter_) != std::string_view::npos ||
+      field.find('"') != std::string_view::npos ||
+      field.find('\n') != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void DelimitedWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << delimiter_;
+    out_ << Escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::vector<std::string> DelimitedReader::ParseLine(std::string_view line) const {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"' && cur.empty()) {
+      quoted = true;
+    } else if (c == delimiter_) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::vector<std::vector<std::string>> DelimitedReader::ParseAll(
+    std::string_view text) const {
+  std::vector<std::vector<std::string>> rows;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      if (i > start || (i < text.size())) {
+        std::string_view line = text.substr(start, i - start);
+        if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+        if (!line.empty() || i < text.size()) rows.push_back(ParseLine(line));
+      }
+      start = i + 1;
+    }
+  }
+  // Trim a trailing empty row produced by a final newline.
+  while (!rows.empty() && rows.back().size() == 1 && rows.back()[0].empty()) {
+    rows.pop_back();
+  }
+  return rows;
+}
+
+}  // namespace lockdown::util

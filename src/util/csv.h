@@ -1,0 +1,54 @@
+// Minimal delimited-text writer/reader.
+//
+// Bench binaries emit their figure series as TSV so the data behind every
+// reproduced figure can be diffed and re-plotted; the conn.log serializer in
+// src/flow also builds on this.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lockdown::util {
+
+/// Streams rows of delimited text to an ostream. Fields containing the
+/// delimiter, quotes, or newlines are quoted (RFC-4180 style when the
+/// delimiter is ',').
+class DelimitedWriter {
+ public:
+  /// The writer borrows the stream; the caller keeps it alive.
+  explicit DelimitedWriter(std::ostream& out, char delimiter = '\t');
+
+  /// Writes one row; fields are escaped as needed.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience: writes a header row.
+  void WriteHeader(const std::vector<std::string>& names) { WriteRow(names); }
+
+ private:
+  [[nodiscard]] std::string Escape(std::string_view field) const;
+
+  std::ostream& out_;
+  char delimiter_;
+};
+
+/// Parses delimited text produced by DelimitedWriter (quoted fields
+/// supported). Primarily used by tests to round-trip logs.
+class DelimitedReader {
+ public:
+  explicit DelimitedReader(char delimiter = '\t') : delimiter_(delimiter) {}
+
+  /// Parses a single line into fields.
+  [[nodiscard]] std::vector<std::string> ParseLine(std::string_view line) const;
+
+  /// Parses an entire document into rows.
+  [[nodiscard]] std::vector<std::vector<std::string>> ParseAll(
+      std::string_view text) const;
+
+ private:
+  char delimiter_;
+};
+
+}  // namespace lockdown::util

@@ -1,0 +1,95 @@
+#include "util/hash.h"
+
+#include <bit>
+#include <cstring>
+
+namespace lockdown::util {
+
+std::uint64_t Fnv1a64(std::span<const std::byte> data) noexcept {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t Fnv1a64(std::string_view s) noexcept {
+  return Fnv1a64(std::as_bytes(std::span<const char>(s.data(), s.size())));
+}
+
+namespace {
+
+inline void SipRound(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
+                     std::uint64_t& v3) noexcept {
+  v0 += v1;
+  v1 = std::rotl(v1, 13);
+  v1 ^= v0;
+  v0 = std::rotl(v0, 32);
+  v2 += v3;
+  v3 = std::rotl(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = std::rotl(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = std::rotl(v1, 17);
+  v1 ^= v2;
+  v2 = std::rotl(v2, 32);
+}
+
+inline std::uint64_t ReadLe64(const std::byte* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  if constexpr (std::endian::native == std::endian::big) {
+    v = __builtin_bswap64(v);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t SipHash24(SipHashKey key, std::span<const std::byte> data) noexcept {
+  std::uint64_t v0 = 0x736f6d6570736575ULL ^ key.k0;
+  std::uint64_t v1 = 0x646f72616e646f6dULL ^ key.k1;
+  std::uint64_t v2 = 0x6c7967656e657261ULL ^ key.k0;
+  std::uint64_t v3 = 0x7465646279746573ULL ^ key.k1;
+
+  const std::size_t n = data.size();
+  const std::byte* p = data.data();
+  const std::size_t end = n - (n % 8);
+  for (std::size_t i = 0; i < end; i += 8) {
+    const std::uint64_t m = ReadLe64(p + i);
+    v3 ^= m;
+    SipRound(v0, v1, v2, v3);
+    SipRound(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  std::uint64_t b = static_cast<std::uint64_t>(n) << 56;
+  for (std::size_t i = end; i < n; ++i) {
+    b |= static_cast<std::uint64_t>(p[i]) << (8 * (i - end));
+  }
+  v3 ^= b;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  v0 ^= b;
+
+  v2 ^= 0xff;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+std::uint64_t SipHash24(SipHashKey key, std::uint64_t value) noexcept {
+  std::array<std::byte, 8> buf;
+  if constexpr (std::endian::native == std::endian::big) {
+    value = __builtin_bswap64(value);
+  }
+  std::memcpy(buf.data(), &value, sizeof(value));
+  return SipHash24(key, std::span<const std::byte>(buf));
+}
+
+}  // namespace lockdown::util

@@ -1,0 +1,160 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lockdown::util {
+
+namespace {
+constexpr std::uint64_t kMultiplier = 6364136223846793005ULL;
+}
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream) noexcept
+    : state_(0), inc_((stream << 1u) | 1u) {
+  Next();
+  state_ += seed;
+  Next();
+}
+
+std::uint32_t Pcg32::Next() noexcept {
+  const std::uint64_t old = state_;
+  state_ = old * kMultiplier + inc_;
+  const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+std::uint32_t Pcg32::NextBounded(std::uint32_t bound) noexcept {
+  assert(bound > 0);
+  // Lemire-style threshold rejection.
+  const std::uint32_t threshold = (-bound) % bound;
+  for (;;) {
+    const std::uint32_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Pcg32::NextDouble() noexcept {
+  return static_cast<double>(Next()) * (1.0 / 4294967296.0);
+}
+
+double Pcg32::Uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * NextDouble();
+}
+
+std::int64_t Pcg32::UniformInt(std::int64_t lo, std::int64_t hi) noexcept {
+  assert(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range requested
+    return static_cast<std::int64_t>((static_cast<std::uint64_t>(Next()) << 32) | Next());
+  }
+  if (range <= 0xFFFFFFFFULL) {
+    return lo + static_cast<std::int64_t>(NextBounded(static_cast<std::uint32_t>(range)));
+  }
+  // Rare large-range case: rejection over 64 bits.
+  const std::uint64_t limit = range * (UINT64_MAX / range);
+  for (;;) {
+    const std::uint64_t r = (static_cast<std::uint64_t>(Next()) << 32) | Next();
+    if (r < limit) return lo + static_cast<std::int64_t>(r % range);
+  }
+}
+
+bool Pcg32::Bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Pcg32::Normal() noexcept {
+  // Polar Box-Muller; discards the second deviate to keep the class stateless
+  // beyond the PCG state (simplifies Fork semantics).
+  for (;;) {
+    const double u = Uniform(-1.0, 1.0);
+    const double v = Uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Pcg32::Normal(double mean, double stddev) noexcept {
+  return mean + stddev * Normal();
+}
+
+double Pcg32::LogNormal(double mu, double sigma) noexcept {
+  return std::exp(Normal(mu, sigma));
+}
+
+double Pcg32::Exponential(double mean) noexcept {
+  assert(mean > 0.0);
+  double u = NextDouble();
+  if (u <= 0.0) u = 1e-12;
+  return -mean * std::log(u);
+}
+
+int Pcg32::Poisson(double lambda) noexcept {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth inversion.
+    const double l = std::exp(-lambda);
+    int k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= NextDouble();
+    } while (p > l);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction.
+  const double x = Normal(lambda, std::sqrt(lambda));
+  return x < 0.0 ? 0 : static_cast<int>(x + 0.5);
+}
+
+Pcg32 Pcg32::Fork(std::uint64_t stream) const noexcept {
+  // Mix current state with the requested stream id so forks from different
+  // points of the parent sequence differ even for equal stream ids.
+  return Pcg32(state_ ^ 0x9E3779B97F4A7C15ULL, stream);
+}
+
+std::size_t SampleIndex(Pcg32& rng, std::span<const double> weights) noexcept {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return 0;
+  double r = rng.NextDouble() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = sum;
+  }
+  for (double& c : cdf_) c /= sum;
+}
+
+std::size_t ZipfDistribution::Sample(Pcg32& rng) const noexcept {
+  const double u = rng.NextDouble();
+  // First index whose CDF value exceeds u.
+  std::size_t lo = 0;
+  std::size_t hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace lockdown::util

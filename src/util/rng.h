@@ -1,0 +1,88 @@
+// Deterministic random number generation.
+//
+// Every stochastic choice in the simulator draws from a Pcg32 seeded from
+// StudyConfig::seed, so a given configuration reproduces the exact same
+// synthetic campus. We implement PCG ourselves (it is ~10 lines) rather than
+// rely on std::mt19937 so the stream is stable across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lockdown::util {
+
+/// PCG-XSH-RR 64/32 (O'Neill 2014). Deterministic across platforms.
+class Pcg32 {
+ public:
+  /// Seeds the generator; distinct (seed, stream) pairs give independent
+  /// sequences.
+  explicit Pcg32(std::uint64_t seed, std::uint64_t stream = 0) noexcept;
+
+  /// Next 32 uniformly distributed bits.
+  std::uint32_t Next() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses unbiased
+  /// rejection sampling.
+  std::uint32_t NextBounded(std::uint32_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double NextDouble() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p) noexcept;
+
+  /// Standard normal deviate (polar Box-Muller, one value per call).
+  double Normal() noexcept;
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev) noexcept;
+
+  /// Log-normal deviate: exp(Normal(mu, sigma)). Heavy-tailed, the canonical
+  /// model for session durations and per-flow byte volumes.
+  double LogNormal(double mu, double sigma) noexcept;
+
+  /// Exponential deviate with the given mean (mean > 0).
+  double Exponential(double mean) noexcept;
+
+  /// Poisson deviate. Uses inversion for small lambda, normal approximation
+  /// for large lambda.
+  int Poisson(double lambda) noexcept;
+
+  /// Derives an independent generator for a named sub-component; used to give
+  /// each device its own stable stream regardless of generation order.
+  [[nodiscard]] Pcg32 Fork(std::uint64_t stream) const noexcept;
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// Samples an index from a discrete distribution given non-negative weights.
+/// Returns weights.size()-1 if rounding exhausts the range. Empty weights are
+/// a precondition violation (asserted).
+std::size_t SampleIndex(Pcg32& rng, std::span<const double> weights) noexcept;
+
+/// Bounded Zipf sampler over ranks 1..n with exponent s. Precomputes the
+/// harmonic normalization once; Sample() is O(log n) via binary search on the
+/// CDF. Used for long-tail site popularity.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double s);
+
+  /// Returns a 0-based rank in [0, n).
+  std::size_t Sample(Pcg32& rng) const noexcept;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace lockdown::util

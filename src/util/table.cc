@@ -1,0 +1,37 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace lockdown::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out << std::left << std::setw(static_cast<int>(widths[i]) + 2) << cell;
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace lockdown::util

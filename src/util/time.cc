@@ -1,0 +1,118 @@
+#include "util/time.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace lockdown::util {
+
+const char* ToString(Weekday wd) noexcept {
+  switch (wd) {
+    case Weekday::kSunday: return "Sun";
+    case Weekday::kMonday: return "Mon";
+    case Weekday::kTuesday: return "Tue";
+    case Weekday::kWednesday: return "Wed";
+    case Weekday::kThursday: return "Thu";
+    case Weekday::kFriday: return "Fri";
+    case Weekday::kSaturday: return "Sat";
+  }
+  return "???";
+}
+
+std::int64_t DaysFromCivil(CivilDate d) noexcept {
+  // Howard Hinnant, "chrono-Compatible Low-Level Date Algorithms".
+  auto y = static_cast<std::int64_t>(d.year);
+  const unsigned m = static_cast<unsigned>(d.month);
+  const unsigned dd = static_cast<unsigned>(d.day);
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const auto yoe = static_cast<unsigned>(y - era * 400);              // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + dd - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;         // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+CivilDate CivilFromDays(std::int64_t z) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const auto doe = static_cast<unsigned>(z - era * 146097);                   // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;               // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                    // [1, 12]
+  return CivilDate{static_cast<int>(y + (m <= 2)), static_cast<int>(m),
+                   static_cast<int>(d)};
+}
+
+Timestamp TimestampOf(CivilDate d) noexcept { return DaysFromCivil(d) * kSecondsPerDay; }
+
+Timestamp TimestampOf(CivilDateTime dt) noexcept {
+  return TimestampOf(dt.date) + dt.hour * kSecondsPerHour +
+         dt.minute * kSecondsPerMinute + dt.second;
+}
+
+namespace {
+std::int64_t FloorDiv(std::int64_t a, std::int64_t b) noexcept {
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+}  // namespace
+
+CivilDateTime CivilOf(Timestamp ts) noexcept {
+  const std::int64_t days = FloorDiv(ts, kSecondsPerDay);
+  std::int64_t rem = ts - days * kSecondsPerDay;
+  CivilDateTime out;
+  out.date = CivilFromDays(days);
+  out.hour = static_cast<int>(rem / kSecondsPerHour);
+  rem %= kSecondsPerHour;
+  out.minute = static_cast<int>(rem / kSecondsPerMinute);
+  out.second = static_cast<int>(rem % kSecondsPerMinute);
+  return out;
+}
+
+CivilDate DateOf(Timestamp ts) noexcept { return CivilFromDays(FloorDiv(ts, kSecondsPerDay)); }
+
+std::int64_t DayIndexOf(Timestamp ts) noexcept { return FloorDiv(ts, kSecondsPerDay); }
+
+Weekday WeekdayOf(CivilDate d) noexcept {
+  // 1970-01-01 was a Thursday (weekday 4 with Sunday = 0).
+  const std::int64_t days = DaysFromCivil(d);
+  std::int64_t wd = (days + 4) % 7;
+  if (wd < 0) wd += 7;
+  return static_cast<Weekday>(wd);
+}
+
+Weekday WeekdayOf(Timestamp ts) noexcept { return WeekdayOf(DateOf(ts)); }
+
+bool IsWeekend(Weekday wd) noexcept {
+  return wd == Weekday::kSaturday || wd == Weekday::kSunday;
+}
+
+int HourOf(Timestamp ts) noexcept { return CivilOf(ts).hour; }
+
+std::string FormatDate(CivilDate d) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", d.year, d.month, d.day);
+  return buf;
+}
+
+std::string FormatDateTime(Timestamp ts) {
+  const CivilDateTime dt = CivilOf(ts);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", dt.date.year,
+                dt.date.month, dt.date.day, dt.hour, dt.minute, dt.second);
+  return buf;
+}
+
+CivilDate ParseDate(const std::string& s) {
+  CivilDate d;
+  if (std::sscanf(s.c_str(), "%d-%d-%d", &d.year, &d.month, &d.day) != 3 ||
+      d.month < 1 || d.month > 12 || d.day < 1 || d.day > 31) {
+    throw std::invalid_argument("ParseDate: malformed date: " + s);
+  }
+  return d;
+}
+
+}  // namespace lockdown::util

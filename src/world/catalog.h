@@ -1,0 +1,62 @@
+// The service catalog: lookup by name, by hostname suffix, and by address,
+// plus the DNS authority over every catalogued hostname.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "world/service.h"
+
+namespace lockdown::world {
+
+class ServiceCatalog {
+ public:
+  /// Builds a catalog from specs, carving each service's address block out of
+  /// `super_block` (default 64.0.0.0/10 — fictional public space disjoint
+  /// from the campus client pools).
+  explicit ServiceCatalog(std::span<const ServiceSpec> specs,
+                          net::Cidr super_block = *net::Cidr::Parse("64.0.0.0/10"));
+
+  /// The built-in catalog modelling the services named in the paper plus a
+  /// long tail of domestic and foreign sites. Built once, thread-safe after
+  /// construction.
+  [[nodiscard]] static const ServiceCatalog& Default();
+
+  [[nodiscard]] const Service& Get(ServiceId id) const { return services_.at(id); }
+  [[nodiscard]] std::size_t size() const noexcept { return services_.size(); }
+  [[nodiscard]] const std::vector<Service>& services() const noexcept {
+    return services_;
+  }
+
+  /// Service with the exact given name.
+  [[nodiscard]] std::optional<ServiceId> FindByName(std::string_view name) const;
+
+  /// Service owning `host` (exact hostname or any subdomain of a catalogued
+  /// name). Follows DNS label boundaries.
+  [[nodiscard]] std::optional<ServiceId> FindByHost(std::string_view host) const;
+
+  /// Service whose block contains `ip`.
+  [[nodiscard]] std::optional<ServiceId> FindByIp(net::Ipv4Address ip) const;
+
+  /// Authoritative resolution: address set for a catalogued hostname
+  /// (several stable addresses per name, spread over the service block).
+  /// Empty if the host is unknown or the service is DNS-less.
+  [[nodiscard]] std::vector<net::Ipv4Address> ResolveHost(std::string_view host) const;
+
+ private:
+  std::vector<Service> services_;
+  std::unordered_map<std::string_view, ServiceId> by_name_;
+  // Host suffixes mapped to owning service; lookup walks label boundaries.
+  std::unordered_map<std::string_view, ServiceId> by_host_suffix_;
+  // Blocks sorted by base address for binary-search containment lookup.
+  std::vector<std::pair<net::Cidr, ServiceId>> blocks_;
+};
+
+/// The specs behind ServiceCatalog::Default(); exposed so tests and docs can
+/// enumerate the modelled world.
+[[nodiscard]] std::span<const ServiceSpec> DefaultServiceSpecs();
+
+}  // namespace lockdown::world

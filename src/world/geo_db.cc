@@ -1,0 +1,30 @@
+#include "world/geo_db.h"
+
+#include <algorithm>
+
+namespace lockdown::world {
+
+GeoDatabase::GeoDatabase(const ServiceCatalog& catalog,
+                         std::vector<std::pair<net::Cidr, GeoInfo>> extra)
+    : blocks_(std::move(extra)) {
+  blocks_.reserve(blocks_.size() + catalog.size());
+  for (const Service& svc : catalog.services()) {
+    blocks_.emplace_back(svc.block,
+                         GeoInfo{svc.country, svc.location, svc.is_cdn});
+  }
+  std::sort(blocks_.begin(), blocks_.end(), [](const auto& a, const auto& b) {
+    return a.first.base() < b.first.base();
+  });
+}
+
+std::optional<GeoInfo> GeoDatabase::Lookup(net::Ipv4Address ip) const {
+  auto pos = std::upper_bound(
+      blocks_.begin(), blocks_.end(), ip,
+      [](net::Ipv4Address v, const auto& entry) { return v < entry.first.base(); });
+  if (pos == blocks_.begin()) return std::nullopt;
+  --pos;
+  if (pos->first.Contains(ip)) return pos->second;
+  return std::nullopt;
+}
+
+}  // namespace lockdown::world

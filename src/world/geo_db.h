@@ -1,0 +1,43 @@
+// IP geolocation database (MaxMind-style substitute).
+//
+// "First we collect the geolocation data for every IP address that was
+//  visited by a post-shutdown user..." (paper, §4.2)
+//
+// Built from the service catalog: every service block maps to its serving
+// country/coordinates, and campus client pools map to San Diego. Lookups are
+// binary search over disjoint sorted blocks.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "world/catalog.h"
+
+namespace lockdown::world {
+
+/// Result of a geolocation lookup.
+struct GeoInfo {
+  std::string country;  ///< ISO 3166-1 alpha-2
+  GeoPoint location;
+  bool is_cdn = false;  ///< address belongs to a CDN (excluded from midpoints)
+};
+
+class GeoDatabase {
+ public:
+  /// Builds from the catalog's service blocks plus extra (block, info) pairs
+  /// such as campus client pools.
+  explicit GeoDatabase(const ServiceCatalog& catalog,
+                       std::vector<std::pair<net::Cidr, GeoInfo>> extra = {});
+
+  /// Geolocates an address; nullopt for addresses in no known block.
+  [[nodiscard]] std::optional<GeoInfo> Lookup(net::Ipv4Address ip) const;
+
+  [[nodiscard]] std::size_t num_blocks() const noexcept { return blocks_.size(); }
+
+ private:
+  std::vector<std::pair<net::Cidr, GeoInfo>> blocks_;  // sorted by base
+};
+
+}  // namespace lockdown::world

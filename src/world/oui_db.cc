@@ -1,0 +1,107 @@
+#include "world/oui_db.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace lockdown::world {
+
+const char* ToString(VendorHint h) noexcept {
+  switch (h) {
+    case VendorHint::kComputer: return "computer";
+    case VendorHint::kPhone: return "phone";
+    case VendorHint::kComputerOrPhone: return "computer-or-phone";
+    case VendorHint::kIot: return "iot";
+    case VendorHint::kNintendo: return "nintendo";
+    case VendorHint::kConsoleOther: return "console-other";
+    case VendorHint::kGeneric: return "generic";
+  }
+  return "???";
+}
+
+OuiDatabase::OuiDatabase() {
+  const auto add = [this](std::uint32_t oui, std::string_view vendor, VendorHint hint) {
+    table_.emplace(oui, VendorInfo{vendor, hint});
+  };
+  // Apple ships laptops, phones and tablets under shared prefixes.
+  add(0xA483E7, "Apple", VendorHint::kComputerOrPhone);
+  add(0xF01898, "Apple", VendorHint::kComputerOrPhone);
+  add(0x3C22FB, "Apple", VendorHint::kComputerOrPhone);
+  add(0x88E9FE, "Apple", VendorHint::kComputerOrPhone);
+  add(0x6C4D73, "Apple", VendorHint::kComputerOrPhone);
+  // PC vendors.
+  add(0x54BF64, "Dell", VendorHint::kComputer);
+  add(0xD4BED9, "Dell", VendorHint::kComputer);
+  add(0x3CD92B, "HP", VendorHint::kComputer);
+  add(0x9457A5, "HP", VendorHint::kComputer);
+  add(0x54E1AD, "Lenovo", VendorHint::kComputer);
+  add(0x8CDCD4, "Lenovo", VendorHint::kComputer);
+  add(0xA0C589, "Intel", VendorHint::kComputer);
+  add(0x8C8CAA, "Intel", VendorHint::kComputer);
+  add(0x0C5415, "Intel", VendorHint::kComputer);
+  add(0xF8634D, "ASUSTek", VendorHint::kComputer);
+  // Phone vendors.
+  add(0xE8508B, "Samsung Electronics", VendorHint::kPhone);
+  add(0x5C5188, "Samsung Electronics", VendorHint::kPhone);
+  add(0xA02195, "Samsung Electronics", VendorHint::kPhone);
+  add(0x94652D, "OnePlus", VendorHint::kPhone);
+  add(0x401B5F, "Xiaomi", VendorHint::kPhone);
+  add(0x64CC2E, "Xiaomi", VendorHint::kPhone);
+  add(0x48435A, "Huawei", VendorHint::kPhone);
+  add(0xD0FF98, "Huawei", VendorHint::kPhone);
+  add(0x2C598A, "LG Electronics Mobile", VendorHint::kPhone);
+  add(0x1C232C, "Google (Pixel)", VendorHint::kPhone);
+  // Consoles.
+  add(0x98B6E9, "Nintendo", VendorHint::kNintendo);
+  add(0x7CBB8A, "Nintendo", VendorHint::kNintendo);
+  add(0x0403D6, "Nintendo", VendorHint::kNintendo);
+  add(0xE84ECE, "Nintendo", VendorHint::kNintendo);
+  add(0x00D9D1, "Sony Interactive (PS4)", VendorHint::kConsoleOther);
+  add(0x5CEA1D, "Sony Interactive (PS4)", VendorHint::kConsoleOther);
+  add(0x985FD3, "Microsoft (Xbox)", VendorHint::kConsoleOther);
+  // IoT / appliance vendors.
+  add(0x240AC4, "Espressif", VendorHint::kIot);
+  add(0xECFABC, "Espressif", VendorHint::kIot);
+  add(0x50C7BF, "TP-Link", VendorHint::kIot);
+  add(0x1027F5, "TP-Link", VendorHint::kIot);
+  add(0xB0A737, "Roku", VendorHint::kIot);
+  add(0xD83134, "Roku", VendorHint::kIot);
+  add(0x74C246, "Amazon Technologies", VendorHint::kIot);
+  add(0xFCA183, "Amazon Technologies", VendorHint::kIot);
+  add(0xB827EB, "Raspberry Pi", VendorHint::kIot);
+  add(0xDCA632, "Raspberry Pi", VendorHint::kIot);
+  add(0x7828CA, "Sonos", VendorHint::kIot);
+  add(0x2CAA8E, "Wyze Labs", VendorHint::kIot);
+  add(0x001788, "Philips Hue", VendorHint::kIot);
+  add(0xCC2D8C, "LG Electronics TV", VendorHint::kIot);
+  add(0x8CEA48, "Samsung TV", VendorHint::kIot);
+  // Commodity radio modules: appear in phones, laptops and gadgets alike, so
+  // the hint is deliberately unusable for classification.
+  add(0x40F308, "Murata Manufacturing", VendorHint::kGeneric);
+  add(0x68A3C4, "Liteon Technology", VendorHint::kGeneric);
+  add(0xF0038C, "AzureWave", VendorHint::kGeneric);
+  add(0x74DA38, "Edimax", VendorHint::kGeneric);
+}
+
+const OuiDatabase& OuiDatabase::Default() {
+  static const OuiDatabase db;
+  return db;
+}
+
+std::optional<VendorInfo> OuiDatabase::Lookup(net::MacAddress mac) const {
+  if (IsLocallyAdministered(mac)) return std::nullopt;
+  const auto it = table_.find(mac.oui());
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::uint32_t> OuiDatabase::OuisFor(VendorHint hint) const {
+  std::vector<std::uint32_t> out;
+  for (const auto& [oui, info] : table_) {
+    if (info.hint == hint) out.push_back(oui);
+  }
+  // Deterministic order for the simulator regardless of hash-map iteration.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace lockdown::world

@@ -1,0 +1,64 @@
+// OUI (MAC vendor prefix) registry.
+//
+// The paper's device classifier reads "organizationally unique identifiers
+// (OUIs) extracted from traffic data" (§3). This is the registry it consults:
+// a curated subset of IEEE assignments for the vendors that matter on a
+// residential campus network, each annotated with the device-class hint the
+// classifier derives from it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "net/mac.h"
+
+namespace lockdown::world {
+
+/// What a vendor prefix suggests about the device.
+enum class VendorHint : std::uint8_t {
+  kComputer,         ///< laptop/desktop vendor (Dell, HP, ...)
+  kPhone,            ///< phone vendor line (Samsung mobile, ...)
+  kComputerOrPhone,  ///< vendor ships both (Apple) — OUI alone is ambiguous
+  kIot,              ///< embedded/IoT module or appliance vendor
+  kNintendo,         ///< Nintendo consoles
+  kConsoleOther,     ///< Sony / Microsoft consoles
+  kGeneric,          ///< commodity radio modules found in anything
+};
+
+[[nodiscard]] const char* ToString(VendorHint h) noexcept;
+
+struct VendorInfo {
+  std::string_view vendor;
+  VendorHint hint;
+};
+
+class OuiDatabase {
+ public:
+  /// The built-in registry.
+  [[nodiscard]] static const OuiDatabase& Default();
+
+  /// Vendor info for a MAC's OUI. Locally-administered (randomized) MACs
+  /// never match: their OUI bits are not a vendor assignment.
+  [[nodiscard]] std::optional<VendorInfo> Lookup(net::MacAddress mac) const;
+
+  /// True if the MAC has the locally-administered bit set (randomized MAC,
+  /// as modern phones use for WiFi privacy).
+  [[nodiscard]] static bool IsLocallyAdministered(net::MacAddress mac) noexcept {
+    return (mac.value() >> 41) & 1;
+  }
+
+  /// All OUIs registered for a vendor hint; used by the simulator to assign
+  /// ground-truth-consistent MACs.
+  [[nodiscard]] std::vector<std::uint32_t> OuisFor(VendorHint hint) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+
+ private:
+  OuiDatabase();
+  std::unordered_map<std::uint32_t, VendorInfo> table_;
+};
+
+}  // namespace lockdown::world

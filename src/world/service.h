@@ -1,0 +1,80 @@
+// Service model of the synthetic Internet.
+//
+// Every remote endpoint the simulated campus talks to belongs to a named
+// service with a category, a serving country/location (for the geolocation
+// analysis), a set of DNS hostnames, and an IPv4 block. The catalog is the
+// single source of truth that the DNS authority, the geolocation database,
+// the tap exclusion list, and the application signatures are all derived
+// from — mirroring how the paper derives its per-application views from
+// public domain/IP lists.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace lockdown::world {
+
+/// Broad behavioural category of a service; personas choose activity by
+/// category, analyses group by it.
+enum class Category : std::uint8_t {
+  kVideoConferencing,
+  kSocialMedia,
+  kMessaging,
+  kStreaming,
+  kMusic,
+  kGamingPc,
+  kGamingConsole,
+  kEducation,
+  kWeb,
+  kNews,
+  kShopping,
+  kSearch,
+  kEmailCloud,
+  kIotBackend,
+  kCdn,
+  kExcluded,  ///< networks the campus tap does not mirror
+};
+
+[[nodiscard]] const char* ToString(Category c) noexcept;
+
+/// Geographic coordinates in degrees.
+struct GeoPoint {
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+/// Stable index of a service within its catalog.
+using ServiceId = std::uint16_t;
+inline constexpr ServiceId kInvalidService = 0xFFFF;
+
+/// Static description of one service, as written in the catalog table.
+struct ServiceSpec {
+  std::string_view name;
+  Category category = Category::kWeb;
+  std::string_view country;  ///< ISO 3166-1 alpha-2
+  GeoPoint location;
+  std::vector<std::string_view> hosts;  ///< DNS names (suffix-matched)
+  bool is_cdn = false;        ///< excluded from geolocation midpoints (§4.2)
+  bool tap_excluded = false;  ///< traffic never reaches the tap (§3)
+  bool dns_less = false;      ///< contacted by raw IP (e.g. Zoom media relays)
+  int prefix_len = 22;        ///< size of the service's IPv4 block
+};
+
+/// A service after catalog construction: spec fields plus its address block.
+struct Service {
+  std::string name;
+  Category category = Category::kWeb;
+  std::string country;
+  GeoPoint location;
+  std::vector<std::string> hosts;
+  bool is_cdn = false;
+  bool tap_excluded = false;
+  bool dns_less = false;
+  net::Cidr block;
+};
+
+}  // namespace lockdown::world

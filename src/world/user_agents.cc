@@ -1,0 +1,93 @@
+#include "world/user_agents.h"
+
+#include <array>
+
+namespace lockdown::world {
+
+namespace {
+
+constexpr std::array<std::string_view, 3> kWindows = {
+    "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like "
+    "Gecko) Chrome/80.0.3987.132 Safari/537.36",
+    "Mozilla/5.0 (Windows NT 10.0; Win64; x64; rv:73.0) Gecko/20100101 "
+    "Firefox/73.0",
+    "Mozilla/5.0 (Windows NT 6.1; Win64; x64) AppleWebKit/537.36 (KHTML, like "
+    "Gecko) Chrome/79.0.3945.130 Safari/537.36",
+};
+
+constexpr std::array<std::string_view, 3> kMac = {
+    "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_3) AppleWebKit/605.1.15 "
+    "(KHTML, like Gecko) Version/13.0.5 Safari/605.1.15",
+    "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_14_6) AppleWebKit/537.36 "
+    "(KHTML, like Gecko) Chrome/80.0.3987.122 Safari/537.36",
+    "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_2) Gecko/20100101 "
+    "Firefox/72.0",
+};
+
+constexpr std::array<std::string_view, 2> kLinux = {
+    "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) "
+    "Chrome/80.0.3987.106 Safari/537.36",
+    "Mozilla/5.0 (X11; Ubuntu; Linux x86_64; rv:73.0) Gecko/20100101 "
+    "Firefox/73.0",
+};
+
+constexpr std::array<std::string_view, 3> kIphone = {
+    "Mozilla/5.0 (iPhone; CPU iPhone OS 13_3_1 like Mac OS X) "
+    "AppleWebKit/605.1.15 (KHTML, like Gecko) Version/13.0.5 Mobile/15E148 "
+    "Safari/604.1",
+    "Mozilla/5.0 (iPhone; CPU iPhone OS 13_3 like Mac OS X) "
+    "AppleWebKit/605.1.15 (KHTML, like Gecko) Mobile/15E148 Instagram "
+    "128.0.0.26.128",
+    "TikTok 15.5.0 rv:155012 (iPhone; iOS 13.3.1; en_US) Cronet",
+};
+
+constexpr std::array<std::string_view, 2> kIpad = {
+    "Mozilla/5.0 (iPad; CPU OS 13_3 like Mac OS X) AppleWebKit/605.1.15 "
+    "(KHTML, like Gecko) Version/13.0.4 Mobile/15E148 Safari/604.1",
+    "Mozilla/5.0 (iPad; CPU OS 12_4_5 like Mac OS X) AppleWebKit/605.1.15 "
+    "(KHTML, like Gecko) Mobile/15E148",
+};
+
+constexpr std::array<std::string_view, 3> kAndroid = {
+    "Mozilla/5.0 (Linux; Android 10; SM-G975F) AppleWebKit/537.36 (KHTML, "
+    "like Gecko) Chrome/80.0.3987.99 Mobile Safari/537.36",
+    "Mozilla/5.0 (Linux; Android 9; Pixel 3) AppleWebKit/537.36 (KHTML, like "
+    "Gecko) Chrome/79.0.3945.136 Mobile Safari/537.36",
+    "com.zhiliaoapp.musically/2021605050 (Linux; U; Android 10; en_US; "
+    "Pixel 4; Build/QQ1B.200205.002; Cronet/TTNetVersion:8109b1ab 2020-01-13)",
+};
+
+constexpr std::array<std::string_view, 3> kSmartTv = {
+    "Mozilla/5.0 (SMART-TV; Linux; Tizen 5.0) AppleWebKit/537.36 (KHTML, like "
+    "Gecko) Version/5.0 TV Safari/537.36",
+    "Roku/DVP-9.10 (519.10E04111A)",
+    "Mozilla/5.0 (Web0S; Linux/SmartTV) AppleWebKit/537.36 (KHTML, like "
+    "Gecko) Chrome/53.0.2785.34 Safari/537.36 WebAppManager",
+};
+
+constexpr std::array<std::string_view, 3> kConsole = {
+    "Mozilla/5.0 (Nintendo Switch; WifiWebAuthApplet) AppleWebKit/606.4 "
+    "(KHTML, like Gecko) NF/6.0.1.15.4 NintendoBrowser/5.1.0.20393",
+    "Mozilla/5.0 (PlayStation 4 7.02) AppleWebKit/605.1.15 (KHTML, like "
+    "Gecko)",
+    "Mozilla/5.0 (Windows NT 10.0; Win64; x64; Xbox; Xbox One) "
+    "AppleWebKit/537.36 (KHTML, like Gecko) Edge/44.18363.8131",
+};
+
+}  // namespace
+
+std::span<const std::string_view> UserAgentsFor(UaPlatform p) noexcept {
+  switch (p) {
+    case UaPlatform::kWindowsDesktop: return kWindows;
+    case UaPlatform::kMacDesktop: return kMac;
+    case UaPlatform::kLinuxDesktop: return kLinux;
+    case UaPlatform::kIphone: return kIphone;
+    case UaPlatform::kIpad: return kIpad;
+    case UaPlatform::kAndroidPhone: return kAndroid;
+    case UaPlatform::kSmartTv: return kSmartTv;
+    case UaPlatform::kGameConsole: return kConsole;
+  }
+  return {};
+}
+
+}  // namespace lockdown::world

@@ -1,0 +1,30 @@
+// User-Agent corpus.
+//
+// The paper's classifier uses "analysis of User-Agent strings" (§3). The
+// corpus below is what the simulator stamps onto unencrypted flows; the
+// classifier in src/classify parses the same grammar real UA strings use.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace lockdown::world {
+
+/// Ground-truth platform of a user agent string in the corpus.
+enum class UaPlatform : std::uint8_t {
+  kWindowsDesktop,
+  kMacDesktop,
+  kLinuxDesktop,
+  kIphone,
+  kIpad,
+  kAndroidPhone,
+  kSmartTv,
+  kGameConsole,
+};
+
+/// Representative UA strings for a platform (real-world strings circa early
+/// 2020).
+[[nodiscard]] std::span<const std::string_view> UserAgentsFor(UaPlatform p) noexcept;
+
+}  // namespace lockdown::world

@@ -1,0 +1,141 @@
+#include "analysis/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace lockdown::analysis {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{7}), 7.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median(std::vector<double>{3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median(std::vector<double>{4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(Median(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolation) {
+  const std::vector<double> xs = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 25), 20.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 12.5), 15.0);  // halfway between 10 and 20
+}
+
+TEST(Stats, PercentileClampsRange) {
+  const std::vector<double> xs = {1, 2};
+  EXPECT_DOUBLE_EQ(Percentile(xs, -5), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 200), 2.0);
+}
+
+TEST(Stats, PercentileDoesNotMutateInput) {
+  const std::vector<double> xs = {5, 1, 4, 2, 3};
+  (void)Percentile(xs, 50);
+  EXPECT_EQ(xs, (std::vector<double>{5, 1, 4, 2, 3}));
+}
+
+TEST(Stats, InPlaceMatchesCopying) {
+  util::Pcg32 rng(5);
+  std::vector<double> xs(1001);
+  for (double& x : xs) x = rng.NextDouble() * 1000;
+  for (double pct : {1.0, 25.0, 50.0, 75.0, 95.0, 99.0}) {
+    std::vector<double> copy = xs;
+    EXPECT_DOUBLE_EQ(PercentileInPlace(copy, pct), Percentile(xs, pct)) << pct;
+  }
+}
+
+TEST(Stats, BoxStatsOrdering) {
+  util::Pcg32 rng(11);
+  std::vector<double> xs(5000);
+  for (double& x : xs) x = rng.LogNormal(2.0, 1.0);
+  const BoxStats box = ComputeBoxStats(xs);
+  EXPECT_EQ(box.n, 5000u);
+  EXPECT_LE(box.p1, box.q1);
+  EXPECT_LE(box.q1, box.median);
+  EXPECT_LE(box.median, box.q3);
+  EXPECT_LE(box.q3, box.p95);
+  EXPECT_LE(box.p95, box.p99);
+  // Log-normal: mean > median.
+  EXPECT_GT(box.mean, box.median);
+}
+
+TEST(Stats, BoxStatsKnownValues) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const BoxStats box = ComputeBoxStats(xs);
+  EXPECT_NEAR(box.median, 50.5, 1e-9);
+  EXPECT_NEAR(box.q1, 25.75, 1e-9);
+  EXPECT_NEAR(box.q3, 75.25, 1e-9);
+  EXPECT_NEAR(box.mean, 50.5, 1e-9);
+}
+
+TEST(Stats, BoxStatsEmptyAndSingle) {
+  EXPECT_EQ(ComputeBoxStats({}).n, 0u);
+  const BoxStats one = ComputeBoxStats({42.0});
+  EXPECT_EQ(one.n, 1u);
+  EXPECT_DOUBLE_EQ(one.median, 42.0);
+  EXPECT_DOUBLE_EQ(one.p1, 42.0);
+  EXPECT_DOUBLE_EQ(one.p99, 42.0);
+}
+
+class PercentileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PercentileSweep, MatchesNaiveDefinitionOnRandomData) {
+  const double pct = GetParam();
+  util::Pcg32 rng(17);
+  std::vector<double> xs(257);
+  for (double& x : xs) x = rng.Normal(0, 10);
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  const double expected =
+      lo + 1 < sorted.size()
+          ? sorted[lo] + frac * (sorted[lo + 1] - sorted[lo])
+          : sorted[lo];
+  EXPECT_NEAR(Percentile(xs, pct), expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PercentileSweep,
+                         ::testing::Values(0.0, 1.0, 10.0, 25.0, 33.3, 50.0,
+                                           66.7, 75.0, 90.0, 95.0, 99.0, 100.0));
+
+TEST(CosineSimilarity, IdenticalVectorsScoreOne) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_NEAR(CosineSimilarity(v, v), 1.0, 1e-12);
+}
+
+TEST(CosineSimilarity, ScaledVectorsScoreOne) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {10, 20, 30};
+  EXPECT_NEAR(CosineSimilarity(a, b), 1.0, 1e-12);
+}
+
+TEST(CosineSimilarity, OrthogonalVectorsScoreZero) {
+  const std::vector<double> a = {1, 0};
+  const std::vector<double> b = {0, 1};
+  EXPECT_NEAR(CosineSimilarity(a, b), 0.0, 1e-12);
+}
+
+TEST(CosineSimilarity, OppositeVectorsScoreMinusOne) {
+  const std::vector<double> a = {1, -2};
+  const std::vector<double> b = {-1, 2};
+  EXPECT_NEAR(CosineSimilarity(a, b), -1.0, 1e-12);
+}
+
+TEST(CosineSimilarity, DegenerateInputs) {
+  const std::vector<double> v = {1, 2};
+  EXPECT_DOUBLE_EQ(CosineSimilarity({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(v, std::vector<double>{1.0}), 0.0);  // size mismatch
+  EXPECT_DOUBLE_EQ(CosineSimilarity(v, std::vector<double>{0.0, 0.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace lockdown::analysis

@@ -1,0 +1,107 @@
+#include "analysis/timeseries.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdown::analysis {
+namespace {
+
+using util::StudyCalendar;
+
+TEST(DailySeries, AddByTimestamp) {
+  DailySeries s;
+  const auto ts = util::TimestampOf(util::CivilDateTime{{2020, 2, 3}, 10, 0, 0});
+  s.Add(ts, 5.0);
+  s.Add(ts + 100, 2.5);
+  EXPECT_DOUBLE_EQ(s.at(StudyCalendar::DayIndex(util::CivilDate{2020, 2, 3})), 7.5);
+}
+
+TEST(DailySeries, OutOfWindowIgnored) {
+  DailySeries s;
+  s.Add(util::TimestampOf(util::CivilDate{2019, 12, 1}), 100.0);
+  s.Add(util::TimestampOf(util::CivilDate{2020, 7, 1}), 100.0);
+  s.AddDay(-1, 100.0);
+  s.AddDay(500, 100.0);
+  for (int d = 0; d < s.num_days(); ++d) EXPECT_DOUBLE_EQ(s.at(d), 0.0);
+}
+
+TEST(DailySeries, MovingAverageFlatSeries) {
+  DailySeries s(10);
+  for (int d = 0; d < 10; ++d) s.AddDay(d, 4.0);
+  const DailySeries ma = s.MovingAverage(3);
+  for (int d = 0; d < 10; ++d) EXPECT_DOUBLE_EQ(ma.at(d), 4.0);
+}
+
+TEST(DailySeries, MovingAverageSmoothsSpike) {
+  DailySeries s(7);
+  s.AddDay(3, 9.0);
+  const DailySeries ma = s.MovingAverage(3);
+  EXPECT_DOUBLE_EQ(ma.at(2), 3.0);
+  EXPECT_DOUBLE_EQ(ma.at(3), 3.0);
+  EXPECT_DOUBLE_EQ(ma.at(4), 3.0);
+  EXPECT_DOUBLE_EQ(ma.at(0), 0.0);
+  // Edge day 1 averages days 0..2 => 3.
+  EXPECT_DOUBLE_EQ(ma.at(1), 0.0);
+}
+
+TEST(DailySeries, MovingAverageWindowOnePassthrough) {
+  DailySeries s(5);
+  s.AddDay(2, 7.0);
+  const DailySeries ma = s.MovingAverage(1);
+  EXPECT_DOUBLE_EQ(ma.at(2), 7.0);
+  EXPECT_DOUBLE_EQ(ma.at(1), 0.0);
+}
+
+TEST(DailySeries, SumRangeClamped) {
+  DailySeries s(10);
+  for (int d = 0; d < 10; ++d) s.AddDay(d, 1.0);
+  EXPECT_DOUBLE_EQ(s.SumRange(2, 4), 3.0);
+  EXPECT_DOUBLE_EQ(s.SumRange(-5, 100), 10.0);
+  EXPECT_DOUBLE_EQ(s.SumRange(8, 3), 0.0);
+}
+
+TEST(HourOfWeek, BinMapping) {
+  // Anchor at Thursday 2020-02-20 00:00 (a Fig. 3 week).
+  const auto anchor = util::TimestampOf(util::CivilDate{2020, 2, 20});
+  EXPECT_EQ(HourOfWeekSeries::BinOf(anchor, anchor), 0);
+  EXPECT_EQ(HourOfWeekSeries::BinOf(anchor + 3600, anchor), 1);
+  EXPECT_EQ(HourOfWeekSeries::BinOf(anchor + 26 * 3600, anchor), 26);  // Friday 2am
+  EXPECT_EQ(HourOfWeekSeries::BinOf(anchor + 7 * 86400 - 1, anchor), 167);
+  EXPECT_FALSE(HourOfWeekSeries::BinOf(anchor - 1, anchor).has_value());
+  EXPECT_FALSE(HourOfWeekSeries::BinOf(anchor + 7 * 86400, anchor).has_value());
+}
+
+TEST(HourOfWeek, AccumulateAndScale) {
+  HourOfWeekSeries s;
+  s.AddBin(0, 10.0);
+  s.AddBin(0, 5.0);
+  s.AddBin(100, 3.0);
+  EXPECT_DOUBLE_EQ(s.at(0), 15.0);
+  s.Scale(3.0);
+  EXPECT_DOUBLE_EQ(s.at(0), 5.0);
+  EXPECT_DOUBLE_EQ(s.at(100), 1.0);
+}
+
+TEST(HourOfWeek, ScaleByZeroIsNoOp) {
+  HourOfWeekSeries s;
+  s.AddBin(5, 2.0);
+  s.Scale(0.0);
+  EXPECT_DOUBLE_EQ(s.at(5), 2.0);
+}
+
+TEST(HourOfWeek, MinPositiveSkipsZeros) {
+  HourOfWeekSeries s;
+  EXPECT_DOUBLE_EQ(s.MinPositive(), 0.0);
+  s.AddBin(10, 4.0);
+  s.AddBin(20, 2.0);
+  EXPECT_DOUBLE_EQ(s.MinPositive(), 2.0);
+}
+
+TEST(HourOfWeek, OutOfRangeBinsIgnored) {
+  HourOfWeekSeries s;
+  s.AddBin(-1, 5.0);
+  s.AddBin(168, 5.0);
+  EXPECT_DOUBLE_EQ(s.MinPositive(), 0.0);
+}
+
+}  // namespace
+}  // namespace lockdown::analysis

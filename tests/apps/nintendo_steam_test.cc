@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "apps/nintendo.h"
+#include "apps/steam.h"
+#include "world/catalog.h"
+
+namespace lockdown::apps {
+namespace {
+
+TEST(SteamSignature, SupportWhitelistDomains) {
+  // §5.3.1: the signature comes from Steam support's whitelist.
+  SteamSignature steam;
+  EXPECT_TRUE(steam.Matches("steampowered.com"));
+  EXPECT_TRUE(steam.Matches("store.steampowered.com"));
+  EXPECT_TRUE(steam.Matches("steamcommunity.com"));
+  EXPECT_TRUE(steam.Matches("cache1-lax1.steamcontent.com"));
+  EXPECT_TRUE(steam.Matches("steamusercontent.com"));
+  EXPECT_TRUE(steam.Matches("cdn.steamstatic.com"));
+  EXPECT_EQ(steam.domains().size(), 5u);
+}
+
+TEST(SteamSignature, NonSteamDomains) {
+  SteamSignature steam;
+  EXPECT_FALSE(steam.Matches("steam.com"));
+  EXPECT_FALSE(steam.Matches("epicgames.com"));
+  EXPECT_FALSE(steam.Matches("mysteampowered.com"));
+}
+
+TEST(NintendoSignature, GameplayVsServices) {
+  NintendoSignature nintendo;
+  // Gameplay endpoints.
+  EXPECT_TRUE(nintendo.IsGameplay("npln.srv.nintendo.net"));
+  EXPECT_TRUE(nintendo.IsGameplay("p2prel.srv.nintendo.net"));
+  EXPECT_TRUE(nintendo.IsGameplay("mm.p2p.srv.nintendo.net"));
+  // Update/download/account/telemetry endpoints are Nintendo but NOT
+  // gameplay ("system updates, game updates and downloads, and other
+  // non-gameplay traffic... filtered out", §5.3.2).
+  EXPECT_TRUE(nintendo.IsNintendo("atum.hac.lp1.d4c.nintendo.net"));
+  EXPECT_FALSE(nintendo.IsGameplay("atum.hac.lp1.d4c.nintendo.net"));
+  EXPECT_TRUE(nintendo.IsNintendo("accounts.nintendo.com"));
+  EXPECT_FALSE(nintendo.IsGameplay("accounts.nintendo.com"));
+  EXPECT_TRUE(nintendo.IsNintendo("conntest.nintendowifi.net"));
+  EXPECT_FALSE(nintendo.IsGameplay("conntest.nintendowifi.net"));
+}
+
+TEST(NintendoSignature, NonNintendo) {
+  NintendoSignature nintendo;
+  EXPECT_FALSE(nintendo.IsNintendo("nintendo-fan-site.com"));
+  EXPECT_FALSE(nintendo.IsNintendo("steampowered.com"));
+}
+
+TEST(NintendoSignature, DomainListsDisjoint) {
+  NintendoSignature nintendo;
+  for (const auto& g : nintendo.gameplay_domains()) {
+    for (const auto& n : nintendo.non_gameplay_domains()) {
+      EXPECT_NE(g, n);
+    }
+  }
+}
+
+TEST(NintendoSignature, CatalogAgreement) {
+  // The synthetic world and the analysis signature must agree, as the real
+  // lists and real traffic do.
+  const auto& cat = world::ServiceCatalog::Default();
+  NintendoSignature nintendo;
+  for (const auto& host :
+       cat.Get(*cat.FindByName("nintendo-gameplay")).hosts) {
+    EXPECT_TRUE(nintendo.IsGameplay(host)) << host;
+  }
+  for (const auto& host :
+       cat.Get(*cat.FindByName("nintendo-services")).hosts) {
+    EXPECT_TRUE(nintendo.IsNintendo(host)) << host;
+    EXPECT_FALSE(nintendo.IsGameplay(host)) << host;
+  }
+}
+
+}  // namespace
+}  // namespace lockdown::apps

@@ -1,0 +1,110 @@
+#include "apps/sessionizer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace lockdown::apps {
+namespace {
+
+FlowInterval F(util::Timestamp start, util::Timestamp end, std::uint32_t domain = 0,
+               std::uint64_t bytes = 100) {
+  return FlowInterval{start, end, domain, bytes};
+}
+
+TEST(Sessionizer, SingleFlow) {
+  const auto sessions = MergeSessions({F(100, 200, 7)});
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].start, 100);
+  EXPECT_EQ(sessions[0].end, 200);
+  EXPECT_EQ(sessions[0].domains, std::vector<std::uint32_t>{7});
+  EXPECT_EQ(sessions[0].flow_count, 1);
+}
+
+TEST(Sessionizer, OverlappingFlowsMerge) {
+  // "we find the bounds of overlapping flows from different domains
+  //  belonging to the same site" (§5.2).
+  const auto sessions = MergeSessions({F(100, 200, 1), F(150, 300, 2), F(250, 400, 3)});
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].start, 100);
+  EXPECT_EQ(sessions[0].end, 400);
+  EXPECT_EQ(sessions[0].domains, (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_EQ(sessions[0].bytes, 300u);
+}
+
+TEST(Sessionizer, DisjointFlowsSeparate) {
+  const auto sessions = MergeSessions({F(0, 100, 1), F(200, 300, 1)});
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_DOUBLE_EQ(sessions[0].duration_s(), 100.0);
+  EXPECT_DOUBLE_EQ(sessions[1].duration_s(), 100.0);
+}
+
+TEST(Sessionizer, TouchingFlowsMergeAtGapZero) {
+  // start == previous end counts as overlapping (<=).
+  const auto sessions = MergeSessions({F(0, 100, 1), F(100, 200, 2)});
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].end, 200);
+}
+
+TEST(Sessionizer, GapParameterBridgesShortGaps) {
+  const auto strict = MergeSessions({F(0, 100, 1), F(130, 200, 1)}, 0);
+  EXPECT_EQ(strict.size(), 2u);
+  const auto lenient = MergeSessions({F(0, 100, 1), F(130, 200, 1)}, 60);
+  EXPECT_EQ(lenient.size(), 1u);
+}
+
+TEST(Sessionizer, UnsortedInput) {
+  const auto sessions = MergeSessions({F(250, 400, 3), F(100, 200, 1), F(150, 300, 2)});
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].start, 100);
+  EXPECT_EQ(sessions[0].end, 400);
+}
+
+TEST(Sessionizer, ContainedFlowDoesNotShrinkSession) {
+  const auto sessions = MergeSessions({F(0, 1000, 1), F(100, 200, 2), F(900, 950, 3)});
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].end, 1000);
+  EXPECT_EQ(sessions[0].flow_count, 3);
+}
+
+TEST(Sessionizer, DuplicateDomainsDeduplicated) {
+  const auto sessions = MergeSessions({F(0, 100, 5), F(50, 150, 5), F(60, 160, 5)});
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].domains, std::vector<std::uint32_t>{5});
+  EXPECT_EQ(sessions[0].flow_count, 3);
+}
+
+TEST(Sessionizer, EmptyInput) {
+  EXPECT_TRUE(MergeSessions({}).empty());
+}
+
+TEST(Sessionizer, PropertyUnionOfIntervalsIsCovered) {
+  // Invariant: every input instant is inside exactly one output session, and
+  // session bounds are the union of their member flows.
+  util::Pcg32 rng(13);
+  std::vector<FlowInterval> flows;
+  for (int i = 0; i < 300; ++i) {
+    const util::Timestamp s = rng.UniformInt(0, 100000);
+    flows.push_back(F(s, s + rng.UniformInt(1, 4000), rng.NextBounded(5)));
+  }
+  const auto sessions = MergeSessions(flows);
+  ASSERT_FALSE(sessions.empty());
+  // Sessions are disjoint and ordered.
+  for (std::size_t i = 1; i < sessions.size(); ++i) {
+    EXPECT_GT(sessions[i].start, sessions[i - 1].end);
+  }
+  // Each flow lies within exactly one session.
+  double total_flow_count = 0;
+  for (const FlowInterval& f : flows) {
+    int containing = 0;
+    for (const Session& s : sessions) {
+      if (f.start >= s.start && f.end <= s.end) ++containing;
+    }
+    EXPECT_GE(containing, 1) << f.start;
+  }
+  for (const Session& s : sessions) total_flow_count += s.flow_count;
+  EXPECT_EQ(total_flow_count, flows.size());
+}
+
+}  // namespace
+}  // namespace lockdown::apps

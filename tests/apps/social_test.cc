@@ -1,0 +1,86 @@
+#include "apps/social.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace lockdown::apps {
+namespace {
+
+class SocialTest : public ::testing::Test {
+ protected:
+  SocialMediaSignatures sigs_;
+  std::map<std::uint32_t, std::string> tag_to_host_;
+
+  Session MakeSession(std::initializer_list<const char*> hosts) {
+    Session s;
+    s.start = 0;
+    s.end = 600;
+    std::uint32_t tag = 1;
+    for (const char* h : hosts) {
+      tag_to_host_[tag] = h;
+      s.domains.push_back(tag++);
+    }
+    return s;
+  }
+
+  SocialApp Classify(const Session& s) {
+    return sigs_.ClassifySession(
+        s, [this](std::uint32_t tag) { return std::string_view(tag_to_host_[tag]); });
+  }
+};
+
+TEST_F(SocialTest, FacebookFamilyMembership) {
+  EXPECT_TRUE(sigs_.IsFacebookFamily("facebook.com"));
+  EXPECT_TRUE(sigs_.IsFacebookFamily("fbcdn.net"));
+  EXPECT_TRUE(sigs_.IsFacebookFamily("scontent.fbcdn.net"));
+  EXPECT_TRUE(sigs_.IsFacebookFamily("instagram.com"));
+  EXPECT_TRUE(sigs_.IsFacebookFamily("cdninstagram.com"));
+  EXPECT_FALSE(sigs_.IsFacebookFamily("tiktok.com"));
+  EXPECT_FALSE(sigs_.IsFacebookFamily("facebook.evil.com"));
+}
+
+TEST_F(SocialTest, InstagramOnlyDomains) {
+  EXPECT_TRUE(sigs_.IsInstagramOnly("instagram.com"));
+  EXPECT_TRUE(sigs_.IsInstagramOnly("scontent.cdninstagram.com"));
+  EXPECT_FALSE(sigs_.IsInstagramOnly("facebook.com"));
+  EXPECT_FALSE(sigs_.IsInstagramOnly("fbcdn.net"));
+}
+
+TEST_F(SocialTest, TikTokDomains) {
+  EXPECT_TRUE(sigs_.IsTikTok("tiktok.com"));
+  EXPECT_TRUE(sigs_.IsTikTok("v16.tiktokcdn.com"));
+  EXPECT_TRUE(sigs_.IsTikTok("api.tiktokv.com"));
+  EXPECT_FALSE(sigs_.IsTikTok("facebook.com"));
+}
+
+TEST_F(SocialTest, PureFacebookSessionIsFacebook) {
+  EXPECT_EQ(Classify(MakeSession({"facebook.com", "facebook.net", "fbcdn.net"})),
+            SocialApp::kFacebook);
+}
+
+TEST_F(SocialTest, AnyInstagramDomainMakesSessionInstagram) {
+  // "if any of the domains in a set of overlapping flows delivers
+  //  Instagram-only content ... we mark the entire session as an Instagram
+  //  session" (§5.2).
+  EXPECT_EQ(Classify(MakeSession({"fbcdn.net", "instagram.com"})),
+            SocialApp::kInstagram);
+  EXPECT_EQ(Classify(MakeSession({"facebook.com", "fbcdn.net",
+                                  "scontent.cdninstagram.com"})),
+            SocialApp::kInstagram);
+}
+
+TEST_F(SocialTest, SharedCdnOnlySessionDefaultsToFacebook) {
+  // The heuristic "may overstate Facebook usage and under-represent
+  // Instagram" — a session with only shared domains is labelled Facebook.
+  EXPECT_EQ(Classify(MakeSession({"fbcdn.net"})), SocialApp::kFacebook);
+}
+
+TEST_F(SocialTest, AppNames) {
+  EXPECT_STREQ(ToString(SocialApp::kFacebook), "facebook");
+  EXPECT_STREQ(ToString(SocialApp::kInstagram), "instagram");
+  EXPECT_STREQ(ToString(SocialApp::kTikTok), "tiktok");
+}
+
+}  // namespace
+}  // namespace lockdown::apps

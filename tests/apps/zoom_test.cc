@@ -1,0 +1,66 @@
+#include "apps/zoom.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdown::apps {
+namespace {
+
+ZoomMatcher ExplicitMatcher() {
+  return ZoomMatcher({"zoom.us"},
+                     {*net::Cidr::Parse("52.10.0.0/16")},
+                     {*net::Cidr::Parse("52.20.0.0/16")});
+}
+
+TEST(ZoomMatcher, DomainMatch) {
+  const auto m = ExplicitMatcher();
+  EXPECT_TRUE(m.IsZoom("zoom.us", net::Ipv4Address(1, 1, 1, 1)));
+  EXPECT_TRUE(m.IsZoom("us04web.zoom.us", net::Ipv4Address(1, 1, 1, 1)));
+  EXPECT_FALSE(m.IsZoom("zoom.com", net::Ipv4Address(1, 1, 1, 1)));
+  EXPECT_FALSE(m.IsZoom("notzoom.us", net::Ipv4Address(1, 1, 1, 1)));
+}
+
+TEST(ZoomMatcher, CurrentIpListMatchesRawTraffic) {
+  const auto m = ExplicitMatcher();
+  // Media relays never resolve through DNS: host is empty.
+  EXPECT_TRUE(m.IsZoom("", *net::Ipv4Address::Parse("52.10.3.4")));
+  EXPECT_TRUE(m.MatchesCurrentIp(*net::Ipv4Address::Parse("52.10.255.255")));
+  EXPECT_FALSE(m.MatchesCurrentIp(*net::Ipv4Address::Parse("52.11.0.0")));
+}
+
+TEST(ZoomMatcher, HistoricalWaybackRangesStillMatch) {
+  // "use the Internet Archive Wayback Machine to find any IP addresses that
+  //  were previously listed on this page, but were subsequently removed".
+  const auto m = ExplicitMatcher();
+  EXPECT_TRUE(m.IsZoom("", *net::Ipv4Address::Parse("52.20.9.9")));
+  EXPECT_TRUE(m.MatchesHistoricalIp(*net::Ipv4Address::Parse("52.20.9.9")));
+  EXPECT_FALSE(m.MatchesCurrentIp(*net::Ipv4Address::Parse("52.20.9.9")));
+}
+
+TEST(ZoomMatcher, NonZoomTraffic) {
+  const auto m = ExplicitMatcher();
+  EXPECT_FALSE(m.IsZoom("netflix.com", *net::Ipv4Address::Parse("99.0.0.1")));
+  EXPECT_FALSE(m.IsZoom("", *net::Ipv4Address::Parse("99.0.0.1")));
+}
+
+TEST(ZoomMatcher, CatalogConstruction) {
+  const auto& cat = world::ServiceCatalog::Default();
+  ZoomMatcher m(cat);
+  EXPECT_TRUE(m.MatchesDomain("zoom.us"));
+  const auto media = cat.Get(*cat.FindByName("zoom-media")).block;
+  const auto legacy = cat.Get(*cat.FindByName("zoom-media-legacy")).block;
+  EXPECT_TRUE(m.MatchesCurrentIp(media.At(42)));
+  EXPECT_TRUE(m.MatchesHistoricalIp(legacy.At(42)));
+  EXPECT_FALSE(m.MatchesCurrentIp(legacy.At(42)));
+  // Steam traffic is not Zoom.
+  const auto steam = cat.Get(*cat.FindByName("steam")).block;
+  EXPECT_FALSE(m.IsZoom("steampowered.com", steam.At(1)));
+}
+
+TEST(ZoomMatcher, DomainBeatsIpCheck) {
+  // A flow with a zoom.us hostname is Zoom regardless of address.
+  const auto m = ExplicitMatcher();
+  EXPECT_TRUE(m.IsZoom("zoom.us", *net::Ipv4Address::Parse("99.99.99.99")));
+}
+
+}  // namespace
+}  // namespace lockdown::apps

@@ -1,0 +1,79 @@
+#include "classify/accuracy.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdown::classify {
+namespace {
+
+LabelledDevice Dev(DeviceClass predicted, DeviceClass truth) {
+  return LabelledDevice{predicted, truth};
+}
+
+TEST(EstimateAccuracy, PerfectClassifier) {
+  std::vector<LabelledDevice> devices(50,
+                                      Dev(DeviceClass::kMobile, DeviceClass::kMobile));
+  const auto report = EstimateAccuracy(devices, 50, 1);
+  EXPECT_EQ(report.sampled, 50);
+  EXPECT_EQ(report.correct, 50);
+  EXPECT_EQ(report.misclassified, 0);
+  EXPECT_EQ(report.unknown_omissions, 0);
+  EXPECT_DOUBLE_EQ(report.accuracy(), 1.0);
+}
+
+TEST(EstimateAccuracy, DistinguishesOmissionsFromErrors) {
+  std::vector<LabelledDevice> devices;
+  for (int i = 0; i < 84; ++i) devices.push_back(Dev(DeviceClass::kMobile, DeviceClass::kMobile));
+  for (int i = 0; i < 14; ++i) devices.push_back(Dev(DeviceClass::kUnknown, DeviceClass::kIot));
+  for (int i = 0; i < 2; ++i) devices.push_back(Dev(DeviceClass::kIot, DeviceClass::kMobile));
+  const auto report = EstimateAccuracy(devices, 100, 1);
+  // Sampling all 100: reproduces the paper's 84/14/2 split exactly.
+  EXPECT_EQ(report.correct, 84);
+  EXPECT_EQ(report.unknown_omissions, 14);
+  EXPECT_EQ(report.misclassified, 2);
+}
+
+TEST(EstimateAccuracy, SampleSmallerThanPopulation) {
+  std::vector<LabelledDevice> devices(1000,
+                                      Dev(DeviceClass::kIot, DeviceClass::kIot));
+  devices[3] = Dev(DeviceClass::kUnknown, DeviceClass::kMobile);
+  const auto report = EstimateAccuracy(devices, 100, 7);
+  EXPECT_EQ(report.sampled, 100);
+  EXPECT_GE(report.correct, 99);
+}
+
+TEST(EstimateAccuracy, DeterministicForSeed) {
+  std::vector<LabelledDevice> devices;
+  for (int i = 0; i < 500; ++i) {
+    devices.push_back(i % 3 == 0 ? Dev(DeviceClass::kUnknown, DeviceClass::kMobile)
+                                 : Dev(DeviceClass::kMobile, DeviceClass::kMobile));
+  }
+  const auto a = EstimateAccuracy(devices, 100, 42);
+  const auto b = EstimateAccuracy(devices, 100, 42);
+  EXPECT_EQ(a.correct, b.correct);
+  EXPECT_EQ(a.unknown_omissions, b.unknown_omissions);
+}
+
+TEST(EstimateAccuracy, EmptyPopulation) {
+  const auto report = EstimateAccuracy({}, 100, 1);
+  EXPECT_EQ(report.sampled, 0);
+  EXPECT_DOUBLE_EQ(report.accuracy(), 0.0);
+}
+
+TEST(EstimateAccuracy, SampleLargerThanPopulationClamps) {
+  std::vector<LabelledDevice> devices(10,
+                                      Dev(DeviceClass::kMobile, DeviceClass::kMobile));
+  const auto report = EstimateAccuracy(devices, 100, 1);
+  EXPECT_EQ(report.sampled, 10);
+}
+
+TEST(EstimateAccuracy, UnknownPredictedUnknownTruthIsCorrect) {
+  // A device that is genuinely unknowable counts as correct when labelled
+  // unknown.
+  std::vector<LabelledDevice> devices(5,
+                                      Dev(DeviceClass::kUnknown, DeviceClass::kUnknown));
+  const auto report = EstimateAccuracy(devices, 5, 1);
+  EXPECT_EQ(report.correct, 5);
+}
+
+}  // namespace
+}  // namespace lockdown::classify

@@ -1,0 +1,83 @@
+#include "classify/iot.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdown::classify {
+namespace {
+
+DeviceObservations ObsWithDomains(std::initializer_list<const char*> domains) {
+  DeviceObservations obs;
+  for (const char* d : domains) obs.bytes_by_domain[d] = 1000;
+  return obs;
+}
+
+IotDetector MakeDetector(double threshold = 0.5) {
+  std::vector<IotDetector::Signature> sigs;
+  sigs.push_back({"roku", {"roku.com", "rokucdn.com", "logs.roku.com"}});
+  sigs.push_back({"tplink", {"tplinkcloud.com", "tplinkra.com"}});
+  return IotDetector(std::move(sigs), threshold);
+}
+
+TEST(IotDetector, FullBackendContactMatches) {
+  const auto match = MakeDetector().Detect(
+      ObsWithDomains({"roku.com", "rokucdn.com", "logs.roku.com"}));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->platform, "roku");
+  EXPECT_DOUBLE_EQ(match->score, 1.0);
+}
+
+TEST(IotDetector, PartialContactAboveThresholdMatches) {
+  const auto match =
+      MakeDetector().Detect(ObsWithDomains({"roku.com", "logs.roku.com"}));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_NEAR(match->score, 2.0 / 3.0, 1e-9);
+}
+
+TEST(IotDetector, SingleVendorHomepageVisitDoesNotMatch) {
+  // A laptop that browsed roku.com only: 1/3 < 0.5.
+  EXPECT_FALSE(MakeDetector().Detect(ObsWithDomains({"roku.com"})).has_value());
+}
+
+TEST(IotDetector, SubdomainsCount) {
+  const auto match = MakeDetector().Detect(
+      ObsWithDomains({"api.roku.com", "cdn.rokucdn.com"}));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->platform, "roku");
+}
+
+TEST(IotDetector, BestPlatformWins) {
+  const auto match = MakeDetector().Detect(ObsWithDomains(
+      {"roku.com", "rokucdn.com", "logs.roku.com", "tplinkcloud.com"}));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->platform, "roku");  // 3/3 beats 1/2
+}
+
+TEST(IotDetector, ThresholdIsInclusive) {
+  // tplink: 1/2 == 0.5 matches at the paper's threshold.
+  const auto match = MakeDetector(0.5).Detect(ObsWithDomains({"tplinkcloud.com"}));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->platform, "tplink");
+}
+
+TEST(IotDetector, HigherThresholdRejects) {
+  EXPECT_FALSE(MakeDetector(0.9)
+                   .Detect(ObsWithDomains({"roku.com", "logs.roku.com"}))
+                   .has_value());
+}
+
+TEST(IotDetector, EmptyObservations) {
+  EXPECT_FALSE(MakeDetector().Detect(DeviceObservations{}).has_value());
+}
+
+TEST(IotDetector, CatalogConstructionCoversIotBackends) {
+  IotDetector detector(world::ServiceCatalog::Default());
+  EXPECT_GE(detector.num_signatures(), 8u);
+  EXPECT_DOUBLE_EQ(detector.threshold(), 0.5);  // the paper's threshold
+  const auto match = detector.Detect(
+      ObsWithDomains({"wyzecam.com", "wyze.com"}));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->platform, "wyze");
+}
+
+}  // namespace
+}  // namespace lockdown::classify

@@ -1,0 +1,95 @@
+#include "classify/user_agent.h"
+
+#include <gtest/gtest.h>
+
+#include "world/user_agents.h"
+
+namespace lockdown::classify {
+namespace {
+
+TEST(UserAgentParser, Desktop) {
+  EXPECT_EQ(ClassifyUserAgent("Mozilla/5.0 (Windows NT 10.0; Win64; x64) "
+                              "AppleWebKit/537.36 Chrome/80.0"),
+            UaClass::kDesktop);
+  EXPECT_EQ(ClassifyUserAgent("Mozilla/5.0 (Macintosh; Intel Mac OS X 10_15_3)"),
+            UaClass::kDesktop);
+  EXPECT_EQ(ClassifyUserAgent("Mozilla/5.0 (X11; Linux x86_64)"), UaClass::kDesktop);
+}
+
+TEST(UserAgentParser, Mobile) {
+  EXPECT_EQ(ClassifyUserAgent("Mozilla/5.0 (iPhone; CPU iPhone OS 13_3_1 like "
+                              "Mac OS X)"),
+            UaClass::kMobile);
+  EXPECT_EQ(ClassifyUserAgent("Mozilla/5.0 (iPad; CPU OS 13_3 like Mac OS X)"),
+            UaClass::kMobile);
+  EXPECT_EQ(ClassifyUserAgent("Mozilla/5.0 (Linux; Android 10; SM-G975F) "
+                              "Chrome/80 Mobile Safari"),
+            UaClass::kMobile);
+  EXPECT_EQ(ClassifyUserAgent("TikTok 15.5.0 rv:155012 (iPhone; iOS 13.3.1; "
+                              "en_US) Cronet"),
+            UaClass::kMobile);
+}
+
+TEST(UserAgentParser, AndroidTabletWithoutMobileTokenIsMobile) {
+  EXPECT_EQ(ClassifyUserAgent("Mozilla/5.0 (Linux; Android 9; SM-T820) "
+                              "AppleWebKit/537.36 Safari/537.36"),
+            UaClass::kMobile);
+}
+
+TEST(UserAgentParser, SmartTv) {
+  EXPECT_EQ(ClassifyUserAgent("Mozilla/5.0 (SMART-TV; Linux; Tizen 5.0)"),
+            UaClass::kSmartTv);
+  EXPECT_EQ(ClassifyUserAgent("Roku/DVP-9.10 (519.10E04111A)"), UaClass::kSmartTv);
+  EXPECT_EQ(ClassifyUserAgent("Mozilla/5.0 (Web0S; Linux/SmartTV)"),
+            UaClass::kSmartTv);
+}
+
+TEST(UserAgentParser, Consoles) {
+  EXPECT_EQ(ClassifyUserAgent("Mozilla/5.0 (Nintendo Switch; WifiWebAuthApplet)"),
+            UaClass::kGameConsole);
+  EXPECT_EQ(ClassifyUserAgent("Mozilla/5.0 (PlayStation 4 7.02)"),
+            UaClass::kGameConsole);
+}
+
+TEST(UserAgentParser, XboxBeatsItsEmbeddedWindowsToken) {
+  EXPECT_EQ(ClassifyUserAgent("Mozilla/5.0 (Windows NT 10.0; Win64; x64; Xbox; "
+                              "Xbox One) Edge/44"),
+            UaClass::kGameConsole);
+}
+
+TEST(UserAgentParser, Unknown) {
+  EXPECT_EQ(ClassifyUserAgent(""), UaClass::kUnknown);
+  EXPECT_EQ(ClassifyUserAgent("curl/7.68.0"), UaClass::kUnknown);
+  EXPECT_EQ(ClassifyUserAgent("ESP8266HTTPClient"), UaClass::kUnknown);
+}
+
+// The simulator corpus and the parser must agree on every platform: this is
+// the contract that keeps classification evidence meaningful.
+struct CorpusCase {
+  world::UaPlatform platform;
+  UaClass expected;
+};
+
+class CorpusParseTest : public ::testing::TestWithParam<CorpusCase> {};
+
+TEST_P(CorpusParseTest, EveryCorpusStringParsesToItsPlatformClass) {
+  const CorpusCase c = GetParam();
+  for (std::string_view ua : world::UserAgentsFor(c.platform)) {
+    EXPECT_EQ(ClassifyUserAgent(ua), c.expected) << ua;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlatforms, CorpusParseTest,
+    ::testing::Values(
+        CorpusCase{world::UaPlatform::kWindowsDesktop, UaClass::kDesktop},
+        CorpusCase{world::UaPlatform::kMacDesktop, UaClass::kDesktop},
+        CorpusCase{world::UaPlatform::kLinuxDesktop, UaClass::kDesktop},
+        CorpusCase{world::UaPlatform::kIphone, UaClass::kMobile},
+        CorpusCase{world::UaPlatform::kIpad, UaClass::kMobile},
+        CorpusCase{world::UaPlatform::kAndroidPhone, UaClass::kMobile},
+        CorpusCase{world::UaPlatform::kSmartTv, UaClass::kSmartTv},
+        CorpusCase{world::UaPlatform::kGameConsole, UaClass::kGameConsole}));
+
+}  // namespace
+}  // namespace lockdown::classify

@@ -1,0 +1,93 @@
+#include "core/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdown::core {
+namespace {
+
+Flow MakeFlow(DeviceIndex dev, std::uint32_t start, DomainId domain = kNoDomain) {
+  Flow f;
+  f.device = dev;
+  f.start_offset_s = start;
+  f.duration_s = 10.0F;
+  f.domain = domain;
+  f.bytes_down = 100;
+  f.bytes_up = 10;
+  return f;
+}
+
+TEST(Dataset, DomainInterning) {
+  Dataset ds;
+  const DomainId a = ds.InternDomain("zoom.us");
+  const DomainId b = ds.InternDomain("netflix.com");
+  const DomainId a2 = ds.InternDomain("zoom.us");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, kNoDomain);
+  EXPECT_EQ(ds.DomainName(a), "zoom.us");
+  EXPECT_EQ(ds.DomainName(kNoDomain), "");
+  EXPECT_EQ(ds.InternDomain(""), kNoDomain);
+  EXPECT_EQ(ds.num_domains(), 3u);  // "", zoom.us, netflix.com
+}
+
+TEST(Dataset, DeviceRegistration) {
+  Dataset ds;
+  const DeviceIndex a = ds.AddDevice(privacy::DeviceId{111});
+  const DeviceIndex b = ds.AddDevice(privacy::DeviceId{222});
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(ds.device(a).id.value, 111u);
+  EXPECT_EQ(ds.num_devices(), 2u);
+}
+
+TEST(Dataset, FlowsOfDeviceAfterFinalize) {
+  Dataset ds;
+  const DeviceIndex a = ds.AddDevice(privacy::DeviceId{1});
+  const DeviceIndex b = ds.AddDevice(privacy::DeviceId{2});
+  const DeviceIndex c = ds.AddDevice(privacy::DeviceId{3});
+  ds.AddFlow(MakeFlow(b, 300));
+  ds.AddFlow(MakeFlow(a, 200));
+  ds.AddFlow(MakeFlow(b, 100));
+  ds.AddFlow(MakeFlow(a, 50));
+  ds.Finalize();
+  const auto a_flows = ds.FlowsOfDevice(a);
+  ASSERT_EQ(a_flows.size(), 2u);
+  EXPECT_EQ(a_flows[0].start_offset_s, 50u);  // time-sorted per device
+  EXPECT_EQ(a_flows[1].start_offset_s, 200u);
+  EXPECT_EQ(ds.FlowsOfDevice(b).size(), 2u);
+  EXPECT_TRUE(ds.FlowsOfDevice(c).empty());
+  EXPECT_EQ(ds.num_flows(), 4u);
+}
+
+TEST(Dataset, FlowsOfDeviceThrowsBeforeFinalize) {
+  Dataset ds;
+  const DeviceIndex a = ds.AddDevice(privacy::DeviceId{1});
+  EXPECT_THROW((void)ds.FlowsOfDevice(a), std::logic_error);
+}
+
+TEST(Dataset, FlowsOfDeviceBoundsChecked) {
+  Dataset ds;
+  ds.Finalize();
+  EXPECT_THROW((void)ds.FlowsOfDevice(0), std::out_of_range);
+}
+
+TEST(Dataset, TimeHelpers) {
+  Flow f;
+  f.start_offset_s = 3 * util::kSecondsPerDay + 7 * util::kSecondsPerHour;
+  EXPECT_EQ(Dataset::DayOf(f), 3);
+  EXPECT_EQ(Dataset::StartOf(f),
+            util::StudyCalendar::StartTs() + f.start_offset_s);
+}
+
+TEST(Dataset, ObservationsMutable) {
+  Dataset ds;
+  const DeviceIndex a = ds.AddDevice(privacy::DeviceId{1});
+  ds.device_mutable(a).observations.total_bytes = 42;
+  ds.device_mutable(a).observations.AddUserAgent("agent");
+  ds.device_mutable(a).observations.AddUserAgent("agent");  // dedup
+  EXPECT_EQ(ds.device(a).observations.total_bytes, 42u);
+  EXPECT_EQ(ds.device(a).observations.user_agents.size(), 1u);
+}
+
+}  // namespace
+}  // namespace lockdown::core

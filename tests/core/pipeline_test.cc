@@ -1,0 +1,140 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "sim/generator.h"
+#include "world/oui_db.h"
+
+namespace lockdown::core {
+namespace {
+
+// One shared small collection: pipeline runs are deterministic, and several
+// tests can examine the same result.
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    config_ = new StudyConfig(StudyConfig::Small(80, 77));
+    result_ = new CollectionResult(MeasurementPipeline::Collect(*config_));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete config_;
+    result_ = nullptr;
+    config_ = nullptr;
+  }
+
+  static StudyConfig* config_;
+  static CollectionResult* result_;
+};
+
+StudyConfig* PipelineTest::config_ = nullptr;
+CollectionResult* PipelineTest::result_ = nullptr;
+
+TEST_F(PipelineTest, ProducesNonTrivialDataset) {
+  EXPECT_GT(result_->dataset.num_flows(), 50000u);
+  EXPECT_GT(result_->dataset.num_devices(), 100u);
+  EXPECT_GT(result_->dataset.num_domains(), 50u);
+}
+
+TEST_F(PipelineTest, TapExclusionDropsTraffic) {
+  // iPhones sync to iCloud daily; Apple is on the exclusion list, so the
+  // counter must be busy.
+  EXPECT_GT(result_->stats.tap_excluded, 1000u);
+  // And no excluded-service address may appear in the dataset.
+  const auto& catalog = world::ServiceCatalog::Default();
+  for (const Flow& f : result_->dataset.flows()) {
+    const auto svc = catalog.FindByIp(f.server_ip);
+    ASSERT_TRUE(svc.has_value());
+    EXPECT_FALSE(catalog.Get(*svc).tap_excluded)
+        << catalog.Get(*svc).name;
+  }
+}
+
+TEST_F(PipelineTest, VisitorFilterApplied) {
+  EXPECT_LE(result_->stats.devices_retained, result_->stats.devices_observed);
+  EXPECT_EQ(result_->dataset.num_devices(), result_->stats.devices_retained);
+}
+
+TEST_F(PipelineTest, MostFlowsAttributedAndMapped) {
+  const auto& st = result_->stats;
+  EXPECT_LT(static_cast<double>(st.unattributed),
+            0.02 * static_cast<double>(st.raw_flows));
+  // Most flows should carry a DNS-mapped domain (raw-IP Zoom media being the
+  // main exception).
+  std::size_t with_domain = 0;
+  for (const Flow& f : result_->dataset.flows()) {
+    with_domain += f.domain != kNoDomain;
+  }
+  EXPECT_GT(static_cast<double>(with_domain),
+            0.9 * static_cast<double>(result_->dataset.num_flows()));
+}
+
+TEST_F(PipelineTest, ObservationsAccumulated) {
+  std::size_t with_ua = 0;
+  std::size_t with_oui = 0;
+  for (DeviceIndex i = 0; i < result_->dataset.num_devices(); ++i) {
+    const auto& obs = result_->dataset.device(i).observations;
+    EXPECT_GT(obs.flow_count, 0u);
+    EXPECT_GT(obs.total_bytes, 0u);
+    with_ua += !obs.user_agents.empty();
+    with_oui += !obs.locally_administered && obs.oui != 0;
+  }
+  EXPECT_GT(with_ua, 0u);
+  EXPECT_GT(with_oui, result_->dataset.num_devices() / 3);
+}
+
+TEST_F(PipelineTest, AnonymizationHidesMacs) {
+  // Device ids must not be raw MAC values: check that no id matches any
+  // population MAC under the trivial embedding.
+  sim::Population pop(config_->generator.population);
+  std::unordered_set<std::uint64_t> macs;
+  for (const auto& d : pop.devices()) macs.insert(d.mac.value());
+  for (DeviceIndex i = 0; i < result_->dataset.num_devices(); ++i) {
+    EXPECT_FALSE(macs.count(result_->dataset.device(i).id.value));
+  }
+}
+
+TEST_F(PipelineTest, AnonymizerLinksGroundTruth) {
+  // The exposed anonymizer (simulation-only) must map population MACs onto
+  // dataset device ids.
+  const auto anon = MeasurementPipeline::MakeAnonymizer(*config_);
+  sim::Population pop(config_->generator.population);
+  std::unordered_set<std::uint64_t> ids;
+  for (DeviceIndex i = 0; i < result_->dataset.num_devices(); ++i) {
+    ids.insert(result_->dataset.device(i).id.value);
+  }
+  std::size_t linked = 0;
+  for (const auto& d : pop.devices()) {
+    linked += ids.count(anon.AnonymizeMac(d.mac).value);
+  }
+  EXPECT_EQ(linked, result_->dataset.num_devices());
+}
+
+TEST_F(PipelineTest, DeterministicAcrossRuns) {
+  const auto again = MeasurementPipeline::Collect(*config_);
+  EXPECT_EQ(again.dataset.num_flows(), result_->dataset.num_flows());
+  EXPECT_EQ(again.dataset.num_devices(), result_->dataset.num_devices());
+  EXPECT_EQ(again.stats.tap_excluded, result_->stats.tap_excluded);
+  // Spot-check flow equality.
+  for (std::size_t i = 0; i < again.dataset.num_flows(); i += 1009) {
+    const Flow& a = again.dataset.flows()[i];
+    const Flow& b = result_->dataset.flows()[i];
+    EXPECT_EQ(a.start_offset_s, b.start_offset_s);
+    EXPECT_EQ(a.device, b.device);
+    EXPECT_EQ(a.bytes_down, b.bytes_down);
+  }
+}
+
+TEST_F(PipelineTest, DifferentSeedsProduceDifferentPseudonyms) {
+  auto cfg2 = *config_;
+  cfg2.generator.population.seed = config_->generator.population.seed + 1;
+  const auto anon1 = MeasurementPipeline::MakeAnonymizer(*config_);
+  const auto anon2 = MeasurementPipeline::MakeAnonymizer(cfg2);
+  const net::MacAddress mac(0x123456789ABCULL);
+  EXPECT_NE(anon1.AnonymizeMac(mac), anon2.AnonymizeMac(mac));
+}
+
+}  // namespace
+}  // namespace lockdown::core

@@ -1,0 +1,93 @@
+#include "dhcp/normalizer.h"
+
+#include <gtest/gtest.h>
+
+#include "dhcp/server.h"
+#include "util/rng.h"
+
+namespace lockdown::dhcp {
+namespace {
+
+using util::kSecondsPerHour;
+
+TEST(IpToMacNormalizer, BasicLookup) {
+  const net::Ipv4Address ip(10, 0, 0, 5);
+  const std::vector<Lease> log = {
+      {net::MacAddress(0xA), ip, 100, 200},
+  };
+  IpToMacNormalizer n(log);
+  EXPECT_EQ(n.Lookup(ip, 100), net::MacAddress(0xA));
+  EXPECT_EQ(n.Lookup(ip, 150), net::MacAddress(0xA));
+  EXPECT_EQ(n.Lookup(ip, 199), net::MacAddress(0xA));
+}
+
+TEST(IpToMacNormalizer, IntervalBoundsAreHalfOpen) {
+  const net::Ipv4Address ip(10, 0, 0, 5);
+  const std::vector<Lease> log = {{net::MacAddress(0xA), ip, 100, 200}};
+  IpToMacNormalizer n(log);
+  EXPECT_FALSE(n.Lookup(ip, 99).has_value());
+  EXPECT_FALSE(n.Lookup(ip, 200).has_value());
+}
+
+TEST(IpToMacNormalizer, UnknownIp) {
+  IpToMacNormalizer n(std::vector<Lease>{});
+  EXPECT_FALSE(n.Lookup(net::Ipv4Address(1, 2, 3, 4), 0).has_value());
+  EXPECT_EQ(n.num_ips(), 0u);
+}
+
+TEST(IpToMacNormalizer, IpReuseAcrossDevices) {
+  // The case the normalizer exists for: the same dynamic address held by
+  // different MACs at different times.
+  const net::Ipv4Address ip(10, 0, 0, 9);
+  const std::vector<Lease> log = {
+      {net::MacAddress(0xA), ip, 0, 100},
+      {net::MacAddress(0xB), ip, 100, 250},
+      {net::MacAddress(0xC), ip, 400, 500},
+  };
+  IpToMacNormalizer n(log);
+  EXPECT_EQ(n.Lookup(ip, 50), net::MacAddress(0xA));
+  EXPECT_EQ(n.Lookup(ip, 100), net::MacAddress(0xB));
+  EXPECT_EQ(n.Lookup(ip, 249), net::MacAddress(0xB));
+  EXPECT_FALSE(n.Lookup(ip, 300).has_value());  // gap between leases
+  EXPECT_EQ(n.Lookup(ip, 450), net::MacAddress(0xC));
+}
+
+TEST(IpToMacNormalizer, UnsortedLogInput) {
+  const net::Ipv4Address ip(10, 0, 0, 9);
+  const std::vector<Lease> log = {
+      {net::MacAddress(0xC), ip, 400, 500},
+      {net::MacAddress(0xA), ip, 0, 100},
+      {net::MacAddress(0xB), ip, 100, 250},
+  };
+  IpToMacNormalizer n(log);
+  EXPECT_EQ(n.Lookup(ip, 50), net::MacAddress(0xA));
+  EXPECT_EQ(n.Lookup(ip, 450), net::MacAddress(0xC));
+}
+
+TEST(IpToMacNormalizer, MatchesLinearReferenceOnChurnedLog) {
+  // Property check: index lookups agree with the brute-force reference on a
+  // realistic churned DHCP log with address recycling.
+  ServerConfig cfg;
+  cfg.lease_lifetime = 2 * kSecondsPerHour;
+  cfg.renew_same_ip_prob = 0.6;
+  Server server({net::Cidr(net::Ipv4Address(10, 0, 0, 0), 25)}, cfg,
+                util::Pcg32(3));
+  util::Pcg32 rng(5);
+  for (util::Timestamp t = 0; t < 20 * 24 * kSecondsPerHour; t += kSecondsPerHour) {
+    for (std::uint64_t m = 1; m <= 40; ++m) {
+      if (rng.Bernoulli(0.25)) (void)server.Acquire(net::MacAddress(m), t);
+    }
+  }
+  IpToMacNormalizer n(server.log());
+  util::Pcg32 qrng(11);
+  for (int q = 0; q < 2000; ++q) {
+    const net::Ipv4Address ip(10, 0, 0,
+                              static_cast<std::uint8_t>(qrng.NextBounded(128)));
+    const util::Timestamp ts = qrng.UniformInt(0, 20 * 24 * kSecondsPerHour);
+    EXPECT_EQ(n.Lookup(ip, ts), IpToMacNormalizer::LookupLinear(server.log(), ip, ts))
+        << ip.ToString() << " @ " << ts;
+  }
+}
+
+}  // namespace
+}  // namespace lockdown::dhcp

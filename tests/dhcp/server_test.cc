@@ -1,0 +1,130 @@
+#include "dhcp/server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "util/time.h"
+
+namespace lockdown::dhcp {
+namespace {
+
+using util::kSecondsPerHour;
+
+Server MakeServer(ServerConfig config = {}) {
+  return Server({net::Cidr(net::Ipv4Address(10, 0, 0, 0), 16)}, config,
+                util::Pcg32(42));
+}
+
+TEST(DhcpServer, FirstAcquireAssignsAddress) {
+  Server s = MakeServer();
+  const net::MacAddress mac(0x111111111111ULL);
+  const net::Ipv4Address ip = s.Acquire(mac, 1000);
+  EXPECT_NE(ip.value(), 0u);
+  ASSERT_EQ(s.log().size(), 1u);
+  EXPECT_EQ(s.log()[0].mac, mac);
+  EXPECT_EQ(s.log()[0].ip, ip);
+  EXPECT_EQ(s.log()[0].start, 1000);
+}
+
+TEST(DhcpServer, RenewalWithinLeaseKeepsAddressAndExtends) {
+  ServerConfig cfg;
+  cfg.lease_lifetime = 6 * kSecondsPerHour;
+  Server s = MakeServer(cfg);
+  const net::MacAddress mac(0x1ULL);
+  const net::Ipv4Address ip1 = s.Acquire(mac, 0);
+  const net::Ipv4Address ip2 = s.Acquire(mac, 3 * kSecondsPerHour);
+  EXPECT_EQ(ip1, ip2);
+  ASSERT_EQ(s.log().size(), 1u);  // extended in place, not re-logged
+  EXPECT_EQ(s.log()[0].end, 9 * kSecondsPerHour);
+}
+
+TEST(DhcpServer, DistinctMacsGetDistinctLiveAddresses) {
+  Server s = MakeServer();
+  const net::Ipv4Address a = s.Acquire(net::MacAddress(1), 0);
+  const net::Ipv4Address b = s.Acquire(net::MacAddress(2), 0);
+  const net::Ipv4Address c = s.Acquire(net::MacAddress(3), 0);
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_NE(a, c);
+}
+
+TEST(DhcpServer, ExpiredLeaseMayRebindToNewAddress) {
+  ServerConfig cfg;
+  cfg.lease_lifetime = kSecondsPerHour;
+  cfg.renew_same_ip_prob = 0.0;  // force re-binding
+  Server s = MakeServer(cfg);
+  const net::MacAddress mac(0x5ULL);
+  const net::Ipv4Address ip1 = s.Acquire(mac, 0);
+  const net::Ipv4Address ip2 = s.Acquire(mac, 10 * kSecondsPerHour);
+  EXPECT_NE(ip1, ip2);
+  EXPECT_EQ(s.log().size(), 2u);
+}
+
+TEST(DhcpServer, ExpiredLeaseUsuallyKeepsAddress) {
+  ServerConfig cfg;
+  cfg.lease_lifetime = kSecondsPerHour;
+  cfg.renew_same_ip_prob = 1.0;
+  Server s = MakeServer(cfg);
+  const net::MacAddress mac(0x6ULL);
+  const net::Ipv4Address ip1 = s.Acquire(mac, 0);
+  const net::Ipv4Address ip2 = s.Acquire(mac, 10 * kSecondsPerHour);
+  EXPECT_EQ(ip1, ip2);
+  // Same address but a fresh binding entry (there was a coverage gap).
+  EXPECT_EQ(s.log().size(), 2u);
+}
+
+TEST(DhcpServer, RecyclesFreedAddresses) {
+  ServerConfig cfg;
+  cfg.lease_lifetime = kSecondsPerHour;
+  cfg.renew_same_ip_prob = 0.0;
+  Server s = MakeServer(cfg);
+  const net::Ipv4Address first = s.Acquire(net::MacAddress(1), 0);
+  // Device 1 re-binds; its old address goes on the free list.
+  (void)s.Acquire(net::MacAddress(1), 10 * kSecondsPerHour);
+  // A new device should pick up the recycled address.
+  const net::Ipv4Address second = s.Acquire(net::MacAddress(2), 11 * kSecondsPerHour);
+  EXPECT_EQ(second, first);
+}
+
+TEST(DhcpServer, LogIntervalsForSameIpNeverOverlap) {
+  ServerConfig cfg;
+  cfg.lease_lifetime = 2 * kSecondsPerHour;
+  cfg.renew_same_ip_prob = 0.5;
+  Server s(std::vector<net::Cidr>{net::Cidr(net::Ipv4Address(10, 0, 0, 0), 26)},
+           cfg, util::Pcg32(7));
+  util::Pcg32 rng(99);
+  // Churn 30 devices over simulated days against a tiny /26 pool.
+  for (util::Timestamp t = 0; t < 40 * 24 * kSecondsPerHour;
+       t += kSecondsPerHour) {
+    for (std::uint64_t m = 1; m <= 30; ++m) {
+      if (rng.Bernoulli(0.3)) (void)s.Acquire(net::MacAddress(m), t);
+    }
+  }
+  std::map<std::uint32_t, std::vector<Lease>> by_ip;
+  for (const Lease& l : s.log()) by_ip[l.ip.value()].push_back(l);
+  for (auto& [ip, leases] : by_ip) {
+    std::sort(leases.begin(), leases.end(),
+              [](const Lease& a, const Lease& b) { return a.start < b.start; });
+    for (std::size_t i = 1; i < leases.size(); ++i) {
+      EXPECT_LE(leases[i - 1].end, leases[i].start)
+          << "overlap on ip " << net::Ipv4Address(ip).ToString();
+    }
+  }
+}
+
+TEST(DhcpServer, ThrowsWithNoPools) {
+  EXPECT_THROW(Server({}, ServerConfig{}, util::Pcg32(1)), std::invalid_argument);
+}
+
+TEST(DhcpServer, CountsClients) {
+  Server s = MakeServer();
+  (void)s.Acquire(net::MacAddress(1), 0);
+  (void)s.Acquire(net::MacAddress(2), 0);
+  (void)s.Acquire(net::MacAddress(1), 10);
+  EXPECT_EQ(s.num_clients(), 2u);
+}
+
+}  // namespace
+}  // namespace lockdown::dhcp

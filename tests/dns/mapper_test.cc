@@ -1,0 +1,69 @@
+#include "dns/mapper.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdown::dns {
+namespace {
+
+Resolution Res(util::Timestamp ts, std::string qname, net::Ipv4Address ip) {
+  return Resolution{ts, net::MacAddress(1), std::move(qname), ip, 300};
+}
+
+TEST(IpToDomainMapper, BasicReverseLookup) {
+  const net::Ipv4Address ip(52, 1, 0, 1);
+  const std::vector<Resolution> log = {Res(100, "zoom.us", ip)};
+  IpToDomainMapper m(log);
+  EXPECT_EQ(m.Lookup(ip, 100), "zoom.us");
+  EXPECT_EQ(m.Lookup(ip, 99999), "zoom.us");  // sticky after resolution
+}
+
+TEST(IpToDomainMapper, NothingBeforeFirstResolution) {
+  const net::Ipv4Address ip(52, 1, 0, 1);
+  const std::vector<Resolution> log = {Res(100, "zoom.us", ip)};
+  IpToDomainMapper m(log);
+  EXPECT_FALSE(m.Lookup(ip, 99).has_value());
+}
+
+TEST(IpToDomainMapper, UnknownAddress) {
+  IpToDomainMapper m(std::vector<Resolution>{});
+  EXPECT_FALSE(m.Lookup(net::Ipv4Address(8, 8, 8, 8), 1000).has_value());
+  EXPECT_EQ(m.num_ips(), 0u);
+}
+
+TEST(IpToDomainMapper, MostRecentNameWins) {
+  // A shared CDN-ish address serving different names over time: the mapper
+  // must return the name contemporaneous with the flow.
+  const net::Ipv4Address ip(52, 9, 9, 9);
+  const std::vector<Resolution> log = {
+      Res(100, "alpha.example", ip),
+      Res(500, "beta.example", ip),
+      Res(900, "alpha.example", ip),
+  };
+  IpToDomainMapper m(log);
+  EXPECT_EQ(m.Lookup(ip, 300), "alpha.example");
+  EXPECT_EQ(m.Lookup(ip, 500), "beta.example");
+  EXPECT_EQ(m.Lookup(ip, 899), "beta.example");
+  EXPECT_EQ(m.Lookup(ip, 2000), "alpha.example");
+}
+
+TEST(IpToDomainMapper, ConsecutiveDuplicatesCollapsed) {
+  const net::Ipv4Address ip(52, 1, 2, 3);
+  std::vector<Resolution> log;
+  for (int i = 0; i < 100; ++i) log.push_back(Res(i * 300, "steamcontent.com", ip));
+  IpToDomainMapper m(log);
+  EXPECT_EQ(m.num_ips(), 1u);
+  EXPECT_EQ(m.Lookup(ip, 15000), "steamcontent.com");
+}
+
+TEST(IpToDomainMapper, DistinctAddressesIndependent) {
+  const net::Ipv4Address a(1, 1, 1, 1);
+  const net::Ipv4Address b(2, 2, 2, 2);
+  const std::vector<Resolution> log = {Res(0, "a.example", a), Res(0, "b.example", b)};
+  IpToDomainMapper m(log);
+  EXPECT_EQ(m.Lookup(a, 10), "a.example");
+  EXPECT_EQ(m.Lookup(b, 10), "b.example");
+  EXPECT_EQ(m.num_ips(), 2u);
+}
+
+}  // namespace
+}  // namespace lockdown::dns

@@ -1,0 +1,90 @@
+#include "dns/resolver.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdown::dns {
+namespace {
+
+AuthorityFn TwoNameAuthority() {
+  return [](std::string_view qname) -> std::vector<net::Ipv4Address> {
+    if (qname == "zoom.us") {
+      return {net::Ipv4Address(52, 1, 0, 1), net::Ipv4Address(52, 1, 0, 2)};
+    }
+    if (qname == "example.org") {
+      return {net::Ipv4Address(93, 184, 216, 34)};
+    }
+    return {};
+  };
+}
+
+Resolver MakeResolver(ResolverConfig cfg = {}) {
+  return Resolver(TwoNameAuthority(), cfg, util::Pcg32(1));
+}
+
+TEST(Resolver, ResolvesKnownName) {
+  Resolver r = MakeResolver();
+  const auto ip = r.Resolve(net::MacAddress(1), "example.org", 0);
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(*ip, net::Ipv4Address(93, 184, 216, 34));
+}
+
+TEST(Resolver, NxDomain) {
+  Resolver r = MakeResolver();
+  EXPECT_FALSE(r.Resolve(net::MacAddress(1), "no-such-host.invalid", 0).has_value());
+  EXPECT_TRUE(r.log().empty());
+}
+
+TEST(Resolver, AnswerComesFromAuthoritySet) {
+  Resolver r = MakeResolver();
+  const auto ip = r.Resolve(net::MacAddress(1), "zoom.us", 0);
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_TRUE(*ip == net::Ipv4Address(52, 1, 0, 1) ||
+              *ip == net::Ipv4Address(52, 1, 0, 2));
+}
+
+TEST(Resolver, CachesWithinTtl) {
+  ResolverConfig cfg;
+  cfg.default_ttl = 300;
+  Resolver r = MakeResolver(cfg);
+  const auto first = r.Resolve(net::MacAddress(1), "zoom.us", 1000);
+  const auto second = r.Resolve(net::MacAddress(2), "zoom.us", 1200);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(r.cache_hits(), 1u);
+  EXPECT_EQ(r.cache_misses(), 1u);
+  EXPECT_EQ(r.log().size(), 1u);  // cache hits are not new log entries
+}
+
+TEST(Resolver, ReResolvesAfterTtlExpiry) {
+  ResolverConfig cfg;
+  cfg.default_ttl = 300;
+  Resolver r = MakeResolver(cfg);
+  (void)r.Resolve(net::MacAddress(1), "zoom.us", 1000);
+  (void)r.Resolve(net::MacAddress(1), "zoom.us", 1300);  // TTL elapsed
+  EXPECT_EQ(r.cache_misses(), 2u);
+  EXPECT_EQ(r.log().size(), 2u);
+}
+
+TEST(Resolver, LogRecordsClientAndName) {
+  Resolver r = MakeResolver();
+  (void)r.Resolve(net::MacAddress(0xAB), "example.org", 777);
+  ASSERT_EQ(r.log().size(), 1u);
+  const Resolution& res = r.log()[0];
+  EXPECT_EQ(res.client, net::MacAddress(0xAB));
+  EXPECT_EQ(res.qname, "example.org");
+  EXPECT_EQ(res.ts, 777);
+  EXPECT_EQ(res.ttl, 300);
+}
+
+TEST(Resolver, LogCapRespected) {
+  ResolverConfig cfg;
+  cfg.default_ttl = 1;  // force a miss every call
+  cfg.max_log_entries = 3;
+  Resolver r = MakeResolver(cfg);
+  for (int i = 0; i < 10; ++i) {
+    (void)r.Resolve(net::MacAddress(1), "example.org", i * 10);
+  }
+  EXPECT_EQ(r.log().size(), 3u);
+}
+
+}  // namespace
+}  // namespace lockdown::dns

@@ -1,0 +1,157 @@
+#include "flow/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lockdown::flow {
+namespace {
+
+using util::kSecondsPerMinute;
+
+net::FiveTuple Tuple(std::uint32_t src, std::uint16_t sport,
+                     std::uint32_t dst = 0x08080808, std::uint16_t dport = 443) {
+  return net::FiveTuple{net::Ipv4Address(src), net::Ipv4Address(dst), sport, dport,
+                        net::Protocol::kTcp};
+}
+
+class AssemblerTest : public ::testing::Test {
+ protected:
+  std::vector<FlowRecord> records_;
+  Assembler assembler_{AssemblerConfig{},
+                       [this](const FlowRecord& r) { records_.push_back(r); }};
+};
+
+TEST_F(AssemblerTest, OpenCloseProducesOneFlow) {
+  const auto t = Tuple(1, 40000);
+  assembler_.Ingest({100, EventKind::kOpen, t, 0, 0});
+  assembler_.Ingest({160, EventKind::kClose, t, 500, 9000});
+  ASSERT_EQ(records_.size(), 1u);
+  EXPECT_EQ(records_[0].start, 100);
+  EXPECT_DOUBLE_EQ(records_[0].duration_s, 60.0);
+  EXPECT_EQ(records_[0].bytes_up, 500u);
+  EXPECT_EQ(records_[0].bytes_down, 9000u);
+  EXPECT_EQ(records_[0].client_ip, net::Ipv4Address(1));
+  EXPECT_EQ(records_[0].server_port, 443);
+}
+
+TEST_F(AssemblerTest, DataEventsAccumulate) {
+  const auto t = Tuple(1, 40000);
+  assembler_.Ingest({0, EventKind::kOpen, t, 0, 0});
+  assembler_.Ingest({10, EventKind::kData, t, 100, 1000});
+  assembler_.Ingest({20, EventKind::kData, t, 100, 2000});
+  assembler_.Ingest({30, EventKind::kClose, t, 100, 3000});
+  ASSERT_EQ(records_.size(), 1u);
+  EXPECT_EQ(records_[0].bytes_up, 300u);
+  EXPECT_EQ(records_[0].bytes_down, 6000u);
+}
+
+TEST_F(AssemblerTest, ConcurrentConnectionsKeptSeparate) {
+  const auto a = Tuple(1, 40000);
+  const auto b = Tuple(1, 40001);
+  const auto c = Tuple(2, 40000);
+  assembler_.Ingest({0, EventKind::kOpen, a, 0, 0});
+  assembler_.Ingest({1, EventKind::kOpen, b, 0, 0});
+  assembler_.Ingest({2, EventKind::kOpen, c, 0, 0});
+  EXPECT_EQ(assembler_.table_size(), 3u);
+  assembler_.Ingest({10, EventKind::kClose, b, 0, 10});
+  assembler_.Ingest({20, EventKind::kClose, a, 0, 20});
+  assembler_.Ingest({30, EventKind::kClose, c, 0, 30});
+  ASSERT_EQ(records_.size(), 3u);
+  EXPECT_EQ(records_[0].bytes_down, 10u);
+  EXPECT_EQ(records_[1].bytes_down, 20u);
+  EXPECT_EQ(records_[2].bytes_down, 30u);
+}
+
+TEST_F(AssemblerTest, InactivityTimeoutSplitsIdleConnection) {
+  AssemblerConfig cfg;
+  cfg.inactivity_timeout = 15 * kSecondsPerMinute;
+  cfg.sweep_interval = kSecondsPerMinute;
+  std::vector<FlowRecord> recs;
+  Assembler a(cfg, [&recs](const FlowRecord& r) { recs.push_back(r); });
+  const auto t = Tuple(1, 40000);
+  a.Ingest({0, EventKind::kOpen, t, 0, 1000});
+  // An hour of silence, then more activity on the same tuple.
+  a.Ingest({3600, EventKind::kData, t, 0, 2000});
+  a.Ingest({3700, EventKind::kClose, t, 0, 3000});
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].bytes_down, 1000u);  // flushed by the idle sweep
+  // The reopened segment is a partial connection (its open was the sweep's
+  // leftover data event).
+  EXPECT_EQ(recs[1].bytes_down, 5000u);
+  EXPECT_EQ(a.partial_events(), 1u);
+}
+
+TEST_F(AssemblerTest, ActiveLongFlowSurvivesSweeps) {
+  AssemblerConfig cfg;
+  cfg.inactivity_timeout = 15 * kSecondsPerMinute;
+  cfg.sweep_interval = kSecondsPerMinute;
+  std::vector<FlowRecord> recs;
+  Assembler a(cfg, [&recs](const FlowRecord& r) { recs.push_back(r); });
+  const auto t = Tuple(1, 40000);
+  a.Ingest({0, EventKind::kOpen, t, 0, 0});
+  // Data every 5 minutes for 2 hours: never idle past the timeout.
+  for (int i = 1; i <= 24; ++i) {
+    a.Ingest({i * 5 * kSecondsPerMinute, EventKind::kData, t, 10, 100});
+  }
+  a.Ingest({121 * kSecondsPerMinute, EventKind::kClose, t, 0, 0});
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].bytes_down, 2400u);
+  EXPECT_NEAR(recs[0].duration_s, 121 * 60.0, 1.0);
+}
+
+TEST_F(AssemblerTest, CloseWithoutOpenIsPartial) {
+  assembler_.Ingest({10, EventKind::kClose, Tuple(1, 40000), 5, 5});
+  EXPECT_EQ(records_.size(), 0u);
+  EXPECT_EQ(assembler_.partial_events(), 1u);
+}
+
+TEST_F(AssemblerTest, DataWithoutOpenStartsPartialConnection) {
+  const auto t = Tuple(1, 40000);
+  assembler_.Ingest({10, EventKind::kData, t, 5, 50});
+  assembler_.Ingest({20, EventKind::kClose, t, 5, 50});
+  ASSERT_EQ(records_.size(), 1u);
+  EXPECT_EQ(records_[0].start, 10);
+  EXPECT_EQ(records_[0].bytes_down, 100u);
+  EXPECT_EQ(assembler_.partial_events(), 1u);
+}
+
+TEST_F(AssemblerTest, TupleReuseFlushesOldConnection) {
+  const auto t = Tuple(1, 40000);
+  assembler_.Ingest({0, EventKind::kOpen, t, 0, 100});
+  assembler_.Ingest({50, EventKind::kOpen, t, 0, 200});  // reuse before close
+  ASSERT_EQ(records_.size(), 1u);
+  EXPECT_EQ(records_[0].bytes_down, 100u);
+  assembler_.Ingest({60, EventKind::kClose, t, 0, 0});
+  ASSERT_EQ(records_.size(), 2u);
+  EXPECT_EQ(records_[1].bytes_down, 200u);
+}
+
+TEST_F(AssemblerTest, FinishFlushesEverything) {
+  assembler_.Ingest({0, EventKind::kOpen, Tuple(1, 1), 0, 1});
+  assembler_.Ingest({0, EventKind::kOpen, Tuple(1, 2), 0, 2});
+  EXPECT_EQ(records_.size(), 0u);
+  assembler_.Finish();
+  EXPECT_EQ(records_.size(), 2u);
+  EXPECT_EQ(assembler_.table_size(), 0u);
+}
+
+TEST_F(AssemblerTest, OutOfOrderTimestampsClamped) {
+  const auto t = Tuple(1, 40000);
+  assembler_.Ingest({100, EventKind::kOpen, t, 0, 0});
+  assembler_.Ingest({90, EventKind::kClose, t, 0, 10});  // earlier ts
+  ASSERT_EQ(records_.size(), 1u);
+  EXPECT_GE(records_[0].duration_s, 0.0);
+}
+
+TEST_F(AssemblerTest, CountsEmitted) {
+  for (std::uint16_t i = 0; i < 50; ++i) {
+    const auto t = Tuple(1, static_cast<std::uint16_t>(40000 + i));
+    assembler_.Ingest({i, EventKind::kOpen, t, 0, 0});
+    assembler_.Ingest({i + 100u, EventKind::kClose, t, 0, 0});
+  }
+  EXPECT_EQ(assembler_.records_emitted(), 50u);
+}
+
+}  // namespace
+}  // namespace lockdown::flow

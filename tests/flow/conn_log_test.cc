@@ -1,0 +1,89 @@
+#include "flow/conn_log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lockdown::flow {
+namespace {
+
+FlowRecord MakeRecord() {
+  FlowRecord r;
+  r.start = 1580546400;
+  r.duration_s = 12.5;
+  r.client_ip = net::Ipv4Address(10, 1, 2, 3);
+  r.server_ip = net::Ipv4Address(64, 0, 0, 7);
+  r.server_port = 443;
+  r.proto = net::Protocol::kTcp;
+  r.bytes_up = 1234;
+  r.bytes_down = 987654;
+  return r;
+}
+
+TEST(ConnLog, RoundTrip) {
+  std::vector<FlowRecord> in = {MakeRecord()};
+  in.push_back(MakeRecord());
+  in[1].proto = net::Protocol::kUdp;
+  in[1].server_port = 8801;
+
+  std::ostringstream out;
+  WriteConnLog(out, in);
+  const auto parsed = ReadConnLog(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].start, in[0].start);
+  EXPECT_DOUBLE_EQ((*parsed)[0].duration_s, in[0].duration_s);
+  EXPECT_EQ((*parsed)[0].client_ip, in[0].client_ip);
+  EXPECT_EQ((*parsed)[0].server_ip, in[0].server_ip);
+  EXPECT_EQ((*parsed)[0].bytes_down, in[0].bytes_down);
+  EXPECT_EQ((*parsed)[1].proto, net::Protocol::kUdp);
+  EXPECT_EQ((*parsed)[1].server_port, 8801);
+}
+
+TEST(ConnLog, EmptyLog) {
+  std::ostringstream out;
+  WriteConnLog(out, {});
+  const auto parsed = ReadConnLog(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(ConnLog, RejectsMissingHeader) {
+  EXPECT_FALSE(ReadConnLog("1\t2\t10.0.0.1\t8.8.8.8\t443\ttcp\t1\t2\n").has_value());
+}
+
+TEST(ConnLog, RejectsMalformedRow) {
+  std::ostringstream out;
+  WriteConnLog(out, {MakeRecord()});
+  std::string text = out.str();
+  text += "not\ta\tvalid\trow\n";
+  EXPECT_FALSE(ReadConnLog(text).has_value());
+}
+
+TEST(ConnLog, RejectsBadPort) {
+  std::ostringstream out;
+  WriteConnLog(out, {});
+  std::string text = out.str();
+  text += "1\t2\t10.0.0.1\t8.8.8.8\t70000\ttcp\t1\t2\n";
+  EXPECT_FALSE(ReadConnLog(text).has_value());
+}
+
+TEST(ConnLog, RejectsUnknownProto) {
+  std::ostringstream out;
+  WriteConnLog(out, {});
+  std::string text = out.str();
+  text += "1\t2\t10.0.0.1\t8.8.8.8\t443\tsctp\t1\t2\n";
+  EXPECT_FALSE(ReadConnLog(text).has_value());
+}
+
+TEST(ConnLog, SkipsBlankLines) {
+  std::ostringstream out;
+  WriteConnLog(out, {MakeRecord()});
+  const std::string text = out.str() + "\n\n";
+  const auto parsed = ReadConnLog(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 1u);
+}
+
+}  // namespace
+}  // namespace lockdown::flow

@@ -1,0 +1,95 @@
+#include "geo/geodesy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lockdown::geo {
+namespace {
+
+constexpr world::GeoPoint kSanDiego{32.72, -117.16};
+constexpr world::GeoPoint kShanghai{31.23, 121.47};
+constexpr world::GeoPoint kLondon{51.51, -0.13};
+
+TEST(Geodesy, UnitVectorRoundTrip) {
+  for (const world::GeoPoint p : {kSanDiego, kShanghai, kLondon,
+                                  world::GeoPoint{0, 0}, world::GeoPoint{-45, 170}}) {
+    const world::GeoPoint back = ToGeoPoint(ToUnitVector(p));
+    EXPECT_NEAR(back.lat, p.lat, 1e-9);
+    EXPECT_NEAR(back.lon, p.lon, 1e-9);
+  }
+}
+
+TEST(Geodesy, PolesAndAntimeridian) {
+  const world::GeoPoint north{90, 0};
+  EXPECT_NEAR(ToGeoPoint(ToUnitVector(north)).lat, 90.0, 1e-9);
+  const world::GeoPoint anti{10, 180};
+  EXPECT_NEAR(std::abs(ToGeoPoint(ToUnitVector(anti)).lon), 180.0, 1e-9);
+}
+
+TEST(Geodesy, ZeroVectorMapsToNullIsland) {
+  const world::GeoPoint p = ToGeoPoint(Vec3{0, 0, 0});
+  EXPECT_EQ(p.lat, 0.0);
+  EXPECT_EQ(p.lon, 0.0);
+}
+
+TEST(Geodesy, GreatCircleKnownDistances) {
+  // San Diego <-> Shanghai is ~10,800 km.
+  EXPECT_NEAR(GreatCircleKm(kSanDiego, kShanghai), 10800, 250);
+  // London <-> San Diego is ~8,750 km.
+  EXPECT_NEAR(GreatCircleKm(kLondon, kSanDiego), 8750, 250);
+  EXPECT_NEAR(GreatCircleKm(kSanDiego, kSanDiego), 0.0, 1e-6);
+}
+
+TEST(Midpoint, EqualWeightsSymmetric) {
+  MidpointAccumulator acc;
+  acc.Add({10, 20}, 1.0);
+  acc.Add({-10, 20}, 1.0);
+  const world::GeoPoint mid = acc.Midpoint();
+  EXPECT_NEAR(mid.lat, 0.0, 1e-9);
+  EXPECT_NEAR(mid.lon, 20.0, 1e-9);
+}
+
+TEST(Midpoint, WeightsPullTheMidpoint) {
+  MidpointAccumulator heavy_us;
+  heavy_us.Add(kSanDiego, 9.0);
+  heavy_us.Add(kShanghai, 1.0);
+  // 90% US bytes: midpoint stays near the US west coast.
+  EXPECT_LT(GreatCircleKm(heavy_us.Midpoint(), kSanDiego), 2500);
+
+  MidpointAccumulator heavy_cn;
+  heavy_cn.Add(kSanDiego, 1.0);
+  heavy_cn.Add(kShanghai, 9.0);
+  EXPECT_LT(GreatCircleKm(heavy_cn.Midpoint(), kShanghai), 2500);
+}
+
+TEST(Midpoint, BalancedUsChinaLandsInThePacific) {
+  // The key mechanism of §4.2: a student splitting traffic between the US
+  // and China has a mid-Pacific midpoint — outside the US border.
+  MidpointAccumulator acc;
+  acc.Add(kSanDiego, 1.0);
+  acc.Add(kShanghai, 1.0);
+  const world::GeoPoint mid = acc.Midpoint();
+  EXPECT_GT(GreatCircleKm(mid, kSanDiego), 3000);
+  EXPECT_GT(GreatCircleKm(mid, kShanghai), 3000);
+}
+
+TEST(Midpoint, ZeroAndNegativeWeightsIgnored) {
+  MidpointAccumulator acc;
+  acc.Add(kShanghai, 0.0);
+  acc.Add(kShanghai, -5.0);
+  EXPECT_TRUE(acc.empty());
+  acc.Add(kSanDiego, 1.0);
+  EXPECT_FALSE(acc.empty());
+  EXPECT_NEAR(acc.Midpoint().lat, kSanDiego.lat, 1e-9);
+}
+
+TEST(Midpoint, TotalWeightAccumulates) {
+  MidpointAccumulator acc;
+  acc.Add(kSanDiego, 100.0);
+  acc.Add(kLondon, 200.0);
+  EXPECT_DOUBLE_EQ(acc.total_weight(), 300.0);
+}
+
+}  // namespace
+}  // namespace lockdown::geo

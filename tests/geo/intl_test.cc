@@ -1,0 +1,123 @@
+#include "geo/intl.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdown::geo {
+namespace {
+
+using privacy::DeviceId;
+
+class IntlTest : public ::testing::Test {
+ protected:
+  IntlTest() : geo_(world::ServiceCatalog::Default()), classifier_(geo_) {}
+
+  net::Ipv4Address ServiceIp(const char* name) const {
+    const auto& cat = world::ServiceCatalog::Default();
+    return cat.Get(*cat.FindByName(name)).block.At(7);
+  }
+
+  static util::Timestamp Feb(int day) {
+    return util::TimestampOf(util::CivilDateTime{{2020, 2, day}, 12, 0, 0});
+  }
+
+  world::GeoDatabase geo_;
+  InternationalClassifier classifier_;
+};
+
+TEST_F(IntlTest, UsOnlyTrafficIsDomestic) {
+  const DeviceId dev{1};
+  classifier_.Observe(dev, ServiceIp("netflix"), 1'000'000, Feb(5));
+  classifier_.Observe(dev, ServiceIp("facebook"), 500'000, Feb(6));
+  const auto result = classifier_.Classify(dev);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->international);
+}
+
+TEST_F(IntlTest, ChinaHeavyTrafficIsInternational) {
+  const DeviceId dev{2};
+  classifier_.Observe(dev, ServiceIp("bilibili"), 5'000'000, Feb(5));
+  classifier_.Observe(dev, ServiceIp("baidu"), 2'000'000, Feb(6));
+  classifier_.Observe(dev, ServiceIp("netflix"), 1'000'000, Feb(7));
+  const auto result = classifier_.Classify(dev);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->international);
+}
+
+TEST_F(IntlTest, BalancedUsChinaMidpointIsInternational) {
+  // Equal bytes to each side of the Pacific land the midpoint in the ocean:
+  // outside the US, so international (§4.2's conservative direction works
+  // the other way: a *mostly*-US mix stays domestic).
+  const DeviceId dev{3};
+  classifier_.Observe(dev, ServiceIp("bilibili"), 1'000'000, Feb(10));
+  classifier_.Observe(dev, ServiceIp("netflix"), 1'000'000, Feb(11));
+  const auto result = classifier_.Classify(dev);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->international);
+}
+
+TEST_F(IntlTest, MostlyUsMixStaysDomestic) {
+  // A realistic device touches US services coast to coast; its midpoint sits
+  // inland, so a small foreign fraction cannot drag it across the border.
+  // (A device visiting ONLY west-coast services sits so close to the Pacific
+  // that even 10% Chinese bytes pushes it offshore — the conservative
+  // misclassification direction the paper acknowledges.)
+  const DeviceId dev{4};
+  classifier_.Observe(dev, ServiceIp("netflix"), 4'000'000, Feb(10));   // west
+  classifier_.Observe(dev, ServiceIp("facebook"), 3'000'000, Feb(10));  // east
+  classifier_.Observe(dev, ServiceIp("walmart"), 2'000'000, Feb(11));   // central
+  classifier_.Observe(dev, ServiceIp("bilibili"), 1'000'000, Feb(11));
+  const auto result = classifier_.Classify(dev);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->international);
+}
+
+TEST_F(IntlTest, CdnTrafficExcluded) {
+  // A device whose only February traffic hit CDNs has no usable geolocation
+  // ("we exclude these CDNs because they give information about the user's
+  //  device location", §4.2).
+  const DeviceId dev{5};
+  classifier_.Observe(dev, ServiceIp("akamai"), 50'000'000, Feb(3));
+  classifier_.Observe(dev, ServiceIp("cloudfront"), 50'000'000, Feb(4));
+  EXPECT_FALSE(classifier_.Classify(dev).has_value());
+}
+
+TEST_F(IntlTest, CdnBytesDoNotDragMidpointHome) {
+  // CDN edges serve from next to campus; counting them would pull every
+  // international student's midpoint into the US.
+  const DeviceId dev{6};
+  classifier_.Observe(dev, ServiceIp("akamai"), 100'000'000, Feb(3));
+  classifier_.Observe(dev, ServiceIp("bilibili"), 2'000'000, Feb(4));
+  const auto result = classifier_.Classify(dev);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->international);
+}
+
+TEST_F(IntlTest, TrafficOutsideFebruaryIgnored) {
+  const DeviceId dev{7};
+  const auto march = util::TimestampOf(util::CivilDate{2020, 3, 5});
+  classifier_.Observe(dev, ServiceIp("bilibili"), 5'000'000, march);
+  EXPECT_FALSE(classifier_.Classify(dev).has_value());
+}
+
+TEST_F(IntlTest, UnknownAddressesIgnored) {
+  const DeviceId dev{8};
+  classifier_.Observe(dev, net::Ipv4Address(203, 0, 113, 9), 1'000'000, Feb(2));
+  EXPECT_FALSE(classifier_.Classify(dev).has_value());
+}
+
+TEST_F(IntlTest, UnseenDeviceHasNoResult) {
+  EXPECT_FALSE(classifier_.Classify(DeviceId{999}).has_value());
+  EXPECT_EQ(classifier_.num_devices(), 0u);
+}
+
+TEST_F(IntlTest, EuropeanTrafficInternational) {
+  const DeviceId dev{10};
+  classifier_.Observe(dev, ServiceIp("bbc"), 4'000'000, Feb(8));
+  classifier_.Observe(dev, ServiceIp("spiegel"), 4'000'000, Feb(9));
+  const auto result = classifier_.Classify(dev);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->international);
+}
+
+}  // namespace
+}  // namespace lockdown::geo

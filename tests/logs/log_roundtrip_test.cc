@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "logs/dhcp_log.h"
+#include "logs/dns_log.h"
+#include "logs/ua_log.h"
+
+namespace lockdown::logs {
+namespace {
+
+TEST(DhcpLog, RoundTrip) {
+  std::vector<dhcp::Lease> leases = {
+      {net::MacAddress(0xA483E7000001ULL), net::Ipv4Address(10, 0, 0, 1), 100, 200},
+      {net::MacAddress(0x02DEADBEEF01ULL), net::Ipv4Address(10, 0, 3, 77), 150, 900},
+  };
+  std::ostringstream out;
+  WriteDhcpLog(out, leases);
+  const auto parsed = ReadDhcpLog(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0], leases[0]);
+  EXPECT_EQ((*parsed)[1], leases[1]);
+}
+
+TEST(DhcpLog, RejectsMalformed) {
+  EXPECT_FALSE(ReadDhcpLog("no header\n").has_value());
+  EXPECT_FALSE(
+      ReadDhcpLog("start\tend\tmac\tip\n1\t2\tnot-a-mac\t10.0.0.1\n").has_value());
+  EXPECT_FALSE(
+      ReadDhcpLog("start\tend\tmac\tip\n1\t2\taa:bb:cc:dd:ee:ff\n").has_value());
+}
+
+TEST(DhcpLog, EmptyLog) {
+  std::ostringstream out;
+  WriteDhcpLog(out, {});
+  const auto parsed = ReadDhcpLog(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(DnsLog, RoundTrip) {
+  std::vector<dns::Resolution> log = {
+      {1000, net::MacAddress(1), "zoom.us", net::Ipv4Address(64, 1, 2, 3), 3600},
+      {2000, net::MacAddress(2), "www.us-site-003.net", net::Ipv4Address(64, 9, 9, 9),
+       300},
+  };
+  std::ostringstream out;
+  WriteDnsLog(out, log);
+  const auto parsed = ReadDnsLog(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].qname, "zoom.us");
+  EXPECT_EQ((*parsed)[0].answer, log[0].answer);
+  EXPECT_EQ((*parsed)[1].ttl, 300);
+  EXPECT_EQ((*parsed)[1].client, net::MacAddress(2));
+}
+
+TEST(DnsLog, RejectsMalformed) {
+  EXPECT_FALSE(ReadDnsLog("bogus\n").has_value());
+  EXPECT_FALSE(ReadDnsLog("ts\tclient\tqname\tanswer\tttl\n"
+                          "x\taa:bb:cc:dd:ee:ff\tzoom.us\t1.2.3.4\t60\n")
+                   .has_value());
+  EXPECT_FALSE(ReadDnsLog("ts\tclient\tqname\tanswer\tttl\n"
+                          "1\taa:bb:cc:dd:ee:ff\t\t1.2.3.4\t60\n")
+                   .has_value());
+}
+
+TEST(UaLog, RoundTrip) {
+  std::vector<UaRecord> records = {
+      {500, net::Ipv4Address(10, 1, 1, 1),
+       "Mozilla/5.0 (iPhone; CPU iPhone OS 13_3_1 like Mac OS X)"},
+  };
+  std::ostringstream out;
+  WriteUaLog(out, records);
+  const auto parsed = ReadUaLog(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].ts, 500);
+  EXPECT_EQ((*parsed)[0].client_ip, records[0].client_ip);
+  EXPECT_EQ((*parsed)[0].user_agent, records[0].user_agent);
+}
+
+TEST(UaLog, SanitizesTabsInAgents) {
+  std::vector<UaRecord> records = {
+      {1, net::Ipv4Address(10, 0, 0, 1), "bad\tagent\nstring"}};
+  std::ostringstream out;
+  WriteUaLog(out, records);
+  const auto parsed = ReadUaLog(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].user_agent, "bad agent string");
+}
+
+TEST(UaLog, RejectsMalformed) {
+  EXPECT_FALSE(ReadUaLog("nope\n").has_value());
+  EXPECT_FALSE(ReadUaLog("ts\tclient\tuser_agent\n1\t10.0.0.1\n").has_value());
+}
+
+}  // namespace
+}  // namespace lockdown::logs

@@ -1,0 +1,72 @@
+#include "net/allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace lockdown::net {
+namespace {
+
+TEST(BlockAllocator, SkipsNetworkAddress) {
+  BlockAllocator a(Cidr(Ipv4Address(10, 0, 0, 0), 24));
+  EXPECT_EQ(a.Allocate(), Ipv4Address(10, 0, 0, 1));
+  EXPECT_EQ(a.Allocate(), Ipv4Address(10, 0, 0, 2));
+}
+
+TEST(BlockAllocator, NoDuplicates) {
+  BlockAllocator a(Cidr(Ipv4Address(10, 0, 0, 0), 24));
+  std::unordered_set<std::uint32_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(seen.insert(a.Allocate().value()).second);
+  }
+}
+
+TEST(BlockAllocator, ExhaustionThrows) {
+  // /30 has 4 addresses; network and broadcast reserved -> 2 usable.
+  BlockAllocator a(Cidr(Ipv4Address(10, 0, 0, 0), 30));
+  EXPECT_EQ(a.Remaining(), 2u);
+  (void)a.Allocate();
+  (void)a.Allocate();
+  EXPECT_EQ(a.Remaining(), 0u);
+  EXPECT_THROW((void)a.Allocate(), std::length_error);
+}
+
+TEST(BlockAllocator, AllInsideBlock) {
+  const Cidr block(Ipv4Address(172, 16, 4, 0), 22);
+  BlockAllocator a(block);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(block.Contains(a.Allocate()));
+}
+
+TEST(SubnetCarver, CarvesDisjointBlocks) {
+  SubnetCarver carver(Cidr(Ipv4Address(52, 0, 0, 0), 8));
+  const Cidr a = carver.Carve(24);
+  const Cidr b = carver.Carve(24);
+  EXPECT_EQ(a.base(), Ipv4Address(52, 0, 0, 0));
+  EXPECT_EQ(b.base(), Ipv4Address(52, 0, 1, 0));
+  EXPECT_FALSE(a.Contains(b.base()));
+  EXPECT_FALSE(b.Contains(a.base()));
+}
+
+TEST(SubnetCarver, MixedSizes) {
+  SubnetCarver carver(Cidr(Ipv4Address(52, 0, 0, 0), 16));
+  const Cidr big = carver.Carve(20);   // 4096 addresses
+  const Cidr small = carver.Carve(28); // 16 addresses
+  EXPECT_EQ(big.base(), Ipv4Address(52, 0, 0, 0));
+  EXPECT_EQ(small.base(), Ipv4Address(52, 0, 16, 0));
+}
+
+TEST(SubnetCarver, RejectsLargerThanSuper) {
+  SubnetCarver carver(Cidr(Ipv4Address(52, 0, 0, 0), 16));
+  EXPECT_THROW((void)carver.Carve(8), std::invalid_argument);
+  EXPECT_THROW((void)carver.Carve(33), std::invalid_argument);
+}
+
+TEST(SubnetCarver, ExhaustionThrows) {
+  SubnetCarver carver(Cidr(Ipv4Address(10, 0, 0, 0), 30));
+  (void)carver.Carve(31);
+  (void)carver.Carve(31);
+  EXPECT_THROW((void)carver.Carve(31), std::length_error);
+}
+
+}  // namespace
+}  // namespace lockdown::net

@@ -1,0 +1,57 @@
+#include "net/endpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace lockdown::net {
+namespace {
+
+FiveTuple MakeTuple(std::uint32_t src, std::uint32_t dst, Port sp, Port dp,
+                    Protocol proto = Protocol::kTcp) {
+  return FiveTuple{Ipv4Address(src), Ipv4Address(dst), sp, dp, proto};
+}
+
+TEST(FiveTuple, EqualityAndOrdering) {
+  const FiveTuple a = MakeTuple(1, 2, 3, 4);
+  const FiveTuple b = MakeTuple(1, 2, 3, 4);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, MakeTuple(1, 2, 3, 5));
+  EXPECT_NE(a, MakeTuple(1, 2, 3, 4, Protocol::kUdp));
+}
+
+TEST(FiveTuple, HashDistinguishesFields) {
+  FiveTupleHash h;
+  const FiveTuple base = MakeTuple(1, 2, 3, 4);
+  EXPECT_EQ(h(base), h(MakeTuple(1, 2, 3, 4)));
+  EXPECT_NE(h(base), h(MakeTuple(2, 1, 3, 4)));
+  EXPECT_NE(h(base), h(MakeTuple(1, 2, 4, 3)));
+  EXPECT_NE(h(base), h(MakeTuple(1, 2, 3, 4, Protocol::kUdp)));
+}
+
+TEST(FiveTuple, HashQualityOnSequentialTuples) {
+  // The flow table holds many near-identical tuples (same server, sequential
+  // client ports); the hash must not collapse them.
+  FiveTupleHash h;
+  std::unordered_set<std::size_t> hashes;
+  for (std::uint32_t ip = 0; ip < 100; ++ip) {
+    for (Port p = 40000; p < 40100; ++p) {
+      hashes.insert(h(MakeTuple(0x0A000000 + ip, 0x08080808, p, 443)));
+    }
+  }
+  // Allow a handful of collisions out of 10,000.
+  EXPECT_GT(hashes.size(), 9990u);
+}
+
+TEST(FiveTuple, ToStringFormat) {
+  const FiveTuple t = MakeTuple(0x0A000001, 0x08080808, 40000, 443);
+  EXPECT_EQ(t.ToString(), "10.0.0.1:40000 -> 8.8.8.8:443/tcp");
+}
+
+TEST(Protocol, Names) {
+  EXPECT_STREQ(ToString(Protocol::kTcp), "tcp");
+  EXPECT_STREQ(ToString(Protocol::kUdp), "udp");
+}
+
+}  // namespace
+}  // namespace lockdown::net

@@ -1,0 +1,82 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdown::net {
+namespace {
+
+TEST(Ipv4Address, ParseAndFormat) {
+  const auto ip = Ipv4Address::Parse("192.168.1.42");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->ToString(), "192.168.1.42");
+  EXPECT_EQ(ip->value(), 0xC0A8012Au);
+}
+
+TEST(Ipv4Address, ParseEdges) {
+  EXPECT_EQ(Ipv4Address::Parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Address::Parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::Parse(""));
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Address::Parse("256.0.0.1"));
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.x"));
+  EXPECT_FALSE(Ipv4Address::Parse("1..2.3"));
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.4 "));
+}
+
+TEST(Ipv4Address, OctetConstructorMatchesParse) {
+  EXPECT_EQ(Ipv4Address(10, 16, 0, 1), *Ipv4Address::Parse("10.16.0.1"));
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(Ipv4Address(10, 0, 0, 1), Ipv4Address(10, 0, 0, 2));
+  EXPECT_LT(Ipv4Address(9, 255, 255, 255), Ipv4Address(10, 0, 0, 0));
+}
+
+TEST(Cidr, ContainsAndMasking) {
+  const Cidr c(Ipv4Address(10, 16, 3, 99), 14);  // base masked to 10.16.0.0
+  EXPECT_EQ(c.base(), Ipv4Address(10, 16, 0, 0));
+  EXPECT_TRUE(c.Contains(Ipv4Address(10, 16, 0, 1)));
+  EXPECT_TRUE(c.Contains(Ipv4Address(10, 19, 255, 255)));
+  EXPECT_FALSE(c.Contains(Ipv4Address(10, 20, 0, 0)));
+  EXPECT_FALSE(c.Contains(Ipv4Address(10, 15, 255, 255)));
+}
+
+TEST(Cidr, ParseAndFormat) {
+  const auto c = Cidr::Parse("172.16.0.0/12");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->ToString(), "172.16.0.0/12");
+  EXPECT_EQ(c->size(), 1u << 20);
+}
+
+TEST(Cidr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Cidr::Parse("10.0.0.0"));
+  EXPECT_FALSE(Cidr::Parse("10.0.0.0/33"));
+  EXPECT_FALSE(Cidr::Parse("10.0.0.0/"));
+  EXPECT_FALSE(Cidr::Parse("bad/8"));
+}
+
+TEST(Cidr, SlashZeroCoversEverything) {
+  const Cidr all(Ipv4Address(0), 0);
+  EXPECT_TRUE(all.Contains(Ipv4Address(255, 255, 255, 255)));
+  EXPECT_TRUE(all.Contains(Ipv4Address(0)));
+}
+
+TEST(Cidr, Slash32IsSingleHost) {
+  const Cidr host(Ipv4Address(8, 8, 8, 8), 32);
+  EXPECT_EQ(host.size(), 1u);
+  EXPECT_TRUE(host.Contains(Ipv4Address(8, 8, 8, 8)));
+  EXPECT_FALSE(host.Contains(Ipv4Address(8, 8, 8, 9)));
+}
+
+TEST(Cidr, AtIndexing) {
+  const Cidr c(Ipv4Address(10, 0, 0, 0), 24);
+  EXPECT_EQ(c.At(0), Ipv4Address(10, 0, 0, 0));
+  EXPECT_EQ(c.At(255), Ipv4Address(10, 0, 0, 255));
+}
+
+}  // namespace
+}  // namespace lockdown::net

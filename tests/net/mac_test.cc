@@ -1,0 +1,55 @@
+#include "net/mac.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdown::net {
+namespace {
+
+TEST(MacAddress, ParseAndFormat) {
+  const auto mac = MacAddress::Parse("a4:83:e7:12:34:56");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->ToString(), "a4:83:e7:12:34:56");
+}
+
+TEST(MacAddress, ParseUppercase) {
+  const auto mac = MacAddress::Parse("A4:83:E7:12:34:56");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->ToString(), "a4:83:e7:12:34:56");
+}
+
+TEST(MacAddress, ParseRejectsMalformed) {
+  EXPECT_FALSE(MacAddress::Parse(""));
+  EXPECT_FALSE(MacAddress::Parse("a4:83:e7:12:34"));
+  EXPECT_FALSE(MacAddress::Parse("a4:83:e7:12:34:5"));
+  EXPECT_FALSE(MacAddress::Parse("a4-83-e7-12-34-56"));
+  EXPECT_FALSE(MacAddress::Parse("g4:83:e7:12:34:56"));
+  EXPECT_FALSE(MacAddress::Parse("a4:83:e7:12:34:56:78"));
+}
+
+TEST(MacAddress, OuiExtraction) {
+  // a4:83:e7 is an Apple OUI.
+  const auto mac = MacAddress::Parse("a4:83:e7:00:00:01");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->oui(), 0xA483E7u);
+}
+
+TEST(MacAddress, FromOuiRoundTrip) {
+  const MacAddress mac = MacAddress::FromOui(0xA483E7, 0x123456);
+  EXPECT_EQ(mac.oui(), 0xA483E7u);
+  EXPECT_EQ(mac.ToString(), "a4:83:e7:12:34:56");
+}
+
+TEST(MacAddress, FromOuiMasksOverflow) {
+  // Bits above 24 in either argument must not leak into the other half.
+  const MacAddress mac = MacAddress::FromOui(0xFF000001, 0xFF000002);
+  EXPECT_EQ(mac.oui(), 0x000001u);
+  EXPECT_EQ(mac.value() & 0xFFFFFF, 0x000002u);
+}
+
+TEST(MacAddress, Ordering) {
+  EXPECT_LT(MacAddress(1), MacAddress(2));
+  EXPECT_EQ(MacAddress(7), MacAddress(7));
+}
+
+}  // namespace
+}  // namespace lockdown::net

@@ -1,0 +1,110 @@
+#include "pcapio/packets.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdown::pcapio {
+namespace {
+
+PacketInfo TcpInfo() {
+  PacketInfo info;
+  info.src_mac = *net::MacAddress::Parse("02:00:00:00:00:01");
+  info.dst_mac = *net::MacAddress::Parse("02:00:00:00:00:02");
+  info.tuple.src_ip = net::Ipv4Address(10, 1, 2, 3);
+  info.tuple.dst_ip = net::Ipv4Address(64, 0, 0, 9);
+  info.tuple.src_port = 40000;
+  info.tuple.dst_port = 443;
+  info.tuple.proto = net::Protocol::kTcp;
+  info.payload_len = 500;
+  return info;
+}
+
+TEST(Packets, TcpRoundTrip) {
+  PacketInfo in = TcpInfo();
+  in.flags.syn = true;
+  const auto bytes = SynthesizePacket(in);
+  EXPECT_EQ(bytes.size(),
+            kEthernetHeaderLen + kIpv4HeaderLen + kTcpHeaderLen + 500);
+  const auto out = ParsePacket(bytes);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->tuple, in.tuple);
+  EXPECT_EQ(out->payload_len, 500);
+  EXPECT_TRUE(out->flags.syn);
+  EXPECT_FALSE(out->flags.fin);
+  EXPECT_EQ(out->src_mac, in.src_mac);
+  EXPECT_EQ(out->dst_mac, in.dst_mac);
+}
+
+TEST(Packets, UdpRoundTrip) {
+  PacketInfo in = TcpInfo();
+  in.tuple.proto = net::Protocol::kUdp;
+  in.tuple.dst_port = 8801;
+  in.payload_len = 1200;
+  const auto bytes = SynthesizePacket(in);
+  EXPECT_EQ(bytes.size(),
+            kEthernetHeaderLen + kIpv4HeaderLen + kUdpHeaderLen + 1200);
+  const auto out = ParsePacket(bytes);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->tuple, in.tuple);
+  EXPECT_EQ(out->payload_len, 1200);
+}
+
+TEST(Packets, AllTcpFlagCombinations) {
+  for (int mask = 0; mask < 16; ++mask) {
+    PacketInfo in = TcpInfo();
+    in.flags.fin = mask & 1;
+    in.flags.syn = mask & 2;
+    in.flags.rst = mask & 4;
+    in.flags.ack = mask & 8;
+    const auto out = ParsePacket(SynthesizePacket(in));
+    ASSERT_TRUE(out.has_value()) << mask;
+    EXPECT_EQ(out->flags.fin, in.flags.fin) << mask;
+    EXPECT_EQ(out->flags.syn, in.flags.syn) << mask;
+    EXPECT_EQ(out->flags.rst, in.flags.rst) << mask;
+    EXPECT_EQ(out->flags.ack, in.flags.ack) << mask;
+  }
+}
+
+TEST(Packets, Ipv4ChecksumValidAndVerified) {
+  const auto bytes = SynthesizePacket(TcpInfo());
+  // Checksum over the IP header must verify to zero.
+  EXPECT_EQ(InternetChecksum(std::span<const std::byte>(bytes).subspan(
+                kEthernetHeaderLen, kIpv4HeaderLen)),
+            0);
+  // Corrupt one IP header byte: parsing must reject it.
+  auto corrupted = bytes;
+  corrupted[kEthernetHeaderLen + 8] ^= std::byte{0xFF};  // TTL
+  EXPECT_FALSE(ParsePacket(corrupted).has_value());
+}
+
+TEST(Packets, RejectsNonIpv4Ethertype) {
+  auto bytes = SynthesizePacket(TcpInfo());
+  bytes[12] = std::byte{0x86};  // 0x86DD = IPv6
+  bytes[13] = std::byte{0xDD};
+  EXPECT_FALSE(ParsePacket(bytes).has_value());
+}
+
+TEST(Packets, RejectsTruncated) {
+  const auto bytes = SynthesizePacket(TcpInfo());
+  EXPECT_FALSE(ParsePacket(std::span<const std::byte>(bytes).first(20)).has_value());
+}
+
+TEST(Packets, PayloadClampedToIpLimit) {
+  PacketInfo in = TcpInfo();
+  in.payload_len = 65535;  // would overflow IP total length
+  const auto bytes = SynthesizePacket(in);
+  const auto out = ParsePacket(bytes);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_LE(out->payload_len, 65535 - kIpv4HeaderLen - kTcpHeaderLen);
+}
+
+TEST(Packets, ChecksumKnownVector) {
+  // RFC 1071 style check: sum of header with its own checksum folds to zero;
+  // also verify a tiny fixed vector.
+  const std::byte data[] = {std::byte{0x00}, std::byte{0x01}, std::byte{0xF2},
+                            std::byte{0x03}};
+  // words: 0x0001 + 0xF203 = 0xF204 -> ~ = 0x0DFB
+  EXPECT_EQ(InternetChecksum(data), 0x0DFB);
+}
+
+}  // namespace
+}  // namespace lockdown::pcapio

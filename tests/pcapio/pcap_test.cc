@@ -1,0 +1,98 @@
+#include "pcapio/pcap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace lockdown::pcapio {
+namespace {
+
+std::vector<std::byte> Bytes(std::initializer_list<int> vals) {
+  std::vector<std::byte> out;
+  for (int v : vals) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(Pcap, RoundTrip) {
+  PcapWriter writer;
+  const auto p1 = Bytes({1, 2, 3, 4, 5});
+  const auto p2 = Bytes({9, 8, 7});
+  writer.Write(1'580'546'400'123456, p1);
+  writer.Write(1'580'546'401'000000, p2);
+  EXPECT_EQ(writer.packets_written(), 2u);
+
+  const auto packets = ReadPcap(writer.buffer());
+  ASSERT_TRUE(packets.has_value());
+  ASSERT_EQ(packets->size(), 2u);
+  EXPECT_EQ((*packets)[0].ts_us, 1'580'546'400'123456);
+  EXPECT_EQ((*packets)[0].data, p1);
+  EXPECT_EQ((*packets)[1].data, p2);
+}
+
+TEST(Pcap, EmptyDocumentHasHeaderOnly) {
+  PcapWriter writer;
+  EXPECT_EQ(writer.buffer().size(), 24u);
+  const auto packets = ReadPcap(writer.buffer());
+  ASSERT_TRUE(packets.has_value());
+  EXPECT_TRUE(packets->empty());
+}
+
+TEST(Pcap, SnaplenTruncates) {
+  PcapWriter writer(4);
+  const auto big = Bytes({1, 2, 3, 4, 5, 6, 7, 8});
+  writer.Write(0, big);
+  const auto packets = ReadPcap(writer.buffer());
+  ASSERT_TRUE(packets.has_value());
+  EXPECT_EQ((*packets)[0].data.size(), 4u);
+}
+
+TEST(Pcap, RejectsBadMagic) {
+  auto doc = PcapWriter().buffer();
+  doc[0] = static_cast<std::byte>(0x00);
+  EXPECT_FALSE(ReadPcap(doc).has_value());
+}
+
+TEST(Pcap, RejectsTruncatedRecord) {
+  PcapWriter writer;
+  writer.Write(0, Bytes({1, 2, 3, 4}));
+  auto doc = writer.buffer();
+  doc.pop_back();  // cut off the last payload byte
+  EXPECT_FALSE(ReadPcap(doc).has_value());
+}
+
+TEST(Pcap, RejectsShortDocument) {
+  EXPECT_FALSE(ReadPcap(Bytes({1, 2, 3})).has_value());
+}
+
+TEST(Pcap, ReadsSwappedByteOrder) {
+  // Build a minimal big-endian-ish (opposite order) document by hand.
+  PcapWriter writer;
+  writer.Write(5'000000, Bytes({0xAA, 0xBB}));
+  auto doc = writer.buffer();
+  // Swap every 32/16-bit header field of the global header and the record
+  // header. Easier: flip all known fields manually.
+  auto swap32 = [&doc](std::size_t off) {
+    std::swap(doc[off], doc[off + 3]);
+    std::swap(doc[off + 1], doc[off + 2]);
+  };
+  auto swap16 = [&doc](std::size_t off) { std::swap(doc[off], doc[off + 1]); };
+  swap32(0);            // magic
+  swap16(4);            // version major
+  swap16(6);            // version minor
+  swap32(8);            // thiszone
+  swap32(12);           // sigfigs
+  swap32(16);           // snaplen
+  swap32(20);           // linktype
+  swap32(24);           // ts sec
+  swap32(28);           // ts usec
+  swap32(32);           // caplen
+  swap32(36);           // origlen
+  const auto packets = ReadPcap(doc);
+  ASSERT_TRUE(packets.has_value());
+  ASSERT_EQ(packets->size(), 1u);
+  EXPECT_EQ((*packets)[0].ts_us, 5'000000);
+  EXPECT_EQ((*packets)[0].data, Bytes({0xAA, 0xBB}));
+}
+
+}  // namespace
+}  // namespace lockdown::pcapio

@@ -1,0 +1,124 @@
+// Parser robustness: every reader in the project must reject (not crash on)
+// arbitrary byte garbage and mutated valid documents. Deterministic
+// pseudo-fuzz — thousands of cases per parser.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "flow/conn_log.h"
+#include "logs/dhcp_log.h"
+#include "logs/dns_log.h"
+#include "logs/ua_log.h"
+#include "pcapio/packets.h"
+#include "pcapio/pcap.h"
+#include "util/rng.h"
+
+namespace lockdown {
+namespace {
+
+std::vector<std::byte> RandomBytes(util::Pcg32& rng, std::size_t n) {
+  std::vector<std::byte> out(n);
+  for (std::byte& b : out) b = static_cast<std::byte>(rng.NextBounded(256));
+  return out;
+}
+
+std::string RandomText(util::Pcg32& rng, std::size_t n) {
+  static constexpr char kAlphabet[] =
+      "abc123.\t\n:/-\\\"\x01 \x7f";
+  std::string out(n, ' ');
+  for (char& c : out) c = kAlphabet[rng.NextBounded(sizeof(kAlphabet) - 1)];
+  return out;
+}
+
+TEST(Robustness, PcapReaderSurvivesGarbage) {
+  util::Pcg32 rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const auto junk = RandomBytes(rng, rng.NextBounded(200));
+    (void)pcapio::ReadPcap(junk);  // must not crash; result may be nullopt
+  }
+}
+
+TEST(Robustness, PcapReaderSurvivesMutatedValidDocuments) {
+  pcapio::PcapWriter writer;
+  util::Pcg32 rng(2);
+  for (int p = 0; p < 5; ++p) writer.Write(p, RandomBytes(rng, 40));
+  const auto base = writer.buffer();
+  for (int i = 0; i < 2000; ++i) {
+    auto doc = base;
+    // Flip a few random bytes.
+    for (int k = 0; k < 3; ++k) {
+      doc[rng.NextBounded(static_cast<std::uint32_t>(doc.size()))] ^=
+          static_cast<std::byte>(1 + rng.NextBounded(255));
+    }
+    const auto result = pcapio::ReadPcap(doc);
+    if (result) {
+      // If it parses, the packets must stay within the document.
+      std::size_t total = 24;
+      for (const auto& pkt : *result) total += 16 + pkt.data.size();
+      EXPECT_LE(total, doc.size() + 16);
+    }
+  }
+}
+
+TEST(Robustness, PacketParserSurvivesGarbage) {
+  util::Pcg32 rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const auto junk = RandomBytes(rng, rng.NextBounded(100));
+    (void)pcapio::ParsePacket(junk);
+  }
+}
+
+TEST(Robustness, PacketParserSurvivesMutatedPackets) {
+  pcapio::PacketInfo info;
+  info.tuple = net::FiveTuple{net::Ipv4Address(10, 0, 0, 1),
+                              net::Ipv4Address(64, 0, 0, 1), 40000, 443,
+                              net::Protocol::kTcp};
+  info.payload_len = 64;
+  const auto base = pcapio::SynthesizePacket(info);
+  util::Pcg32 rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    auto pkt = base;
+    pkt[rng.NextBounded(static_cast<std::uint32_t>(pkt.size()))] ^=
+        static_cast<std::byte>(1 + rng.NextBounded(255));
+    (void)pcapio::ParsePacket(pkt);
+  }
+}
+
+TEST(Robustness, TextLogReadersSurviveGarbage) {
+  util::Pcg32 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string junk = RandomText(rng, rng.NextBounded(300));
+    (void)flow::ReadConnLog(junk);
+    (void)logs::ReadDhcpLog(junk);
+    (void)logs::ReadDnsLog(junk);
+    (void)logs::ReadUaLog(junk);
+  }
+}
+
+TEST(Robustness, TextLogReadersSurviveMutatedValidLogs) {
+  // Start from a valid dhcp.log and mutate single characters.
+  std::vector<dhcp::Lease> leases;
+  for (int i = 1; i <= 5; ++i) {
+    leases.push_back(dhcp::Lease{net::MacAddress(static_cast<std::uint64_t>(i)),
+                                 net::Ipv4Address(10, 0, 0,
+                                                  static_cast<std::uint8_t>(i)),
+                                 i * 100, i * 100 + 50});
+  }
+  std::ostringstream out;
+  logs::WriteDhcpLog(out, leases);
+  const std::string base = out.str();
+  util::Pcg32 rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    std::string doc = base;
+    doc[rng.NextBounded(static_cast<std::uint32_t>(doc.size()))] =
+        static_cast<char>(rng.NextBounded(128));
+    const auto result = logs::ReadDhcpLog(doc);
+    if (result) {
+      EXPECT_LE(result->size(), leases.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lockdown

@@ -1,0 +1,159 @@
+#include "pcapio/tap_pcap.h"
+
+#include <gtest/gtest.h>
+
+#include "flow/assembler.h"
+
+namespace lockdown::pcapio {
+namespace {
+
+const net::Cidr kCampus(net::Ipv4Address(10, 0, 0, 0), 8);
+
+bool IsCampus(net::Ipv4Address ip) { return kCampus.Contains(ip); }
+
+flow::TapEvent Event(flow::EventKind kind, util::Timestamp ts, std::uint64_t up,
+                     std::uint64_t down, net::Port sport = 40000,
+                     net::Protocol proto = net::Protocol::kTcp) {
+  flow::TapEvent ev;
+  ev.ts = ts;
+  ev.kind = kind;
+  ev.tuple = net::FiveTuple{net::Ipv4Address(10, 1, 1, 1),
+                            net::Ipv4Address(64, 2, 2, 2), sport, 443, proto};
+  ev.bytes_up = up;
+  ev.bytes_down = down;
+  return ev;
+}
+
+TEST(TapPcap, SynthesizeProducesValidPcap) {
+  const std::vector<flow::TapEvent> events = {
+      Event(flow::EventKind::kOpen, 100, 0, 0),
+      Event(flow::EventKind::kData, 110, 1000, 50000),
+      Event(flow::EventKind::kClose, 150, 0, 2000),
+  };
+  const auto doc = SynthesizePcap(events);
+  const auto packets = ReadPcap(doc);
+  ASSERT_TRUE(packets.has_value());
+  EXPECT_GT(packets->size(), 4u);
+  for (const Packet& pkt : *packets) {
+    EXPECT_TRUE(ParsePacket(pkt.data).has_value());
+  }
+}
+
+TEST(TapPcap, RoundTripThroughAssemblerPreservesFlowShape) {
+  // One TCP connection: open, data, close. After pcap round-trip + flow
+  // assembly we must get exactly one flow with the right 5-tuple. Byte
+  // counts survive up to the per-event packet cap.
+  const std::vector<flow::TapEvent> events = {
+      Event(flow::EventKind::kOpen, 100, 0, 0),
+      Event(flow::EventKind::kData, 120, 2000, 14000),
+      Event(flow::EventKind::kClose, 200, 0, 0),
+  };
+  const auto doc = SynthesizePcap(events);
+
+  std::vector<flow::FlowRecord> flows;
+  flow::Assembler assembler(flow::AssemblerConfig{},
+                            [&flows](const flow::FlowRecord& r) {
+                              flows.push_back(r);
+                            });
+  const auto stats = IngestPcap(
+      doc, IsCampus, [&assembler](const flow::TapEvent& ev) { assembler.Ingest(ev); });
+  assembler.Finish();
+
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->ignored, 0u);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].client_ip, net::Ipv4Address(10, 1, 1, 1));
+  EXPECT_EQ(flows[0].server_ip, net::Ipv4Address(64, 2, 2, 2));
+  EXPECT_EQ(flows[0].server_port, 443);
+  EXPECT_EQ(flows[0].bytes_up, 2000u);
+  EXPECT_EQ(flows[0].bytes_down, 14000u);
+  EXPECT_EQ(flows[0].start, 100);
+}
+
+TEST(TapPcap, ServerSidePacketsOrientedToClient) {
+  // A capture where the first packet travels server->client must still
+  // attribute the flow to the campus device.
+  PacketInfo info;
+  info.src_mac = net::MacAddress(1);
+  info.dst_mac = net::MacAddress(2);
+  info.tuple = net::FiveTuple{net::Ipv4Address(64, 2, 2, 2),
+                              net::Ipv4Address(10, 1, 1, 1), 443, 40000,
+                              net::Protocol::kTcp};
+  info.payload_len = 999;
+  info.flags.ack = true;
+  PcapWriter writer;
+  writer.Write(0, SynthesizePacket(info));
+
+  std::vector<flow::TapEvent> events;
+  const auto stats = IngestPcap(writer.buffer(), IsCampus,
+                                [&events](const flow::TapEvent& ev) {
+                                  events.push_back(ev);
+                                });
+  ASSERT_TRUE(stats.has_value());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].tuple.src_ip, net::Ipv4Address(10, 1, 1, 1));
+  EXPECT_EQ(events[0].tuple.dst_ip, net::Ipv4Address(64, 2, 2, 2));
+  EXPECT_EQ(events[0].bytes_down, 999u);
+  EXPECT_EQ(events[0].bytes_up, 0u);
+}
+
+TEST(TapPcap, TransitTrafficIgnored) {
+  PacketInfo info;
+  info.tuple = net::FiveTuple{net::Ipv4Address(64, 1, 1, 1),
+                              net::Ipv4Address(64, 2, 2, 2), 1234, 443,
+                              net::Protocol::kTcp};
+  PcapWriter writer;
+  writer.Write(0, SynthesizePacket(info));
+  std::size_t delivered = 0;
+  const auto stats = IngestPcap(writer.buffer(), IsCampus,
+                                [&delivered](const flow::TapEvent&) {
+                                  ++delivered;
+                                });
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(stats->ignored, 1u);
+}
+
+TEST(TapPcap, UdpEventsRoundTrip) {
+  const std::vector<flow::TapEvent> events = {
+      Event(flow::EventKind::kOpen, 50, 100, 0, 50000, net::Protocol::kUdp),
+      Event(flow::EventKind::kData, 60, 500, 8000, 50000, net::Protocol::kUdp),
+  };
+  const auto doc = SynthesizePcap(events);
+  std::uint64_t up = 0, down = 0;
+  const auto stats = IngestPcap(doc, IsCampus, [&](const flow::TapEvent& ev) {
+    up += ev.bytes_up;
+    down += ev.bytes_down;
+    EXPECT_EQ(ev.tuple.proto, net::Protocol::kUdp);
+  });
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(up, 600u);
+  EXPECT_EQ(down, 8000u);
+}
+
+TEST(TapPcap, LargeEventsCappedNotDropped) {
+  // 100 MB in one event exceeds the per-event packet cap: the synthesized
+  // pcap stays small and ingest still sees the flow, just with fewer bytes.
+  const std::vector<flow::TapEvent> events = {
+      Event(flow::EventKind::kData, 10, 0, 100'000'000),
+  };
+  SynthesizeOptions opts;
+  const auto doc = SynthesizePcap(events, opts);
+  const auto packets = ReadPcap(doc);
+  ASSERT_TRUE(packets.has_value());
+  EXPECT_LE(packets->size(), opts.max_packets_per_event);
+  std::uint64_t down = 0;
+  (void)IngestPcap(doc, IsCampus,
+                   [&down](const flow::TapEvent& ev) { down += ev.bytes_down; });
+  EXPECT_GT(down, 0u);
+  EXPECT_LT(down, 100'000'000u);
+}
+
+TEST(TapPcap, InvalidDocumentReturnsNullopt) {
+  const std::vector<std::byte> garbage(10, std::byte{0x42});
+  EXPECT_FALSE(IngestPcap(garbage, IsCampus, [](const flow::TapEvent&) {})
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace lockdown::pcapio

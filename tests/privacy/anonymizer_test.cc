@@ -1,0 +1,52 @@
+#include "privacy/anonymizer.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace lockdown::privacy {
+namespace {
+
+TEST(Anonymizer, ConsistentWithinRun) {
+  Anonymizer a(util::SipHashKey{1, 2});
+  const net::MacAddress mac(0xA483E7123456ULL);
+  EXPECT_EQ(a.AnonymizeMac(mac), a.AnonymizeMac(mac));
+  const net::Ipv4Address ip(10, 0, 0, 1);
+  EXPECT_EQ(a.AnonymizeIp(ip), a.AnonymizeIp(ip));
+}
+
+TEST(Anonymizer, DifferentKeysUnlinkable) {
+  Anonymizer a(util::SipHashKey{1, 2});
+  Anonymizer b(util::SipHashKey{1, 3});
+  const net::MacAddress mac(0xA483E7123456ULL);
+  EXPECT_NE(a.AnonymizeMac(mac), b.AnonymizeMac(mac));
+}
+
+TEST(Anonymizer, DistinctDevicesDistinctIds) {
+  Anonymizer a(util::SipHashKey{7, 9});
+  std::unordered_set<std::uint64_t> ids;
+  for (std::uint64_t m = 0; m < 50000; ++m) {
+    ids.insert(a.AnonymizeMac(net::MacAddress(m)).value);
+  }
+  EXPECT_EQ(ids.size(), 50000u);
+}
+
+TEST(Anonymizer, MacAndIpDomainsSeparated) {
+  // A MAC whose 48-bit value equals an IP's 32-bit value must not collide:
+  // the MAC domain is tagged before hashing.
+  Anonymizer a(util::SipHashKey{3, 4});
+  const std::uint32_t v = 0x0A000001;
+  EXPECT_NE(a.AnonymizeMac(net::MacAddress(v)).value,
+            a.AnonymizeIp(net::Ipv4Address(v)).value);
+}
+
+TEST(DeviceIdHash, UsableInHashContainers) {
+  std::unordered_set<DeviceId, DeviceIdHash> set;
+  set.insert(DeviceId{1});
+  set.insert(DeviceId{2});
+  set.insert(DeviceId{1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace lockdown::privacy

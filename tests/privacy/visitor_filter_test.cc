@@ -1,0 +1,70 @@
+#include "privacy/visitor_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "util/time.h"
+
+namespace lockdown::privacy {
+namespace {
+
+using util::kSecondsPerDay;
+
+TEST(VisitorFilter, DiscardsShortLivedVisitors) {
+  VisitorFilter f(14);
+  const DeviceId visitor{1};
+  for (int d = 0; d < 13; ++d) f.Observe(visitor, d * kSecondsPerDay);
+  EXPECT_FALSE(f.Retained(visitor));
+  EXPECT_EQ(f.ActiveDays(visitor), 13);
+}
+
+TEST(VisitorFilter, RetainsAtThreshold) {
+  VisitorFilter f(14);
+  const DeviceId resident{2};
+  for (int d = 0; d < 14; ++d) f.Observe(resident, d * kSecondsPerDay);
+  EXPECT_TRUE(f.Retained(resident));
+}
+
+TEST(VisitorFilter, MultipleObservationsSameDayCountOnce) {
+  VisitorFilter f(14);
+  const DeviceId dev{3};
+  for (int i = 0; i < 100; ++i) f.Observe(dev, 1000 + i);
+  EXPECT_EQ(f.ActiveDays(dev), 1);
+}
+
+TEST(VisitorFilter, NonConsecutiveDaysCount) {
+  VisitorFilter f(3);
+  const DeviceId dev{4};
+  f.Observe(dev, 0);
+  f.Observe(dev, 10 * kSecondsPerDay);
+  f.Observe(dev, 50 * kSecondsPerDay);
+  EXPECT_TRUE(f.Retained(dev));
+}
+
+TEST(VisitorFilter, OutOfOrderObservations) {
+  VisitorFilter f(3);
+  const DeviceId dev{5};
+  f.Observe(dev, 5 * kSecondsPerDay);
+  f.Observe(dev, 1 * kSecondsPerDay);  // earlier day arrives later
+  f.Observe(dev, 5 * kSecondsPerDay);  // revisit already-counted day
+  f.Observe(dev, 3 * kSecondsPerDay);
+  EXPECT_EQ(f.ActiveDays(dev), 3);
+  EXPECT_TRUE(f.Retained(dev));
+}
+
+TEST(VisitorFilter, UnknownDevice) {
+  VisitorFilter f(14);
+  EXPECT_FALSE(f.Retained(DeviceId{99}));
+  EXPECT_EQ(f.ActiveDays(DeviceId{99}), 0);
+}
+
+TEST(VisitorFilter, Counts) {
+  VisitorFilter f(2);
+  f.Observe(DeviceId{1}, 0);
+  f.Observe(DeviceId{1}, kSecondsPerDay);
+  f.Observe(DeviceId{2}, 0);
+  EXPECT_EQ(f.num_observed(), 2u);
+  EXPECT_EQ(f.num_retained(), 1u);
+}
+
+}  // namespace
+}  // namespace lockdown::privacy

@@ -1,0 +1,290 @@
+#include "sim/activity.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/parameters.h"
+#include "sim/timeline.h"
+#include "util/time.h"
+
+namespace lockdown::sim {
+namespace {
+
+using util::StudyCalendar;
+
+class ActivityTest : public ::testing::Test {
+ protected:
+  ActivityTest()
+      : pop_(PopulationConfig{400, 7}),
+        model_(world::ServiceCatalog::Default()) {}
+
+  const SimDevice* FindDevice(DeviceKind kind,
+                              Residency residency = Residency::kDomestic) const {
+    for (const SimDevice& d : pop_.devices()) {
+      if (d.kind == kind && pop_.student_of(d).residency == residency) return &d;
+    }
+    return nullptr;
+  }
+
+  std::vector<SessionPlan> Plan(const SimDevice& dev, int day,
+                                std::uint64_t seed = 1) const {
+    util::Pcg32 rng(seed);
+    std::vector<SessionPlan> out;
+    model_.PlanDay(pop_, dev, day, rng, out);
+    return out;
+  }
+
+  Population pop_;
+  ActivityModel model_;
+};
+
+int Day(int month, int day) {
+  return StudyCalendar::DayIndex(util::CivilDate{2020, month, day});
+}
+
+TEST_F(ActivityTest, SessionsFallOnTheRequestedDay) {
+  const SimDevice* phone = FindDevice(DeviceKind::kPhone);
+  ASSERT_NE(phone, nullptr);
+  const int day = Day(2, 10);
+  for (const SessionPlan& p : Plan(*phone, day)) {
+    EXPECT_EQ(StudyCalendar::DayIndex(p.start), day);
+    EXPECT_GT(p.minutes, 0.0);
+    EXPECT_FALSE(p.flows.empty());
+  }
+}
+
+TEST_F(ActivityTest, FlowFractionsValid) {
+  const SimDevice* laptop = FindDevice(DeviceKind::kLaptop);
+  ASSERT_NE(laptop, nullptr);
+  for (const SessionPlan& p : Plan(*laptop, Day(4, 15))) {
+    for (const FlowPlan& f : p.flows) {
+      EXPECT_GE(f.start_frac, 0.0);
+      EXPECT_LE(f.end_frac, 1.0);
+      EXPECT_LT(f.start_frac, f.end_frac);
+      EXPECT_NE(f.service, world::kInvalidService);
+      if (!f.raw_ip) {
+        EXPECT_FALSE(f.host.empty());
+      }
+    }
+  }
+}
+
+TEST_F(ActivityTest, ZoomAppearsOnlineTermWeekdays) {
+  const SimDevice* laptop = FindDevice(DeviceKind::kLaptop);
+  ASSERT_NE(laptop, nullptr);
+  const auto& cat = world::ServiceCatalog::Default();
+  const auto zoom_ids = {*cat.FindByName("zoom"), *cat.FindByName("zoom-media"),
+                         *cat.FindByName("zoom-media-legacy")};
+  auto count_zoom = [&](int day) {
+    int n = 0;
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+      for (const SessionPlan& p : Plan(*laptop, day, seed)) {
+        for (const FlowPlan& f : p.flows) {
+          for (auto id : zoom_ids) {
+            if (f.service == id) {
+              ++n;
+              goto next_plan;
+            }
+          }
+        }
+      next_plan:;
+      }
+    }
+    return n;
+  };
+  const int pre = count_zoom(Day(2, 11));       // Tuesday pre-pandemic
+  const int online = count_zoom(Day(4, 14));    // Tuesday online term
+  const int weekend = count_zoom(Day(4, 18));   // Saturday online term
+  const int break_day = count_zoom(Day(3, 25)); // Wednesday of break
+  EXPECT_GT(online, pre * 4);
+  EXPECT_GT(online, weekend * 2);
+  EXPECT_GT(online, break_day * 4);
+}
+
+TEST_F(ActivityTest, ZoomSessionsDuringClassHours) {
+  const SimDevice* laptop = FindDevice(DeviceKind::kLaptop);
+  ASSERT_NE(laptop, nullptr);
+  const auto& cat = world::ServiceCatalog::Default();
+  const auto zoom = *cat.FindByName("zoom");
+  const auto media = *cat.FindByName("zoom-media");
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    for (const SessionPlan& p : Plan(*laptop, Day(4, 15), seed)) {
+      bool is_zoom = false;
+      for (const FlowPlan& f : p.flows) {
+        is_zoom |= (f.service == zoom || f.service == media);
+      }
+      if (!is_zoom) continue;
+      const int hour = util::HourOf(p.start);
+      EXPECT_GE(hour, 8);
+      EXPECT_LE(hour, 18);
+    }
+  }
+}
+
+TEST_F(ActivityTest, ZoomMediaRidesRawIpUdp) {
+  const SimDevice* laptop = FindDevice(DeviceKind::kLaptop);
+  ASSERT_NE(laptop, nullptr);
+  const auto& cat = world::ServiceCatalog::Default();
+  const auto media = *cat.FindByName("zoom-media");
+  const auto legacy = *cat.FindByName("zoom-media-legacy");
+  bool saw_media = false;
+  for (std::uint64_t seed = 0; seed < 40 && !saw_media; ++seed) {
+    for (const SessionPlan& p : Plan(*laptop, Day(4, 15), seed)) {
+      for (const FlowPlan& f : p.flows) {
+        if (f.service == media || f.service == legacy) {
+          saw_media = true;
+          EXPECT_TRUE(f.raw_ip);
+          EXPECT_TRUE(f.host.empty());
+          EXPECT_EQ(f.proto, net::Protocol::kUdp);
+          EXPECT_EQ(f.port, 8801);
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_media);
+}
+
+TEST_F(ActivityTest, IotSmallTalksOnlyToItsBackend) {
+  const SimDevice* iot = FindDevice(DeviceKind::kIotSmall);
+  ASSERT_NE(iot, nullptr);
+  const auto& cat = world::ServiceCatalog::Default();
+  std::set<world::ServiceId> services;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    for (const SessionPlan& p : Plan(*iot, Day(3, 10), seed)) {
+      for (const FlowPlan& f : p.flows) services.insert(f.service);
+    }
+  }
+  ASSERT_FALSE(services.empty());
+  for (auto id : services) {
+    EXPECT_EQ(cat.Get(id).category, world::Category::kIotBackend);
+  }
+  // Backend choice is stable across days.
+  std::set<world::ServiceId> services2;
+  for (const SessionPlan& p : Plan(*iot, Day(4, 20))) {
+    for (const FlowPlan& f : p.flows) services2.insert(f.service);
+  }
+  for (auto id : services2) EXPECT_TRUE(services.count(id));
+}
+
+TEST_F(ActivityTest, SwitchDailyConnectivityTest) {
+  const SimDevice* sw = FindDevice(DeviceKind::kSwitch);
+  ASSERT_NE(sw, nullptr);
+  const auto plans = Plan(*sw, Day(2, 5));
+  bool saw_conntest = false;
+  for (const SessionPlan& p : plans) {
+    for (const FlowPlan& f : p.flows) {
+      if (f.host == "conntest.nintendowifi.net") saw_conntest = true;
+    }
+  }
+  EXPECT_TRUE(saw_conntest);
+}
+
+TEST_F(ActivityTest, SwitchGameplayPeaksDuringBreak) {
+  const SimDevice* sw = FindDevice(DeviceKind::kSwitch);
+  ASSERT_NE(sw, nullptr);
+  const auto& cat = world::ServiceCatalog::Default();
+  const auto gameplay = *cat.FindByName("nintendo-gameplay");
+  auto gameplay_minutes = [&](int day) {
+    double total = 0;
+    for (std::uint64_t seed = 0; seed < 60; ++seed) {
+      for (const SessionPlan& p : Plan(*sw, day, seed)) {
+        for (const FlowPlan& f : p.flows) {
+          if (f.service == gameplay) {
+            total += p.minutes;
+            break;
+          }
+        }
+      }
+    }
+    return total;
+  };
+  const double pre = gameplay_minutes(Day(2, 12));
+  const double brk = gameplay_minutes(Day(3, 25));
+  EXPECT_GT(brk, pre * 1.5);
+}
+
+TEST_F(ActivityTest, SwitchUsesOnlyNintendoServices) {
+  const SimDevice* sw = FindDevice(DeviceKind::kSwitch);
+  ASSERT_NE(sw, nullptr);
+  const auto& cat = world::ServiceCatalog::Default();
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    for (const SessionPlan& p : Plan(*sw, Day(4, 10), seed)) {
+      for (const FlowPlan& f : p.flows) {
+        EXPECT_EQ(cat.Get(f.service).category, world::Category::kGamingConsole);
+      }
+    }
+  }
+}
+
+TEST_F(ActivityTest, InternationalPhoneVisitsForeignServices) {
+  const SimDevice* phone = FindDevice(DeviceKind::kPhone, Residency::kInternational);
+  ASSERT_NE(phone, nullptr);
+  const auto& cat = world::ServiceCatalog::Default();
+  int foreign = 0, total = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    for (const SessionPlan& p : Plan(*phone, Day(2, 10), seed)) {
+      for (const FlowPlan& f : p.flows) {
+        ++total;
+        const auto& svc = cat.Get(f.service);
+        if (svc.country != "US" && svc.country != "NL") ++foreign;
+      }
+    }
+  }
+  EXPECT_GT(total, 0);
+  EXPECT_GT(foreign, 0);
+}
+
+TEST_F(ActivityTest, DomesticPhoneMostlyUsServices) {
+  const SimDevice* phone = FindDevice(DeviceKind::kPhone, Residency::kDomestic);
+  ASSERT_NE(phone, nullptr);
+  const auto& cat = world::ServiceCatalog::Default();
+  int foreign = 0, total = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    for (const SessionPlan& p : Plan(*phone, Day(2, 10), seed)) {
+      for (const FlowPlan& f : p.flows) {
+        ++total;
+        const auto& svc = cat.Get(f.service);
+        if (svc.country != "US" && svc.country != "NL") ++foreign;
+      }
+    }
+  }
+  EXPECT_GT(total, 0);
+  EXPECT_LT(static_cast<double>(foreign) / total, 0.1);
+}
+
+TEST_F(ActivityTest, InstagramSessionsIncludeSharedFacebookCdn) {
+  // The structural property forcing the paper's disambiguation heuristic.
+  const auto& cat = world::ServiceCatalog::Default();
+  const auto ig = *cat.FindByName("instagram");
+  const auto fb = *cat.FindByName("facebook");
+  const SimDevice* phone = nullptr;
+  for (const SimDevice& d : pop_.devices()) {
+    if (d.kind == DeviceKind::kPhone && pop_.student_of(d).uses_instagram) {
+      phone = &d;
+      break;
+    }
+  }
+  ASSERT_NE(phone, nullptr);
+  bool found_ig_with_fbcdn = false;
+  for (std::uint64_t seed = 0; seed < 40 && !found_ig_with_fbcdn; ++seed) {
+    for (const SessionPlan& p : Plan(*phone, Day(2, 12), seed)) {
+      bool has_ig = false, has_fb_domain = false;
+      for (const FlowPlan& f : p.flows) {
+        has_ig |= f.service == ig;
+        has_fb_domain |= (f.service == fb && f.host == "fbcdn.net");
+      }
+      found_ig_with_fbcdn |= (has_ig && has_fb_domain);
+    }
+  }
+  EXPECT_TRUE(found_ig_with_fbcdn);
+}
+
+TEST_F(ActivityTest, ThrowsOnCatalogWithoutRequiredServices) {
+  const std::vector<world::ServiceSpec> specs = {
+      {.name = "only", .category = world::Category::kWeb, .country = "US",
+       .location = {}, .hosts = {"only.example"}}};
+  world::ServiceCatalog tiny(specs);
+  EXPECT_THROW(ActivityModel model(tiny), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lockdown::sim

@@ -1,0 +1,190 @@
+#include "sim/population.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/parameters.h"
+#include "world/oui_db.h"
+
+namespace lockdown::sim {
+namespace {
+
+PopulationConfig Config(int n = 800, std::uint64_t seed = 2020) {
+  return PopulationConfig{n, seed};
+}
+
+TEST(Population, Deterministic) {
+  Population a(Config());
+  Population b(Config());
+  ASSERT_EQ(a.devices().size(), b.devices().size());
+  for (std::size_t i = 0; i < a.devices().size(); ++i) {
+    EXPECT_EQ(a.devices()[i].mac, b.devices()[i].mac);
+    EXPECT_EQ(a.devices()[i].kind, b.devices()[i].kind);
+  }
+  for (std::size_t i = 0; i < a.students().size(); ++i) {
+    EXPECT_EQ(a.students()[i].residency, b.students()[i].residency);
+    EXPECT_EQ(a.students()[i].departure_day, b.students()[i].departure_day);
+  }
+}
+
+TEST(Population, DifferentSeedsDiffer) {
+  Population a(Config(800, 1));
+  Population b(Config(800, 2));
+  int same_mac = 0;
+  const std::size_t n = std::min(a.devices().size(), b.devices().size());
+  for (std::size_t i = 0; i < n; ++i) {
+    same_mac += (a.devices()[i].mac == b.devices()[i].mac);
+  }
+  EXPECT_LT(static_cast<double>(same_mac), 0.7 * static_cast<double>(n));
+}
+
+TEST(Population, InternationalShareNearConfig) {
+  Population pop(Config(2000));
+  std::size_t intl = 0;
+  for (const auto& s : pop.students()) {
+    intl += s.residency == Residency::kInternational;
+  }
+  EXPECT_NEAR(static_cast<double>(intl) / 2000.0, params::kInternationalShare, 0.03);
+}
+
+TEST(Population, InternationalsStayMoreOften) {
+  Population pop(Config(3000));
+  double intl_stay = 0, intl_n = 0, dom_stay = 0, dom_n = 0;
+  for (const auto& s : pop.students()) {
+    if (s.residency == Residency::kInternational) {
+      ++intl_n;
+      intl_stay += !s.leaves_campus;
+    } else {
+      ++dom_n;
+      dom_stay += !s.leaves_campus;
+    }
+  }
+  EXPECT_GT(intl_stay / intl_n, dom_stay / dom_n);
+  EXPECT_NEAR(dom_stay / dom_n, 1.0 - params::kDomesticLeaveProb, 0.03);
+}
+
+TEST(Population, DepartureDaysInWindows) {
+  Population pop(Config(2000));
+  for (const auto& s : pop.students()) {
+    if (!s.leaves_campus) {
+      EXPECT_EQ(s.departure_day, -1);
+      continue;
+    }
+    EXPECT_GE(s.departure_day, params::kDepartureWindows.front().first_day);
+    EXPECT_LE(s.departure_day, params::kDepartureWindows.back().last_day);
+  }
+}
+
+TEST(Population, DepartureBulkDuringExodus) {
+  Population pop(Config(3000));
+  int exodus = 0, total = 0;
+  for (const auto& s : pop.students()) {
+    if (!s.leaves_campus) continue;
+    ++total;
+    if (s.departure_day >= 40 && s.departure_day <= 50) ++exodus;
+  }
+  // The 3/12-3/22 window carries weight 5 of ~7.5: most departures land there.
+  EXPECT_GT(static_cast<double>(exodus) / total, 0.55);
+}
+
+TEST(Population, MacsUnique) {
+  Population pop(Config(2000));
+  std::set<std::uint64_t> macs;
+  for (const auto& d : pop.devices()) {
+    EXPECT_TRUE(macs.insert(d.mac.value()).second) << d.mac.ToString();
+  }
+}
+
+TEST(Population, DeviceOwnershipRatesPlausible) {
+  Population pop(Config(3000));
+  const double n = 3000.0;
+  EXPECT_NEAR(pop.CountKind(DeviceKind::kPhone) / n, params::kOwnsPhone, 0.03);
+  EXPECT_NEAR(pop.CountKind(DeviceKind::kLaptop) / n, params::kOwnsLaptop, 0.03);
+  EXPECT_NEAR(pop.CountKind(DeviceKind::kSwitch) / n, params::kOwnsSwitch, 0.03);
+  // ~2.5-3 devices per student overall (paper: 32k devices, "several
+  // thousand" students).
+  const double per_student = static_cast<double>(pop.devices().size()) / n;
+  EXPECT_GT(per_student, 2.6);
+  EXPECT_LT(per_student, 4.2);
+}
+
+TEST(Population, RandomizedMacsAreLocallyAdministered) {
+  Population pop(Config(2000));
+  int randomized = 0;
+  for (const auto& d : pop.devices()) {
+    if (d.randomized_mac) {
+      ++randomized;
+      EXPECT_TRUE(world::OuiDatabase::IsLocallyAdministered(d.mac));
+    }
+  }
+  EXPECT_GT(randomized, 0);
+}
+
+TEST(Population, VendorOuisMatchDeviceKind) {
+  Population pop(Config(1500));
+  const world::OuiDatabase& ouis = world::OuiDatabase::Default();
+  for (const auto& d : pop.devices()) {
+    if (d.randomized_mac || d.kind != DeviceKind::kSwitch) continue;
+    const auto info = ouis.Lookup(d.mac);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->hint, world::VendorHint::kNintendo);
+  }
+}
+
+TEST(Population, NewDevicesOnlyForStayers) {
+  Population pop(Config(3000));
+  int new_devices = 0;
+  for (const auto& d : pop.devices()) {
+    if (d.first_active_day == 0) continue;
+    ++new_devices;
+    EXPECT_FALSE(pop.student_of(d).leaves_campus);
+    EXPECT_GE(d.first_active_day, 60);   // April onward
+    EXPECT_LE(d.first_active_day, 104);  // leaves >= 14 days of term
+  }
+  EXPECT_GT(new_devices, 0);
+}
+
+TEST(Population, ForeignShareOnlyForInternationals) {
+  Population pop(Config(1500));
+  for (const auto& s : pop.students()) {
+    if (s.residency == Residency::kDomestic) {
+      EXPECT_EQ(s.foreign_share, 0.0);
+      EXPECT_EQ(s.home_country, "US");
+    } else {
+      EXPECT_GT(s.foreign_share, 0.0);
+      EXPECT_NE(s.home_country, "US");
+    }
+  }
+}
+
+TEST(Population, TrueClassConsistentWithKind) {
+  Population pop(Config(1000));
+  for (const auto& d : pop.devices()) {
+    switch (d.kind) {
+      case DeviceKind::kPhone:
+      case DeviceKind::kTablet:
+        EXPECT_EQ(d.true_class, TrueClass::kMobile);
+        break;
+      case DeviceKind::kLaptop:
+      case DeviceKind::kDesktop:
+        EXPECT_EQ(d.true_class, TrueClass::kLaptopDesktop);
+        break;
+      case DeviceKind::kIotSmall:
+      case DeviceKind::kIotTv:
+        EXPECT_EQ(d.true_class, TrueClass::kIot);
+        break;
+      case DeviceKind::kSwitch:
+      case DeviceKind::kConsoleOther:
+        EXPECT_EQ(d.true_class, TrueClass::kGameConsole);
+        break;
+      case DeviceKind::kMiscGadget:
+        EXPECT_TRUE(d.true_class == TrueClass::kMobile ||
+                    d.true_class == TrueClass::kIot);
+        break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lockdown::sim

@@ -1,0 +1,63 @@
+#include "sim/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdown::sim {
+namespace {
+
+using util::StudyCalendar;
+
+int Day(int month, int day) {
+  return StudyCalendar::DayIndex(util::CivilDate{2020, month, day});
+}
+
+TEST(PandemicTimeline, PhaseBoundaries) {
+  EXPECT_EQ(PandemicTimeline::PhaseOf(Day(2, 1)), Phase::kPrePandemic);
+  EXPECT_EQ(PandemicTimeline::PhaseOf(Day(3, 3)), Phase::kPrePandemic);
+  EXPECT_EQ(PandemicTimeline::PhaseOf(Day(3, 4)), Phase::kStateOfEmergency);
+  EXPECT_EQ(PandemicTimeline::PhaseOf(Day(3, 10)), Phase::kStateOfEmergency);
+  EXPECT_EQ(PandemicTimeline::PhaseOf(Day(3, 11)), Phase::kPandemicDeclared);
+  EXPECT_EQ(PandemicTimeline::PhaseOf(Day(3, 18)), Phase::kPandemicDeclared);
+  EXPECT_EQ(PandemicTimeline::PhaseOf(Day(3, 19)), Phase::kStayAtHome);
+  EXPECT_EQ(PandemicTimeline::PhaseOf(Day(3, 21)), Phase::kStayAtHome);
+  EXPECT_EQ(PandemicTimeline::PhaseOf(Day(3, 22)), Phase::kAcademicBreak);
+  EXPECT_EQ(PandemicTimeline::PhaseOf(Day(3, 29)), Phase::kAcademicBreak);
+  EXPECT_EQ(PandemicTimeline::PhaseOf(Day(3, 30)), Phase::kOnlineTerm);
+  EXPECT_EQ(PandemicTimeline::PhaseOf(Day(5, 31)), Phase::kOnlineTerm);
+}
+
+TEST(PandemicTimeline, ClampsOutsideStudy) {
+  EXPECT_EQ(PandemicTimeline::PhaseOf(-10), Phase::kPrePandemic);
+  EXPECT_EQ(PandemicTimeline::PhaseOf(10000), Phase::kOnlineTerm);
+}
+
+TEST(PandemicTimeline, ShutdownFlag) {
+  EXPECT_FALSE(PandemicTimeline::IsShutdown(Day(3, 18)));
+  EXPECT_TRUE(PandemicTimeline::IsShutdown(Day(3, 19)));
+  EXPECT_TRUE(PandemicTimeline::IsShutdown(Day(4, 15)));
+}
+
+TEST(PandemicTimeline, ClassesInSession) {
+  EXPECT_TRUE(PandemicTimeline::ClassesInSession(Day(2, 10)));
+  EXPECT_FALSE(PandemicTimeline::ClassesInSession(Day(3, 25)));  // break
+  EXPECT_TRUE(PandemicTimeline::ClassesInSession(Day(4, 10)));
+}
+
+TEST(PandemicTimeline, MonthOf) {
+  EXPECT_EQ(PandemicTimeline::MonthOf(0), 2);
+  EXPECT_EQ(PandemicTimeline::MonthOf(Day(3, 1)), 3);
+  EXPECT_EQ(PandemicTimeline::MonthOf(Day(5, 31)), 5);
+}
+
+TEST(PandemicTimeline, TimestampOverload) {
+  const auto ts = util::TimestampOf(util::CivilDateTime{{2020, 3, 25}, 14, 0, 0});
+  EXPECT_EQ(PandemicTimeline::PhaseOf(ts), Phase::kAcademicBreak);
+}
+
+TEST(PandemicTimeline, PhaseNames) {
+  EXPECT_STREQ(ToString(Phase::kPrePandemic), "pre-pandemic");
+  EXPECT_STREQ(ToString(Phase::kOnlineTerm), "online-term");
+}
+
+}  // namespace
+}  // namespace lockdown::sim

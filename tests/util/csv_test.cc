@@ -1,0 +1,85 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace lockdown::util {
+namespace {
+
+TEST(DelimitedWriter, PlainRow) {
+  std::ostringstream out;
+  DelimitedWriter w(out, '\t');
+  w.WriteRow({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a\tb\tc\n");
+}
+
+TEST(DelimitedWriter, QuotesFieldsWithDelimiter) {
+  std::ostringstream out;
+  DelimitedWriter w(out, ',');
+  w.WriteRow({"x,y", "plain"});
+  EXPECT_EQ(out.str(), "\"x,y\",plain\n");
+}
+
+TEST(DelimitedWriter, EscapesQuotes) {
+  std::ostringstream out;
+  DelimitedWriter w(out, ',');
+  w.WriteRow({"say \"hi\""});
+  EXPECT_EQ(out.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(DelimitedRoundTrip, WriterThenReader) {
+  std::ostringstream out;
+  DelimitedWriter w(out, ',');
+  const std::vector<std::string> row1 = {"a,b", "c\"d", "plain", ""};
+  const std::vector<std::string> row2 = {"1", "2", "3", "4"};
+  w.WriteRow(row1);
+  w.WriteRow(row2);
+
+  DelimitedReader r(',');
+  const auto rows = r.ParseAll(out.str());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], row1);
+  EXPECT_EQ(rows[1], row2);
+}
+
+TEST(DelimitedReader, HandlesCrLf) {
+  DelimitedReader r('\t');
+  const auto rows = r.ParseAll("a\tb\r\nc\td\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "b");
+  EXPECT_EQ(rows[1][0], "c");
+}
+
+TEST(DelimitedReader, SingleLineNoNewline) {
+  DelimitedReader r(',');
+  const auto rows = r.ParseAll("x,y");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"short", "1"});
+  t.AddRow({"much-longer-name", "22"});
+  std::ostringstream out;
+  t.Print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("much-longer-name"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinter, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only-one"});
+  std::ostringstream out;
+  t.Print(out);
+  EXPECT_NE(out.str().find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lockdown::util

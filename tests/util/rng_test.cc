@@ -1,0 +1,171 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace lockdown::util {
+namespace {
+
+TEST(Pcg32, DeterministicAcrossInstances) {
+  Pcg32 a(42, 7);
+  Pcg32 b(42, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer) {
+  Pcg32 a(1);
+  Pcg32 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, DifferentStreamsDiffer) {
+  Pcg32 a(42, 1);
+  Pcg32 b(42, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, BoundedStaysInRange) {
+  Pcg32 rng(3);
+  for (std::uint32_t bound : {1u, 2u, 7u, 100u, 1000000u}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.NextBounded(bound), bound);
+  }
+}
+
+TEST(Pcg32, BoundedIsRoughlyUniform) {
+  Pcg32 rng(11);
+  std::array<int, 10> counts{};
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) ++counts[rng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kTrials / 10, kTrials / 10 * 0.1);
+  }
+}
+
+TEST(Pcg32, DoubleInUnitInterval) {
+  Pcg32 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Pcg32, UniformIntInclusiveBounds) {
+  Pcg32 rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Pcg32, NormalMoments) {
+  Pcg32 rng(17);
+  constexpr int kTrials = 200000;
+  double sum = 0;
+  double sq = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kTrials;
+  const double var = sq / kTrials - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Pcg32, ExponentialMean) {
+  Pcg32 rng(23);
+  constexpr int kTrials = 200000;
+  double sum = 0;
+  for (int i = 0; i < kTrials; ++i) sum += rng.Exponential(5.0);
+  EXPECT_NEAR(sum / kTrials, 5.0, 0.1);
+}
+
+TEST(Pcg32, PoissonMeanSmallAndLargeLambda) {
+  Pcg32 rng(29);
+  for (double lambda : {0.5, 3.0, 20.0, 100.0}) {
+    constexpr int kTrials = 50000;
+    double sum = 0;
+    for (int i = 0; i < kTrials; ++i) sum += rng.Poisson(lambda);
+    EXPECT_NEAR(sum / kTrials, lambda, lambda * 0.05 + 0.05) << "lambda=" << lambda;
+  }
+}
+
+TEST(Pcg32, PoissonZeroLambda) {
+  Pcg32 rng(31);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(Pcg32, LogNormalMedian) {
+  Pcg32 rng(37);
+  constexpr int kTrials = 100001;
+  std::vector<double> xs(kTrials);
+  for (double& x : xs) x = rng.LogNormal(2.0, 0.7);
+  std::nth_element(xs.begin(), xs.begin() + kTrials / 2, xs.end());
+  // Median of LogNormal(mu, sigma) is exp(mu).
+  EXPECT_NEAR(xs[kTrials / 2], std::exp(2.0), std::exp(2.0) * 0.05);
+}
+
+TEST(Pcg32, BernoulliEdges) {
+  Pcg32 rng(41);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Pcg32, ForkIndependence) {
+  Pcg32 parent(42);
+  Pcg32 f1 = parent.Fork(1);
+  Pcg32 f2 = parent.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (f1.Next() == f2.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(SampleIndex, RespectsWeights) {
+  Pcg32 rng(43);
+  const std::array<double, 3> weights = {0.0, 1.0, 3.0};
+  std::array<int, 3> counts{};
+  constexpr int kTrials = 40000;
+  for (int i = 0; i < kTrials; ++i) ++counts[SampleIndex(rng, weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.2);
+}
+
+TEST(Zipf, RankOneDominates) {
+  Pcg32 rng(47);
+  ZipfDistribution zipf(1000, 1.0);
+  std::vector<int> counts(1000, 0);
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) ++counts[zipf.Sample(rng)];
+  // With s = 1 and n = 1000, rank 1 carries ~1/H_1000 ~ 13.4% of mass.
+  EXPECT_GT(counts[0], kTrials / 10);
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+}
+
+TEST(Zipf, SingleElement) {
+  Pcg32 rng(53);
+  ZipfDistribution zipf(1, 1.2);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+}  // namespace
+}  // namespace lockdown::util

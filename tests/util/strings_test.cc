@@ -1,0 +1,88 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdown::util {
+namespace {
+
+TEST(Split, Basic) {
+  const auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = Split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Split, EmptyString) {
+  const auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Join, RoundTrip) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(Trim, Whitespace) {
+  EXPECT_EQ(Trim("  hello\t\n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(ToLower, Ascii) {
+  EXPECT_EQ(ToLower("Zoom.US"), "zoom.us");
+  EXPECT_EQ(ToLower("already"), "already");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(StartsWith("facebook.com", "face"));
+  EXPECT_FALSE(StartsWith("face", "facebook"));
+  EXPECT_TRUE(EndsWith("cdn.tiktokv.com", ".com"));
+  EXPECT_FALSE(EndsWith(".com", "cdn.com"));
+}
+
+TEST(DomainMatches, ExactAndSubdomain) {
+  EXPECT_TRUE(DomainMatches("zoom.us", "zoom.us"));
+  EXPECT_TRUE(DomainMatches("us04web.zoom.us", "zoom.us"));
+  EXPECT_TRUE(DomainMatches("a.b.c.zoom.us", "zoom.us"));
+}
+
+TEST(DomainMatches, RejectsSuffixWithoutLabelBoundary) {
+  // The classic signature pitfall the paper's method must avoid.
+  EXPECT_FALSE(DomainMatches("notzoom.us", "zoom.us"));
+  EXPECT_FALSE(DomainMatches("zoom.us.evil.com", "zoom.us"));
+  EXPECT_FALSE(DomainMatches("us", "zoom.us"));
+}
+
+TEST(LastLabels, Extraction) {
+  EXPECT_EQ(LastLabels("a.b.facebook.com", 2), "facebook.com");
+  EXPECT_EQ(LastLabels("facebook.com", 2), "facebook.com");
+  EXPECT_EQ(LastLabels("com", 2), "com");
+  EXPECT_EQ(LastLabels("x.y.z", 1), "z");
+  EXPECT_EQ(LastLabels("x.y.z", 0), "");
+}
+
+TEST(FormatBytes, Units) {
+  EXPECT_EQ(FormatBytes(512), "512.00 B");
+  EXPECT_EQ(FormatBytes(1500), "1.50 KB");
+  EXPECT_EQ(FormatBytes(2.5e9), "2.50 GB");
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(10.0, 0), "10");
+}
+
+}  // namespace
+}  // namespace lockdown::util

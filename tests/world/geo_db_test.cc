@@ -1,0 +1,53 @@
+#include "world/geo_db.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdown::world {
+namespace {
+
+TEST(GeoDatabase, ServiceBlocksGeolocate) {
+  const ServiceCatalog& cat = ServiceCatalog::Default();
+  GeoDatabase geo(cat);
+  const auto bilibili = cat.Get(*cat.FindByName("bilibili"));
+  const auto info = geo.Lookup(bilibili.block.At(5));
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->country, "CN");
+  EXPECT_NEAR(info->location.lat, 31.23, 0.01);
+  EXPECT_FALSE(info->is_cdn);
+}
+
+TEST(GeoDatabase, CdnFlagPropagates) {
+  const ServiceCatalog& cat = ServiceCatalog::Default();
+  GeoDatabase geo(cat);
+  const auto akamai = cat.Get(*cat.FindByName("akamai"));
+  const auto info = geo.Lookup(akamai.block.At(1));
+  ASSERT_TRUE(info.has_value());
+  EXPECT_TRUE(info->is_cdn);
+  EXPECT_EQ(info->country, "US");
+}
+
+TEST(GeoDatabase, UnknownAddress) {
+  GeoDatabase geo(ServiceCatalog::Default());
+  EXPECT_FALSE(geo.Lookup(net::Ipv4Address(1, 2, 3, 4)).has_value());
+}
+
+TEST(GeoDatabase, ExtraBlocksIncluded) {
+  const net::Cidr campus(net::Ipv4Address(10, 0, 0, 0), 12);
+  GeoDatabase geo(ServiceCatalog::Default(),
+                  {{campus, GeoInfo{"US", {32.88, -117.24}, false}}});
+  const auto info = geo.Lookup(net::Ipv4Address(10, 3, 4, 5));
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->country, "US");
+  EXPECT_NEAR(info->location.lat, 32.88, 0.01);
+}
+
+TEST(GeoDatabase, BoundariesExact) {
+  const ServiceCatalog& cat = ServiceCatalog::Default();
+  GeoDatabase geo(cat);
+  const auto svc = cat.Get(*cat.FindByName("zoom"));
+  EXPECT_TRUE(geo.Lookup(svc.block.At(0)).has_value());
+  EXPECT_TRUE(geo.Lookup(svc.block.At(svc.block.size() - 1)).has_value());
+}
+
+}  // namespace
+}  // namespace lockdown::world

@@ -1,0 +1,68 @@
+#include "world/oui_db.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdown::world {
+namespace {
+
+TEST(OuiDatabase, KnownVendors) {
+  const OuiDatabase& db = OuiDatabase::Default();
+  const auto apple = db.Lookup(net::MacAddress::FromOui(0xA483E7, 1));
+  ASSERT_TRUE(apple.has_value());
+  EXPECT_EQ(apple->vendor, "Apple");
+  EXPECT_EQ(apple->hint, VendorHint::kComputerOrPhone);
+
+  const auto nintendo = db.Lookup(net::MacAddress::FromOui(0x98B6E9, 1));
+  ASSERT_TRUE(nintendo.has_value());
+  EXPECT_EQ(nintendo->hint, VendorHint::kNintendo);
+
+  const auto roku = db.Lookup(net::MacAddress::FromOui(0xB0A737, 1));
+  ASSERT_TRUE(roku.has_value());
+  EXPECT_EQ(roku->hint, VendorHint::kIot);
+}
+
+TEST(OuiDatabase, UnknownOui) {
+  EXPECT_FALSE(OuiDatabase::Default()
+                   .Lookup(net::MacAddress::FromOui(0x00E099, 1))
+                   .has_value());
+}
+
+TEST(OuiDatabase, RandomizedMacNeverMatches) {
+  // Set the locally-administered bit on an otherwise-Apple prefix: MAC
+  // randomization must defeat OUI lookup.
+  const net::MacAddress randomized(
+      (std::uint64_t{0xA483E7 | 0x020000} << 24) | 0x123456);
+  EXPECT_TRUE(OuiDatabase::IsLocallyAdministered(randomized));
+  EXPECT_FALSE(OuiDatabase::Default().Lookup(randomized).has_value());
+}
+
+TEST(OuiDatabase, UniversallyAdministeredBitClear) {
+  const net::MacAddress normal = net::MacAddress::FromOui(0xA483E7, 1);
+  EXPECT_FALSE(OuiDatabase::IsLocallyAdministered(normal));
+}
+
+TEST(OuiDatabase, OuisForHintDeterministic) {
+  const OuiDatabase& db = OuiDatabase::Default();
+  const auto a = db.OuisFor(VendorHint::kNintendo);
+  const auto b = db.OuisFor(VendorHint::kNintendo);
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a.size(), 2u);
+  for (std::uint32_t oui : a) {
+    const auto info = db.Lookup(net::MacAddress::FromOui(oui, 1));
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->hint, VendorHint::kNintendo);
+  }
+}
+
+TEST(OuiDatabase, AllHintCategoriesPopulated) {
+  const OuiDatabase& db = OuiDatabase::Default();
+  for (VendorHint hint :
+       {VendorHint::kComputer, VendorHint::kPhone, VendorHint::kComputerOrPhone,
+        VendorHint::kIot, VendorHint::kNintendo, VendorHint::kConsoleOther,
+        VendorHint::kGeneric}) {
+    EXPECT_FALSE(db.OuisFor(hint).empty()) << ToString(hint);
+  }
+}
+
+}  // namespace
+}  // namespace lockdown::world

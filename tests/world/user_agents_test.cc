@@ -1,0 +1,31 @@
+#include "world/user_agents.h"
+
+#include <gtest/gtest.h>
+
+namespace lockdown::world {
+namespace {
+
+TEST(UserAgents, EveryPlatformHasStrings) {
+  for (UaPlatform p :
+       {UaPlatform::kWindowsDesktop, UaPlatform::kMacDesktop,
+        UaPlatform::kLinuxDesktop, UaPlatform::kIphone, UaPlatform::kIpad,
+        UaPlatform::kAndroidPhone, UaPlatform::kSmartTv, UaPlatform::kGameConsole}) {
+    const auto corpus = UserAgentsFor(p);
+    EXPECT_FALSE(corpus.empty());
+    for (std::string_view ua : corpus) EXPECT_FALSE(ua.empty());
+  }
+}
+
+TEST(UserAgents, PlatformTokensPresent) {
+  EXPECT_NE(UserAgentsFor(UaPlatform::kIphone)[0].find("iPhone"),
+            std::string_view::npos);
+  EXPECT_NE(UserAgentsFor(UaPlatform::kWindowsDesktop)[0].find("Windows NT"),
+            std::string_view::npos);
+  EXPECT_NE(UserAgentsFor(UaPlatform::kMacDesktop)[0].find("Macintosh"),
+            std::string_view::npos);
+  EXPECT_NE(UserAgentsFor(UaPlatform::kGameConsole)[0].find("Nintendo Switch"),
+            std::string_view::npos);
+}
+
+}  // namespace
+}  // namespace lockdown::world

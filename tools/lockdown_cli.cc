@@ -1,0 +1,171 @@
+// lockdown_cli — command-line front end for the measurement pipeline.
+//
+//   lockdown_cli simulate --out DIR [--students N] [--seed S]
+//       Simulate the campus and write the four collection logs
+//       (conn/dhcp/dns/ua) into DIR — the "collection box" phase.
+//
+//   lockdown_cli analyze --logs DIR [--students N] [--seed S]
+//       Ingest previously exported logs, run the processing pipeline, and
+//       print the headline statistics. --seed must match the export (it
+//       derives the anonymization key; mismatched keys still process but
+//       produce unlinkable pseudonyms).
+//
+//   lockdown_cli study [--students N] [--seed S]
+//       One-shot: simulate + process + print every figure's summary.
+//
+//   lockdown_cli catalog
+//       Dump the synthetic service catalog (name, category, country, block).
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "core/offline.h"
+#include "core/study.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace lockdown;
+
+struct Options {
+  std::string command;
+  std::string dir;
+  int students = 400;
+  std::uint64_t seed = 2020;
+};
+
+void Usage() {
+  std::cerr << "usage: lockdown_cli <simulate|analyze|study|catalog> "
+               "[--out DIR] [--logs DIR] [--students N] [--seed S]\n";
+}
+
+bool ParseArgs(int argc, char** argv, Options& opts) {
+  if (argc < 2) return false;
+  opts.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--out" || arg == "--logs") {
+      const char* v = next();
+      if (!v) return false;
+      opts.dir = v;
+    } else if (arg == "--students") {
+      const char* v = next();
+      if (!v) return false;
+      opts.students = std::atoi(v);
+      if (opts.students <= 0) return false;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      opts.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+core::StudyConfig ConfigFrom(const Options& opts) {
+  return core::StudyConfig::Small(opts.students, opts.seed);
+}
+
+void PrintHeadline(const core::CollectionResult& collection) {
+  const core::LockdownStudy study(collection.dataset,
+                                  world::ServiceCatalog::Default());
+  const auto h = study.HeadlineStats();
+  const auto sw = study.CountSwitches();
+  util::TablePrinter table({"statistic", "value"});
+  table.AddRow({"flows", std::to_string(collection.dataset.num_flows())});
+  table.AddRow({"devices", std::to_string(collection.dataset.num_devices())});
+  table.AddRow({"peak active devices", std::to_string(h.peak_active_devices)});
+  table.AddRow({"trough active devices", std::to_string(h.trough_active_devices)});
+  table.AddRow({"post-shutdown users", std::to_string(h.post_shutdown_users)});
+  table.AddRow({"traffic increase Feb->Apr/May",
+                util::FormatDouble(100 * h.traffic_increase, 0) + "%"});
+  table.AddRow({"distinct-site increase",
+                util::FormatDouble(100 * h.distinct_sites_increase, 0) + "%"});
+  table.AddRow({"international devices",
+                std::to_string(h.international_devices) + " (" +
+                    util::FormatDouble(100 * h.international_share, 1) + "%)"});
+  table.AddRow({"switches feb / post / new",
+                std::to_string(sw.active_february) + " / " +
+                    std::to_string(sw.active_post_shutdown) + " / " +
+                    std::to_string(sw.new_in_april_may)});
+  table.Print(std::cout);
+}
+
+int RunSimulate(const Options& opts) {
+  if (opts.dir.empty()) {
+    std::cerr << "simulate requires --out DIR\n";
+    return 2;
+  }
+  std::cout << "simulating " << opts.students << " students (seed " << opts.seed
+            << ") -> " << opts.dir << "\n";
+  core::ExportLogs(ConfigFrom(opts), opts.dir);
+  for (const char* name : {core::LogFiles::kConn, core::LogFiles::kDhcp,
+                           core::LogFiles::kDns, core::LogFiles::kUa}) {
+    const auto path = std::filesystem::path(opts.dir) / name;
+    std::cout << "  " << path.string() << "  ("
+              << std::filesystem::file_size(path) / 1024 << " KiB)\n";
+  }
+  return 0;
+}
+
+int RunAnalyze(const Options& opts) {
+  if (opts.dir.empty()) {
+    std::cerr << "analyze requires --logs DIR\n";
+    return 2;
+  }
+  std::cout << "processing logs from " << opts.dir << "\n";
+  const auto collection = core::CollectFromLogs(opts.dir, ConfigFrom(opts));
+  PrintHeadline(collection);
+  return 0;
+}
+
+int RunStudy(const Options& opts) {
+  std::cout << "simulating " << opts.students << " students (seed " << opts.seed
+            << ")\n";
+  const auto collection = core::MeasurementPipeline::Collect(ConfigFrom(opts));
+  PrintHeadline(collection);
+  return 0;
+}
+
+int RunCatalog() {
+  util::TablePrinter table({"service", "category", "country", "block", "flags"});
+  for (const world::Service& svc : world::ServiceCatalog::Default().services()) {
+    std::string flags;
+    if (svc.is_cdn) flags += "cdn ";
+    if (svc.tap_excluded) flags += "tap-excluded ";
+    if (svc.dns_less) flags += "dns-less ";
+    table.AddRow({svc.name, world::ToString(svc.category), svc.country,
+                  svc.block.ToString(), flags});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!ParseArgs(argc, argv, opts)) {
+    Usage();
+    return 2;
+  }
+  try {
+    if (opts.command == "simulate") return RunSimulate(opts);
+    if (opts.command == "analyze") return RunAnalyze(opts);
+    if (opts.command == "study") return RunStudy(opts);
+    if (opts.command == "catalog") return RunCatalog();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  Usage();
+  return 2;
+}
