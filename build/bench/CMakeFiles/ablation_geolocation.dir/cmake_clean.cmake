@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_geolocation.dir/ablation_geolocation.cc.o"
+  "CMakeFiles/ablation_geolocation.dir/ablation_geolocation.cc.o.d"
+  "ablation_geolocation"
+  "ablation_geolocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_geolocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

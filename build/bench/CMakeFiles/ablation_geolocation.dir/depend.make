@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_geolocation.
+# This may be replaced when dependencies are built.

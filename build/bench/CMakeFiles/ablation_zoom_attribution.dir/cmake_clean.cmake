@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_zoom_attribution.dir/ablation_zoom_attribution.cc.o"
+  "CMakeFiles/ablation_zoom_attribution.dir/ablation_zoom_attribution.cc.o.d"
+  "ablation_zoom_attribution"
+  "ablation_zoom_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_zoom_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

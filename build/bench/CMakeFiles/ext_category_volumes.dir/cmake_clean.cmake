@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_category_volumes.dir/ext_category_volumes.cc.o"
+  "CMakeFiles/ext_category_volumes.dir/ext_category_volumes.cc.o.d"
+  "ext_category_volumes"
+  "ext_category_volumes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_category_volumes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_category_volumes.
+# This may be replaced when dependencies are built.

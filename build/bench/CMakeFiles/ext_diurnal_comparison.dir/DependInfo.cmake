@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_diurnal_comparison.cc" "bench/CMakeFiles/ext_diurnal_comparison.dir/ext_diurnal_comparison.cc.o" "gcc" "bench/CMakeFiles/ext_diurnal_comparison.dir/ext_diurnal_comparison.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lockdown_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lockdown_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/lockdown_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/lockdown_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/lockdown_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/lockdown_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lockdown_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/lockdown_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/dhcp/CMakeFiles/lockdown_dhcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/lockdown_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/lockdown_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/lockdown_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lockdown_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lockdown_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_diurnal_comparison.dir/ext_diurnal_comparison.cc.o"
+  "CMakeFiles/ext_diurnal_comparison.dir/ext_diurnal_comparison.cc.o.d"
+  "ext_diurnal_comparison"
+  "ext_diurnal_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_diurnal_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_active_devices.dir/fig1_active_devices.cc.o"
+  "CMakeFiles/fig1_active_devices.dir/fig1_active_devices.cc.o.d"
+  "fig1_active_devices"
+  "fig1_active_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_active_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_bytes_per_device.dir/fig2_bytes_per_device.cc.o"
+  "CMakeFiles/fig2_bytes_per_device.dir/fig2_bytes_per_device.cc.o.d"
+  "fig2_bytes_per_device"
+  "fig2_bytes_per_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_bytes_per_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_bytes_per_device.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_hour_of_week.dir/fig3_hour_of_week.cc.o"
+  "CMakeFiles/fig3_hour_of_week.dir/fig3_hour_of_week.cc.o.d"
+  "fig3_hour_of_week"
+  "fig3_hour_of_week.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_hour_of_week.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_population_split.dir/fig4_population_split.cc.o"
+  "CMakeFiles/fig4_population_split.dir/fig4_population_split.cc.o.d"
+  "fig4_population_split"
+  "fig4_population_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_population_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_zoom.dir/fig5_zoom.cc.o"
+  "CMakeFiles/fig5_zoom.dir/fig5_zoom.cc.o.d"
+  "fig5_zoom"
+  "fig5_zoom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_zoom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_social_media.dir/fig6_social_media.cc.o"
+  "CMakeFiles/fig6_social_media.dir/fig6_social_media.cc.o.d"
+  "fig6_social_media"
+  "fig6_social_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_social_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

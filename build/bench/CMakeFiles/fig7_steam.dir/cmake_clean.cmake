@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_steam.dir/fig7_steam.cc.o"
+  "CMakeFiles/fig7_steam.dir/fig7_steam.cc.o.d"
+  "fig7_steam"
+  "fig7_steam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_steam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

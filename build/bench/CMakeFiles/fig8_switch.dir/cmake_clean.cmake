@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_switch.dir/fig8_switch.cc.o"
+  "CMakeFiles/fig8_switch.dir/fig8_switch.cc.o.d"
+  "fig8_switch"
+  "fig8_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

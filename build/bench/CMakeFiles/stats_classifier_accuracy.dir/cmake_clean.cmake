@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_classifier_accuracy.dir/stats_classifier_accuracy.cc.o"
+  "CMakeFiles/stats_classifier_accuracy.dir/stats_classifier_accuracy.cc.o.d"
+  "stats_classifier_accuracy"
+  "stats_classifier_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_classifier_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

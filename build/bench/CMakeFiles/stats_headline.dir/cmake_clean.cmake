@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_headline.dir/stats_headline.cc.o"
+  "CMakeFiles/stats_headline.dir/stats_headline.cc.o.d"
+  "stats_headline"
+  "stats_headline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

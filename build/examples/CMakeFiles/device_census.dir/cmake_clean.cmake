@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_census.dir/device_census.cpp.o"
+  "CMakeFiles/device_census.dir/device_census.cpp.o.d"
+  "device_census"
+  "device_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

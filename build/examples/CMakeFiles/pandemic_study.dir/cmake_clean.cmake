@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pandemic_study.dir/pandemic_study.cpp.o"
+  "CMakeFiles/pandemic_study.dir/pandemic_study.cpp.o.d"
+  "pandemic_study"
+  "pandemic_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pandemic_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcap_workflow.dir/pcap_workflow.cpp.o"
+  "CMakeFiles/pcap_workflow.dir/pcap_workflow.cpp.o.d"
+  "pcap_workflow"
+  "pcap_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcap_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/population_split.dir/population_split.cpp.o"
+  "CMakeFiles/population_split.dir/population_split.cpp.o.d"
+  "population_split"
+  "population_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/population_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("net")
+subdirs("dhcp")
+subdirs("dns")
+subdirs("privacy")
+subdirs("world")
+subdirs("flow")
+subdirs("logs")
+subdirs("pcapio")
+subdirs("sim")
+subdirs("classify")
+subdirs("geo")
+subdirs("apps")
+subdirs("analysis")
+subdirs("core")

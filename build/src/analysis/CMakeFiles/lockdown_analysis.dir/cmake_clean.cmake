@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdown_analysis.dir/stats.cc.o"
+  "CMakeFiles/lockdown_analysis.dir/stats.cc.o.d"
+  "CMakeFiles/lockdown_analysis.dir/timeseries.cc.o"
+  "CMakeFiles/lockdown_analysis.dir/timeseries.cc.o.d"
+  "liblockdown_analysis.a"
+  "liblockdown_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdown_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/nintendo.cc" "src/apps/CMakeFiles/lockdown_apps.dir/nintendo.cc.o" "gcc" "src/apps/CMakeFiles/lockdown_apps.dir/nintendo.cc.o.d"
+  "/root/repo/src/apps/sessionizer.cc" "src/apps/CMakeFiles/lockdown_apps.dir/sessionizer.cc.o" "gcc" "src/apps/CMakeFiles/lockdown_apps.dir/sessionizer.cc.o.d"
+  "/root/repo/src/apps/signature.cc" "src/apps/CMakeFiles/lockdown_apps.dir/signature.cc.o" "gcc" "src/apps/CMakeFiles/lockdown_apps.dir/signature.cc.o.d"
+  "/root/repo/src/apps/social.cc" "src/apps/CMakeFiles/lockdown_apps.dir/social.cc.o" "gcc" "src/apps/CMakeFiles/lockdown_apps.dir/social.cc.o.d"
+  "/root/repo/src/apps/steam.cc" "src/apps/CMakeFiles/lockdown_apps.dir/steam.cc.o" "gcc" "src/apps/CMakeFiles/lockdown_apps.dir/steam.cc.o.d"
+  "/root/repo/src/apps/zoom.cc" "src/apps/CMakeFiles/lockdown_apps.dir/zoom.cc.o" "gcc" "src/apps/CMakeFiles/lockdown_apps.dir/zoom.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/world/CMakeFiles/lockdown_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lockdown_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lockdown_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

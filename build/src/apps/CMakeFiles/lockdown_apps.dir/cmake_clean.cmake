@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdown_apps.dir/nintendo.cc.o"
+  "CMakeFiles/lockdown_apps.dir/nintendo.cc.o.d"
+  "CMakeFiles/lockdown_apps.dir/sessionizer.cc.o"
+  "CMakeFiles/lockdown_apps.dir/sessionizer.cc.o.d"
+  "CMakeFiles/lockdown_apps.dir/signature.cc.o"
+  "CMakeFiles/lockdown_apps.dir/signature.cc.o.d"
+  "CMakeFiles/lockdown_apps.dir/social.cc.o"
+  "CMakeFiles/lockdown_apps.dir/social.cc.o.d"
+  "CMakeFiles/lockdown_apps.dir/steam.cc.o"
+  "CMakeFiles/lockdown_apps.dir/steam.cc.o.d"
+  "CMakeFiles/lockdown_apps.dir/zoom.cc.o"
+  "CMakeFiles/lockdown_apps.dir/zoom.cc.o.d"
+  "liblockdown_apps.a"
+  "liblockdown_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdown_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/accuracy.cc" "src/classify/CMakeFiles/lockdown_classify.dir/accuracy.cc.o" "gcc" "src/classify/CMakeFiles/lockdown_classify.dir/accuracy.cc.o.d"
+  "/root/repo/src/classify/classifier.cc" "src/classify/CMakeFiles/lockdown_classify.dir/classifier.cc.o" "gcc" "src/classify/CMakeFiles/lockdown_classify.dir/classifier.cc.o.d"
+  "/root/repo/src/classify/iot.cc" "src/classify/CMakeFiles/lockdown_classify.dir/iot.cc.o" "gcc" "src/classify/CMakeFiles/lockdown_classify.dir/iot.cc.o.d"
+  "/root/repo/src/classify/switch_detect.cc" "src/classify/CMakeFiles/lockdown_classify.dir/switch_detect.cc.o" "gcc" "src/classify/CMakeFiles/lockdown_classify.dir/switch_detect.cc.o.d"
+  "/root/repo/src/classify/user_agent.cc" "src/classify/CMakeFiles/lockdown_classify.dir/user_agent.cc.o" "gcc" "src/classify/CMakeFiles/lockdown_classify.dir/user_agent.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/world/CMakeFiles/lockdown_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lockdown_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lockdown_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

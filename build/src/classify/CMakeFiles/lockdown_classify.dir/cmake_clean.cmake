@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdown_classify.dir/accuracy.cc.o"
+  "CMakeFiles/lockdown_classify.dir/accuracy.cc.o.d"
+  "CMakeFiles/lockdown_classify.dir/classifier.cc.o"
+  "CMakeFiles/lockdown_classify.dir/classifier.cc.o.d"
+  "CMakeFiles/lockdown_classify.dir/iot.cc.o"
+  "CMakeFiles/lockdown_classify.dir/iot.cc.o.d"
+  "CMakeFiles/lockdown_classify.dir/switch_detect.cc.o"
+  "CMakeFiles/lockdown_classify.dir/switch_detect.cc.o.d"
+  "CMakeFiles/lockdown_classify.dir/user_agent.cc.o"
+  "CMakeFiles/lockdown_classify.dir/user_agent.cc.o.d"
+  "liblockdown_classify.a"
+  "liblockdown_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdown_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

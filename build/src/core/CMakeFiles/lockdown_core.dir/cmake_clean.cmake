@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdown_core.dir/dataset.cc.o"
+  "CMakeFiles/lockdown_core.dir/dataset.cc.o.d"
+  "CMakeFiles/lockdown_core.dir/offline.cc.o"
+  "CMakeFiles/lockdown_core.dir/offline.cc.o.d"
+  "CMakeFiles/lockdown_core.dir/pipeline.cc.o"
+  "CMakeFiles/lockdown_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/lockdown_core.dir/study.cc.o"
+  "CMakeFiles/lockdown_core.dir/study.cc.o.d"
+  "liblockdown_core.a"
+  "liblockdown_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdown_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

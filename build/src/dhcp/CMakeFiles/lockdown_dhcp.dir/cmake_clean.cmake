@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdown_dhcp.dir/normalizer.cc.o"
+  "CMakeFiles/lockdown_dhcp.dir/normalizer.cc.o.d"
+  "CMakeFiles/lockdown_dhcp.dir/server.cc.o"
+  "CMakeFiles/lockdown_dhcp.dir/server.cc.o.d"
+  "liblockdown_dhcp.a"
+  "liblockdown_dhcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdown_dhcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdown_dns.dir/mapper.cc.o"
+  "CMakeFiles/lockdown_dns.dir/mapper.cc.o.d"
+  "CMakeFiles/lockdown_dns.dir/resolver.cc.o"
+  "CMakeFiles/lockdown_dns.dir/resolver.cc.o.d"
+  "liblockdown_dns.a"
+  "liblockdown_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdown_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

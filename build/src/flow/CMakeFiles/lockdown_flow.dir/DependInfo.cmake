@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/assembler.cc" "src/flow/CMakeFiles/lockdown_flow.dir/assembler.cc.o" "gcc" "src/flow/CMakeFiles/lockdown_flow.dir/assembler.cc.o.d"
+  "/root/repo/src/flow/conn_log.cc" "src/flow/CMakeFiles/lockdown_flow.dir/conn_log.cc.o" "gcc" "src/flow/CMakeFiles/lockdown_flow.dir/conn_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/lockdown_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lockdown_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

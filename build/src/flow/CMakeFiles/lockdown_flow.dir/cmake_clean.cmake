@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdown_flow.dir/assembler.cc.o"
+  "CMakeFiles/lockdown_flow.dir/assembler.cc.o.d"
+  "CMakeFiles/lockdown_flow.dir/conn_log.cc.o"
+  "CMakeFiles/lockdown_flow.dir/conn_log.cc.o.d"
+  "liblockdown_flow.a"
+  "liblockdown_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdown_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/border.cc" "src/geo/CMakeFiles/lockdown_geo.dir/border.cc.o" "gcc" "src/geo/CMakeFiles/lockdown_geo.dir/border.cc.o.d"
+  "/root/repo/src/geo/geodesy.cc" "src/geo/CMakeFiles/lockdown_geo.dir/geodesy.cc.o" "gcc" "src/geo/CMakeFiles/lockdown_geo.dir/geodesy.cc.o.d"
+  "/root/repo/src/geo/intl.cc" "src/geo/CMakeFiles/lockdown_geo.dir/intl.cc.o" "gcc" "src/geo/CMakeFiles/lockdown_geo.dir/intl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/world/CMakeFiles/lockdown_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/lockdown_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lockdown_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lockdown_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdown_geo.dir/border.cc.o"
+  "CMakeFiles/lockdown_geo.dir/border.cc.o.d"
+  "CMakeFiles/lockdown_geo.dir/geodesy.cc.o"
+  "CMakeFiles/lockdown_geo.dir/geodesy.cc.o.d"
+  "CMakeFiles/lockdown_geo.dir/intl.cc.o"
+  "CMakeFiles/lockdown_geo.dir/intl.cc.o.d"
+  "liblockdown_geo.a"
+  "liblockdown_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdown_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logs/dhcp_log.cc" "src/logs/CMakeFiles/lockdown_logs.dir/dhcp_log.cc.o" "gcc" "src/logs/CMakeFiles/lockdown_logs.dir/dhcp_log.cc.o.d"
+  "/root/repo/src/logs/dns_log.cc" "src/logs/CMakeFiles/lockdown_logs.dir/dns_log.cc.o" "gcc" "src/logs/CMakeFiles/lockdown_logs.dir/dns_log.cc.o.d"
+  "/root/repo/src/logs/ua_log.cc" "src/logs/CMakeFiles/lockdown_logs.dir/ua_log.cc.o" "gcc" "src/logs/CMakeFiles/lockdown_logs.dir/ua_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dhcp/CMakeFiles/lockdown_dhcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/lockdown_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lockdown_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lockdown_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdown_logs.dir/dhcp_log.cc.o"
+  "CMakeFiles/lockdown_logs.dir/dhcp_log.cc.o.d"
+  "CMakeFiles/lockdown_logs.dir/dns_log.cc.o"
+  "CMakeFiles/lockdown_logs.dir/dns_log.cc.o.d"
+  "CMakeFiles/lockdown_logs.dir/ua_log.cc.o"
+  "CMakeFiles/lockdown_logs.dir/ua_log.cc.o.d"
+  "liblockdown_logs.a"
+  "liblockdown_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdown_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/allocator.cc" "src/net/CMakeFiles/lockdown_net.dir/allocator.cc.o" "gcc" "src/net/CMakeFiles/lockdown_net.dir/allocator.cc.o.d"
+  "/root/repo/src/net/ipv4.cc" "src/net/CMakeFiles/lockdown_net.dir/ipv4.cc.o" "gcc" "src/net/CMakeFiles/lockdown_net.dir/ipv4.cc.o.d"
+  "/root/repo/src/net/mac.cc" "src/net/CMakeFiles/lockdown_net.dir/mac.cc.o" "gcc" "src/net/CMakeFiles/lockdown_net.dir/mac.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/lockdown_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

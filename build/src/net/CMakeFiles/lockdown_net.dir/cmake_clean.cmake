@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdown_net.dir/allocator.cc.o"
+  "CMakeFiles/lockdown_net.dir/allocator.cc.o.d"
+  "CMakeFiles/lockdown_net.dir/ipv4.cc.o"
+  "CMakeFiles/lockdown_net.dir/ipv4.cc.o.d"
+  "CMakeFiles/lockdown_net.dir/mac.cc.o"
+  "CMakeFiles/lockdown_net.dir/mac.cc.o.d"
+  "liblockdown_net.a"
+  "liblockdown_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdown_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

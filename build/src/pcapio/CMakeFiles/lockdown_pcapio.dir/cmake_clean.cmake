@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdown_pcapio.dir/packets.cc.o"
+  "CMakeFiles/lockdown_pcapio.dir/packets.cc.o.d"
+  "CMakeFiles/lockdown_pcapio.dir/pcap.cc.o"
+  "CMakeFiles/lockdown_pcapio.dir/pcap.cc.o.d"
+  "CMakeFiles/lockdown_pcapio.dir/tap_pcap.cc.o"
+  "CMakeFiles/lockdown_pcapio.dir/tap_pcap.cc.o.d"
+  "liblockdown_pcapio.a"
+  "liblockdown_pcapio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdown_pcapio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

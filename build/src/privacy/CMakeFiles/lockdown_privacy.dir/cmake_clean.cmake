@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdown_privacy.dir/visitor_filter.cc.o"
+  "CMakeFiles/lockdown_privacy.dir/visitor_filter.cc.o.d"
+  "liblockdown_privacy.a"
+  "liblockdown_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdown_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdown_sim.dir/activity.cc.o"
+  "CMakeFiles/lockdown_sim.dir/activity.cc.o.d"
+  "CMakeFiles/lockdown_sim.dir/generator.cc.o"
+  "CMakeFiles/lockdown_sim.dir/generator.cc.o.d"
+  "CMakeFiles/lockdown_sim.dir/population.cc.o"
+  "CMakeFiles/lockdown_sim.dir/population.cc.o.d"
+  "CMakeFiles/lockdown_sim.dir/timeline.cc.o"
+  "CMakeFiles/lockdown_sim.dir/timeline.cc.o.d"
+  "liblockdown_sim.a"
+  "liblockdown_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdown_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdown_util.dir/csv.cc.o"
+  "CMakeFiles/lockdown_util.dir/csv.cc.o.d"
+  "CMakeFiles/lockdown_util.dir/hash.cc.o"
+  "CMakeFiles/lockdown_util.dir/hash.cc.o.d"
+  "CMakeFiles/lockdown_util.dir/rng.cc.o"
+  "CMakeFiles/lockdown_util.dir/rng.cc.o.d"
+  "CMakeFiles/lockdown_util.dir/strings.cc.o"
+  "CMakeFiles/lockdown_util.dir/strings.cc.o.d"
+  "CMakeFiles/lockdown_util.dir/table.cc.o"
+  "CMakeFiles/lockdown_util.dir/table.cc.o.d"
+  "CMakeFiles/lockdown_util.dir/time.cc.o"
+  "CMakeFiles/lockdown_util.dir/time.cc.o.d"
+  "liblockdown_util.a"
+  "liblockdown_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdown_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblockdown_util.a"
+)

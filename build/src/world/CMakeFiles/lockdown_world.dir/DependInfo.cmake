@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/world/catalog.cc" "src/world/CMakeFiles/lockdown_world.dir/catalog.cc.o" "gcc" "src/world/CMakeFiles/lockdown_world.dir/catalog.cc.o.d"
+  "/root/repo/src/world/geo_db.cc" "src/world/CMakeFiles/lockdown_world.dir/geo_db.cc.o" "gcc" "src/world/CMakeFiles/lockdown_world.dir/geo_db.cc.o.d"
+  "/root/repo/src/world/oui_db.cc" "src/world/CMakeFiles/lockdown_world.dir/oui_db.cc.o" "gcc" "src/world/CMakeFiles/lockdown_world.dir/oui_db.cc.o.d"
+  "/root/repo/src/world/user_agents.cc" "src/world/CMakeFiles/lockdown_world.dir/user_agents.cc.o" "gcc" "src/world/CMakeFiles/lockdown_world.dir/user_agents.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/lockdown_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lockdown_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdown_world.dir/catalog.cc.o"
+  "CMakeFiles/lockdown_world.dir/catalog.cc.o.d"
+  "CMakeFiles/lockdown_world.dir/geo_db.cc.o"
+  "CMakeFiles/lockdown_world.dir/geo_db.cc.o.d"
+  "CMakeFiles/lockdown_world.dir/oui_db.cc.o"
+  "CMakeFiles/lockdown_world.dir/oui_db.cc.o.d"
+  "CMakeFiles/lockdown_world.dir/user_agents.cc.o"
+  "CMakeFiles/lockdown_world.dir/user_agents.cc.o.d"
+  "liblockdown_world.a"
+  "liblockdown_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdown_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

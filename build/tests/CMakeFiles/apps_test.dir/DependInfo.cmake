@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/nintendo_steam_test.cc" "tests/CMakeFiles/apps_test.dir/apps/nintendo_steam_test.cc.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps/nintendo_steam_test.cc.o.d"
+  "/root/repo/tests/apps/sessionizer_test.cc" "tests/CMakeFiles/apps_test.dir/apps/sessionizer_test.cc.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps/sessionizer_test.cc.o.d"
+  "/root/repo/tests/apps/signature_test.cc" "tests/CMakeFiles/apps_test.dir/apps/signature_test.cc.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps/signature_test.cc.o.d"
+  "/root/repo/tests/apps/social_test.cc" "tests/CMakeFiles/apps_test.dir/apps/social_test.cc.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps/social_test.cc.o.d"
+  "/root/repo/tests/apps/zoom_test.cc" "tests/CMakeFiles/apps_test.dir/apps/zoom_test.cc.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps/zoom_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/lockdown_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/lockdown_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lockdown_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lockdown_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

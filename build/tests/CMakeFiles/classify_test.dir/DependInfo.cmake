@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/classify/accuracy_test.cc" "tests/CMakeFiles/classify_test.dir/classify/accuracy_test.cc.o" "gcc" "tests/CMakeFiles/classify_test.dir/classify/accuracy_test.cc.o.d"
+  "/root/repo/tests/classify/classifier_test.cc" "tests/CMakeFiles/classify_test.dir/classify/classifier_test.cc.o" "gcc" "tests/CMakeFiles/classify_test.dir/classify/classifier_test.cc.o.d"
+  "/root/repo/tests/classify/iot_test.cc" "tests/CMakeFiles/classify_test.dir/classify/iot_test.cc.o" "gcc" "tests/CMakeFiles/classify_test.dir/classify/iot_test.cc.o.d"
+  "/root/repo/tests/classify/switch_detect_test.cc" "tests/CMakeFiles/classify_test.dir/classify/switch_detect_test.cc.o" "gcc" "tests/CMakeFiles/classify_test.dir/classify/switch_detect_test.cc.o.d"
+  "/root/repo/tests/classify/user_agent_test.cc" "tests/CMakeFiles/classify_test.dir/classify/user_agent_test.cc.o" "gcc" "tests/CMakeFiles/classify_test.dir/classify/user_agent_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/classify/CMakeFiles/lockdown_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/lockdown_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lockdown_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lockdown_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_test.dir/classify/accuracy_test.cc.o"
+  "CMakeFiles/classify_test.dir/classify/accuracy_test.cc.o.d"
+  "CMakeFiles/classify_test.dir/classify/classifier_test.cc.o"
+  "CMakeFiles/classify_test.dir/classify/classifier_test.cc.o.d"
+  "CMakeFiles/classify_test.dir/classify/iot_test.cc.o"
+  "CMakeFiles/classify_test.dir/classify/iot_test.cc.o.d"
+  "CMakeFiles/classify_test.dir/classify/switch_detect_test.cc.o"
+  "CMakeFiles/classify_test.dir/classify/switch_detect_test.cc.o.d"
+  "CMakeFiles/classify_test.dir/classify/user_agent_test.cc.o"
+  "CMakeFiles/classify_test.dir/classify/user_agent_test.cc.o.d"
+  "classify_test"
+  "classify_test.pdb"
+  "classify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

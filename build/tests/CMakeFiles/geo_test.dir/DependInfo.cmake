@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/geo/border_test.cc" "tests/CMakeFiles/geo_test.dir/geo/border_test.cc.o" "gcc" "tests/CMakeFiles/geo_test.dir/geo/border_test.cc.o.d"
+  "/root/repo/tests/geo/geodesy_test.cc" "tests/CMakeFiles/geo_test.dir/geo/geodesy_test.cc.o" "gcc" "tests/CMakeFiles/geo_test.dir/geo/geodesy_test.cc.o.d"
+  "/root/repo/tests/geo/intl_test.cc" "tests/CMakeFiles/geo_test.dir/geo/intl_test.cc.o" "gcc" "tests/CMakeFiles/geo_test.dir/geo/intl_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/lockdown_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/lockdown_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/lockdown_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lockdown_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lockdown_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

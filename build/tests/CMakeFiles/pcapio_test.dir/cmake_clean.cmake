@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcapio_test.dir/pcapio/packets_test.cc.o"
+  "CMakeFiles/pcapio_test.dir/pcapio/packets_test.cc.o.d"
+  "CMakeFiles/pcapio_test.dir/pcapio/pcap_test.cc.o"
+  "CMakeFiles/pcapio_test.dir/pcapio/pcap_test.cc.o.d"
+  "CMakeFiles/pcapio_test.dir/pcapio/robustness_test.cc.o"
+  "CMakeFiles/pcapio_test.dir/pcapio/robustness_test.cc.o.d"
+  "CMakeFiles/pcapio_test.dir/pcapio/tap_pcap_test.cc.o"
+  "CMakeFiles/pcapio_test.dir/pcapio/tap_pcap_test.cc.o.d"
+  "pcapio_test"
+  "pcapio_test.pdb"
+  "pcapio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcapio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/activity_test.cc" "tests/CMakeFiles/sim_test.dir/sim/activity_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/activity_test.cc.o.d"
+  "/root/repo/tests/sim/generator_test.cc" "tests/CMakeFiles/sim_test.dir/sim/generator_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/generator_test.cc.o.d"
+  "/root/repo/tests/sim/population_test.cc" "tests/CMakeFiles/sim_test.dir/sim/population_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/population_test.cc.o.d"
+  "/root/repo/tests/sim/timeline_test.cc" "tests/CMakeFiles/sim_test.dir/sim/timeline_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/timeline_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lockdown_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/lockdown_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/dhcp/CMakeFiles/lockdown_dhcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/lockdown_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/lockdown_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lockdown_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lockdown_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/world/catalog_test.cc" "tests/CMakeFiles/world_test.dir/world/catalog_test.cc.o" "gcc" "tests/CMakeFiles/world_test.dir/world/catalog_test.cc.o.d"
+  "/root/repo/tests/world/geo_db_test.cc" "tests/CMakeFiles/world_test.dir/world/geo_db_test.cc.o" "gcc" "tests/CMakeFiles/world_test.dir/world/geo_db_test.cc.o.d"
+  "/root/repo/tests/world/oui_db_test.cc" "tests/CMakeFiles/world_test.dir/world/oui_db_test.cc.o" "gcc" "tests/CMakeFiles/world_test.dir/world/oui_db_test.cc.o.d"
+  "/root/repo/tests/world/user_agents_test.cc" "tests/CMakeFiles/world_test.dir/world/user_agents_test.cc.o" "gcc" "tests/CMakeFiles/world_test.dir/world/user_agents_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/world/CMakeFiles/lockdown_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/lockdown_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lockdown_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

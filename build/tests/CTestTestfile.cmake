@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/dhcp_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_test[1]_include.cmake")
+include("/root/repo/build/tests/privacy_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_test[1]_include.cmake")
+include("/root/repo/build/tests/world_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/classify_test[1]_include.cmake")
+include("/root/repo/build/tests/geo_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/pcapio_test[1]_include.cmake")
+include("/root/repo/build/tests/logs_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")

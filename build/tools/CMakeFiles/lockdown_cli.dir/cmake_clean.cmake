@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockdown_cli.dir/lockdown_cli.cc.o"
+  "CMakeFiles/lockdown_cli.dir/lockdown_cli.cc.o.d"
+  "lockdown_cli"
+  "lockdown_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockdown_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
