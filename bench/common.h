@@ -1,39 +1,103 @@
 // Shared scaffolding for the figure benches: one collected dataset per
-// process, scale configurable via LOCKDOWN_STUDENTS (default 800).
+// process, scale configurable via LOCKDOWN_STUDENTS (default 1200), seed via
+// LOCKDOWN_SEED.
+//
+// Snapshot cache: when LOCKDOWN_SNAPSHOT=<file.lds> is set, the first bench
+// run collects once and writes an LDS snapshot there; every later run (any
+// of the figure binaries) mmaps it back in milliseconds instead of
+// re-simulating the campus. See src/store and README "snapshot workflow".
 #pragma once
 
+#include <charconv>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <limits>
 #include <string>
+#include <utility>
 
 #include "core/pipeline.h"
 #include "core/study.h"
+#include "store/snapshot.h"
 #include "util/strings.h"
 
 namespace lockdown::bench {
 
+namespace internal {
+
+/// Strict integer env parsing: the entire value must be a base-10 integer in
+/// [min_value, max_value]; anything else (garbage, trailing text, negatives
+/// where disallowed, overflow) aborts loudly rather than running the whole
+/// study on whatever atoi guessed.
+template <typename T>
+T EnvIntOr(const char* name, T fallback, T min_value, T max_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  T value{};
+  const char* end = env + std::strlen(env);
+  const auto [ptr, ec] = std::from_chars(env, end, value);
+  if (ec != std::errc() || ptr != end || value < min_value || value > max_value) {
+    std::fprintf(stderr, "[bench] invalid %s='%s' (expected an integer in [%s, %s])\n",
+                 name, env, std::to_string(min_value).c_str(),
+                 std::to_string(max_value).c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+}  // namespace internal
+
 inline core::StudyConfig DefaultConfig() {
   core::StudyConfig cfg;
-  cfg.generator.population.num_students = 1200;
-  cfg.generator.population.seed = 2020;
-  if (const char* env = std::getenv("LOCKDOWN_STUDENTS")) {
-    const int n = std::atoi(env);
-    if (n > 0) cfg.generator.population.num_students = n;
-  }
-  if (const char* env = std::getenv("LOCKDOWN_SEED")) {
-    cfg.generator.population.seed = static_cast<std::uint64_t>(std::atoll(env));
-  }
+  cfg.generator.population.num_students =
+      internal::EnvIntOr<int>("LOCKDOWN_STUDENTS", 1200, 1, 10'000'000);
+  cfg.generator.population.seed = internal::EnvIntOr<std::uint64_t>(
+      "LOCKDOWN_SEED", 2020, 0, std::numeric_limits<std::uint64_t>::max());
   return cfg;
 }
 
 /// Collects once per process; every figure in a binary reuses the dataset.
+/// With LOCKDOWN_SNAPSHOT set, the dataset round-trips through the LDS store
+/// instead: collect+save on first use, zero-copy mmap load afterwards.
 inline const core::CollectionResult& SharedCollection() {
   static const core::CollectionResult result = [] {
     const core::StudyConfig cfg = DefaultConfig();
+    const auto students =
+        static_cast<std::uint64_t>(cfg.generator.population.num_students);
+    const std::uint64_t seed = cfg.generator.population.seed;
+    const char* snapshot = std::getenv("LOCKDOWN_SNAPSHOT");
+    if (snapshot != nullptr && *snapshot != '\0' &&
+        std::filesystem::exists(snapshot)) {
+      store::LoadedSnapshot snap = store::LoadSnapshot(snapshot);
+      if (snap.info.meta.num_students != 0 &&
+          (snap.info.meta.num_students != students ||
+           snap.info.meta.seed != seed)) {
+        std::fprintf(stderr,
+                     "[bench] warning: %s holds %llu students (seed %llu); "
+                     "LOCKDOWN_STUDENTS/LOCKDOWN_SEED are ignored\n",
+                     snapshot,
+                     static_cast<unsigned long long>(snap.info.meta.num_students),
+                     static_cast<unsigned long long>(snap.info.meta.seed));
+      }
+      std::fprintf(stderr, "[bench] loaded snapshot %s (%llu flows, %s)\n",
+                   snapshot,
+                   static_cast<unsigned long long>(snap.info.num_flows),
+                   snap.zero_copy ? "zero-copy mmap" : "portable copy");
+      return std::move(snap.collection);
+    }
     std::fprintf(stderr, "[bench] simulating %d students (seed %llu)...\n",
                  cfg.generator.population.num_students,
-                 static_cast<unsigned long long>(cfg.generator.population.seed));
-    return core::MeasurementPipeline::Collect(cfg);
+                 static_cast<unsigned long long>(seed));
+    core::CollectionResult fresh = core::MeasurementPipeline::Collect(cfg);
+    if (snapshot != nullptr && *snapshot != '\0') {
+      store::SaveSnapshot(snapshot, fresh,
+                          store::SnapshotMeta{students, seed});
+      std::fprintf(stderr, "[bench] wrote snapshot %s (%ju bytes)\n", snapshot,
+                   static_cast<std::uintmax_t>(std::filesystem::file_size(snapshot)));
+    }
+    return fresh;
   }();
   return result;
 }

@@ -3,9 +3,17 @@
 //  - indexed signature matching vs. linear scan
 //  - flow-assembler and sessionizer throughput
 //  - geolocation midpoint accumulation and keyed anonymization
+//  - LDS snapshot store: load (mmap zero-copy / portable copy) vs. a full
+//    pipeline collection of the same dataset
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <string>
+
 #include "apps/sessionizer.h"
+#include "bench/common.h"
+#include "core/pipeline.h"
+#include "store/snapshot.h"
 #include "apps/signature.h"
 #include "dhcp/normalizer.h"
 #include "dhcp/server.h"
@@ -242,6 +250,75 @@ void BM_PacketParse(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_PacketParse);
+
+// --- LDS snapshot store ---------------------------------------------------------
+// The write-once/analyze-many claim in numbers: collecting the default bench
+// dataset (1200 students unless LOCKDOWN_STUDENTS overrides) vs. loading the
+// snapshot of that same dataset. Acceptance floor is a 10x win for the load.
+
+const std::string& SnapshotFixture() {
+  static const std::string path = [] {
+    const auto file =
+        std::filesystem::temp_directory_path() / "lockdown_perf_snapshot.lds";
+    const core::StudyConfig cfg = bench::DefaultConfig();
+    const auto result = core::MeasurementPipeline::Collect(cfg);
+    store::SaveSnapshot(
+        file, result,
+        store::SnapshotMeta{
+            static_cast<std::uint64_t>(cfg.generator.population.num_students),
+            cfg.generator.population.seed});
+    return file.string();
+  }();
+  return path;
+}
+
+void BM_PipelineCollect(benchmark::State& state) {
+  const core::StudyConfig cfg = bench::DefaultConfig();
+  for (auto _ : state) {
+    const auto result = core::MeasurementPipeline::Collect(cfg);
+    benchmark::DoNotOptimize(result.dataset.num_flows());
+  }
+}
+BENCHMARK(BM_PipelineCollect)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_SnapshotLoadMmap(benchmark::State& state) {
+  const std::string& path = SnapshotFixture();
+  for (auto _ : state) {
+    const auto snap =
+        store::LoadSnapshot(path, {store::LoadMode::kMmap, true});
+    benchmark::DoNotOptimize(snap.collection.dataset.num_flows());
+  }
+}
+BENCHMARK(BM_SnapshotLoadMmap)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotLoadCopy(benchmark::State& state) {
+  const std::string& path = SnapshotFixture();
+  for (auto _ : state) {
+    const auto snap =
+        store::LoadSnapshot(path, {store::LoadMode::kCopy, true});
+    benchmark::DoNotOptimize(snap.collection.dataset.num_flows());
+  }
+}
+BENCHMARK(BM_SnapshotLoadCopy)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotSave(benchmark::State& state) {
+  const auto loaded = store::LoadSnapshot(SnapshotFixture());
+  const auto out =
+      std::filesystem::temp_directory_path() / "lockdown_perf_resave.lds";
+  for (auto _ : state) {
+    store::SaveSnapshot(out, loaded.collection, {});
+  }
+  std::filesystem::remove(out);
+}
+BENCHMARK(BM_SnapshotSave)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotVerify(benchmark::State& state) {
+  const std::string& path = SnapshotFixture();
+  for (auto _ : state) {
+    store::VerifySnapshot(path);
+  }
+}
+BENCHMARK(BM_SnapshotVerify)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -27,6 +27,9 @@ DeviceIndex Dataset::AddDevice(privacy::DeviceId id) {
 }
 
 void Dataset::Finalize() {
+  if (flows_borrowed()) {
+    throw std::logic_error("Dataset::Finalize on borrowed flows (already final)");
+  }
   std::sort(flows_.begin(), flows_.end(), [](const Flow& a, const Flow& b) {
     if (a.device != b.device) return a.device < b.device;
     return a.start_offset_s < b.start_offset_s;
@@ -39,12 +42,30 @@ void Dataset::Finalize() {
   finalized_ = true;
 }
 
+void Dataset::BorrowFlows(std::span<const Flow> flows,
+                          std::shared_ptr<const void> keepalive) {
+  flows_.clear();
+  flows_.shrink_to_fit();
+  borrowed_flows_ = flows;
+  flow_keepalive_ = std::move(keepalive);
+}
+
+void Dataset::RestoreDeviceIndex(std::vector<std::uint64_t> offsets) {
+  if (offsets.size() != devices_.size() + 1 || offsets.front() != 0 ||
+      offsets.back() != num_flows() ||
+      !std::is_sorted(offsets.begin(), offsets.end())) {
+    throw std::invalid_argument("Dataset::RestoreDeviceIndex: inconsistent CSR index");
+  }
+  device_offsets_ = std::move(offsets);
+  finalized_ = true;
+}
+
 std::span<const Flow> Dataset::FlowsOfDevice(DeviceIndex i) const {
   if (!finalized_) throw std::logic_error("Dataset::FlowsOfDevice before Finalize");
   if (i >= devices_.size()) throw std::out_of_range("FlowsOfDevice: bad index");
   const std::uint64_t begin = device_offsets_[i];
   const std::uint64_t end = device_offsets_[i + 1];
-  return std::span<const Flow>(flows_).subspan(begin, end - begin);
+  return flows().subspan(begin, end - begin);
 }
 
 std::string_view Dataset::DomainName(DomainId id) const {

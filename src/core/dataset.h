@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -25,7 +26,10 @@ inline constexpr DomainId kNoDomain = 0;
 /// Dense per-dataset device index.
 using DeviceIndex = std::uint32_t;
 
-/// One attributed flow. 48 bytes; datasets hold millions.
+/// One attributed flow. 40 bytes; datasets hold millions. The layout is
+/// frozen by static_asserts in store/format.h — it is what LDS snapshots
+/// mmap directly — so field reordering is a format break (bump
+/// store::kFormatVersion).
 struct Flow {
   std::uint32_t start_offset_s = 0;  ///< seconds since study start
   float duration_s = 0.0F;
@@ -64,14 +68,41 @@ class Dataset {
   /// once after the last AddFlow.
   void Finalize();
 
+  // --- Snapshot restore (used by store::LoadSnapshot) ----------------------
+  /// Adopts an externally owned, already-finalized flow array (e.g. an
+  /// mmap'd LDS section) without copying. `keepalive` owns the backing
+  /// memory and is held for the dataset's lifetime. The flows must already
+  /// be in Finalize() order; pair with RestoreDeviceIndex.
+  void BorrowFlows(std::span<const Flow> flows,
+                   std::shared_ptr<const void> keepalive);
+  /// Installs a prebuilt CSR device index (offsets.size() == num_devices+1,
+  /// monotone, last == num_flows) and marks the dataset finalized. Throws
+  /// std::invalid_argument on an inconsistent index.
+  void RestoreDeviceIndex(std::vector<std::uint64_t> offsets);
+
   // --- Queries -------------------------------------------------------------
-  [[nodiscard]] std::span<const Flow> flows() const noexcept { return flows_; }
+  [[nodiscard]] std::span<const Flow> flows() const noexcept {
+    return borrowed_flows_.data() != nullptr ? borrowed_flows_
+                                             : std::span<const Flow>(flows_);
+  }
+  /// True when flows() views memory owned elsewhere (zero-copy load).
+  [[nodiscard]] bool flows_borrowed() const noexcept {
+    return borrowed_flows_.data() != nullptr;
+  }
+  /// CSR per-device flow offsets (valid after Finalize/RestoreDeviceIndex).
+  [[nodiscard]] std::span<const std::uint64_t> device_offsets() const noexcept {
+    return device_offsets_;
+  }
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
   [[nodiscard]] std::span<const Flow> FlowsOfDevice(DeviceIndex i) const;
+  [[nodiscard]] std::span<const std::string> domains() const noexcept {
+    return domains_;
+  }
   [[nodiscard]] const DeviceEntry& device(DeviceIndex i) const {
     return devices_.at(i);
   }
   [[nodiscard]] std::size_t num_devices() const noexcept { return devices_.size(); }
-  [[nodiscard]] std::size_t num_flows() const noexcept { return flows_.size(); }
+  [[nodiscard]] std::size_t num_flows() const noexcept { return flows().size(); }
   [[nodiscard]] std::string_view DomainName(DomainId id) const;
   [[nodiscard]] std::size_t num_domains() const noexcept { return domains_.size(); }
 
@@ -86,6 +117,8 @@ class Dataset {
 
  private:
   std::vector<Flow> flows_;
+  std::span<const Flow> borrowed_flows_;          ///< set by BorrowFlows
+  std::shared_ptr<const void> flow_keepalive_;    ///< owns borrowed memory
   std::vector<DeviceEntry> devices_;
   std::vector<std::string> domains_;  // [0] = ""
   std::unordered_map<std::string, DomainId> domain_index_;

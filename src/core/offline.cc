@@ -71,8 +71,7 @@ void ExportLogs(const StudyConfig& config, const std::filesystem::path& dir,
   }
 }
 
-CollectionResult CollectFromLogs(const std::filesystem::path& dir,
-                                 const StudyConfig& config) {
+RawInputs ReadRawInputs(const std::filesystem::path& dir) {
   RawInputs inputs;
   auto flows = flow::ReadConnLog(ReadFileOrThrow(dir / LogFiles::kConn));
   if (!flows) throw std::runtime_error("malformed conn.log in " + dir.string());
@@ -89,8 +88,12 @@ CollectionResult CollectFromLogs(const std::filesystem::path& dir,
   auto ua = logs::ReadUaLog(ReadFileOrThrow(dir / LogFiles::kUa));
   if (!ua) throw std::runtime_error("malformed ua.log in " + dir.string());
   inputs.ua_log = std::move(*ua);
+  return inputs;
+}
 
-  return MeasurementPipeline::Process(std::move(inputs),
+CollectionResult CollectFromLogs(const std::filesystem::path& dir,
+                                 const StudyConfig& config) {
+  return MeasurementPipeline::Process(ReadRawInputs(dir),
                                       MeasurementPipeline::MakeAnonymizer(config),
                                       config.visitor_min_days);
 }

@@ -16,6 +16,11 @@ struct LogFiles {
   static constexpr const char* kDhcp = "dhcp.log";
   static constexpr const char* kDns = "dns.log";
   static constexpr const char* kUa = "ua.log";
+  /// Optional LDS snapshot of the *processed* dataset (written by
+  /// `lockdown_cli snapshot save`, loaded via store::LoadSnapshot). Where it
+  /// exists, analyses can skip the TSV logs and the whole re-processing run:
+  /// the snapshot is the write-once/analyze-many fast path.
+  static constexpr const char* kSnapshot = "dataset.lds";
 };
 
 /// Simulates the campus and writes the four collection logs into `dir`
@@ -24,10 +29,18 @@ struct LogFiles {
 void ExportLogs(const StudyConfig& config, const std::filesystem::path& dir,
                 const world::ServiceCatalog& catalog = world::ServiceCatalog::Default());
 
+/// Reads the four collection logs from `dir` without processing them.
+/// Throws std::runtime_error on missing or malformed files.
+[[nodiscard]] RawInputs ReadRawInputs(const std::filesystem::path& dir);
+
 /// Reads the four logs from `dir` and runs the processing pipeline.
 /// `config` supplies the anonymization key and visitor threshold (the logs
 /// themselves are un-anonymized, exactly like the real inputs). Throws
-/// std::runtime_error on missing or malformed files.
+/// std::runtime_error on missing or malformed files. This is the slow TSV
+/// path; when `dir` also holds a LogFiles::kSnapshot, loading that with
+/// store::LoadSnapshot yields the identical CollectionResult in
+/// milliseconds (see `lockdown_cli analyze`, which picks the fast path
+/// automatically).
 [[nodiscard]] CollectionResult CollectFromLogs(const std::filesystem::path& dir,
                                                const StudyConfig& config);
 

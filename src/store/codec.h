@@ -1,0 +1,96 @@
+// Bounds-checked little-endian encode/decode helpers for the LDS metadata
+// sections. Bulk payloads (the flow array, the CSR index) take memcpy fast
+// paths on little-endian hosts in reader.cc/writer.cc; everything else goes
+// through these so the format is host-endianness-independent.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/snapshot.h"
+
+namespace lockdown::store::detail {
+
+class Encoder {
+ public:
+  void U8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void U16(std::uint16_t v) { Le(v, 2); }
+  void U32(std::uint32_t v) { Le(v, 4); }
+  void U64(std::uint64_t v) { Le(v, 8); }
+  void F32(float v) { U32(std::bit_cast<std::uint32_t>(v)); }
+  void Bytes(std::span<const std::byte> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  void Str(std::string_view s) {
+    Bytes(std::as_bytes(std::span<const char>(s.data(), s.size())));
+  }
+
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept { return buf_; }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  void Reserve(std::size_t n) { buf_.reserve(n); }
+
+ private:
+  void Le(std::uint64_t v, int width) {
+    for (int i = 0; i < width; ++i) {
+      buf_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+    }
+  }
+  std::vector<std::byte> buf_;
+};
+
+/// Cursor over a section's bytes; every read is bounds-checked and overruns
+/// throw store::Error naming the section.
+class Decoder {
+ public:
+  Decoder(std::span<const std::byte> data, const char* section) noexcept
+      : data_(data), section_(section) {}
+
+  [[nodiscard]] std::uint8_t U8() { return static_cast<std::uint8_t>(Take(1)[0]); }
+  [[nodiscard]] std::uint16_t U16() { return static_cast<std::uint16_t>(Le(2)); }
+  [[nodiscard]] std::uint32_t U32() { return static_cast<std::uint32_t>(Le(4)); }
+  [[nodiscard]] std::uint64_t U64() { return Le(8); }
+  [[nodiscard]] float F32() { return std::bit_cast<float>(U32()); }
+  [[nodiscard]] std::span<const std::byte> Bytes(std::size_t n) { return Take(n); }
+  [[nodiscard]] std::string_view Str(std::size_t n) {
+    const auto b = Take(n);
+    return {reinterpret_cast<const char*>(b.data()), b.size()};
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  void ExpectDone() const {
+    if (pos_ != data_.size()) {
+      throw Error(std::string("trailing bytes in ") + section_ + " section");
+    }
+  }
+
+ private:
+  std::span<const std::byte> Take(std::size_t n) {
+    if (n > remaining()) {
+      throw Error(std::string("truncated ") + section_ + " section");
+    }
+    const auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  std::uint64_t Le(int width) {
+    const auto b = Take(static_cast<std::size_t>(width));
+    std::uint64_t v = 0;
+    for (int i = 0; i < width; ++i) {
+      v |= static_cast<std::uint64_t>(b[static_cast<std::size_t>(i)]) << (8 * i);
+    }
+    return v;
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+  const char* section_;
+};
+
+}  // namespace lockdown::store::detail

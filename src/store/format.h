@@ -1,0 +1,103 @@
+// LDS ("Lockdown Dataset Snapshot") on-disk format, version 1.
+//
+// The write-once/analyze-many layer: the processed dataset the paper keeps
+// after discarding raw data (§3), serialized so every downstream analysis
+// starts in milliseconds instead of a full campus re-simulation. The file is
+// columnar and sectioned:
+//
+//   [FileHeader 64B] [SectionDesc x N] [pad] [section]... [pad] [FileTrailer 16B]
+//
+// All integers are little-endian. Every section begins at a 64-byte-aligned
+// offset and carries a CRC32C in its descriptor; the trailer carries a
+// CRC32C over the header + section table. Version-1 files contain exactly
+// the six section kinds below, each once:
+//
+//   kMeta          fixed 48B: counts, flow stride, provenance (students/seed)
+//   kFlows         num_flows x 40B fixed-stride core::Flow records, in
+//                  Dataset::Finalize() order — the mmap zero-copy target
+//   kDeviceOffsets CSR index, (num_devices+1) x u64
+//   kStringPool    interned strings; the first num_domains entries are the
+//                  dataset's domain pool in DomainId order (entry 0 = "")
+//   kDevices       variable-length device records (see reader/writer)
+//   kStats         core::CollectionStats, 7 x u64
+//
+// The flow record layout is frozen against core::Flow below; any change to
+// that struct is a format break and must bump kFormatVersion.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "core/dataset.h"
+#include "core/pipeline.h"
+
+namespace lockdown::store {
+
+inline constexpr std::array<char, 8> kMagic = {'L', 'D', 'S', 'N', 'A', 'P', '0', '1'};
+inline constexpr std::array<char, 8> kTrailerMagic = {'L', 'D', 'S', 'F', 'I', 'N', 'I', '1'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+/// Written as a u32; reads back as something else on a mixed-endian copy.
+inline constexpr std::uint32_t kEndianMarker = 0x0A0B0C0Du;
+inline constexpr std::uint64_t kSectionAlign = 64;
+
+inline constexpr std::size_t kHeaderSize = 64;
+inline constexpr std::size_t kSectionDescSize = 32;
+inline constexpr std::size_t kTrailerSize = 16;
+inline constexpr std::size_t kMetaSectionSize = 48;
+inline constexpr std::size_t kStatsSectionSize = 7 * sizeof(std::uint64_t);
+
+enum class SectionKind : std::uint32_t {
+  kMeta = 1,
+  kFlows = 2,
+  kDeviceOffsets = 3,
+  kStringPool = 4,
+  kDevices = 5,
+  kStats = 6,
+};
+inline constexpr int kNumSections = 6;
+
+[[nodiscard]] constexpr const char* SectionName(SectionKind kind) noexcept {
+  switch (kind) {
+    case SectionKind::kMeta: return "meta";
+    case SectionKind::kFlows: return "flows";
+    case SectionKind::kDeviceOffsets: return "device-offsets";
+    case SectionKind::kStringPool: return "string-pool";
+    case SectionKind::kDevices: return "devices";
+    case SectionKind::kStats: return "stats";
+  }
+  return "unknown";
+}
+
+// --- Frozen core::Flow layout (the zero-copy contract) -----------------------
+// The kFlows section stores exactly this layout with the padding byte at
+// offset 23 written as zero; an mmap'd section can be reinterpreted as a
+// core::Flow array on little-endian hosts.
+inline constexpr std::size_t kFlowStride = 40;
+
+static_assert(std::is_trivially_copyable_v<core::Flow>);
+static_assert(std::is_standard_layout_v<core::Flow>);
+static_assert(sizeof(core::Flow) == kFlowStride);
+static_assert(alignof(core::Flow) == 8);
+static_assert(offsetof(core::Flow, start_offset_s) == 0);
+static_assert(offsetof(core::Flow, duration_s) == 4);
+static_assert(offsetof(core::Flow, device) == 8);
+static_assert(offsetof(core::Flow, domain) == 12);
+static_assert(offsetof(core::Flow, server_ip) == 16);
+static_assert(offsetof(core::Flow, server_port) == 20);
+static_assert(offsetof(core::Flow, proto) == 22);
+static_assert(offsetof(core::Flow, bytes_up) == 24);
+static_assert(offsetof(core::Flow, bytes_down) == 32);
+
+// kStats serializes CollectionStats field-by-field; catch new fields here.
+static_assert(sizeof(core::CollectionStats) == kStatsSectionSize,
+              "CollectionStats changed: extend the kStats codec and bump "
+              "kFormatVersion");
+
+/// Aligns a file offset up to the section alignment.
+[[nodiscard]] constexpr std::uint64_t AlignUp(std::uint64_t offset) noexcept {
+  return (offset + kSectionAlign - 1) & ~(kSectionAlign - 1);
+}
+
+}  // namespace lockdown::store

@@ -1,0 +1,51 @@
+#include "store/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "store/snapshot.h"
+
+namespace lockdown::store {
+
+namespace {
+
+[[noreturn]] void ThrowErrno(const std::filesystem::path& path, const char* op) {
+  throw Error(path.string() + ": " + op + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::shared_ptr<const MmapFile> MmapFile::Open(const std::filesystem::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) ThrowErrno(path, "open");
+
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    ThrowErrno(path, "fstat");
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    throw Error(path.string() + ": empty file");
+  }
+
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (base == MAP_FAILED) ThrowErrno(path, "mmap");
+
+  return std::shared_ptr<const MmapFile>(new MmapFile(base, size));
+}
+
+MmapFile::~MmapFile() {
+  if (base_ != nullptr) ::munmap(base_, size_);
+}
+
+}  // namespace lockdown::store

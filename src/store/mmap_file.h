@@ -1,0 +1,33 @@
+// Read-only memory mapping with RAII unmap; the substrate for the reader's
+// zero-copy fast path. The mapping is shared_ptr-owned so a loaded Dataset
+// can keep it alive past the Reader (core::Dataset::BorrowFlows).
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <memory>
+#include <span>
+
+namespace lockdown::store {
+
+class MmapFile {
+ public:
+  /// Maps `path` read-only. Throws store::Error on open/stat/map failure.
+  [[nodiscard]] static std::shared_ptr<const MmapFile> Open(
+      const std::filesystem::path& path);
+
+  ~MmapFile();
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return {static_cast<const std::byte*>(base_), size_};
+  }
+
+ private:
+  MmapFile(void* base, std::size_t size) noexcept : base_(base), size_(size) {}
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lockdown::store

@@ -1,0 +1,365 @@
+#include <bit>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "store/codec.h"
+#include "store/format.h"
+#include "store/mmap_file.h"
+#include "store/snapshot.h"
+#include "util/crc32c.h"
+
+namespace lockdown::store {
+
+namespace {
+
+constexpr bool kHostIsLittleEndian = std::endian::native == std::endian::little;
+
+struct ParsedSection {
+  std::uint64_t offset = 0;
+  std::uint32_t crc32c = 0;
+  std::span<const std::byte> payload;
+};
+
+}  // namespace
+
+class Reader::Impl {
+ public:
+  explicit Impl(std::filesystem::path path) : path_(std::move(path)) {
+    map_ = MmapFile::Open(path_);
+    ParseStructure();
+  }
+
+  [[nodiscard]] const SnapshotInfo& info() const noexcept { return info_; }
+
+  void VerifyChecksums() const {
+    for (int i = 0; i < kNumSections; ++i) {
+      const ParsedSection& s = sections_[i];
+      const std::uint32_t computed = util::Crc32c(s.payload);
+      if (computed != s.crc32c) {
+        Fail("checksum mismatch in " + std::string(SectionName(KindAt(i))) +
+             " section (corrupt file)");
+      }
+    }
+  }
+
+  [[nodiscard]] LoadedSnapshot Load(const LoadOptions& options) const {
+    if (options.verify_checksums) VerifyChecksums();
+
+    LoadedSnapshot out;
+    out.info = info_;
+    core::Dataset& ds = out.collection.dataset;
+
+    // --- String pool ---------------------------------------------------------
+    const std::vector<std::string_view> strings = DecodeStringPool();
+    for (std::size_t i = 1; i < info_.num_domains; ++i) {
+      const core::DomainId id = ds.InternDomain(strings[i]);
+      if (id != i) Fail("duplicate domain in string pool");
+    }
+
+    // --- Devices -------------------------------------------------------------
+    detail::Decoder dev(Section(SectionKind::kDevices), "devices");
+    for (std::uint64_t i = 0; i < info_.num_devices; ++i) {
+      const core::DeviceIndex idx = ds.AddDevice(privacy::DeviceId{dev.U64()});
+      classify::DeviceObservations& obs = ds.device_mutable(idx).observations;
+      obs.oui = dev.U32();
+      const std::uint8_t flags = dev.U8();
+      if (flags > 1) Fail("corrupt device flags");
+      obs.locally_administered = flags != 0;
+      obs.total_bytes = dev.U64();
+      obs.flow_count = dev.U64();
+      const std::uint32_t num_uas = dev.U32();
+      obs.user_agents.reserve(num_uas);
+      for (std::uint32_t u = 0; u < num_uas; ++u) {
+        obs.user_agents.emplace_back(StringAt(strings, dev.U32()));
+      }
+      const std::uint32_t num_domains = dev.U32();
+      obs.bytes_by_domain.reserve(num_domains);
+      for (std::uint32_t d = 0; d < num_domains; ++d) {
+        const std::string_view domain = StringAt(strings, dev.U32());
+        obs.bytes_by_domain[std::string(domain)] = dev.U64();
+      }
+    }
+    dev.ExpectDone();
+
+    // --- Flows ---------------------------------------------------------------
+    const std::span<const std::byte> flow_bytes = Section(SectionKind::kFlows);
+    const bool zero_copy_eligible = kHostIsLittleEndian;
+    if (options.mode == LoadMode::kMmap && !zero_copy_eligible) {
+      Fail("zero-copy load unavailable on a big-endian host");
+    }
+    if (options.mode != LoadMode::kCopy && zero_copy_eligible) {
+      const std::span<const core::Flow> flows{
+          reinterpret_cast<const core::Flow*>(flow_bytes.data()),
+          static_cast<std::size_t>(info_.num_flows)};
+      ds.BorrowFlows(flows, map_);
+      out.zero_copy = true;
+    } else {
+      detail::Decoder dec(flow_bytes, "flows");
+      for (std::uint64_t i = 0; i < info_.num_flows; ++i) {
+        core::Flow f;
+        f.start_offset_s = dec.U32();
+        f.duration_s = dec.F32();
+        f.device = dec.U32();
+        f.domain = dec.U32();
+        f.server_ip = net::Ipv4Address(dec.U32());
+        f.server_port = dec.U16();
+        f.proto = dec.U8();
+        (void)dec.U8();  // padding byte
+        f.bytes_up = dec.U64();
+        f.bytes_down = dec.U64();
+        ds.AddFlow(f);
+      }
+      dec.ExpectDone();
+    }
+
+    // Per-flow references must be in range before any analysis indexes by
+    // them — a CRC-valid but ill-formed file must fail here, not as UB in a
+    // consumer.
+    for (const core::Flow& f : ds.flows()) {
+      if (f.device >= info_.num_devices) Fail("flow references invalid device");
+      if (f.domain >= info_.num_domains) Fail("flow references invalid domain");
+    }
+
+    // --- CSR device index ----------------------------------------------------
+    const std::span<const std::byte> csr = Section(SectionKind::kDeviceOffsets);
+    std::vector<std::uint64_t> offsets(info_.num_devices + 1);
+    if constexpr (kHostIsLittleEndian) {
+      std::memcpy(offsets.data(), csr.data(), csr.size());
+    } else {
+      detail::Decoder dec(csr, "device-offsets");
+      for (std::uint64_t& v : offsets) v = dec.U64();
+    }
+    try {
+      ds.RestoreDeviceIndex(std::move(offsets));
+    } catch (const std::invalid_argument&) {
+      Fail("inconsistent device index section");
+    }
+
+    // --- Stats ---------------------------------------------------------------
+    detail::Decoder stats(Section(SectionKind::kStats), "stats");
+    core::CollectionStats& st = out.collection.stats;
+    st.raw_flows = stats.U64();
+    st.tap_excluded = stats.U64();
+    st.unattributed = stats.U64();
+    st.visitor_flows = stats.U64();
+    st.devices_observed = stats.U64();
+    st.devices_retained = stats.U64();
+    st.ua_sightings = stats.U64();
+    stats.ExpectDone();
+
+    return out;
+  }
+
+  /// Deep invariant check beyond checksums: flow ordering and CSR agreement.
+  void VerifyInvariants() const {
+    const LoadedSnapshot snap = Load({LoadMode::kAuto, false});
+    const core::Dataset& ds = snap.collection.dataset;
+    const auto flows = ds.flows();
+    for (std::size_t i = 1; i < flows.size(); ++i) {
+      const bool ordered =
+          flows[i - 1].device < flows[i].device ||
+          (flows[i - 1].device == flows[i].device &&
+           flows[i - 1].start_offset_s <= flows[i].start_offset_s);
+      if (!ordered) Fail("flows not in finalize order");
+    }
+    const auto offsets = ds.device_offsets();
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      const core::DeviceIndex d = flows[i].device;
+      if (i < offsets[d] || i >= offsets[d + 1]) {
+        Fail("device index disagrees with flow ordering");
+      }
+    }
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& message) const {
+    throw Error(path_.string() + ": " + message);
+  }
+
+  [[nodiscard]] SectionKind KindAt(int i) const noexcept {
+    return static_cast<SectionKind>(info_.sections[static_cast<std::size_t>(i)].kind);
+  }
+
+  [[nodiscard]] std::span<const std::byte> Section(SectionKind kind) const {
+    return sections_[static_cast<int>(kind) - 1].payload;
+  }
+
+  [[nodiscard]] std::string_view StringAt(
+      const std::vector<std::string_view>& strings, std::uint32_t ref) const {
+    if (ref >= strings.size()) Fail("string reference out of range");
+    return strings[ref];
+  }
+
+  [[nodiscard]] std::vector<std::string_view> DecodeStringPool() const {
+    const std::span<const std::byte> payload = Section(SectionKind::kStringPool);
+    detail::Decoder dec(payload, "string-pool");
+    const std::uint32_t num_strings = dec.U32();
+    const std::uint32_t num_domains = dec.U32();
+    if (num_domains != info_.num_domains || num_domains > num_strings ||
+        num_domains == 0) {
+      Fail("string pool domain count mismatch");
+    }
+    if (dec.remaining() < (static_cast<std::uint64_t>(num_strings) + 1) * 8) {
+      Fail("truncated string-pool section");
+    }
+    std::vector<std::uint64_t> offsets(static_cast<std::size_t>(num_strings) + 1);
+    for (std::uint64_t& v : offsets) v = dec.U64();
+    const std::uint64_t blob_size = dec.remaining();
+    if (offsets.front() != 0 || offsets.back() != blob_size ||
+        !std::is_sorted(offsets.begin(), offsets.end())) {
+      Fail("corrupt string pool offsets");
+    }
+    const std::string_view blob = dec.Str(static_cast<std::size_t>(blob_size));
+    std::vector<std::string_view> strings(num_strings);
+    for (std::uint32_t i = 0; i < num_strings; ++i) {
+      strings[i] = blob.substr(static_cast<std::size_t>(offsets[i]),
+                               static_cast<std::size_t>(offsets[i + 1] - offsets[i]));
+    }
+    if (!strings.empty() && !strings[0].empty()) {
+      Fail("string pool entry 0 must be the empty domain");
+    }
+    return strings;
+  }
+
+  void ParseStructure() {
+    const std::span<const std::byte> file = map_->bytes();
+    info_.file_size = file.size();
+    if (file.size() < kHeaderSize + kNumSections * kSectionDescSize + kTrailerSize) {
+      Fail("file too small to be an LDS snapshot (" +
+           std::to_string(file.size()) + " bytes)");
+    }
+
+    detail::Decoder hdr(file.subspan(0, kHeaderSize), "header");
+    for (const char expected : kMagic) {
+      if (static_cast<char>(hdr.U8()) != expected) {
+        Fail("bad magic (not an LDS snapshot)");
+      }
+    }
+    if (hdr.U32() != kEndianMarker) Fail("endianness marker mismatch");
+    info_.version = hdr.U32();
+    if (info_.version != kFormatVersion) {
+      Fail("unsupported format version " + std::to_string(info_.version) +
+           " (this build reads version " + std::to_string(kFormatVersion) + ")");
+    }
+    if (hdr.U32() != kHeaderSize) Fail("bad header size");
+    const std::uint32_t section_count = hdr.U32();
+    if (section_count != kNumSections) {
+      Fail("unexpected section count " + std::to_string(section_count));
+    }
+    const std::uint64_t recorded_size = hdr.U64();
+    if (recorded_size != file.size()) {
+      Fail("file size mismatch (header says " + std::to_string(recorded_size) +
+           ", file has " + std::to_string(file.size()) + " bytes — truncated?)");
+    }
+    const std::uint64_t table_offset = hdr.U64();
+    if (table_offset != kHeaderSize) Fail("bad section table offset");
+
+    const std::uint64_t table_end =
+        kHeaderSize + static_cast<std::uint64_t>(kNumSections) * kSectionDescSize;
+    const std::uint64_t trailer_offset = file.size() - kTrailerSize;
+
+    detail::Decoder trailer(file.subspan(trailer_offset, kTrailerSize), "trailer");
+    for (const char expected : kTrailerMagic) {
+      if (static_cast<char>(trailer.U8()) != expected) {
+        Fail("bad trailer magic (truncated or corrupt file)");
+      }
+    }
+    const std::uint32_t table_crc = trailer.U32();
+    if (table_crc != util::Crc32c(file.subspan(0, table_end))) {
+      Fail("header/section table checksum mismatch");
+    }
+
+    detail::Decoder table(file.subspan(kHeaderSize, table_end - kHeaderSize),
+                          "section table");
+    bool seen[kNumSections] = {};
+    for (int i = 0; i < kNumSections; ++i) {
+      const std::uint32_t kind = table.U32();
+      (void)table.U32();  // flags
+      const std::uint64_t offset = table.U64();
+      const std::uint64_t size = table.U64();
+      const std::uint32_t crc = table.U32();
+      (void)table.U32();  // reserved
+      if (kind < 1 || kind > kNumSections) {
+        Fail("unknown section kind " + std::to_string(kind));
+      }
+      if (seen[kind - 1]) {
+        Fail("duplicate " + std::string(SectionName(static_cast<SectionKind>(kind))) +
+             " section");
+      }
+      seen[kind - 1] = true;
+      if (offset % kSectionAlign != 0) Fail("misaligned section");
+      if (offset < table_end || size > trailer_offset ||
+          offset > trailer_offset - size) {
+        Fail("section out of bounds");
+      }
+      sections_[kind - 1] = ParsedSection{
+          offset, crc,
+          file.subspan(static_cast<std::size_t>(offset),
+                       static_cast<std::size_t>(size))};
+      info_.sections.push_back(SectionInfo{
+          kind, SectionName(static_cast<SectionKind>(kind)), offset, size, crc});
+    }
+
+    // --- Meta + cross-section size consistency -------------------------------
+    const std::span<const std::byte> meta = Section(SectionKind::kMeta);
+    if (meta.size() != kMetaSectionSize) Fail("bad meta section size");
+    detail::Decoder m(meta, "meta");
+    info_.num_flows = m.U64();
+    info_.num_devices = m.U64();
+    info_.num_domains = m.U64();
+    info_.flow_stride = m.U32();
+    (void)m.U32();
+    info_.meta.num_students = m.U64();
+    info_.meta.seed = m.U64();
+    if (info_.flow_stride != kFlowStride) {
+      Fail("incompatible flow stride " + std::to_string(info_.flow_stride) +
+           " (this build uses " + std::to_string(kFlowStride) + ")");
+    }
+    if (Section(SectionKind::kFlows).size() != info_.num_flows * kFlowStride) {
+      Fail("flows section size disagrees with flow count");
+    }
+    if (Section(SectionKind::kDeviceOffsets).size() !=
+        (info_.num_devices + 1) * sizeof(std::uint64_t)) {
+      Fail("device-offsets section size disagrees with device count");
+    }
+    if (Section(SectionKind::kStats).size() != kStatsSectionSize) {
+      Fail("bad stats section size");
+    }
+  }
+
+  std::filesystem::path path_;
+  std::shared_ptr<const MmapFile> map_;
+  SnapshotInfo info_;
+  ParsedSection sections_[kNumSections];
+};
+
+Reader::Reader(std::filesystem::path path)
+    : impl_(std::make_unique<Impl>(std::move(path))) {}
+Reader::~Reader() = default;
+
+const SnapshotInfo& Reader::info() const noexcept { return impl_->info(); }
+void Reader::VerifyChecksums() const { impl_->VerifyChecksums(); }
+LoadedSnapshot Reader::Load(const LoadOptions& options) const {
+  return impl_->Load(options);
+}
+
+LoadedSnapshot LoadSnapshot(const std::filesystem::path& path,
+                            const LoadOptions& options) {
+  return Reader(path).Load(options);
+}
+
+SnapshotInfo InspectSnapshot(const std::filesystem::path& path) {
+  return Reader(path).info();
+}
+
+void Reader::VerifyInvariants() const { impl_->VerifyInvariants(); }
+
+void VerifySnapshot(const std::filesystem::path& path) {
+  const Reader reader(path);
+  reader.VerifyChecksums();
+  reader.VerifyInvariants();
+}
+
+}  // namespace lockdown::store

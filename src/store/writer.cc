@@ -1,0 +1,320 @@
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "store/codec.h"
+#include "store/format.h"
+#include "store/snapshot.h"
+#include "util/crc32c.h"
+
+namespace lockdown::store {
+
+namespace {
+
+constexpr std::size_t kFlowsPerChunk = 16384;  // 640 KiB encode buffer
+
+[[noreturn]] void ThrowErrno(const std::filesystem::path& path, const char* op) {
+  throw Error(path.string() + ": " + op + ": " + std::strerror(errno));
+}
+
+void EncodeFlow(detail::Encoder& enc, const core::Flow& f) {
+  enc.U32(f.start_offset_s);
+  enc.F32(f.duration_s);
+  enc.U32(f.device);
+  enc.U32(f.domain);
+  enc.U32(f.server_ip.value());
+  enc.U16(f.server_port);
+  enc.U8(f.proto);
+  enc.U8(0);  // the struct's padding byte, pinned to zero on disk
+  enc.U64(f.bytes_up);
+  enc.U64(f.bytes_down);
+}
+
+/// String pool under construction: dataset domains first (in DomainId
+/// order), then any extra strings the device records reference.
+class PoolBuilder {
+ public:
+  explicit PoolBuilder(std::span<const std::string> domains) {
+    strings_.reserve(domains.size());
+    for (const std::string& d : domains) {
+      index_.emplace(d, static_cast<std::uint32_t>(strings_.size()));
+      strings_.push_back(d);
+    }
+  }
+
+  [[nodiscard]] std::uint32_t Ref(std::string_view s) {
+    const auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    const auto ref = static_cast<std::uint32_t>(strings_.size());
+    strings_.emplace_back(s);
+    // Key views the stored string, which lives as long as the builder.
+    index_.emplace(strings_.back(), ref);
+    return ref;
+  }
+
+  [[nodiscard]] detail::Encoder Encode(std::size_t num_domains) const {
+    detail::Encoder enc;
+    enc.U32(static_cast<std::uint32_t>(strings_.size()));
+    enc.U32(static_cast<std::uint32_t>(num_domains));
+    std::uint64_t offset = 0;
+    enc.U64(offset);
+    for (const std::string& s : strings_) {
+      offset += s.size();
+      enc.U64(offset);
+    }
+    for (const std::string& s : strings_) enc.Str(s);
+    return enc;
+  }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string_view, std::uint32_t> index_;
+};
+
+detail::Encoder EncodeDevices(const core::Dataset& ds, PoolBuilder& pool) {
+  detail::Encoder enc;
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> by_domain;
+  for (core::DeviceIndex i = 0; i < ds.num_devices(); ++i) {
+    const core::DeviceEntry& dev = ds.device(i);
+    const classify::DeviceObservations& obs = dev.observations;
+    enc.U64(dev.id.value);
+    enc.U32(obs.oui);
+    enc.U8(obs.locally_administered ? 1 : 0);
+    enc.U64(obs.total_bytes);
+    enc.U64(obs.flow_count);
+    enc.U32(static_cast<std::uint32_t>(obs.user_agents.size()));
+    for (const std::string& ua : obs.user_agents) enc.U32(pool.Ref(ua));
+    // Sorted by pool ref so identical datasets serialize identically no
+    // matter what order the unordered_map happens to iterate in.
+    by_domain.clear();
+    for (const auto& [domain, bytes] : obs.bytes_by_domain) {
+      by_domain.emplace_back(pool.Ref(domain), bytes);
+    }
+    std::sort(by_domain.begin(), by_domain.end());
+    enc.U32(static_cast<std::uint32_t>(by_domain.size()));
+    for (const auto& [ref, bytes] : by_domain) {
+      enc.U32(ref);
+      enc.U64(bytes);
+    }
+  }
+  return enc;
+}
+
+detail::Encoder EncodeMeta(const core::Dataset& ds, const SnapshotMeta& meta) {
+  detail::Encoder enc;
+  enc.U64(ds.num_flows());
+  enc.U64(ds.num_devices());
+  enc.U64(ds.num_domains());
+  enc.U32(kFlowStride);
+  enc.U32(0);
+  enc.U64(meta.num_students);
+  enc.U64(meta.seed);
+  return enc;
+}
+
+detail::Encoder EncodeStats(const core::CollectionStats& stats) {
+  detail::Encoder enc;
+  enc.U64(stats.raw_flows);
+  enc.U64(stats.tap_excluded);
+  enc.U64(stats.unattributed);
+  enc.U64(stats.visitor_flows);
+  enc.U64(stats.devices_observed);
+  enc.U64(stats.devices_retained);
+  enc.U64(stats.ua_sightings);
+  return enc;
+}
+
+detail::Encoder EncodeDeviceOffsets(std::span<const std::uint64_t> offsets) {
+  detail::Encoder enc;
+  enc.Reserve(offsets.size() * sizeof(std::uint64_t));
+  if constexpr (std::endian::native == std::endian::little) {
+    enc.Bytes(std::as_bytes(offsets));
+  } else {
+    for (const std::uint64_t v : offsets) enc.U64(v);
+  }
+  return enc;
+}
+
+}  // namespace
+
+class Writer::Impl {
+ public:
+  explicit Impl(std::filesystem::path path)
+      : target_(std::move(path)),
+        tmp_(target_.string() + ".tmp." + std::to_string(::getpid())) {
+    fd_ = ::open(tmp_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd_ < 0) ThrowErrno(tmp_, "open");
+  }
+
+  ~Impl() {
+    if (fd_ >= 0) ::close(fd_);
+    if (!committed_) ::unlink(tmp_.c_str());
+  }
+
+  void WriteCollection(const core::CollectionResult& result,
+                       const SnapshotMeta& meta) {
+    if (written_) throw Error("WriteCollection called twice");
+    const core::Dataset& ds = result.dataset;
+    if (!ds.finalized()) throw Error("cannot snapshot a non-finalized dataset");
+    written_ = true;
+
+    // Variable-length sections are encoded up front so every section size —
+    // and with it the header and section table — is known before the first
+    // byte hits the file; the flow section streams afterwards in chunks.
+    PoolBuilder pool(ds.domains());
+    const detail::Encoder devices = EncodeDevices(ds, pool);
+    const detail::Encoder pool_enc = pool.Encode(ds.num_domains());
+    const detail::Encoder meta_enc = EncodeMeta(ds, meta);
+    const detail::Encoder stats_enc = EncodeStats(result.stats);
+    const detail::Encoder csr = EncodeDeviceOffsets(ds.device_offsets());
+    const std::uint64_t flows_size = ds.num_flows() * kFlowStride;
+
+    struct Section {
+      SectionKind kind;
+      std::uint64_t size;
+      std::uint64_t offset = 0;
+      std::uint32_t crc = 0;
+      const detail::Encoder* body = nullptr;  // null for the streamed flows
+    };
+    Section sections[kNumSections] = {
+        {SectionKind::kMeta, meta_enc.size(), 0, 0, &meta_enc},
+        {SectionKind::kFlows, flows_size, 0, 0, nullptr},
+        {SectionKind::kDeviceOffsets, csr.size(), 0, 0, &csr},
+        {SectionKind::kStringPool, pool_enc.size(), 0, 0, &pool_enc},
+        {SectionKind::kDevices, devices.size(), 0, 0, &devices},
+        {SectionKind::kStats, stats_enc.size(), 0, 0, &stats_enc},
+    };
+
+    std::uint64_t cursor = AlignUp(kHeaderSize + kNumSections * kSectionDescSize);
+    for (Section& s : sections) {
+      s.offset = cursor;
+      cursor = AlignUp(s.offset + s.size);
+    }
+    const std::uint64_t trailer_offset = cursor;
+    const std::uint64_t file_size = trailer_offset + kTrailerSize;
+
+    for (Section& s : sections) {
+      if (s.body != nullptr) s.crc = util::Crc32c(s.body->bytes());
+    }
+
+    // The flow section is not buffered: the file is sized up front (holes
+    // read back as the zero padding the format wants), flows stream through
+    // a bounded chunk while accumulating their CRC, and the header + table
+    // go in last, once every section CRC is known.
+    if (::ftruncate(fd_, static_cast<off_t>(file_size)) != 0) {
+      ThrowErrno(tmp_, "ftruncate");
+    }
+
+    const auto flows = ds.flows();
+    util::Crc32cAccumulator flow_crc;
+    for (std::size_t begin = 0; begin < flows.size(); begin += kFlowsPerChunk) {
+      const std::size_t end = std::min(begin + kFlowsPerChunk, flows.size());
+      detail::Encoder chunk;
+      chunk.Reserve((end - begin) * kFlowStride);
+      for (std::size_t i = begin; i < end; ++i) EncodeFlow(chunk, flows[i]);
+      flow_crc.Update(chunk.bytes());
+      PWrite(chunk.bytes(),
+             sections[1].offset + static_cast<std::uint64_t>(begin) * kFlowStride);
+    }
+    sections[1].crc = flow_crc.value();
+
+    detail::Encoder table;
+    for (const char c : kMagic) table.U8(static_cast<std::uint8_t>(c));
+    table.U32(kEndianMarker);
+    table.U32(kFormatVersion);
+    table.U32(kHeaderSize);
+    table.U32(kNumSections);
+    table.U64(file_size);
+    table.U64(kHeaderSize);  // section table offset
+    for (int i = 0; i < 24; ++i) table.U8(0);
+    for (const Section& s : sections) {
+      table.U32(static_cast<std::uint32_t>(s.kind));
+      table.U32(0);  // flags
+      table.U64(s.offset);
+      table.U64(s.size);
+      table.U32(s.crc);
+      table.U32(0);  // reserved
+    }
+    PWrite(table.bytes(), 0);
+    for (const Section& s : sections) {
+      if (s.body != nullptr) PWrite(s.body->bytes(), s.offset);
+    }
+
+    detail::Encoder trailer;
+    for (const char c : kTrailerMagic) trailer.U8(static_cast<std::uint8_t>(c));
+    trailer.U32(util::Crc32c(table.bytes()));
+    trailer.U32(0);
+    PWrite(trailer.bytes(), trailer_offset);
+  }
+
+  void Commit() {
+    if (!written_) throw Error("Commit before WriteCollection");
+    if (committed_) throw Error("Commit called twice");
+    if (::fsync(fd_) != 0) ThrowErrno(tmp_, "fsync");
+    if (::close(fd_) != 0) {
+      fd_ = -1;
+      ThrowErrno(tmp_, "close");
+    }
+    fd_ = -1;
+    if (::rename(tmp_.c_str(), target_.c_str()) != 0) ThrowErrno(target_, "rename");
+    committed_ = true;
+    // Durability of the rename itself: fsync the containing directory.
+    std::filesystem::path dir = target_.parent_path();
+    if (dir.empty()) dir = ".";
+    const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dirfd >= 0) {
+      ::fsync(dirfd);
+      ::close(dirfd);
+    }
+  }
+
+ private:
+  void PWrite(std::span<const std::byte> data, std::uint64_t offset) {
+    const std::byte* p = data.data();
+    std::size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::pwrite(fd_, p, left, static_cast<off_t>(offset));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ThrowErrno(tmp_, "pwrite");
+      }
+      p += n;
+      offset += static_cast<std::uint64_t>(n);
+      left -= static_cast<std::size_t>(n);
+    }
+  }
+
+  std::filesystem::path target_;
+  std::filesystem::path tmp_;
+  int fd_ = -1;
+  bool written_ = false;
+  bool committed_ = false;
+};
+
+Writer::Writer(std::filesystem::path path)
+    : impl_(std::make_unique<Impl>(std::move(path))) {}
+Writer::~Writer() = default;
+
+void Writer::WriteCollection(const core::CollectionResult& result,
+                             const SnapshotMeta& meta) {
+  impl_->WriteCollection(result, meta);
+}
+
+void Writer::Commit() { impl_->Commit(); }
+
+void SaveSnapshot(const std::filesystem::path& path,
+                  const core::CollectionResult& result, const SnapshotMeta& meta) {
+  Writer writer(path);
+  writer.WriteCollection(result, meta);
+  writer.Commit();
+}
+
+}  // namespace lockdown::store

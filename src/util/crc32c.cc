@@ -1,0 +1,63 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace lockdown::util {
+
+namespace {
+
+// Slicing-by-4: four 256-entry tables derived from the reflected Castagnoli
+// polynomial. Generated at static-init time; ~4 KiB total.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+
+  Tables() noexcept {
+    constexpr std::uint32_t kPoly = 0x82F63B78u;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+
+const Tables kTables;
+
+std::uint32_t Advance(std::uint32_t state, std::span<const std::byte> data) noexcept {
+  const auto& t = kTables.t;
+  const std::byte* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 4) {
+    state ^= static_cast<std::uint32_t>(p[0]) |
+             (static_cast<std::uint32_t>(p[1]) << 8) |
+             (static_cast<std::uint32_t>(p[2]) << 16) |
+             (static_cast<std::uint32_t>(p[3]) << 24);
+    state = t[3][state & 0xFFu] ^ t[2][(state >> 8) & 0xFFu] ^
+            t[1][(state >> 16) & 0xFFu] ^ t[0][state >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) {
+    state = (state >> 8) ^ t[0][(state ^ static_cast<std::uint32_t>(*p++)) & 0xFFu];
+  }
+  return state;
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(std::span<const std::byte> data) noexcept {
+  return Advance(0xFFFFFFFFu, data) ^ 0xFFFFFFFFu;
+}
+
+void Crc32cAccumulator::Update(std::span<const std::byte> data) noexcept {
+  state_ = Advance(state_, data);
+}
+
+}  // namespace lockdown::util

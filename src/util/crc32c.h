@@ -1,0 +1,27 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78): the
+// checksum guarding every section of the LDS snapshot format (src/store).
+// Chosen over plain CRC32 for its better error-detection properties on
+// storage-sized payloads; this is the same polynomial iSCSI, ext4 and
+// Snappy use, so test vectors are widely published.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace lockdown::util {
+
+/// CRC32C of `data` in one shot.
+[[nodiscard]] std::uint32_t Crc32c(std::span<const std::byte> data) noexcept;
+
+/// Incremental interface for streaming writers: feed chunks, then value().
+class Crc32cAccumulator {
+ public:
+  void Update(std::span<const std::byte> data) noexcept;
+  [[nodiscard]] std::uint32_t value() const noexcept { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace lockdown::util

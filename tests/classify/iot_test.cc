@@ -19,7 +19,10 @@ IotDetector MakeDetector(double threshold = 0.5) {
 }
 
 TEST(IotDetector, FullBackendContactMatches) {
-  const auto match = MakeDetector().Detect(
+  // IotMatch::platform views the detector's signature storage, so the
+  // detector must outlive the match.
+  const IotDetector detector = MakeDetector();
+  const auto match = detector.Detect(
       ObsWithDomains({"roku.com", "rokucdn.com", "logs.roku.com"}));
   ASSERT_TRUE(match.has_value());
   EXPECT_EQ(match->platform, "roku");
@@ -39,14 +42,16 @@ TEST(IotDetector, SingleVendorHomepageVisitDoesNotMatch) {
 }
 
 TEST(IotDetector, SubdomainsCount) {
-  const auto match = MakeDetector().Detect(
+  const IotDetector detector = MakeDetector();
+  const auto match = detector.Detect(
       ObsWithDomains({"api.roku.com", "cdn.rokucdn.com"}));
   ASSERT_TRUE(match.has_value());
   EXPECT_EQ(match->platform, "roku");
 }
 
 TEST(IotDetector, BestPlatformWins) {
-  const auto match = MakeDetector().Detect(ObsWithDomains(
+  const IotDetector detector = MakeDetector();
+  const auto match = detector.Detect(ObsWithDomains(
       {"roku.com", "rokucdn.com", "logs.roku.com", "tplinkcloud.com"}));
   ASSERT_TRUE(match.has_value());
   EXPECT_EQ(match->platform, "roku");  // 3/3 beats 1/2
@@ -54,7 +59,8 @@ TEST(IotDetector, BestPlatformWins) {
 
 TEST(IotDetector, ThresholdIsInclusive) {
   // tplink: 1/2 == 0.5 matches at the paper's threshold.
-  const auto match = MakeDetector(0.5).Detect(ObsWithDomains({"tplinkcloud.com"}));
+  const IotDetector detector = MakeDetector(0.5);
+  const auto match = detector.Detect(ObsWithDomains({"tplinkcloud.com"}));
   ASSERT_TRUE(match.has_value());
   EXPECT_EQ(match->platform, "tplink");
 }

@@ -1,0 +1,62 @@
+#include "util/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace lockdown::util {
+namespace {
+
+std::uint32_t CrcOf(std::string_view s) {
+  return Crc32c(std::as_bytes(std::span<const char>(s.data(), s.size())));
+}
+
+TEST(Crc32c, EmptyInput) { EXPECT_EQ(CrcOf(""), 0x00000000u); }
+
+TEST(Crc32c, RfcCheckValue) {
+  // The canonical CRC32C check vector (RFC 3720 appendix / zlib, snappy).
+  EXPECT_EQ(CrcOf("123456789"), 0xE3069283u);
+}
+
+TEST(Crc32c, IscsiTestPatterns) {
+  // RFC 3720 B.4 test patterns.
+  std::array<std::byte, 32> buf{};
+  EXPECT_EQ(Crc32c(buf), 0x8A9136AAu);
+  buf.fill(std::byte{0xFF});
+  EXPECT_EQ(Crc32c(buf), 0x62A8AB43u);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<std::byte>(i);
+  }
+  EXPECT_EQ(Crc32c(buf), 0x46DD794Eu);
+}
+
+TEST(Crc32c, IncrementalMatchesOneShot) {
+  const std::string_view text =
+      "Locked-in during lock-down: undergraduate life on the internet";
+  const auto bytes = std::as_bytes(std::span<const char>(text.data(), text.size()));
+  for (std::size_t split = 0; split <= text.size(); ++split) {
+    Crc32cAccumulator acc;
+    acc.Update(bytes.subspan(0, split));
+    acc.Update(bytes.subspan(split));
+    EXPECT_EQ(acc.value(), Crc32c(bytes)) << "split at " << split;
+  }
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  std::vector<std::byte> data(1024);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i * 31 + 7);
+  }
+  const std::uint32_t clean = Crc32c(data);
+  for (std::size_t i = 0; i < data.size(); i += 97) {
+    data[i] ^= std::byte{0x10};
+    EXPECT_NE(Crc32c(data), clean) << "flip at byte " << i;
+    data[i] ^= std::byte{0x10};
+  }
+}
+
+}  // namespace
+}  // namespace lockdown::util

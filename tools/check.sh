@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run twice: once with the default toolchain flags and
+# once under AddressSanitizer + UndefinedBehaviorSanitizer. The sanitizer
+# pass exists chiefly for src/store — mmap'd zero-copy pointer casts and the
+# binary decoder must be provably clean, not just test-green.
+#
+# Usage: tools/check.sh [--default-only | --asan-only]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc)
+mode="${1:-all}"
+
+run_pass() {
+  local label="$1" dir="$2"
+  shift 2
+  echo "=== ${label}: configure (${dir}) ==="
+  cmake -B "${dir}" -S . "$@"
+  echo "=== ${label}: build ==="
+  cmake --build "${dir}" -j "${jobs}"
+  echo "=== ${label}: ctest ==="
+  (cd "${dir}" && ctest --output-on-failure -j "${jobs}")
+  echo "=== ${label}: OK ==="
+}
+
+if [[ "${mode}" != "--asan-only" ]]; then
+  run_pass "default" build
+fi
+
+if [[ "${mode}" != "--default-only" ]]; then
+  run_pass "asan+ubsan" build-asan \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
+    -DLOCKDOWN_BUILD_BENCH=OFF
+fi
+
+echo "all requested passes green"

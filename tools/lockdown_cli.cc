@@ -8,13 +8,28 @@
 //       Ingest previously exported logs, run the processing pipeline, and
 //       print the headline statistics. --seed must match the export (it
 //       derives the anonymization key; mismatched keys still process but
-//       produce unlinkable pseudonyms).
+//       produce unlinkable pseudonyms). If DIR holds a dataset.lds snapshot
+//       it is loaded directly (the LDS fast path) instead of re-processing
+//       the TSV logs.
 //
 //   lockdown_cli study [--students N] [--seed S]
 //       One-shot: simulate + process + print every figure's summary.
 //
+//   lockdown_cli snapshot save --out FILE [--logs DIR] [--students N] [--seed S]
+//       Write an LDS snapshot of the processed dataset: simulate + process
+//       (or re-process exported logs with --logs) and persist the result.
+//       Analyses and benches then start from FILE in milliseconds.
+//
+//   lockdown_cli snapshot info FILE
+//       Print snapshot header, provenance and section table.
+//
+//   lockdown_cli snapshot verify FILE
+//       Full integrity check (structure, CRC32C checksums, invariants);
+//       exits non-zero on any corruption.
+//
 //   lockdown_cli catalog
 //       Dump the synthetic service catalog (name, category, country, block).
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
@@ -22,6 +37,7 @@
 
 #include "core/offline.h"
 #include "core/study.h"
+#include "store/snapshot.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -31,25 +47,45 @@ using namespace lockdown;
 
 struct Options {
   std::string command;
+  std::string subcommand;  // for `snapshot <save|info|verify>`
   std::string dir;
+  std::string out;   // snapshot target file
+  std::string file;  // snapshot input file (positional)
   int students = 400;
   std::uint64_t seed = 2020;
 };
 
 void Usage() {
-  std::cerr << "usage: lockdown_cli <simulate|analyze|study|catalog> "
-               "[--out DIR] [--logs DIR] [--students N] [--seed S]\n";
+  std::cerr << "usage: lockdown_cli <simulate|analyze|study|snapshot|catalog> ...\n"
+               "  simulate --out DIR [--students N] [--seed S]\n"
+               "  analyze  --logs DIR [--students N] [--seed S]\n"
+               "  study    [--students N] [--seed S]\n"
+               "  snapshot save --out FILE [--logs DIR] [--students N] [--seed S]\n"
+               "  snapshot info FILE\n"
+               "  snapshot verify FILE\n"
+               "  catalog\n";
 }
 
 bool ParseArgs(int argc, char** argv, Options& opts) {
   if (argc < 2) return false;
   opts.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
+  int first_flag = 2;
+  if (opts.command == "snapshot") {
+    if (argc < 3) return false;
+    opts.subcommand = argv[2];
+    first_flag = 3;
+  }
+  for (int i = first_flag; i < argc; ++i) {
     const std::string_view arg = argv[i];
     const auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
-    if (arg == "--out" || arg == "--logs") {
+    if (arg == "--out") {
+      const char* v = next();
+      if (!v) return false;
+      opts.out = v;
+      if (opts.command != "snapshot") opts.dir = v;
+    } else if (arg == "--logs") {
       const char* v = next();
       if (!v) return false;
       opts.dir = v;
@@ -62,6 +98,9 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
       const char* v = next();
       if (!v) return false;
       opts.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (!arg.starts_with("--") && opts.command == "snapshot" &&
+               opts.file.empty()) {
+      opts.file = arg;
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       return false;
@@ -121,10 +160,107 @@ int RunAnalyze(const Options& opts) {
     std::cerr << "analyze requires --logs DIR\n";
     return 2;
   }
+  const auto snapshot =
+      std::filesystem::path(opts.dir) / core::LogFiles::kSnapshot;
+  if (std::filesystem::exists(snapshot)) {
+    std::cout << "loading snapshot " << snapshot.string() << " (LDS fast path)\n";
+    auto snap = store::LoadSnapshot(snapshot);
+    PrintHeadline(snap.collection);
+    return 0;
+  }
   std::cout << "processing logs from " << opts.dir << "\n";
   const auto collection = core::CollectFromLogs(opts.dir, ConfigFrom(opts));
   PrintHeadline(collection);
   return 0;
+}
+
+// --- snapshot save | info | verify -------------------------------------------
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+int RunSnapshotSave(const Options& opts) {
+  if (opts.out.empty()) {
+    std::cerr << "snapshot save requires --out FILE\n";
+    return 2;
+  }
+  core::CollectionResult collection;
+  store::SnapshotMeta meta;
+  if (!opts.dir.empty()) {
+    std::cout << "processing logs from " << opts.dir << "\n";
+    collection = core::CollectFromLogs(opts.dir, ConfigFrom(opts));
+  } else {
+    std::cout << "simulating " << opts.students << " students (seed "
+              << opts.seed << ")\n";
+    collection = core::MeasurementPipeline::Collect(ConfigFrom(opts));
+    meta.num_students = static_cast<std::uint64_t>(opts.students);
+    meta.seed = opts.seed;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  store::SaveSnapshot(opts.out, collection, meta);
+  std::cout << "wrote " << opts.out << "  ("
+            << std::filesystem::file_size(opts.out) / 1024 << " KiB, "
+            << collection.dataset.num_flows() << " flows, "
+            << collection.dataset.num_devices() << " devices, "
+            << util::FormatDouble(MsSince(t0), 1) << " ms)\n";
+  return 0;
+}
+
+int RunSnapshotInfo(const Options& opts) {
+  if (opts.file.empty()) {
+    std::cerr << "snapshot info requires a FILE argument\n";
+    return 2;
+  }
+  const store::SnapshotInfo info = store::InspectSnapshot(opts.file);
+  util::TablePrinter header({"field", "value"});
+  header.AddRow({"format version", std::to_string(info.version)});
+  header.AddRow({"file size", std::to_string(info.file_size) + " bytes"});
+  header.AddRow({"flows", std::to_string(info.num_flows)});
+  header.AddRow({"devices", std::to_string(info.num_devices)});
+  header.AddRow({"interned domains", std::to_string(info.num_domains)});
+  header.AddRow({"flow stride", std::to_string(info.flow_stride) + " bytes"});
+  header.AddRow({"students (provenance)",
+                 info.meta.num_students == 0
+                     ? std::string("unknown")
+                     : std::to_string(info.meta.num_students)});
+  header.AddRow({"seed (provenance)", info.meta.num_students == 0
+                                          ? std::string("unknown")
+                                          : std::to_string(info.meta.seed)});
+  header.Print(std::cout);
+  std::cout << "\n";
+  util::TablePrinter sections({"section", "offset", "size", "crc32c"});
+  for (const store::SectionInfo& s : info.sections) {
+    char crc[16];
+    std::snprintf(crc, sizeof(crc), "%08x", s.crc32c);
+    sections.AddRow({s.name, std::to_string(s.offset), std::to_string(s.size), crc});
+  }
+  sections.Print(std::cout);
+  return 0;
+}
+
+int RunSnapshotVerify(const Options& opts) {
+  if (opts.file.empty()) {
+    std::cerr << "snapshot verify requires a FILE argument\n";
+    return 2;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  store::VerifySnapshot(opts.file);  // throws on any problem -> exit 1 in main
+  const store::SnapshotInfo info = store::InspectSnapshot(opts.file);
+  std::cout << opts.file << ": OK (" << info.num_flows << " flows, "
+            << info.num_devices << " devices, all checksums valid, "
+            << util::FormatDouble(MsSince(t0), 1) << " ms)\n";
+  return 0;
+}
+
+int RunSnapshot(const Options& opts) {
+  if (opts.subcommand == "save") return RunSnapshotSave(opts);
+  if (opts.subcommand == "info") return RunSnapshotInfo(opts);
+  if (opts.subcommand == "verify") return RunSnapshotVerify(opts);
+  Usage();
+  return 2;
 }
 
 int RunStudy(const Options& opts) {
@@ -161,6 +297,7 @@ int main(int argc, char** argv) {
     if (opts.command == "simulate") return RunSimulate(opts);
     if (opts.command == "analyze") return RunAnalyze(opts);
     if (opts.command == "study") return RunStudy(opts);
+    if (opts.command == "snapshot") return RunSnapshot(opts);
     if (opts.command == "catalog") return RunCatalog();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
