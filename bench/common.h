@@ -1,6 +1,7 @@
 // Shared scaffolding for the figure benches: one collected dataset per
 // process, scale configurable via LOCKDOWN_STUDENTS (default 1200), seed via
-// LOCKDOWN_SEED.
+// LOCKDOWN_SEED, processing/study parallelism via LOCKDOWN_THREADS (default
+// 0 = all hardware threads; 1 = serial; results are identical either way).
 //
 // Snapshot cache: when LOCKDOWN_SNAPSHOT=<file.lds> is set, the first bench
 // run collects once and writes an LDS snapshot there; every later run (any
@@ -55,6 +56,10 @@ inline core::StudyConfig DefaultConfig() {
       internal::EnvIntOr<int>("LOCKDOWN_STUDENTS", 1200, 1, 10'000'000);
   cfg.generator.population.seed = internal::EnvIntOr<std::uint64_t>(
       "LOCKDOWN_SEED", 2020, 0, std::numeric_limits<std::uint64_t>::max());
+  // util::ResolveThreadCount would read LOCKDOWN_THREADS itself, but going
+  // through EnvIntOr keeps the bench contract: malformed env aborts loudly
+  // instead of silently running serial.
+  cfg.threads = internal::EnvIntOr<int>("LOCKDOWN_THREADS", 0, 0, 4096);
   return cfg;
 }
 
@@ -104,7 +109,8 @@ inline const core::CollectionResult& SharedCollection() {
 
 inline const core::LockdownStudy& SharedStudy() {
   static const core::LockdownStudy study(SharedCollection().dataset,
-                                         world::ServiceCatalog::Default());
+                                         world::ServiceCatalog::Default(),
+                                         DefaultConfig().threads);
   return study;
 }
 

@@ -5,6 +5,7 @@
 //  - geolocation midpoint accumulation and keyed anonymization
 //  - LDS snapshot store: load (mmap zero-copy / portable copy) vs. a full
 //    pipeline collection of the same dataset
+//  - parallel processing + study at 1/2/4/8 threads vs. serial
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
@@ -12,7 +13,9 @@
 
 #include "apps/sessionizer.h"
 #include "bench/common.h"
+#include "core/offline.h"
 #include "core/pipeline.h"
+#include "core/study.h"
 #include "store/snapshot.h"
 #include "apps/signature.h"
 #include "dhcp/normalizer.h"
@@ -319,6 +322,57 @@ void BM_SnapshotVerify(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SnapshotVerify)->Unit(benchmark::kMillisecond);
+
+// --- Parallel processing + study -----------------------------------------------
+// Process (attribution, anonymization, visitor filter, dataset build) plus
+// the full study construction and Figure 1-8 methods at a fixed thread
+// count, over one cached set of raw collection inputs. The generator stays
+// serial — it stands in for the tap, which the paper's pipeline consumes,
+// not produces. Outputs are byte-identical at every thread count (chunk-
+// ordered reduction, util/thread_pool.h), so this isolates pure speedup;
+// threads=1 runs the serial fallback. Measured wins are hardware-dependent:
+// on a single-core host all arguments collapse to the serial path.
+
+const core::RawInputs& SharedRawInputs() {
+  static const core::RawInputs inputs = [] {
+    const auto dir =
+        std::filesystem::temp_directory_path() / "lockdown_perf_rawlogs";
+    core::ExportLogs(bench::DefaultConfig(), dir);
+    core::RawInputs raw = core::ReadRawInputs(dir);
+    std::filesystem::remove_all(dir);
+    return raw;
+  }();
+  return inputs;
+}
+
+void BM_ProcessStudyThreads(benchmark::State& state) {
+  const core::StudyConfig cfg = bench::DefaultConfig();
+  const auto anonymizer = core::MeasurementPipeline::MakeAnonymizer(cfg);
+  const core::RawInputs& raw = SharedRawInputs();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto result = core::MeasurementPipeline::Process(
+        raw, anonymizer, cfg.visitor_min_days, threads);
+    const core::LockdownStudy study(result.dataset,
+                                    world::ServiceCatalog::Default(), threads);
+    benchmark::DoNotOptimize(study.ActiveDevicesPerDay());
+    benchmark::DoNotOptimize(study.BytesPerDevicePerDay());
+    benchmark::DoNotOptimize(study.HourOfWeekVolume());
+    benchmark::DoNotOptimize(study.MedianBytesExcludingZoom());
+    benchmark::DoNotOptimize(study.ZoomDailyBytes());
+    benchmark::DoNotOptimize(study.SwitchGameplayDaily());
+    benchmark::DoNotOptimize(study.CategoryVolumes());
+    benchmark::DoNotOptimize(study.HeadlineStats());
+  }
+  state.SetLabel(threads == 1 ? "serial" : std::to_string(threads) + " threads");
+}
+BENCHMARK(BM_ProcessStudyThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 }  // namespace
 

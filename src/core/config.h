@@ -16,6 +16,12 @@ struct StudyConfig {
   /// than 14 days", §3).
   int visitor_min_days = 14;
 
+  /// Processing-pipeline parallelism: total execution lanes for the sharded
+  /// attribution/mapping passes. 0 defers to LOCKDOWN_THREADS (0/1 there
+  /// means serial) and then to the hardware. Any value produces bit-identical
+  /// output — see util/thread_pool.h for the determinism contract.
+  int threads = 0;
+
   /// Convenience factory: a smaller campus for tests.
   [[nodiscard]] static StudyConfig Small(int num_students = 120,
                                          std::uint64_t seed = 2020) {

@@ -30,7 +30,10 @@ void Dataset::Finalize() {
   if (flows_borrowed()) {
     throw std::logic_error("Dataset::Finalize on borrowed flows (already final)");
   }
-  std::sort(flows_.begin(), flows_.end(), [](const Flow& a, const Flow& b) {
+  // stable_sort: ties (same device, same start second) keep insertion order,
+  // giving one canonical flow order regardless of libstdc++ sort internals —
+  // the parallel-equivalence tests compare datasets byte for byte.
+  std::stable_sort(flows_.begin(), flows_.end(), [](const Flow& a, const Flow& b) {
     if (a.device != b.device) return a.device < b.device;
     return a.start_offset_s < b.start_offset_s;
   });

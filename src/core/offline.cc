@@ -95,7 +95,7 @@ CollectionResult CollectFromLogs(const std::filesystem::path& dir,
                                  const StudyConfig& config) {
   return MeasurementPipeline::Process(ReadRawInputs(dir),
                                       MeasurementPipeline::MakeAnonymizer(config),
-                                      config.visitor_min_days);
+                                      config.visitor_min_days, config.threads);
 }
 
 }  // namespace lockdown::core

@@ -1,6 +1,10 @@
 #include "core/pipeline.h"
 
+#include <cstdint>
+#include <string>
+#include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dhcp/normalizer.h"
@@ -9,9 +13,26 @@
 #include "privacy/visitor_filter.h"
 #include "sim/generator.h"
 #include "util/hash.h"
+#include "util/thread_pool.h"
 #include "world/oui_db.h"
 
 namespace lockdown::core {
+namespace {
+
+// Shard size for the parallel passes. Chunk boundaries depend only on the
+// input length (util/thread_pool.h), never on the thread count, so the
+// chunk-ordered merges below give byte-identical results at any parallelism.
+constexpr std::size_t kFlowGrain = 16384;
+
+// Per-flow outcome of the retention/mapping pass (pass 2).
+enum Disposition : std::uint8_t {
+  kDrop = 0,        // no covering DHCP lease
+  kVisitor = 1,     // attributed, but the device failed the 14-day filter
+  kKeep = 2,        // retained, server IP never resolved in the DNS log
+  kKeepDomain = 3,  // retained, with an attributed domain
+};
+
+}  // namespace
 
 privacy::Anonymizer MeasurementPipeline::MakeAnonymizer(const StudyConfig& config) {
   // Per-run key derived from the seed so runs are reproducible; a deployment
@@ -23,47 +44,99 @@ privacy::Anonymizer MeasurementPipeline::MakeAnonymizer(const StudyConfig& confi
 
 CollectionResult MeasurementPipeline::Process(RawInputs inputs,
                                               const privacy::Anonymizer& anonymizer,
-                                              int visitor_min_days) {
+                                              int visitor_min_days,
+                                              int threads) {
   CollectionResult result;
   CollectionStats& stats = result.stats;
-  stats.raw_flows = inputs.flows.size();
+  const std::size_t n = inputs.flows.size();
+  stats.raw_flows = n;
 
   // --- Attribution indexes ---------------------------------------------------
   const dhcp::IpToMacNormalizer normalizer(inputs.dhcp_log);
   const dns::IpToDomainMapper mapper(inputs.dns_log);
 
-  // --- Device attribution + visitor filter -----------------------------------
+  const util::ThreadPool pool(util::ResolveThreadCount(threads));
+  const std::size_t num_chunks = util::ThreadPool::NumChunks(n, kFlowGrain);
+
+  // --- Pass 1 (sharded): device attribution + visitor observation -------------
+  // Each chunk runs its DHCP lookups and accumulates into thread-local shards
+  // (a VisitorFilter and an unattributed counter); per-flow results land in
+  // disjoint slots of the shared arrays. Shards merge in chunk order below —
+  // day sets union order-independently, so the merged filter reproduces the
+  // serial scan exactly.
+  std::vector<std::uint64_t> record_macs(n, 0);
+  std::vector<privacy::DeviceId> device_ids(n);
+  std::vector<privacy::VisitorFilter> shard_visitors(
+      num_chunks, privacy::VisitorFilter(visitor_min_days));
+  std::vector<std::uint64_t> shard_unattributed(num_chunks, 0);
+  pool.ParallelFor(n, kFlowGrain,
+                   [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                     privacy::VisitorFilter& shard = shard_visitors[chunk];
+                     for (std::size_t i = begin; i < end; ++i) {
+                       const flow::FlowRecord& rec = inputs.flows[i];
+                       const auto mac = normalizer.Lookup(rec.client_ip, rec.start);
+                       if (!mac) {
+                         ++shard_unattributed[chunk];
+                         continue;
+                       }
+                       record_macs[i] = mac->value();
+                       device_ids[i] = anonymizer.AnonymizeMac(*mac);
+                       shard.Observe(device_ids[i], rec.start);
+                     }
+                   });
   privacy::VisitorFilter visitors(visitor_min_days);
-  std::vector<std::uint64_t> record_macs(inputs.flows.size(), 0);
-  for (std::size_t i = 0; i < inputs.flows.size(); ++i) {
-    const flow::FlowRecord& rec = inputs.flows[i];
-    const auto mac = normalizer.Lookup(rec.client_ip, rec.start);
-    if (!mac) {
-      ++stats.unattributed;
-      continue;
-    }
-    record_macs[i] = mac->value();
-    visitors.Observe(anonymizer.AnonymizeMac(*mac), rec.start);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    stats.unattributed += shard_unattributed[c];
+    visitors.Merge(shard_visitors[c]);
   }
+  shard_visitors.clear();
   stats.devices_observed = visitors.num_observed();
   stats.devices_retained = visitors.num_retained();
 
-  // --- Build the dataset -------------------------------------------------------
+  // --- Pass 2 (sharded): retention check + DNS mapping -------------------------
+  // Reads the now-frozen visitor filter; writes disjoint per-flow slots. The
+  // domain views point into inputs.dns_log, which outlives this function's
+  // use of them.
+  std::vector<std::uint8_t> disposition(n, kDrop);
+  std::vector<std::string_view> domains(n);
+  pool.ParallelFor(n, kFlowGrain,
+                   [&](std::size_t, std::size_t begin, std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                       if (record_macs[i] == 0) continue;
+                       if (!visitors.Retained(device_ids[i])) {
+                         disposition[i] = kVisitor;
+                         continue;
+                       }
+                       const flow::FlowRecord& rec = inputs.flows[i];
+                       const auto domain = mapper.Lookup(rec.server_ip, rec.start);
+                       if (domain) {
+                         disposition[i] = kKeepDomain;
+                         domains[i] = *domain;
+                       } else {
+                         disposition[i] = kKeep;
+                       }
+                     }
+                   });
+
+  // --- Pass 3 (serial merge): assemble the dataset in flow order ---------------
+  // Device indices and interned-domain ids are assigned in first-appearance
+  // order over the original flow sequence — the merge order is the chunk
+  // order, which is the input order, so the dataset is byte-identical to a
+  // serial build.
   Dataset& ds = result.dataset;
   std::unordered_map<privacy::DeviceId, DeviceIndex, privacy::DeviceIdHash> index;
   const util::Timestamp study_start = util::StudyCalendar::StartTs();
-  for (std::size_t i = 0; i < inputs.flows.size(); ++i) {
-    if (record_macs[i] == 0) continue;
-    const net::MacAddress mac(record_macs[i]);
-    const privacy::DeviceId devid = anonymizer.AnonymizeMac(mac);
-    if (!visitors.Retained(devid)) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (disposition[i] == kDrop) continue;
+    if (disposition[i] == kVisitor) {
       ++stats.visitor_flows;
       continue;
     }
+    const net::MacAddress mac(record_macs[i]);
     const flow::FlowRecord& rec = inputs.flows[i];
-    auto [it, inserted] = index.try_emplace(devid, 0);
+    auto [it, inserted] = index.try_emplace(device_ids[i], 0);
     if (inserted) {
-      it->second = ds.AddDevice(devid);
+      it->second = ds.AddDevice(device_ids[i]);
       classify::DeviceObservations& obs = ds.device_mutable(it->second).observations;
       obs.oui = mac.oui();
       obs.locally_administered = world::OuiDatabase::IsLocallyAdministered(mac);
@@ -74,8 +147,7 @@ CollectionResult MeasurementPipeline::Process(RawInputs inputs,
     f.start_offset_s = static_cast<std::uint32_t>(rec.start - study_start);
     f.duration_s = static_cast<float>(rec.duration_s);
     f.device = dev;
-    const auto domain = mapper.Lookup(rec.server_ip, rec.start);
-    f.domain = domain ? ds.InternDomain(*domain) : kNoDomain;
+    f.domain = disposition[i] == kKeepDomain ? ds.InternDomain(domains[i]) : kNoDomain;
     f.server_ip = rec.server_ip;
     f.server_port = rec.server_port;
     f.proto = static_cast<std::uint8_t>(rec.proto);
@@ -86,16 +158,41 @@ CollectionResult MeasurementPipeline::Process(RawInputs inputs,
     classify::DeviceObservations& obs = ds.device_mutable(dev).observations;
     obs.total_bytes += f.total_bytes();
     obs.flow_count += 1;
-    if (domain) obs.bytes_by_domain[std::string(*domain)] += f.total_bytes();
+    if (disposition[i] == kKeepDomain) {
+      obs.bytes_by_domain[std::string(domains[i])] += f.total_bytes();
+    }
   }
 
-  // --- User-Agent sightings ------------------------------------------------------
-  for (const logs::UaRecord& ua : inputs.ua_log) {
-    const auto mac = normalizer.Lookup(ua.client_ip, ua.ts);
-    if (!mac) continue;
-    const auto it = index.find(anonymizer.AnonymizeMac(*mac));
-    if (it == index.end()) continue;
-    ds.device_mutable(it->second).observations.AddUserAgent(ua.user_agent);
+  // --- User-Agent sightings ----------------------------------------------------
+  // The lookups (DHCP scan + SipHash) shard like pass 1; the accounting fold
+  // stays serial so AddUserAgent's first-seen dedup matches log order. Every
+  // record lands in exactly one counter: sightings, unattributed (no covering
+  // lease), or visitor_dropped (attributed to a device the filter discarded).
+  const std::size_t num_ua = inputs.ua_log.size();
+  std::vector<privacy::DeviceId> ua_ids(num_ua);
+  std::vector<std::uint8_t> ua_attributed(num_ua, 0);
+  pool.ParallelFor(num_ua, kFlowGrain,
+                   [&](std::size_t, std::size_t begin, std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                       const logs::UaRecord& ua = inputs.ua_log[i];
+                       const auto mac = normalizer.Lookup(ua.client_ip, ua.ts);
+                       if (!mac) continue;
+                       ua_attributed[i] = 1;
+                       ua_ids[i] = anonymizer.AnonymizeMac(*mac);
+                     }
+                   });
+  for (std::size_t i = 0; i < num_ua; ++i) {
+    if (!ua_attributed[i]) {
+      ++stats.ua_unattributed;
+      continue;
+    }
+    const auto it = index.find(ua_ids[i]);
+    if (it == index.end()) {
+      ++stats.ua_visitor_dropped;
+      continue;
+    }
+    ds.device_mutable(it->second).observations.AddUserAgent(
+        inputs.ua_log[i].user_agent);
     ++stats.ua_sightings;
   }
 
@@ -134,7 +231,7 @@ CollectionResult MeasurementPipeline::Collect(const StudyConfig& config,
 
   // --- Stages 2-5 --------------------------------------------------------------
   CollectionResult result = Process(std::move(inputs), MakeAnonymizer(config),
-                                    config.visitor_min_days);
+                                    config.visitor_min_days, config.threads);
   result.stats.tap_excluded = tap_excluded;
   return result;
 }

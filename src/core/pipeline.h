@@ -37,6 +37,10 @@ struct CollectionStats {
   std::uint64_t devices_observed = 0;   ///< distinct devices pre-filter
   std::uint64_t devices_retained = 0;   ///< distinct devices post-filter
   std::uint64_t ua_sightings = 0;       ///< cleartext UA observations kept
+  // Every UA record lands in exactly one of the three UA counters:
+  // ua_sightings + ua_unattributed + ua_visitor_dropped == |ua log|.
+  std::uint64_t ua_unattributed = 0;    ///< UA records with no covering lease
+  std::uint64_t ua_visitor_dropped = 0; ///< UA records from filtered devices
 };
 
 struct CollectionResult {
@@ -63,9 +67,17 @@ class MeasurementPipeline {
   /// Runs only the processing stages (attribution, anonymization, visitor
   /// filtering) over pre-collected inputs. `stats.raw_flows` and
   /// `stats.tap_excluded` reflect the inputs as given.
+  ///
+  /// `threads` shards the attribution, retention/DNS-mapping, and UA lookup
+  /// passes across a thread pool (0 = LOCKDOWN_THREADS/hardware; see
+  /// util::ResolveThreadCount). The dataset is assembled by merging the
+  /// per-thread shards in chunk order, so device indices, interned-domain
+  /// ids, flow order, and every CollectionStats counter are byte-identical
+  /// for any thread count.
   [[nodiscard]] static CollectionResult Process(RawInputs inputs,
                                                 const privacy::Anonymizer& anonymizer,
-                                                int visitor_min_days);
+                                                int visitor_min_days,
+                                                int threads = 0);
 
   /// The anonymizer a given config uses. Exposed so simulation-side tooling
   /// (accuracy scoring against ground truth) can link pseudonyms; a real

@@ -2,11 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_set>
 
 namespace lockdown::core {
 
 using util::StudyCalendar;
 using util::Timestamp;
+
+namespace {
+
+// Chunk grains for the sharded passes. Chunk boundaries depend only on the
+// problem size (util/thread_pool.h), so every reduction below — always folded
+// in chunk order — produces the same bits at any thread count.
+constexpr std::size_t kDeviceGrain = 64;    // per-device loops (CSR-disjoint)
+constexpr std::size_t kDayGrain = 8;        // per-day aggregation rows
+constexpr std::size_t kHourGrain = 24;      // hour-of-week median columns
+constexpr std::size_t kSessionGrain = 32;   // per-device session merging
+constexpr std::size_t kFlowGrain = 16384;   // flat flow scans
+
+}  // namespace
 
 const char* ToString(ReportClass c) noexcept {
   switch (c) {
@@ -30,48 +44,70 @@ ReportClass LockdownStudy::GroupOf(classify::DeviceClass c) noexcept {
 }
 
 LockdownStudy::LockdownStudy(const Dataset& dataset,
-                             const world::ServiceCatalog& catalog)
+                             const world::ServiceCatalog& catalog, int threads)
     : dataset_(&dataset),
       catalog_(&catalog),
       geo_db_(catalog),
       zoom_(catalog),
+      pool_(util::ResolveThreadCount(threads)),
       shutdown_day_(StudyCalendar::DayIndex(StudyCalendar::kStayAtHome)),
       post_shutdown_day_(StudyCalendar::DayIndex(StudyCalendar::kBreakEnd)) {
-  // Classify every device.
+  const std::size_t n = dataset.num_devices();
+
+  // Classify every device. Each slot is written by exactly one chunk.
   const classify::DeviceClassifier classifier =
       classify::DeviceClassifier::Default(catalog);
-  classifications_.reserve(dataset.num_devices());
-  report_class_.reserve(dataset.num_devices());
-  for (DeviceIndex i = 0; i < dataset.num_devices(); ++i) {
-    classifications_.push_back(classifier.Classify(dataset.device(i).observations));
-    report_class_.push_back(GroupOf(classifications_.back().device_class));
-  }
+  classifications_.resize(n);
+  report_class_.resize(n);
+  pool_.ParallelFor(n, kDeviceGrain,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        const auto dev = static_cast<DeviceIndex>(i);
+                        classifications_[i] =
+                            classifier.Classify(dataset.device(dev).observations);
+                        report_class_[i] = GroupOf(classifications_[i].device_class);
+                      }
+                    });
 
-  // Precompute per-domain application flags.
+  // Precompute per-domain application flags (slot-disjoint writes).
   domain_flags_.resize(dataset.num_domains());
-  for (DomainId d = 0; d < dataset.num_domains(); ++d) {
-    const std::string_view name = dataset.DomainName(d);
-    if (name.empty()) continue;
-    DomainFlags& f = domain_flags_[d];
-    f.zoom = zoom_.MatchesDomain(name);
-    f.fb_family = social_.IsFacebookFamily(name);
-    f.instagram_only = social_.IsInstagramOnly(name);
-    f.tiktok = social_.IsTikTok(name);
-    f.steam = steam_.Matches(name);
-    f.nintendo = nintendo_.IsNintendo(name);
-    f.nintendo_gameplay = nintendo_.IsGameplay(name);
-  }
+  pool_.ParallelFor(dataset.num_domains(), kDeviceGrain,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        const std::string_view name =
+                            dataset.DomainName(static_cast<DomainId>(i));
+                        if (name.empty()) continue;
+                        DomainFlags& f = domain_flags_[i];
+                        f.zoom = zoom_.MatchesDomain(name);
+                        f.fb_family = social_.IsFacebookFamily(name);
+                        f.instagram_only = social_.IsInstagramOnly(name);
+                        f.tiktok = social_.IsTikTok(name);
+                        f.steam = steam_.Matches(name);
+                        f.nintendo = nintendo_.IsNintendo(name);
+                        f.nintendo_gameplay = nintendo_.IsGameplay(name);
+                      }
+                    });
 
   // Post-shutdown users: the devices that "remained on campus after the
   // shutdown" (§4). Students kept departing through the academic break, so a
   // device counts only if it still has traffic once online classes begin
   // (3/30) — otherwise the cohort would mix in departing devices and the
   // §4.1 within-cohort comparisons would reflect demographics, not behaviour.
-  is_post_shutdown_.assign(dataset.num_devices(), 0);
-  for (const Flow& f : dataset.flows()) {
-    if (Dataset::DayOf(f) >= post_shutdown_day_) is_post_shutdown_[f.device] = 1;
-  }
-  for (DeviceIndex i = 0; i < dataset.num_devices(); ++i) {
+  // The CSR index makes each device's flag independent of every other's.
+  is_post_shutdown_.assign(n, 0);
+  pool_.ParallelFor(n, kDeviceGrain,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        for (const Flow& f :
+                             dataset.FlowsOfDevice(static_cast<DeviceIndex>(i))) {
+                          if (Dataset::DayOf(f) >= post_shutdown_day_) {
+                            is_post_shutdown_[i] = 1;
+                            break;
+                          }
+                        }
+                      }
+                    });
+  for (DeviceIndex i = 0; i < n; ++i) {
     if (is_post_shutdown_[i]) post_shutdown_.push_back(i);
   }
 
@@ -103,21 +139,50 @@ void LockdownStudy::SpreadOverHours(const Flow& f, Fn&& add) {
 void LockdownStudy::ComputeSplit() {
   // §4.2: February traffic of post-shutdown users, bytes-weighted midpoint,
   // CDNs excluded (handled inside the classifier via the geo database).
+  // Devices shard by chunk, so the per-shard classifiers hold disjoint keys
+  // and each device's accumulation runs in its serial (CSR) flow order.
+  const std::size_t n = dataset_->num_devices();
+  const std::size_t num_chunks = util::ThreadPool::NumChunks(n, kDeviceGrain);
+  std::vector<geo::InternationalClassifier> shards(
+      num_chunks, geo::InternationalClassifier(geo_db_));
+  pool_.ParallelFor(n, kDeviceGrain,
+                    [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                      geo::InternationalClassifier& intl = shards[chunk];
+                      for (std::size_t i = begin; i < end; ++i) {
+                        if (!is_post_shutdown_[i]) continue;
+                        const auto dev = static_cast<DeviceIndex>(i);
+                        // The classifier keys on opaque device ids; the dense
+                        // dataset index works as that key directly.
+                        for (const Flow& f : dataset_->FlowsOfDevice(dev)) {
+                          intl.Observe(privacy::DeviceId{dev}, f.server_ip,
+                                       f.total_bytes(), Dataset::StartOf(f));
+                        }
+                      }
+                    });
   geo::InternationalClassifier intl(geo_db_);
-  // The classifier keys on opaque device ids; the dense dataset index works
-  // as that key directly.
-  for (const Flow& f : dataset_->flows()) {
-    if (!is_post_shutdown_[f.device]) continue;
-    intl.Observe(privacy::DeviceId{f.device}, f.server_ip, f.total_bytes(),
-                 Dataset::StartOf(f));
-  }
-  split_.international.assign(dataset_->num_devices(), false);
-  for (const DeviceIndex dev : post_shutdown_) {
-    const auto result = intl.Classify(privacy::DeviceId{dev});
-    if (!result) continue;  // no usable Feb traffic -> presumed domestic
+  for (std::size_t c = 0; c < num_chunks; ++c) intl.Merge(shards[c]);
+  shards.clear();
+
+  // Classify each cohort member; stage verdicts so the vector<bool> and the
+  // counters are filled serially in device order.
+  enum : std::uint8_t { kNoGeo = 0, kDomestic = 1, kInternational = 2 };
+  std::vector<std::uint8_t> verdicts(post_shutdown_.size(), kNoGeo);
+  pool_.ParallelFor(post_shutdown_.size(), kDeviceGrain,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      for (std::size_t k = begin; k < end; ++k) {
+                        const auto result =
+                            intl.Classify(privacy::DeviceId{post_shutdown_[k]});
+                        if (!result) continue;
+                        verdicts[k] = result->international ? kInternational
+                                                            : kDomestic;
+                      }
+                    });
+  split_.international.assign(n, false);
+  for (std::size_t k = 0; k < post_shutdown_.size(); ++k) {
+    if (verdicts[k] == kNoGeo) continue;  // no usable Feb traffic -> domestic
     ++split_.num_with_geo;
-    if (result->international) {
-      split_.international[dev] = true;
+    if (verdicts[k] == kInternational) {
+      split_.international[post_shutdown_[k]] = true;
       ++split_.num_international;
     }
   }
@@ -128,22 +193,34 @@ std::vector<LockdownStudy::ActiveDevicesRow> LockdownStudy::ActiveDevicesPerDay(
   const int days = StudyCalendar::NumDays();
   const std::size_t n = dataset_->num_devices();
   std::vector<std::uint8_t> active(static_cast<std::size_t>(days) * n, 0);
-  for (const Flow& f : dataset_->flows()) {
-    const int day = Dataset::DayOf(f);
-    if (day < 0 || day >= days) continue;
-    active[static_cast<std::size_t>(day) * n + f.device] = 1;
-  }
+  // Column-disjoint fill: each device only touches its own column.
+  pool_.ParallelFor(n, kDeviceGrain,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      for (std::size_t dev = begin; dev < end; ++dev) {
+                        for (const Flow& f : dataset_->FlowsOfDevice(
+                                 static_cast<DeviceIndex>(dev))) {
+                          const int day = Dataset::DayOf(f);
+                          if (day < 0 || day >= days) continue;
+                          active[static_cast<std::size_t>(day) * n + dev] = 1;
+                        }
+                      }
+                    });
   std::vector<ActiveDevicesRow> rows(static_cast<std::size_t>(days));
-  for (int day = 0; day < days; ++day) {
-    ActiveDevicesRow& row = rows[static_cast<std::size_t>(day)];
-    row.day = day;
-    const std::uint8_t* base = active.data() + static_cast<std::size_t>(day) * n;
-    for (std::size_t dev = 0; dev < n; ++dev) {
-      if (!base[dev]) continue;
-      ++row.by_class[static_cast<std::size_t>(report_class_[dev])];
-      ++row.total;
-    }
-  }
+  // Row-disjoint aggregation: each day reads its own slice.
+  pool_.ParallelFor(static_cast<std::size_t>(days), kDayGrain,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      for (std::size_t day = begin; day < end; ++day) {
+                        ActiveDevicesRow& row = rows[day];
+                        row.day = static_cast<int>(day);
+                        const std::uint8_t* base = active.data() + day * n;
+                        for (std::size_t dev = 0; dev < n; ++dev) {
+                          if (!base[dev]) continue;
+                          ++row.by_class[static_cast<std::size_t>(
+                              report_class_[dev])];
+                          ++row.total;
+                        }
+                      }
+                    });
   return rows;
 }
 
@@ -152,30 +229,41 @@ std::vector<LockdownStudy::BytesPerDeviceRow> LockdownStudy::BytesPerDevicePerDa
   const int days = StudyCalendar::NumDays();
   const std::size_t n = dataset_->num_devices();
   std::vector<double> bytes(static_cast<std::size_t>(days) * n, 0.0);
-  for (const Flow& f : dataset_->flows()) {
-    const int day = Dataset::DayOf(f);
-    if (day < 0 || day >= days) continue;
-    bytes[static_cast<std::size_t>(day) * n + f.device] +=
-        static_cast<double>(f.total_bytes());
-  }
+  pool_.ParallelFor(n, kDeviceGrain,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      for (std::size_t dev = begin; dev < end; ++dev) {
+                        for (const Flow& f : dataset_->FlowsOfDevice(
+                                 static_cast<DeviceIndex>(dev))) {
+                          const int day = Dataset::DayOf(f);
+                          if (day < 0 || day >= days) continue;
+                          bytes[static_cast<std::size_t>(day) * n + dev] +=
+                              static_cast<double>(f.total_bytes());
+                        }
+                      }
+                    });
   std::vector<BytesPerDeviceRow> rows(static_cast<std::size_t>(days));
-  std::array<std::vector<double>, kNumReportClasses> per_class;
-  for (int day = 0; day < days; ++day) {
-    BytesPerDeviceRow& row = rows[static_cast<std::size_t>(day)];
-    row.day = day;
-    for (auto& v : per_class) v.clear();
-    const double* base = bytes.data() + static_cast<std::size_t>(day) * n;
-    for (std::size_t dev = 0; dev < n; ++dev) {
-      if (base[dev] <= 0.0) continue;
-      per_class[static_cast<std::size_t>(report_class_[dev])].push_back(base[dev]);
-    }
-    for (int c = 0; c < kNumReportClasses; ++c) {
-      auto& v = per_class[static_cast<std::size_t>(c)];
-      row.mean[static_cast<std::size_t>(c)] = analysis::Mean(v);
-      row.median[static_cast<std::size_t>(c)] =
-          analysis::PercentileInPlace(v, 50.0);
-    }
-  }
+  pool_.ParallelFor(
+      static_cast<std::size_t>(days), kDayGrain,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        std::array<std::vector<double>, kNumReportClasses> per_class;
+        for (std::size_t day = begin; day < end; ++day) {
+          BytesPerDeviceRow& row = rows[day];
+          row.day = static_cast<int>(day);
+          for (auto& v : per_class) v.clear();
+          const double* base = bytes.data() + day * n;
+          for (std::size_t dev = 0; dev < n; ++dev) {
+            if (base[dev] <= 0.0) continue;
+            per_class[static_cast<std::size_t>(report_class_[dev])].push_back(
+                base[dev]);
+          }
+          for (int c = 0; c < kNumReportClasses; ++c) {
+            auto& v = per_class[static_cast<std::size_t>(c)];
+            row.mean[static_cast<std::size_t>(c)] = analysis::Mean(v);
+            row.median[static_cast<std::size_t>(c)] =
+                analysis::PercentileInPlace(v, 50.0);
+          }
+        }
+      });
   return rows;
 }
 
@@ -185,32 +273,43 @@ LockdownStudy::HourOfWeekResult LockdownStudy::HourOfWeekVolume() const {
   constexpr int kH = analysis::HourOfWeekSeries::kHours;
   for (std::size_t w = 0; w < 4; ++w) {
     const Timestamp anchor = util::TimestampOf(StudyCalendar::kFig3Weeks[w]);
-    // Per (device, hour-of-week) volume for this week.
+    // Per (device, hour-of-week) volume for this week; device-major so the
+    // fill shards over devices without write overlap.
     std::vector<double> volume(n * static_cast<std::size_t>(kH), 0.0);
-    for (const Flow& f : dataset_->flows()) {
-      SpreadOverHours(f, [&](Timestamp t, double b) {
-        const auto bin = analysis::HourOfWeekSeries::BinOf(t, anchor);
-        if (bin) {
-          volume[f.device * static_cast<std::size_t>(kH) +
-                 static_cast<std::size_t>(*bin)] += b;
-        }
-      });
-    }
+    pool_.ParallelFor(
+        n, kDeviceGrain, [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t dev = begin; dev < end; ++dev) {
+            for (const Flow& f :
+                 dataset_->FlowsOfDevice(static_cast<DeviceIndex>(dev))) {
+              SpreadOverHours(f, [&](Timestamp t, double b) {
+                const auto bin = analysis::HourOfWeekSeries::BinOf(t, anchor);
+                if (bin) {
+                  volume[dev * static_cast<std::size_t>(kH) +
+                         static_cast<std::size_t>(*bin)] += b;
+                }
+              });
+            }
+          }
+        });
     // Median across devices with substantive traffic in that hour. The
     // floor keeps heartbeat-only devices (IoT pings, idle gadgets) from
     // swamping the median — their per-hour kilobytes say nothing about user
     // behaviour, which is what Fig. 3 tracks.
     constexpr double kMinHourBytes = 1e6;
-    std::vector<double> column;
-    for (int h = 0; h < kH; ++h) {
-      column.clear();
-      for (std::size_t dev = 0; dev < n; ++dev) {
-        const double v = volume[dev * static_cast<std::size_t>(kH) +
-                                static_cast<std::size_t>(h)];
-        if (v >= kMinHourBytes) column.push_back(v);
-      }
-      result.weeks[w].AddBin(h, analysis::PercentileInPlace(column, 50.0));
-    }
+    pool_.ParallelFor(
+        static_cast<std::size_t>(kH), kHourGrain,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          std::vector<double> column;
+          for (std::size_t h = begin; h < end; ++h) {
+            column.clear();
+            for (std::size_t dev = 0; dev < n; ++dev) {
+              const double v = volume[dev * static_cast<std::size_t>(kH) + h];
+              if (v >= kMinHourBytes) column.push_back(v);
+            }
+            result.weeks[w].AddBin(static_cast<int>(h),
+                                   analysis::PercentileInPlace(column, 50.0));
+          }
+        });
   }
   // "the data is normalized by the minimum volume of traffic across all
   //  weeks" (§4.1).
@@ -228,51 +327,74 @@ std::vector<LockdownStudy::Fig4Row> LockdownStudy::MedianBytesExcludingZoom() co
   const int days = StudyCalendar::NumDays();
   const std::size_t n = dataset_->num_devices();
   std::vector<double> bytes(static_cast<std::size_t>(days) * n, 0.0);
-  for (const Flow& f : dataset_->flows()) {
-    const int day = Dataset::DayOf(f);
-    if (day < 0 || day >= days) continue;
-    if (!is_post_shutdown_[f.device]) continue;
-    if (IsZoomFlow(f)) continue;  // "we exclude Zoom traffic" (§4.2)
-    bytes[static_cast<std::size_t>(day) * n + f.device] +=
-        static_cast<double>(f.total_bytes());
-  }
+  pool_.ParallelFor(
+      n, kDeviceGrain, [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t dev = begin; dev < end; ++dev) {
+          if (!is_post_shutdown_[dev]) continue;
+          for (const Flow& f :
+               dataset_->FlowsOfDevice(static_cast<DeviceIndex>(dev))) {
+            const int day = Dataset::DayOf(f);
+            if (day < 0 || day >= days) continue;
+            if (IsZoomFlow(f)) continue;  // "we exclude Zoom traffic" (§4.2)
+            bytes[static_cast<std::size_t>(day) * n + dev] +=
+                static_cast<double>(f.total_bytes());
+          }
+        }
+      });
   std::vector<Fig4Row> rows(static_cast<std::size_t>(days));
-  std::vector<double> groups[4];
-  for (int day = 0; day < days; ++day) {
-    Fig4Row& row = rows[static_cast<std::size_t>(day)];
-    row.day = day;
-    for (auto& g : groups) g.clear();
-    const double* base = bytes.data() + static_cast<std::size_t>(day) * n;
-    for (std::size_t dev = 0; dev < n; ++dev) {
-      if (base[dev] <= 0.0 || !is_post_shutdown_[dev]) continue;
-      const ReportClass rc = report_class_[dev];
-      // "We consider mobile and desktop devices separately from unclassified
-      //  devices, and exclude IoT devices here" (Fig. 4 caption).
-      int group;
-      if (rc == ReportClass::kMobile || rc == ReportClass::kLaptopDesktop) {
-        group = split_.international[dev] ? 0 : 1;
-      } else if (rc == ReportClass::kUnclassified) {
-        group = split_.international[dev] ? 2 : 3;
-      } else {
-        continue;
-      }
-      groups[group].push_back(base[dev]);
-    }
-    row.intl_mobile_desktop = analysis::PercentileInPlace(groups[0], 50.0);
-    row.dom_mobile_desktop = analysis::PercentileInPlace(groups[1], 50.0);
-    row.intl_unclassified = analysis::PercentileInPlace(groups[2], 50.0);
-    row.dom_unclassified = analysis::PercentileInPlace(groups[3], 50.0);
-  }
+  pool_.ParallelFor(
+      static_cast<std::size_t>(days), kDayGrain,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        std::vector<double> groups[4];
+        for (std::size_t day = begin; day < end; ++day) {
+          Fig4Row& row = rows[day];
+          row.day = static_cast<int>(day);
+          for (auto& g : groups) g.clear();
+          const double* base = bytes.data() + day * n;
+          for (std::size_t dev = 0; dev < n; ++dev) {
+            if (base[dev] <= 0.0 || !is_post_shutdown_[dev]) continue;
+            const ReportClass rc = report_class_[dev];
+            // "We consider mobile and desktop devices separately from
+            //  unclassified devices, and exclude IoT devices here" (Fig. 4
+            //  caption).
+            int group;
+            if (rc == ReportClass::kMobile || rc == ReportClass::kLaptopDesktop) {
+              group = split_.international[dev] ? 0 : 1;
+            } else if (rc == ReportClass::kUnclassified) {
+              group = split_.international[dev] ? 2 : 3;
+            } else {
+              continue;
+            }
+            groups[group].push_back(base[dev]);
+          }
+          row.intl_mobile_desktop = analysis::PercentileInPlace(groups[0], 50.0);
+          row.dom_mobile_desktop = analysis::PercentileInPlace(groups[1], 50.0);
+          row.intl_unclassified = analysis::PercentileInPlace(groups[2], 50.0);
+          row.dom_unclassified = analysis::PercentileInPlace(groups[3], 50.0);
+        }
+      });
   return rows;
 }
 
 analysis::DailySeries LockdownStudy::ZoomDailyBytes() const {
+  const std::size_t n = dataset_->num_devices();
+  const std::size_t num_chunks = util::ThreadPool::NumChunks(n, kDeviceGrain);
+  std::vector<analysis::DailySeries> shards(num_chunks);
+  pool_.ParallelFor(
+      n, kDeviceGrain,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        analysis::DailySeries& series = shards[chunk];
+        for (std::size_t dev = begin; dev < end; ++dev) {
+          if (!is_post_shutdown_[dev]) continue;
+          for (const Flow& f :
+               dataset_->FlowsOfDevice(static_cast<DeviceIndex>(dev))) {
+            if (!IsZoomFlow(f)) continue;
+            series.Add(Dataset::StartOf(f), static_cast<double>(f.total_bytes()));
+          }
+        }
+      });
   analysis::DailySeries series;
-  for (const Flow& f : dataset_->flows()) {
-    if (!is_post_shutdown_[f.device]) continue;
-    if (!IsZoomFlow(f)) continue;
-    series.Add(Dataset::StartOf(f), static_cast<double>(f.total_bytes()));
-  }
+  for (std::size_t c = 0; c < num_chunks; ++c) series.Merge(shards[c]);
   return series;
 }
 
@@ -281,39 +403,57 @@ LockdownStudy::SocialBox LockdownStudy::SocialDurations(apps::SocialApp app,
   const Timestamp month_start = util::TimestampOf(util::CivilDate{2020, month, 1});
   const Timestamp month_end =
       util::TimestampOf(util::CivilDate{2020, month + 1, 1});
+  // Session merging dominates here, so shard over cohort members; per-device
+  // hours land in disjoint slots and fold below in cohort order — the order
+  // the serial loop pushed them.
+  enum : std::uint8_t { kSkip = 0, kDomestic = 1, kInternational = 2 };
+  std::vector<double> hours_of(post_shutdown_.size(), 0.0);
+  std::vector<std::uint8_t> bucket(post_shutdown_.size(), kSkip);
+  pool_.ParallelFor(
+      post_shutdown_.size(), kSessionGrain,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        std::vector<apps::FlowInterval> intervals;
+        for (std::size_t k = begin; k < end; ++k) {
+          const DeviceIndex dev = post_shutdown_[k];
+          // "We analyze only mobile traffic" (§5.2).
+          if (report_class_[dev] != ReportClass::kMobile) continue;
+          intervals.clear();
+          for (const Flow& f : dataset_->FlowsOfDevice(dev)) {
+            const Timestamp start = Dataset::StartOf(f);
+            if (start < month_start || start >= month_end ||
+                f.domain == kNoDomain) {
+              continue;
+            }
+            const DomainFlags& flags = domain_flags_[f.domain];
+            const bool relevant =
+                app == apps::SocialApp::kTikTok ? flags.tiktok : flags.fb_family;
+            if (!relevant) continue;
+            intervals.push_back(apps::FlowInterval{
+                start,
+                start + std::max<Timestamp>(static_cast<Timestamp>(f.duration_s), 1),
+                f.domain, f.total_bytes()});
+          }
+          if (intervals.empty()) continue;
+          double hours = 0.0;
+          for (const apps::Session& session : apps::MergeSessions(intervals)) {
+            if (app != apps::SocialApp::kTikTok) {
+              const apps::SocialApp resolved = social_.ClassifySession(
+                  session,
+                  [this](std::uint32_t tag) { return dataset_->DomainName(tag); });
+              if (resolved != app) continue;
+            }
+            hours += session.duration_s() / 3600.0;
+          }
+          if (hours <= 0.0) continue;
+          hours_of[k] = hours;
+          bucket[k] = split_.international[dev] ? kInternational : kDomestic;
+        }
+      });
   std::vector<double> dom;
   std::vector<double> intl;
-  std::vector<apps::FlowInterval> intervals;
-  for (const DeviceIndex dev : post_shutdown_) {
-    // "We analyze only mobile traffic" (§5.2).
-    if (report_class_[dev] != ReportClass::kMobile) continue;
-    intervals.clear();
-    for (const Flow& f : dataset_->FlowsOfDevice(dev)) {
-      const Timestamp start = Dataset::StartOf(f);
-      if (start < month_start || start >= month_end || f.domain == kNoDomain) {
-        continue;
-      }
-      const DomainFlags& flags = domain_flags_[f.domain];
-      const bool relevant =
-          app == apps::SocialApp::kTikTok ? flags.tiktok : flags.fb_family;
-      if (!relevant) continue;
-      intervals.push_back(apps::FlowInterval{
-          start, start + std::max<Timestamp>(static_cast<Timestamp>(f.duration_s), 1),
-          f.domain, f.total_bytes()});
-    }
-    if (intervals.empty()) continue;
-    double hours = 0.0;
-    for (const apps::Session& session : apps::MergeSessions(intervals)) {
-      if (app != apps::SocialApp::kTikTok) {
-        const apps::SocialApp resolved = social_.ClassifySession(
-            session,
-            [this](std::uint32_t tag) { return dataset_->DomainName(tag); });
-        if (resolved != app) continue;
-      }
-      hours += session.duration_s() / 3600.0;
-    }
-    if (hours <= 0.0) continue;
-    (split_.international[dev] ? intl : dom).push_back(hours);
+  for (std::size_t k = 0; k < post_shutdown_.size(); ++k) {
+    if (bucket[k] == kSkip) continue;
+    (bucket[k] == kInternational ? intl : dom).push_back(hours_of[k]);
   }
   return SocialBox{analysis::ComputeBoxStats(std::move(dom)),
                    analysis::ComputeBoxStats(std::move(intl))};
@@ -327,13 +467,22 @@ LockdownStudy::SteamBox LockdownStudy::SteamUsage(int month) const {
   const std::size_t n = dataset_->num_devices();
   std::vector<double> bytes(n, 0.0);
   std::vector<double> conns(n, 0.0);
-  for (const Flow& f : dataset_->flows()) {
-    const Timestamp start = Dataset::StartOf(f);
-    if (start < month_start || start >= month_end || f.domain == kNoDomain) continue;
-    if (!domain_flags_[f.domain].steam) continue;
-    bytes[f.device] += static_cast<double>(f.total_bytes());
-    conns[f.device] += 1.0;
-  }
+  pool_.ParallelFor(
+      n, kDeviceGrain, [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t dev = begin; dev < end; ++dev) {
+          for (const Flow& f :
+               dataset_->FlowsOfDevice(static_cast<DeviceIndex>(dev))) {
+            const Timestamp start = Dataset::StartOf(f);
+            if (start < month_start || start >= month_end ||
+                f.domain == kNoDomain) {
+              continue;
+            }
+            if (!domain_flags_[f.domain].steam) continue;
+            bytes[dev] += static_cast<double>(f.total_bytes());
+            conns[dev] += 1.0;
+          }
+        }
+      });
   for (const DeviceIndex dev : post_shutdown_) {
     if (conns[dev] <= 0.0) continue;
     if (split_.international[dev]) {
@@ -369,49 +518,78 @@ bool IsSwitchDevice(const classify::DeviceObservations& obs,
 analysis::DailySeries LockdownStudy::SwitchGameplayDaily(int ma_window) const {
   // Switches "active in both February and May" (Fig. 8 caption).
   const std::size_t n = dataset_->num_devices();
-  std::vector<std::uint8_t> is_switch(n, 0);
-  for (DeviceIndex i = 0; i < n; ++i) {
-    is_switch[i] = IsSwitchDevice(dataset_->device(i).observations, nintendo_);
-  }
   const int feb_end = StudyCalendar::DayIndex(util::CivilDate{2020, 3, 1});
   const int may_start = StudyCalendar::DayIndex(util::CivilDate{2020, 5, 1});
-  std::vector<std::uint8_t> in_feb(n, 0), in_may(n, 0);
-  for (const Flow& f : dataset_->flows()) {
-    if (!is_switch[f.device]) continue;
-    const int day = Dataset::DayOf(f);
-    if (day < feb_end) in_feb[f.device] = 1;
-    if (day >= may_start) in_may[f.device] = 1;
-  }
+  const std::size_t num_chunks = util::ThreadPool::NumChunks(n, kDeviceGrain);
+  std::vector<analysis::DailySeries> shards(num_chunks);
+  pool_.ParallelFor(
+      n, kDeviceGrain,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        analysis::DailySeries& series = shards[chunk];
+        for (std::size_t dev = begin; dev < end; ++dev) {
+          const auto di = static_cast<DeviceIndex>(dev);
+          if (!IsSwitchDevice(dataset_->device(di).observations, nintendo_)) {
+            continue;
+          }
+          const auto flows = dataset_->FlowsOfDevice(di);
+          bool in_feb = false;
+          bool in_may = false;
+          for (const Flow& f : flows) {
+            const int day = Dataset::DayOf(f);
+            in_feb |= day < feb_end;
+            in_may |= day >= may_start;
+          }
+          if (!in_feb || !in_may) continue;
+          for (const Flow& f : flows) {
+            if (f.domain == kNoDomain ||
+                !domain_flags_[f.domain].nintendo_gameplay) {
+              continue;
+            }
+            series.Add(Dataset::StartOf(f), static_cast<double>(f.total_bytes()));
+          }
+        }
+      });
   analysis::DailySeries series;
-  for (const Flow& f : dataset_->flows()) {
-    if (!is_switch[f.device] || !in_feb[f.device] || !in_may[f.device]) continue;
-    if (f.domain == kNoDomain || !domain_flags_[f.domain].nintendo_gameplay) continue;
-    series.Add(Dataset::StartOf(f), static_cast<double>(f.total_bytes()));
-  }
+  for (std::size_t c = 0; c < num_chunks; ++c) series.Merge(shards[c]);
   return series.MovingAverage(ma_window);
 }
 
 LockdownStudy::SwitchCounts LockdownStudy::CountSwitches() const {
-  SwitchCounts counts;
   const std::size_t n = dataset_->num_devices();
   const int feb_end = StudyCalendar::DayIndex(util::CivilDate{2020, 3, 1});
   const int april_start = StudyCalendar::DayIndex(util::CivilDate{2020, 4, 1});
-  for (DeviceIndex i = 0; i < n; ++i) {
-    if (!IsSwitchDevice(dataset_->device(i).observations, nintendo_)) continue;
-    const auto flows = dataset_->FlowsOfDevice(i);
-    if (flows.empty()) continue;
-    int first_day = StudyCalendar::NumDays();
-    bool feb = false;
-    bool post = false;
-    for (const Flow& f : flows) {
-      const int day = Dataset::DayOf(f);
-      first_day = std::min(first_day, day);
-      feb |= day < feb_end;
-      post |= day >= post_shutdown_day_;
-    }
-    counts.active_february += feb;
-    counts.active_post_shutdown += post;
-    counts.new_in_april_may += first_day >= april_start;
+  const std::size_t num_chunks = util::ThreadPool::NumChunks(n, kDeviceGrain);
+  std::vector<SwitchCounts> shards(num_chunks);
+  pool_.ParallelFor(
+      n, kDeviceGrain,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        SwitchCounts& counts = shards[chunk];
+        for (std::size_t dev = begin; dev < end; ++dev) {
+          const auto di = static_cast<DeviceIndex>(dev);
+          if (!IsSwitchDevice(dataset_->device(di).observations, nintendo_)) {
+            continue;
+          }
+          const auto flows = dataset_->FlowsOfDevice(di);
+          if (flows.empty()) continue;
+          int first_day = StudyCalendar::NumDays();
+          bool feb = false;
+          bool post = false;
+          for (const Flow& f : flows) {
+            const int day = Dataset::DayOf(f);
+            first_day = std::min(first_day, day);
+            feb |= day < feb_end;
+            post |= day >= post_shutdown_day_;
+          }
+          counts.active_february += feb;
+          counts.active_post_shutdown += post;
+          counts.new_in_april_may += first_day >= april_start;
+        }
+      });
+  SwitchCounts counts;
+  for (const SwitchCounts& s : shards) {
+    counts.active_february += s.active_february;
+    counts.active_post_shutdown += s.active_post_shutdown;
+    counts.new_in_april_may += s.new_in_april_may;
   }
   return counts;
 }
@@ -419,44 +597,69 @@ LockdownStudy::SwitchCounts LockdownStudy::CountSwitches() const {
 std::vector<LockdownStudy::CategoryVolumeRow> LockdownStudy::CategoryVolumes()
     const {
   const int days = StudyCalendar::NumDays();
+  const std::size_t num_flows = dataset_->num_flows();
+  const std::size_t num_chunks =
+      util::ThreadPool::NumChunks(num_flows, kFlowGrain);
+  std::vector<std::vector<CategoryVolumeRow>> shards(
+      num_chunks, std::vector<CategoryVolumeRow>(static_cast<std::size_t>(days)));
+  const auto flows = dataset_->flows();
+  pool_.ParallelFor(
+      num_flows, kFlowGrain,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        std::vector<CategoryVolumeRow>& rows = shards[chunk];
+        for (std::size_t i = begin; i < end; ++i) {
+          const Flow& f = flows[i];
+          if (!is_post_shutdown_[f.device]) continue;
+          const int day = Dataset::DayOf(f);
+          if (day < 0 || day >= days) continue;
+          CategoryVolumeRow& row = rows[static_cast<std::size_t>(day)];
+          const double bytes = static_cast<double>(f.total_bytes());
+          const auto svc = catalog_->FindByIp(f.server_ip);
+          if (!svc) {
+            row.other += bytes;
+            continue;
+          }
+          switch (catalog_->Get(*svc).category) {
+            case world::Category::kEducation:
+            case world::Category::kEmailCloud:
+              row.education += bytes;
+              break;
+            case world::Category::kVideoConferencing:
+              row.video_conferencing += bytes;
+              break;
+            case world::Category::kStreaming:
+            case world::Category::kMusic:
+              row.streaming += bytes;
+              break;
+            case world::Category::kSocialMedia:
+              row.social_media += bytes;
+              break;
+            case world::Category::kGamingPc:
+            case world::Category::kGamingConsole:
+              row.gaming += bytes;
+              break;
+            case world::Category::kMessaging:
+              row.messaging += bytes;
+              break;
+            default:
+              row.other += bytes;
+              break;
+          }
+        }
+      });
   std::vector<CategoryVolumeRow> rows(static_cast<std::size_t>(days));
   for (int d = 0; d < days; ++d) rows[static_cast<std::size_t>(d)].day = d;
-  for (const Flow& f : dataset_->flows()) {
-    if (!is_post_shutdown_[f.device]) continue;
-    const int day = Dataset::DayOf(f);
-    if (day < 0 || day >= days) continue;
-    CategoryVolumeRow& row = rows[static_cast<std::size_t>(day)];
-    const double bytes = static_cast<double>(f.total_bytes());
-    const auto svc = catalog_->FindByIp(f.server_ip);
-    if (!svc) {
-      row.other += bytes;
-      continue;
-    }
-    switch (catalog_->Get(*svc).category) {
-      case world::Category::kEducation:
-      case world::Category::kEmailCloud:
-        row.education += bytes;
-        break;
-      case world::Category::kVideoConferencing:
-        row.video_conferencing += bytes;
-        break;
-      case world::Category::kStreaming:
-      case world::Category::kMusic:
-        row.streaming += bytes;
-        break;
-      case world::Category::kSocialMedia:
-        row.social_media += bytes;
-        break;
-      case world::Category::kGamingPc:
-      case world::Category::kGamingConsole:
-        row.gaming += bytes;
-        break;
-      case world::Category::kMessaging:
-        row.messaging += bytes;
-        break;
-      default:
-        row.other += bytes;
-        break;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    for (int d = 0; d < days; ++d) {
+      CategoryVolumeRow& dst = rows[static_cast<std::size_t>(d)];
+      const CategoryVolumeRow& src = shards[c][static_cast<std::size_t>(d)];
+      dst.education += src.education;
+      dst.video_conferencing += src.video_conferencing;
+      dst.streaming += src.streaming;
+      dst.social_media += src.social_media;
+      dst.gaming += src.gaming;
+      dst.messaging += src.messaging;
+      dst.other += src.other;
     }
   }
   return rows;
@@ -464,16 +667,33 @@ std::vector<LockdownStudy::CategoryVolumeRow> LockdownStudy::CategoryVolumes()
 
 LockdownStudy::DiurnalShapeResult LockdownStudy::DiurnalShape(int first_day,
                                                               int last_day) const {
+  const std::size_t num_flows = dataset_->num_flows();
+  const std::size_t num_chunks =
+      util::ThreadPool::NumChunks(num_flows, kFlowGrain);
+  std::vector<DiurnalShapeResult> shards(num_chunks);
+  const auto flows = dataset_->flows();
+  pool_.ParallelFor(
+      num_flows, kFlowGrain,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        DiurnalShapeResult& partial = shards[chunk];
+        for (std::size_t i = begin; i < end; ++i) {
+          const Flow& f = flows[i];
+          const int day = Dataset::DayOf(f);
+          if (day < first_day || day > last_day) continue;
+          const bool weekend =
+              util::IsWeekend(util::WeekdayOf(StudyCalendar::DateAt(day)));
+          auto& profile = weekend ? partial.weekend : partial.weekday;
+          SpreadOverHours(f, [&profile](Timestamp t, double bytes) {
+            profile[static_cast<std::size_t>(util::HourOf(t))] += bytes;
+          });
+        }
+      });
   DiurnalShapeResult result;
-  for (const Flow& f : dataset_->flows()) {
-    const int day = Dataset::DayOf(f);
-    if (day < first_day || day > last_day) continue;
-    const bool weekend =
-        util::IsWeekend(util::WeekdayOf(StudyCalendar::DateAt(day)));
-    auto& profile = weekend ? result.weekend : result.weekday;
-    SpreadOverHours(f, [&profile](Timestamp t, double bytes) {
-      profile[static_cast<std::size_t>(util::HourOf(t))] += bytes;
-    });
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    for (std::size_t h = 0; h < 24; ++h) {
+      result.weekday[h] += shards[c].weekday[h];
+      result.weekend[h] += shards[c].weekend[h];
+    }
   }
   for (auto* profile : {&result.weekday, &result.weekend}) {
     double sum = 0.0;
@@ -504,34 +724,60 @@ LockdownStudy::Headline LockdownStudy::HeadlineStats() const {
           : static_cast<double>(split_.num_international) /
                 static_cast<double>(post_shutdown_.size());
 
-  // Traffic increase (post-shutdown users): mean daily bytes Apr+May vs Feb.
+  // Traffic increase (post-shutdown users): mean daily bytes Apr+May vs Feb,
+  // and distinct sites per device per month. The flow scan shards into
+  // per-chunk partial sums and (device, domain) sets; partials fold in chunk
+  // order, and set sizes are union-order independent.
   const int feb_start = 0;
   const int feb_days = 29;
   const int apr_start = StudyCalendar::DayIndex(util::CivilDate{2020, 4, 1});
   const int apr_may_days = 61;
+  const int may_start = StudyCalendar::DayIndex(util::CivilDate{2020, 5, 1});
+  struct Partial {
+    double feb_bytes = 0.0;
+    double apr_may_bytes = 0.0;
+    std::unordered_set<std::uint64_t> seen_feb, seen_apr, seen_may;
+  };
+  const std::size_t num_flows = dataset_->num_flows();
+  const std::size_t num_chunks =
+      util::ThreadPool::NumChunks(num_flows, kFlowGrain);
+  std::vector<Partial> shards(num_chunks);
+  const auto flows = dataset_->flows();
+  pool_.ParallelFor(
+      num_flows, kFlowGrain,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        Partial& p = shards[chunk];
+        for (std::size_t i = begin; i < end; ++i) {
+          const Flow& f = flows[i];
+          if (!is_post_shutdown_[f.device]) continue;
+          const int day = Dataset::DayOf(f);
+          if (day >= feb_start && day < feb_days) {
+            p.feb_bytes += static_cast<double>(f.total_bytes());
+          } else if (day >= apr_start) {
+            p.apr_may_bytes += static_cast<double>(f.total_bytes());
+          }
+          if (f.domain == kNoDomain) continue;
+          const std::uint64_t key =
+              (static_cast<std::uint64_t>(f.device) << 32) | f.domain;
+          if (day < feb_days) {
+            p.seen_feb.insert(key);
+          } else if (day >= may_start) {
+            p.seen_may.insert(key);
+          } else if (day >= apr_start) {
+            p.seen_apr.insert(key);
+          }
+        }
+      });
   double feb_bytes = 0.0;
   double apr_may_bytes = 0.0;
-  // Distinct sites per device per month.
-  std::unordered_map<std::uint64_t, std::uint8_t> seen_feb, seen_apr, seen_may;
-  const int may_start = StudyCalendar::DayIndex(util::CivilDate{2020, 5, 1});
-  for (const Flow& f : dataset_->flows()) {
-    if (!is_post_shutdown_[f.device]) continue;
-    const int day = Dataset::DayOf(f);
-    if (day >= feb_start && day < feb_days) {
-      feb_bytes += static_cast<double>(f.total_bytes());
-    } else if (day >= apr_start) {
-      apr_may_bytes += static_cast<double>(f.total_bytes());
-    }
-    if (f.domain == kNoDomain) continue;
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(f.device) << 32) | f.domain;
-    if (day < feb_days) {
-      seen_feb[key] = 1;
-    } else if (day >= may_start) {
-      seen_may[key] = 1;
-    } else if (day >= apr_start) {
-      seen_apr[key] = 1;
-    }
+  std::unordered_set<std::uint64_t> seen_feb, seen_apr, seen_may;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    Partial& p = shards[c];
+    feb_bytes += p.feb_bytes;
+    apr_may_bytes += p.apr_may_bytes;
+    seen_feb.merge(p.seen_feb);
+    seen_apr.merge(p.seen_apr);
+    seen_may.merge(p.seen_may);
   }
   const double feb_daily = feb_bytes / feb_days;
   const double apr_may_daily = apr_may_bytes / apr_may_days;

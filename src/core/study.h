@@ -15,6 +15,7 @@
 #include "classify/classifier.h"
 #include "core/dataset.h"
 #include "geo/intl.h"
+#include "util/thread_pool.h"
 #include "world/geo_db.h"
 
 namespace lockdown::core {
@@ -35,7 +36,14 @@ class LockdownStudy {
   /// Builds the study: classifies every device, geolocates February traffic
   /// and derives the domestic/international split, and precomputes per-domain
   /// application flags.
-  LockdownStudy(const Dataset& dataset, const world::ServiceCatalog& catalog);
+  ///
+  /// `threads` shards the constructor passes and every figure computation
+  /// across a thread pool (0 = LOCKDOWN_THREADS/hardware; see
+  /// util::ResolveThreadCount). Work decomposes into fixed chunks that are
+  /// reduced in chunk order, so each figure's output is identical at any
+  /// thread count (see util/thread_pool.h for the determinism contract).
+  LockdownStudy(const Dataset& dataset, const world::ServiceCatalog& catalog,
+                int threads = 0);
 
   // --- Device classification ------------------------------------------------
   [[nodiscard]] std::span<const classify::Classification> classifications() const noexcept {
@@ -197,6 +205,7 @@ class LockdownStudy {
   apps::SocialMediaSignatures social_;
   apps::SteamSignature steam_;
   apps::NintendoSignature nintendo_;
+  util::ThreadPool pool_;
   std::vector<classify::Classification> classifications_;
   std::vector<ReportClass> report_class_;
   std::vector<DomainFlags> domain_flags_;  // indexed by DomainId

@@ -21,6 +21,13 @@ void InternationalClassifier::Observe(privacy::DeviceId device,
   acc_[device].Add(info->location, static_cast<double>(bytes));
 }
 
+void InternationalClassifier::Merge(const InternationalClassifier& other) {
+  for (const auto& [device, acc] : other.acc_) {
+    const auto [it, inserted] = acc_.try_emplace(device, acc);
+    if (!inserted) it->second.Merge(acc);
+  }
+}
+
 std::optional<DeviceGeoResult> InternationalClassifier::Classify(
     privacy::DeviceId device) const {
   const auto it = acc_.find(device);

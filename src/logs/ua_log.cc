@@ -33,9 +33,10 @@ std::optional<std::vector<UaRecord>> ReadUaLog(std::string_view text) {
     if (fields.size() != 3) return std::nullopt;
     UaRecord r;
     const auto* end = fields[0].data() + fields[0].size();
-    if (std::from_chars(fields[0].data(), end, r.ts).ptr != end) {
-      return std::nullopt;
-    }
+    const auto res = std::from_chars(fields[0].data(), end, r.ts);
+    // ec catches overflow: an out-of-range ts consumes every digit (ptr ==
+    // end) but must still reject the row, not record timestamp 0.
+    if (res.ec != std::errc() || res.ptr != end) return std::nullopt;
     const auto ip = net::Ipv4Address::Parse(fields[1]);
     if (!ip || fields[2].empty()) return std::nullopt;
     r.client_ip = *ip;

@@ -12,6 +12,16 @@ void VisitorFilter::Observe(DeviceId device, util::Timestamp ts) {
   st.last_day = day;
 }
 
+void VisitorFilter::Merge(const VisitorFilter& other) {
+  for (const auto& [id, st] : other.days_) {
+    State& dst = days_[id];
+    for (const std::int64_t day : st.days) {
+      if (dst.days.insert(day).second) ++dst.distinct_days;
+    }
+    dst.last_day = -1;  // invalidate the fast path; the sets are authoritative
+  }
+}
+
 bool VisitorFilter::Retained(DeviceId device) const noexcept {
   const auto it = days_.find(device);
   return it != days_.end() && it->second.distinct_days >= min_days_;

@@ -1,4 +1,4 @@
-// LDS ("Lockdown Dataset Snapshot") on-disk format, version 1.
+// LDS ("Lockdown Dataset Snapshot") on-disk format, version 2.
 //
 // The write-once/analyze-many layer: the processed dataset the paper keeps
 // after discarding raw data (§3), serialized so every downstream analysis
@@ -19,7 +19,8 @@
 //   kStringPool    interned strings; the first num_domains entries are the
 //                  dataset's domain pool in DomainId order (entry 0 = "")
 //   kDevices       variable-length device records (see reader/writer)
-//   kStats         core::CollectionStats, 7 x u64
+//   kStats         core::CollectionStats, 9 x u64 (7 x u64 in version 1;
+//                  the reader zero-fills the UA-accounting fields there)
 //
 // The flow record layout is frozen against core::Flow below; any change to
 // that struct is a format break and must bump kFormatVersion.
@@ -37,7 +38,11 @@ namespace lockdown::store {
 
 inline constexpr std::array<char, 8> kMagic = {'L', 'D', 'S', 'N', 'A', 'P', '0', '1'};
 inline constexpr std::array<char, 8> kTrailerMagic = {'L', 'D', 'S', 'F', 'I', 'N', 'I', '1'};
-inline constexpr std::uint32_t kFormatVersion = 1;
+// Version 2 widened kStats from 7 to 9 u64 fields (ua_unattributed,
+// ua_visitor_dropped); everything else is unchanged and version-1 files
+// remain readable.
+inline constexpr std::uint32_t kFormatVersion = 2;
+inline constexpr std::uint32_t kMinReadVersion = 1;
 /// Written as a u32; reads back as something else on a mixed-endian copy.
 inline constexpr std::uint32_t kEndianMarker = 0x0A0B0C0Du;
 inline constexpr std::uint64_t kSectionAlign = 64;
@@ -46,7 +51,8 @@ inline constexpr std::size_t kHeaderSize = 64;
 inline constexpr std::size_t kSectionDescSize = 32;
 inline constexpr std::size_t kTrailerSize = 16;
 inline constexpr std::size_t kMetaSectionSize = 48;
-inline constexpr std::size_t kStatsSectionSize = 7 * sizeof(std::uint64_t);
+inline constexpr std::size_t kStatsSectionSize = 9 * sizeof(std::uint64_t);
+inline constexpr std::size_t kStatsSectionSizeV1 = 7 * sizeof(std::uint64_t);
 
 enum class SectionKind : std::uint32_t {
   kMeta = 1,
@@ -94,6 +100,9 @@ static_assert(offsetof(core::Flow, bytes_down) == 32);
 static_assert(sizeof(core::CollectionStats) == kStatsSectionSize,
               "CollectionStats changed: extend the kStats codec and bump "
               "kFormatVersion");
+static_assert(kStatsSectionSize > kStatsSectionSizeV1,
+              "new CollectionStats fields must be appended so version-1 "
+              "files stay a prefix of the version-2 stats section");
 
 /// Aligns a file offset up to the section alignment.
 [[nodiscard]] constexpr std::uint64_t AlignUp(std::uint64_t offset) noexcept {

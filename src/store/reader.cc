@@ -147,6 +147,10 @@ class Reader::Impl {
     st.devices_observed = stats.U64();
     st.devices_retained = stats.U64();
     st.ua_sightings = stats.U64();
+    if (info_.version >= 2) {
+      st.ua_unattributed = stats.U64();
+      st.ua_visitor_dropped = stats.U64();
+    }
     stats.ExpectDone();
 
     return out;
@@ -239,9 +243,10 @@ class Reader::Impl {
     }
     if (hdr.U32() != kEndianMarker) Fail("endianness marker mismatch");
     info_.version = hdr.U32();
-    if (info_.version != kFormatVersion) {
+    if (info_.version < kMinReadVersion || info_.version > kFormatVersion) {
       Fail("unsupported format version " + std::to_string(info_.version) +
-           " (this build reads version " + std::to_string(kFormatVersion) + ")");
+           " (this build reads versions " + std::to_string(kMinReadVersion) +
+           ".." + std::to_string(kFormatVersion) + ")");
     }
     if (hdr.U32() != kHeaderSize) Fail("bad header size");
     const std::uint32_t section_count = hdr.U32();
@@ -324,7 +329,9 @@ class Reader::Impl {
         (info_.num_devices + 1) * sizeof(std::uint64_t)) {
       Fail("device-offsets section size disagrees with device count");
     }
-    if (Section(SectionKind::kStats).size() != kStatsSectionSize) {
+    const std::size_t want_stats =
+        info_.version >= 2 ? kStatsSectionSize : kStatsSectionSizeV1;
+    if (Section(SectionKind::kStats).size() != want_stats) {
       Fail("bad stats section size");
     }
   }

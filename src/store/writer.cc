@@ -129,6 +129,8 @@ detail::Encoder EncodeStats(const core::CollectionStats& stats) {
   enc.U64(stats.devices_observed);
   enc.U64(stats.devices_retained);
   enc.U64(stats.ua_sightings);
+  enc.U64(stats.ua_unattributed);
+  enc.U64(stats.ua_visitor_dropped);
   return enc;
 }
 

@@ -1,0 +1,132 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+
+namespace lockdown::util {
+
+int ResolveThreadCount(int requested) noexcept {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("LOCKDOWN_THREADS");
+      env != nullptr && *env != '\0') {
+    int value = 0;
+    const char* end = env + std::strlen(env);
+    const auto [ptr, ec] = std::from_chars(env, end, value);
+    if (ec == std::errc() && ptr == end && value >= 0) {
+      return value <= 1 ? 1 : value;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+struct ThreadPool::Job {
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::size_t grain = 0;
+  std::size_t num_chunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> finished{0};
+  int attached = 0;  // workers currently holding this job; guarded by mutex_
+  std::mutex error_mutex;
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(int threads) {
+  const int workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunChunks(Job& job) {
+  for (;;) {
+    const std::size_t chunk = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job.num_chunks) return;
+    const std::size_t begin = chunk * job.grain;
+    const std::size_t end = std::min(begin + job.grain, job.n);
+    try {
+      (*job.fn)(chunk, begin, end);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (!job.error) job.error = std::current_exception();
+    }
+    job.finished.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || (job_ != nullptr && generation_ != seen); });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+      ++job->attached;
+    }
+    RunChunks(*job);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --job->attached;
+    }
+    // The caller sleeps until every chunk is finished AND every attached
+    // worker has let go of the job (it lives on the caller's stack).
+    done_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) const {
+  if (n == 0) return;
+  if (grain == 0 || grain > n) grain = n;
+  Job job;
+  job.fn = &fn;
+  job.n = n;
+  job.grain = grain;
+  job.num_chunks = NumChunks(n, grain);
+
+  if (workers_.empty() || job.num_chunks == 1) {
+    // Serial fallback: the identical chunks, in chunk order.
+    for (std::size_t c = 0; c < job.num_chunks; ++c) {
+      const std::size_t begin = c * grain;
+      (*job.fn)(c, begin, std::min(begin + grain, n));
+    }
+    return;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++generation_;
+  }
+  wake_.notify_all();
+  RunChunks(job);  // the caller is a lane too
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] {
+      return job.attached == 0 &&
+             job.finished.load(std::memory_order_acquire) == job.num_chunks;
+    });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace lockdown::util

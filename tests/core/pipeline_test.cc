@@ -127,6 +127,82 @@ TEST_F(PipelineTest, DeterministicAcrossRuns) {
   }
 }
 
+// Hand-crafted inputs exercising every arm of the UA accounting: a retained
+// device, a visitor-filtered device, and a sighting from an IP no lease ever
+// covered. Process must route each UA record into exactly one counter.
+TEST(PipelineUaAccounting, EveryUaRecordLandsInExactlyOneCounter) {
+  const util::Timestamp t0 = util::StudyCalendar::StartTs();
+  const net::MacAddress resident_mac(0x0017F2000001ULL);
+  const net::MacAddress visitor_mac(0x0017F2000002ULL);
+  const net::Ipv4Address resident_ip(10, 16, 0, 1);
+  const net::Ipv4Address visitor_ip(10, 16, 0, 2);
+  const net::Ipv4Address unleased_ip(10, 16, 0, 3);
+  const net::Ipv4Address server_ip(198, 51, 100, 7);
+
+  RawInputs inputs;
+  const util::Timestamp lease_end = t0 + 40 * util::kSecondsPerDay;
+  inputs.dhcp_log.push_back(dhcp::Lease{resident_mac, resident_ip, t0, lease_end});
+  inputs.dhcp_log.push_back(dhcp::Lease{visitor_mac, visitor_ip, t0, lease_end});
+
+  const int min_days = 14;
+  auto flow_at = [&](net::Ipv4Address client, int day) {
+    flow::FlowRecord rec;
+    rec.start = t0 + day * util::kSecondsPerDay + 3600;
+    rec.duration_s = 10.0;
+    rec.client_ip = client;
+    rec.server_ip = server_ip;
+    rec.server_port = 443;
+    rec.bytes_up = 1000;
+    rec.bytes_down = 20000;
+    return rec;
+  };
+  // Resident: clears the 14-distinct-day retention bar. Visitor: two days.
+  for (int day = 0; day < min_days + 2; ++day) {
+    inputs.flows.push_back(flow_at(resident_ip, day));
+    if (day < 2) inputs.flows.push_back(flow_at(visitor_ip, day));
+  }
+
+  const util::Timestamp ua_ts = t0 + 3600;
+  inputs.ua_log.push_back(logs::UaRecord{ua_ts, resident_ip, "Mozilla/5.0 resident"});
+  inputs.ua_log.push_back(logs::UaRecord{ua_ts, visitor_ip, "Mozilla/5.0 visitor"});
+  inputs.ua_log.push_back(logs::UaRecord{ua_ts, unleased_ip, "Mozilla/5.0 stranger"});
+  const std::size_t total_ua = inputs.ua_log.size();
+
+  const privacy::Anonymizer anon(util::SipHashKey{11, 22});
+  const auto result =
+      MeasurementPipeline::Process(std::move(inputs), anon, min_days);
+
+  EXPECT_EQ(result.stats.ua_sightings, 1u);
+  EXPECT_EQ(result.stats.ua_visitor_dropped, 1u);
+  EXPECT_EQ(result.stats.ua_unattributed, 1u);
+  EXPECT_EQ(result.stats.ua_sightings + result.stats.ua_visitor_dropped +
+                result.stats.ua_unattributed,
+            total_ua);
+
+  // Only the resident survives the filter, and only its UA string is kept.
+  ASSERT_EQ(result.dataset.num_devices(), 1u);
+  const auto& obs = result.dataset.device(0).observations;
+  ASSERT_EQ(obs.user_agents.size(), 1u);
+  EXPECT_EQ(obs.user_agents[0], "Mozilla/5.0 resident");
+}
+
+// The full simulated collection must satisfy the same partition invariant;
+// any attributed-or-not miscount would break the equality.
+TEST_F(PipelineTest, UaCountersPartitionTheLog) {
+  const auto& st = result_->stats;
+  EXPECT_GT(st.ua_sightings, 0u);
+  // The simulator emits visitors and pre-lease sightings, so both miss
+  // counters should be exercised at this population size.
+  EXPECT_GT(st.ua_visitor_dropped, 0u);
+  // Re-run the offline path to learn the raw UA-log size and check the sum.
+  sim::TrafficGenerator generator(config_->generator,
+                                  world::ServiceCatalog::Default());
+  generator.Run([](const flow::TapEvent&) {});
+  const std::size_t total_ua = generator.ua_sightings().size();
+  EXPECT_EQ(st.ua_sightings + st.ua_unattributed + st.ua_visitor_dropped,
+            total_ua);
+}
+
 TEST_F(PipelineTest, DifferentSeedsProduceDifferentPseudonyms) {
   auto cfg2 = *config_;
   cfg2.generator.population.seed = config_->generator.population.seed + 1;

@@ -1,0 +1,298 @@
+// Property tests for the three TSV log formats (logs/{dhcp,dns,ua}_log):
+// randomized round-trips over many seeds, and systematic malformed-input
+// checks — truncated rows, embedded tabs (which shift the field count),
+// non-numeric and out-of-range timestamps, bad addresses. The parsers'
+// contract is all-or-nothing: any bad row rejects the whole document with
+// nullopt, and no input may crash.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "logs/dhcp_log.h"
+#include "logs/dns_log.h"
+#include "logs/ua_log.h"
+#include "util/strings.h"
+
+namespace lockdown::logs {
+namespace {
+
+constexpr int kTrials = 25;
+
+net::Ipv4Address RandomIp(std::mt19937_64& rng) {
+  return net::Ipv4Address(static_cast<std::uint32_t>(rng()));
+}
+
+net::MacAddress RandomMac(std::mt19937_64& rng) {
+  return net::MacAddress(rng() & 0xFFFFFFFFFFFFULL);
+}
+
+// Timestamps across the full int64 range, including extremes the study
+// window never produces — serialization must not care.
+util::Timestamp RandomTs(std::mt19937_64& rng) {
+  switch (rng() % 8) {
+    case 0: return 0;
+    case 1: return -1;
+    case 2: return std::numeric_limits<util::Timestamp>::max();
+    case 3: return std::numeric_limits<util::Timestamp>::min();
+    default: return static_cast<util::Timestamp>(rng());
+  }
+}
+
+std::string RandomHostname(std::mt19937_64& rng) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789-.";
+  std::string s;
+  const std::size_t len = 1 + rng() % 40;
+  for (std::size_t i = 0; i < len; ++i) {
+    s += kAlphabet[rng() % (sizeof kAlphabet - 1)];
+  }
+  return s;
+}
+
+// Printable-ASCII UA string plus occasional tabs/newlines, which the writer
+// is specified to flatten to spaces.
+std::string RandomUserAgent(std::mt19937_64& rng, bool& had_separator) {
+  std::string s;
+  const std::size_t len = 1 + rng() % 60;
+  for (std::size_t i = 0; i < len; ++i) {
+    const auto roll = rng() % 100;
+    if (roll == 0) {
+      s += '\t';
+      had_separator = true;
+    } else if (roll == 1) {
+      s += '\n';
+      had_separator = true;
+    } else {
+      s += static_cast<char>('!' + rng() % ('~' - '!' + 1));
+    }
+  }
+  return s;
+}
+
+std::string Sanitized(std::string s) {
+  for (char& c : s) {
+    if (c == '\t' || c == '\n') c = ' ';
+  }
+  return s;
+}
+
+// --- Round trips -------------------------------------------------------------
+
+TEST(DhcpLogProperty, RandomLeasesRoundTrip) {
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::mt19937_64 rng(1000 + trial);
+    std::vector<dhcp::Lease> leases(rng() % 50);
+    for (auto& lease : leases) {
+      lease.mac = RandomMac(rng);
+      lease.ip = RandomIp(rng);
+      lease.start = RandomTs(rng);
+      lease.end = RandomTs(rng);
+    }
+    std::ostringstream out;
+    WriteDhcpLog(out, leases);
+    const auto back = ReadDhcpLog(out.str());
+    ASSERT_TRUE(back.has_value()) << "trial " << trial;
+    ASSERT_EQ(back->size(), leases.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < leases.size(); ++i) {
+      EXPECT_EQ((*back)[i].mac, leases[i].mac);
+      EXPECT_EQ((*back)[i].ip, leases[i].ip);
+      EXPECT_EQ((*back)[i].start, leases[i].start);
+      EXPECT_EQ((*back)[i].end, leases[i].end);
+    }
+  }
+}
+
+TEST(DnsLogProperty, RandomResolutionsRoundTrip) {
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::mt19937_64 rng(2000 + trial);
+    std::vector<dns::Resolution> rows(rng() % 50);
+    for (auto& r : rows) {
+      r.ts = RandomTs(rng);
+      r.client = RandomMac(rng);
+      r.qname = RandomHostname(rng);
+      r.answer = RandomIp(rng);
+      r.ttl = static_cast<std::int32_t>(rng());
+    }
+    std::ostringstream out;
+    WriteDnsLog(out, rows);
+    const auto back = ReadDnsLog(out.str());
+    ASSERT_TRUE(back.has_value()) << "trial " << trial;
+    ASSERT_EQ(back->size(), rows.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ((*back)[i].ts, rows[i].ts);
+      EXPECT_EQ((*back)[i].client, rows[i].client);
+      EXPECT_EQ((*back)[i].qname, rows[i].qname);
+      EXPECT_EQ((*back)[i].answer, rows[i].answer);
+      EXPECT_EQ((*back)[i].ttl, rows[i].ttl);
+    }
+  }
+}
+
+TEST(UaLogProperty, RandomSightingsRoundTripModuloSanitization) {
+  bool any_separator = false;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::mt19937_64 rng(3000 + trial);
+    std::vector<UaRecord> rows(1 + rng() % 50);
+    for (auto& r : rows) {
+      r.ts = RandomTs(rng);
+      r.client_ip = RandomIp(rng);
+      r.user_agent = RandomUserAgent(rng, any_separator);
+    }
+    std::ostringstream out;
+    WriteUaLog(out, rows);
+    const auto back = ReadUaLog(out.str());
+    ASSERT_TRUE(back.has_value()) << "trial " << trial;
+    ASSERT_EQ(back->size(), rows.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ((*back)[i].ts, rows[i].ts);
+      EXPECT_EQ((*back)[i].client_ip, rows[i].client_ip);
+      // Tabs/newlines inside the UA become spaces on disk, and the reader
+      // trims the field's edges; everything else survives verbatim.
+      const std::string sanitized = Sanitized(rows[i].user_agent);
+      EXPECT_EQ((*back)[i].user_agent, std::string(util::Trim(sanitized)));
+    }
+  }
+  // The generator must actually have exercised the sanitization path.
+  EXPECT_TRUE(any_separator);
+}
+
+// --- Malformed documents ------------------------------------------------------
+
+// One valid single-row document per format, used as the corruption base.
+std::string ValidDhcpDoc() {
+  return "start\tend\tmac\tip\n100\t200\t00:17:f2:00:00:01\t10.0.0.1\n";
+}
+std::string ValidDnsDoc() {
+  return "ts\tclient\tqname\tanswer\tttl\n"
+         "100\t00:17:f2:00:00:01\texample.com\t93.184.216.34\t300\n";
+}
+std::string ValidUaDoc() {
+  return "ts\tclient\tuser_agent\n100\t10.0.0.1\tMozilla/5.0\n";
+}
+
+TEST(LogMalformedProperty, BasesAreValid) {
+  EXPECT_TRUE(ReadDhcpLog(ValidDhcpDoc()).has_value());
+  EXPECT_TRUE(ReadDnsLog(ValidDnsDoc()).has_value());
+  EXPECT_TRUE(ReadUaLog(ValidUaDoc()).has_value());
+}
+
+TEST(LogMalformedProperty, MissingOrWrongHeaderRejected) {
+  EXPECT_FALSE(ReadDhcpLog("").has_value());
+  EXPECT_FALSE(ReadDnsLog("").has_value());
+  EXPECT_FALSE(ReadUaLog("").has_value());
+  EXPECT_FALSE(ReadDhcpLog("100\t200\t00:17:f2:00:00:01\t10.0.0.1\n").has_value());
+  EXPECT_FALSE(ReadDnsLog(ValidUaDoc()).has_value());
+  EXPECT_FALSE(ReadUaLog(ValidDhcpDoc()).has_value());
+}
+
+TEST(LogMalformedProperty, TruncatedRowsRejected) {
+  // Drop the final field (and its separator) from the data row.
+  EXPECT_FALSE(
+      ReadDhcpLog("start\tend\tmac\tip\n100\t200\t00:17:f2:00:00:01\n").has_value());
+  EXPECT_FALSE(ReadDnsLog("ts\tclient\tqname\tanswer\tttl\n"
+                          "100\t00:17:f2:00:00:01\texample.com\t93.184.216.34\n")
+                   .has_value());
+  EXPECT_FALSE(ReadUaLog("ts\tclient\tuser_agent\n100\t10.0.0.1\n").has_value());
+  // Cut mid-field: the dangling prefix must not parse either.
+  const std::string dhcp = ValidDhcpDoc();
+  EXPECT_FALSE(ReadDhcpLog(dhcp.substr(0, dhcp.size() - 6)).has_value());
+}
+
+TEST(LogMalformedProperty, EmbeddedTabShiftsFieldCountAndRejects) {
+  // A tab smuggled into a value splits the row into too many fields.
+  EXPECT_FALSE(
+      ReadDhcpLog("start\tend\tmac\tip\n100\t2\t00\t00:17:f2:00:00:01\t10.0.0.1\n")
+          .has_value());
+  EXPECT_FALSE(ReadDnsLog("ts\tclient\tqname\tanswer\tttl\n"
+                          "100\t00:17:f2:00:00:01\texa\tmple.com\t93.184.216.34\t300\n")
+                   .has_value());
+  EXPECT_FALSE(
+      ReadUaLog("ts\tclient\tuser_agent\n100\t10.0.0.1\tMozilla\t5.0\n").has_value());
+}
+
+TEST(LogMalformedProperty, BadTimestampsRejected) {
+  // Non-numeric, trailing garbage, and out-of-range (overflow consumes every
+  // digit, so only the error code distinguishes it from a good parse).
+  for (const char* ts : {"abc", "12x4", "", "1 00", "99999999999999999999999",
+                         "-99999999999999999999999"}) {
+    const std::string dhcp =
+        std::string("start\tend\tmac\tip\n") + ts +
+        "\t200\t00:17:f2:00:00:01\t10.0.0.1\n";
+    EXPECT_FALSE(ReadDhcpLog(dhcp).has_value()) << "dhcp ts='" << ts << "'";
+    const std::string dns =
+        std::string("ts\tclient\tqname\tanswer\tttl\n") + ts +
+        "\t00:17:f2:00:00:01\texample.com\t93.184.216.34\t300\n";
+    EXPECT_FALSE(ReadDnsLog(dns).has_value()) << "dns ts='" << ts << "'";
+    const std::string ua =
+        std::string("ts\tclient\tuser_agent\n") + ts + "\t10.0.0.1\tMozilla/5.0\n";
+    EXPECT_FALSE(ReadUaLog(ua).has_value()) << "ua ts='" << ts << "'";
+  }
+  // TTL overflows int32.
+  EXPECT_FALSE(ReadDnsLog("ts\tclient\tqname\tanswer\tttl\n"
+                          "100\t00:17:f2:00:00:01\texample.com\t93.184.216.34\t"
+                          "99999999999\n")
+                   .has_value());
+}
+
+TEST(LogMalformedProperty, BadAddressesRejected) {
+  EXPECT_FALSE(
+      ReadDhcpLog("start\tend\tmac\tip\n100\t200\tnot-a-mac\t10.0.0.1\n").has_value());
+  EXPECT_FALSE(
+      ReadDhcpLog("start\tend\tmac\tip\n100\t200\t00:17:f2:00:00:01\t10.0.0.256\n")
+          .has_value());
+  EXPECT_FALSE(ReadDnsLog("ts\tclient\tqname\tanswer\tttl\n"
+                          "100\t00:17:f2:00:00:01\texample.com\t93.184.216\t300\n")
+                   .has_value());
+  EXPECT_FALSE(
+      ReadUaLog("ts\tclient\tuser_agent\n100\t10.0.0\tMozilla/5.0\n").has_value());
+}
+
+// Randomized single-byte corruptions of valid documents: the parser may
+// accept (some corruptions are harmless, e.g. inside the UA text) or reject,
+// but must never crash, and whatever it accepts must re-serialize cleanly.
+TEST(LogMalformedProperty, RandomCorruptionNeverCrashes) {
+  std::mt19937_64 rng(4242);
+  const std::string bases[] = {ValidDhcpDoc(), ValidDnsDoc(), ValidUaDoc()};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string doc = bases[trial % 3];
+    const std::size_t pos = rng() % doc.size();
+    doc[pos] = static_cast<char>(rng() % 256);
+    switch (trial % 3) {
+      case 0: {
+        const auto parsed = ReadDhcpLog(doc);
+        if (parsed) {
+          std::ostringstream out;
+          WriteDhcpLog(out, *parsed);
+          EXPECT_TRUE(ReadDhcpLog(out.str()).has_value());
+        }
+        break;
+      }
+      case 1: {
+        const auto parsed = ReadDnsLog(doc);
+        if (parsed) {
+          std::ostringstream out;
+          WriteDnsLog(out, *parsed);
+          EXPECT_TRUE(ReadDnsLog(out.str()).has_value());
+        }
+        break;
+      }
+      default: {
+        const auto parsed = ReadUaLog(doc);
+        if (parsed) {
+          std::ostringstream out;
+          WriteUaLog(out, *parsed);
+          EXPECT_TRUE(ReadUaLog(out.str()).has_value());
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lockdown::logs

@@ -1,0 +1,151 @@
+// Property tests for util/csv: randomized writer->reader round-trips over
+// adversarial field content (delimiters, quotes, spaces, empty fields) for
+// both TSV and CSV delimiters, serialization idempotence, and the parser's
+// behavior on malformed documents (unbalanced quotes, CRLF, stray quotes).
+//
+// Known format limit, pinned below: ParseAll splits on physical newlines, so
+// a quoted field containing '\n' does not survive a document round-trip —
+// the generators therefore exclude '\n' from field content.
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lockdown::util {
+namespace {
+
+using Rows = std::vector<std::vector<std::string>>;
+
+std::string RandomField(std::mt19937_64& rng, char delimiter) {
+  // Heavy on the characters that exercise escaping.
+  const std::string alphabet =
+      std::string("abcXYZ019 _-.\"\"\"") + delimiter + delimiter;
+  std::string s;
+  const std::size_t len = rng() % 12;
+  for (std::size_t i = 0; i < len; ++i) {
+    s += alphabet[rng() % alphabet.size()];
+  }
+  return s;
+}
+
+Rows RandomRows(std::mt19937_64& rng, char delimiter) {
+  Rows rows(1 + rng() % 8);
+  for (auto& row : rows) {
+    // >= 2 fields: a lone empty field renders as an empty line, which the
+    // reader's trailing-blank-row trimming makes ambiguous (pinned in
+    // TrailingEmptyRowsAreTrimmed below).
+    row.resize(2 + rng() % 6);
+    for (auto& f : row) f = RandomField(rng, delimiter);
+  }
+  return rows;
+}
+
+std::string Serialize(const Rows& rows, char delimiter) {
+  std::ostringstream out;
+  DelimitedWriter w(out, delimiter);
+  for (const auto& row : rows) w.WriteRow(row);
+  return out.str();
+}
+
+TEST(CsvProperty, RandomRowsRoundTrip) {
+  for (const char delimiter : {'\t', ','}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      std::mt19937_64 rng(100 * delimiter + trial);
+      const Rows rows = RandomRows(rng, delimiter);
+      const std::string doc = Serialize(rows, delimiter);
+      const Rows back = DelimitedReader(delimiter).ParseAll(doc);
+      ASSERT_EQ(back, rows) << "delimiter '" << delimiter << "' trial "
+                            << trial << "\ndoc:\n" << doc;
+    }
+  }
+}
+
+TEST(CsvProperty, SerializationIsIdempotent) {
+  // parse(write(parse(write(rows)))) adds nothing: one round trip is a fixed
+  // point of the escaping.
+  for (int trial = 0; trial < 50; ++trial) {
+    std::mt19937_64 rng(7000 + trial);
+    const Rows rows = RandomRows(rng, ',');
+    const std::string once = Serialize(rows, ',');
+    const Rows parsed = DelimitedReader(',').ParseAll(once);
+    EXPECT_EQ(Serialize(parsed, ','), once) << "trial " << trial;
+  }
+}
+
+TEST(CsvProperty, SingleRowRoundTripsThroughParseLine) {
+  for (int trial = 0; trial < 50; ++trial) {
+    std::mt19937_64 rng(8000 + trial);
+    std::vector<std::string> row(1 + rng() % 8);
+    for (auto& f : row) f = RandomField(rng, ',');
+    std::ostringstream out;
+    DelimitedWriter(out, ',').WriteRow(row);
+    std::string line = out.str();
+    ASSERT_FALSE(line.empty());
+    line.pop_back();  // WriteRow's trailing '\n'
+    EXPECT_EQ(DelimitedReader(',').ParseLine(line), row) << "trial " << trial;
+  }
+}
+
+TEST(CsvProperty, AllEmptyFieldsRoundTrip) {
+  const Rows rows = {{"", "", ""}, {"", ""}};
+  const std::string doc = Serialize(rows, ',');
+  EXPECT_EQ(doc, ",,\n,\n");
+  EXPECT_EQ(DelimitedReader(',').ParseAll(doc), rows);
+}
+
+// --- Pinned parser behavior on inputs the writer never produces --------------
+
+TEST(CsvProperty, TrailingEmptyRowsAreTrimmed) {
+  // A document ending in blank lines loses them (and any [""] row): callers
+  // relying on positional rows must not emit single-empty-field tails.
+  const Rows back = DelimitedReader(',').ParseAll("a,b\n\n\n");
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvProperty, CrlfLinesAreAccepted) {
+  const Rows back = DelimitedReader(',').ParseAll("a,b\r\nc,d\r\n");
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(back[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvProperty, UnterminatedQuoteConsumesRestOfLine) {
+  // Malformed input: opening quote never closed. The parser treats the rest
+  // of the line (including delimiters) as one field rather than crashing.
+  const auto fields = DelimitedReader(',').ParseLine("\"abc,def");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc,def");
+}
+
+TEST(CsvProperty, QuoteAfterFieldStartIsLiteral) {
+  // A quote that does not open the field is field content, per the reader's
+  // cur.empty() gate.
+  const auto fields = DelimitedReader(',').ParseLine("ab\"cd,x");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "ab\"cd");
+  EXPECT_EQ(fields[1], "x");
+}
+
+TEST(CsvProperty, RandomGarbageNeverCrashesParser) {
+  std::mt19937_64 rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string doc;
+    const std::size_t len = rng() % 64;
+    for (std::size_t i = 0; i < len; ++i) {
+      doc += static_cast<char>(rng() % 256);
+    }
+    const Rows rows = DelimitedReader(trial % 2 == 0 ? ',' : '\t').ParseAll(doc);
+    // Weak sanity bound: no parse can invent more rows than input newlines+1.
+    std::size_t newlines = 0;
+    for (const char c : doc) newlines += c == '\n';
+    EXPECT_LE(rows.size(), newlines + 1) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace lockdown::util

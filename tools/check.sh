@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 verification, run twice: once with the default toolchain flags and
-# once under AddressSanitizer + UndefinedBehaviorSanitizer. The sanitizer
-# pass exists chiefly for src/store — mmap'd zero-copy pointer casts and the
-# binary decoder must be provably clean, not just test-green.
+# Tier-1 verification, run in three configurations: the default toolchain
+# flags, AddressSanitizer + UndefinedBehaviorSanitizer, and ThreadSanitizer.
+# The asan pass exists chiefly for src/store — mmap'd zero-copy pointer casts
+# and the binary decoder must be provably clean, not just test-green. The
+# tsan pass covers the parallel pipeline/study: it forces LOCKDOWN_THREADS=8
+# so the sharded passes actually run multi-threaded (this box may be
+# single-core, where the pool would otherwise fall back to serial) and runs
+# the thread-pool, pipeline, and differential parallel-equivalence tests.
 #
-# Usage: tools/check.sh [--default-only | --asan-only]
+# Usage: tools/check.sh [--default-only | --asan-only | --tsan-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,15 +27,33 @@ run_pass() {
   echo "=== ${label}: OK ==="
 }
 
-if [[ "${mode}" != "--asan-only" ]]; then
+if [[ "${mode}" != "--asan-only" && "${mode}" != "--tsan-only" ]]; then
   run_pass "default" build
 fi
 
-if [[ "${mode}" != "--default-only" ]]; then
+if [[ "${mode}" != "--default-only" && "${mode}" != "--tsan-only" ]]; then
   run_pass "asan+ubsan" build-asan \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
     -DLOCKDOWN_BUILD_BENCH=OFF
+fi
+
+if [[ "${mode}" != "--default-only" && "${mode}" != "--asan-only" ]]; then
+  # Only the concurrency-bearing binaries: a full-suite tsan run costs ~10x
+  # and the serial subsystems have nothing for tsan to find.
+  dir=build-tsan
+  echo "=== tsan: configure (${dir}) ==="
+  cmake -B "${dir}" -S . \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
+    -DLOCKDOWN_BUILD_BENCH=OFF
+  echo "=== tsan: build ==="
+  cmake --build "${dir}" -j "${jobs}" --target util_test core_test
+  echo "=== tsan: parallel tests (LOCKDOWN_THREADS=8) ==="
+  LOCKDOWN_THREADS=8 "${dir}/tests/util_test" --gtest_filter='ThreadPool*'
+  LOCKDOWN_THREADS=8 "${dir}/tests/core_test" \
+    --gtest_filter='ParallelEquivalence.*:Pipeline*:GoldenFigures.*'
+  echo "=== tsan: OK ==="
 fi
 
 echo "all requested passes green"

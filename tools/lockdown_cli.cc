@@ -53,17 +53,21 @@ struct Options {
   std::string file;  // snapshot input file (positional)
   int students = 400;
   std::uint64_t seed = 2020;
+  int threads = 0;  // 0 = LOCKDOWN_THREADS / hardware; 1 = serial
 };
 
 void Usage() {
   std::cerr << "usage: lockdown_cli <simulate|analyze|study|snapshot|catalog> ...\n"
                "  simulate --out DIR [--students N] [--seed S]\n"
-               "  analyze  --logs DIR [--students N] [--seed S]\n"
-               "  study    [--students N] [--seed S]\n"
-               "  snapshot save --out FILE [--logs DIR] [--students N] [--seed S]\n"
+               "  analyze  --logs DIR [--students N] [--seed S] [--threads T]\n"
+               "  study    [--students N] [--seed S] [--threads T]\n"
+               "  snapshot save --out FILE [--logs DIR] [--students N] [--seed S]"
+               " [--threads T]\n"
                "  snapshot info FILE\n"
                "  snapshot verify FILE\n"
-               "  catalog\n";
+               "  catalog\n"
+               "--threads 0 (default) defers to LOCKDOWN_THREADS, then the\n"
+               "hardware; results are identical at any thread count.\n";
 }
 
 bool ParseArgs(int argc, char** argv, Options& opts) {
@@ -98,6 +102,11 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
       const char* v = next();
       if (!v) return false;
       opts.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      opts.threads = std::atoi(v);
+      if (opts.threads < 0) return false;
     } else if (!arg.starts_with("--") && opts.command == "snapshot" &&
                opts.file.empty()) {
       opts.file = arg;
@@ -110,12 +119,14 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
 }
 
 core::StudyConfig ConfigFrom(const Options& opts) {
-  return core::StudyConfig::Small(opts.students, opts.seed);
+  core::StudyConfig cfg = core::StudyConfig::Small(opts.students, opts.seed);
+  cfg.threads = opts.threads;
+  return cfg;
 }
 
-void PrintHeadline(const core::CollectionResult& collection) {
+void PrintHeadline(const core::CollectionResult& collection, int threads) {
   const core::LockdownStudy study(collection.dataset,
-                                  world::ServiceCatalog::Default());
+                                  world::ServiceCatalog::Default(), threads);
   const auto h = study.HeadlineStats();
   const auto sw = study.CountSwitches();
   util::TablePrinter table({"statistic", "value"});
@@ -165,12 +176,12 @@ int RunAnalyze(const Options& opts) {
   if (std::filesystem::exists(snapshot)) {
     std::cout << "loading snapshot " << snapshot.string() << " (LDS fast path)\n";
     auto snap = store::LoadSnapshot(snapshot);
-    PrintHeadline(snap.collection);
+    PrintHeadline(snap.collection, opts.threads);
     return 0;
   }
   std::cout << "processing logs from " << opts.dir << "\n";
   const auto collection = core::CollectFromLogs(opts.dir, ConfigFrom(opts));
-  PrintHeadline(collection);
+  PrintHeadline(collection, opts.threads);
   return 0;
 }
 
@@ -267,7 +278,7 @@ int RunStudy(const Options& opts) {
   std::cout << "simulating " << opts.students << " students (seed " << opts.seed
             << ")\n";
   const auto collection = core::MeasurementPipeline::Collect(ConfigFrom(opts));
-  PrintHeadline(collection);
+  PrintHeadline(collection, opts.threads);
   return 0;
 }
 
