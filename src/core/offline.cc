@@ -1,5 +1,6 @@
 #include "core/offline.h"
 
+#include <cerrno>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -16,20 +17,72 @@ namespace lockdown::core {
 namespace {
 
 std::string ReadFileOrThrow(const std::filesystem::path& path) {
+  errno = 0;
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open " + path.string());
+  if (!in) {
+    // ENOENT ("no such file") and EACCES/EIO surface distinctly so callers
+    // and exit codes can tell a missing export from a failing disk.
+    throw ingest::IoError(path, "open", errno != 0 ? errno : ENOENT);
+  }
   std::ostringstream buf;
   buf << in.rdbuf();
+  if (in.bad()) {
+    // The stream went bad mid-drain: a read error, not a short file.
+    throw ingest::IoError(path, "read", errno != 0 ? errno : EIO);
+  }
   return std::move(buf).str();
 }
 
-std::ofstream OpenForWrite(const std::filesystem::path& path) {
+/// Writes one log through `body`, then proves the bytes reached the stream:
+/// stream state is checked after the write and again after close, so a full
+/// disk throws instead of leaving a truncated log that "succeeded".
+template <typename Body>
+void WriteLogOrThrow(const std::filesystem::path& path, Body&& body) {
+  errno = 0;
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot write " + path.string());
-  return out;
+  if (!out) throw ingest::IoError(path, "open", errno != 0 ? errno : EIO);
+  body(out);
+  out.flush();
+  if (!out) throw ingest::IoError(path, "write", errno != 0 ? errno : EIO);
+  out.close();
+  if (out.fail()) throw ingest::IoError(path, "close", errno != 0 ? errno : EIO);
+}
+
+/// Runs one tolerant/strict read and converts a whole-document rejection
+/// into the error-budget exception the CLI maps to its own exit code.
+template <typename ReadFn>
+auto IngestLog(const std::filesystem::path& path,
+               const ingest::IngestOptions& options, ingest::IngestReport& report,
+               ReadFn&& read) {
+  ingest::IngestOptions per_file = options;
+  per_file.source = path.filename().string();
+  auto records = read(ReadFileOrThrow(path), per_file, report);
+  if (!records) {
+    std::string why = report.Summary();
+    if (!report.header_ok && report.lines_total == 0) {
+      why += " (missing or garbled header)";
+    }
+    throw ingest::BudgetError(
+        "malformed " + path.string() + " (" + ingest::ToString(options.mode) +
+        " mode, budget " +
+        std::to_string(options.mode == ingest::Mode::kTolerant
+                           ? options.max_error_rate
+                           : 0.0) +
+        "): " + why);
+  }
+  return std::move(*records);
 }
 
 }  // namespace
+
+ingest::IngestReport IngestSummary::Total() const {
+  ingest::IngestReport total;
+  total.Merge(conn);
+  total.Merge(dhcp);
+  total.Merge(dns);
+  total.Merge(ua);
+  return total;
+}
 
 void ExportLogs(const StudyConfig& config, const std::filesystem::path& dir,
                 const world::ServiceCatalog& catalog) {
@@ -48,54 +101,72 @@ void ExportLogs(const StudyConfig& config, const std::filesystem::path& dir,
   });
   assembler.Finish();
 
-  {
-    auto out = OpenForWrite(dir / LogFiles::kConn);
+  WriteLogOrThrow(dir / LogFiles::kConn, [&](std::ostream& out) {
     flow::WriteConnLog(out, flows);
-  }
-  {
-    auto out = OpenForWrite(dir / LogFiles::kDhcp);
+  });
+  WriteLogOrThrow(dir / LogFiles::kDhcp, [&](std::ostream& out) {
     logs::WriteDhcpLog(out, generator.dhcp_log());
-  }
-  {
-    auto out = OpenForWrite(dir / LogFiles::kDns);
+  });
+  WriteLogOrThrow(dir / LogFiles::kDns, [&](std::ostream& out) {
     logs::WriteDnsLog(out, generator.dns_log());
-  }
-  {
+  });
+  WriteLogOrThrow(dir / LogFiles::kUa, [&](std::ostream& out) {
     std::vector<logs::UaRecord> ua;
     ua.reserve(generator.ua_sightings().size());
     for (const sim::UaSighting& s : generator.ua_sightings()) {
       ua.push_back(logs::UaRecord{s.ts, s.client_ip, std::string(s.user_agent)});
     }
-    auto out = OpenForWrite(dir / LogFiles::kUa);
     logs::WriteUaLog(out, ua);
-  }
+  });
+}
+
+RawInputs ReadRawInputs(const std::filesystem::path& dir,
+                        const ingest::IngestOptions& options,
+                        IngestSummary* summary) {
+  IngestSummary local;
+  IngestSummary& s = summary != nullptr ? *summary : local;
+  s = IngestSummary{};
+
+  RawInputs inputs;
+  inputs.flows = IngestLog(
+      dir / LogFiles::kConn, options, s.conn,
+      [](std::string text, const ingest::IngestOptions& o, ingest::IngestReport& r) {
+        return flow::ReadConnLog(text, o, r);
+      });
+  inputs.dhcp_log = IngestLog(
+      dir / LogFiles::kDhcp, options, s.dhcp,
+      [](std::string text, const ingest::IngestOptions& o, ingest::IngestReport& r) {
+        return logs::ReadDhcpLog(text, o, r);
+      });
+  inputs.dns_log = IngestLog(
+      dir / LogFiles::kDns, options, s.dns,
+      [](std::string text, const ingest::IngestOptions& o, ingest::IngestReport& r) {
+        return logs::ReadDnsLog(text, o, r);
+      });
+  inputs.ua_log = IngestLog(
+      dir / LogFiles::kUa, options, s.ua,
+      [](std::string text, const ingest::IngestOptions& o, ingest::IngestReport& r) {
+        return logs::ReadUaLog(text, o, r);
+      });
+  return inputs;
 }
 
 RawInputs ReadRawInputs(const std::filesystem::path& dir) {
-  RawInputs inputs;
-  auto flows = flow::ReadConnLog(ReadFileOrThrow(dir / LogFiles::kConn));
-  if (!flows) throw std::runtime_error("malformed conn.log in " + dir.string());
-  inputs.flows = std::move(*flows);
+  return ReadRawInputs(dir, ingest::IngestOptions{}, nullptr);
+}
 
-  auto dhcp = logs::ReadDhcpLog(ReadFileOrThrow(dir / LogFiles::kDhcp));
-  if (!dhcp) throw std::runtime_error("malformed dhcp.log in " + dir.string());
-  inputs.dhcp_log = std::move(*dhcp);
-
-  auto dns = logs::ReadDnsLog(ReadFileOrThrow(dir / LogFiles::kDns));
-  if (!dns) throw std::runtime_error("malformed dns.log in " + dir.string());
-  inputs.dns_log = std::move(*dns);
-
-  auto ua = logs::ReadUaLog(ReadFileOrThrow(dir / LogFiles::kUa));
-  if (!ua) throw std::runtime_error("malformed ua.log in " + dir.string());
-  inputs.ua_log = std::move(*ua);
-  return inputs;
+CollectionResult CollectFromLogs(const std::filesystem::path& dir,
+                                 const StudyConfig& config,
+                                 const ingest::IngestOptions& options,
+                                 IngestSummary* summary) {
+  return MeasurementPipeline::Process(ReadRawInputs(dir, options, summary),
+                                      MeasurementPipeline::MakeAnonymizer(config),
+                                      config.visitor_min_days, config.threads);
 }
 
 CollectionResult CollectFromLogs(const std::filesystem::path& dir,
                                  const StudyConfig& config) {
-  return MeasurementPipeline::Process(ReadRawInputs(dir),
-                                      MeasurementPipeline::MakeAnonymizer(config),
-                                      config.visitor_min_days, config.threads);
+  return CollectFromLogs(dir, config, ingest::IngestOptions{}, nullptr);
 }
 
 }  // namespace lockdown::core

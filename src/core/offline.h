@@ -2,11 +2,18 @@
 // a collection box writes conn/DHCP/DNS/UA logs continuously, and the
 // analysis runs later from those files. ExportLogs plays the collection box;
 // CollectFromLogs is the later analysis run.
+//
+// Real deployment logs arrive dirty (truncated tails, garbage rows, partial
+// rotations), so ingest is parameterized by ingest::IngestOptions: strict
+// mode reproduces the historical all-or-nothing behavior, tolerant mode
+// recovers at line granularity under an error budget, and every read
+// produces per-file ingest::IngestReports aggregated in IngestSummary.
 #pragma once
 
 #include <filesystem>
 
 #include "core/pipeline.h"
+#include "ingest/ingest.h"
 
 namespace lockdown::core {
 
@@ -23,25 +30,53 @@ struct LogFiles {
   static constexpr const char* kSnapshot = "dataset.lds";
 };
 
+/// Per-file ingest outcomes of one ReadRawInputs/CollectFromLogs run.
+struct IngestSummary {
+  ingest::IngestReport conn;
+  ingest::IngestReport dhcp;
+  ingest::IngestReport dns;
+  ingest::IngestReport ua;
+
+  /// Merged totals across the four logs.
+  [[nodiscard]] ingest::IngestReport Total() const;
+};
+
 /// Simulates the campus and writes the four collection logs into `dir`
 /// (created if needed). The tap exclusion list is applied at capture, as at
-/// the real mirror port. Throws std::runtime_error on I/O failure.
+/// the real mirror port. Throws ingest::IoError (with errno detail) when any
+/// log cannot be fully written — a full disk must not yield a truncated log
+/// that "succeeded".
 void ExportLogs(const StudyConfig& config, const std::filesystem::path& dir,
                 const world::ServiceCatalog& catalog = world::ServiceCatalog::Default());
 
 /// Reads the four collection logs from `dir` without processing them.
-/// Throws std::runtime_error on missing or malformed files.
+/// Strict mode (historical behavior): throws on missing or malformed files.
 [[nodiscard]] RawInputs ReadRawInputs(const std::filesystem::path& dir);
+
+/// Ingest-parameterized read. Throws ingest::IoError when a file is missing
+/// or unreadable (ENOENT vs. mid-stream EIO are distinguished in the
+/// message), and ingest::BudgetError when a log is malformed beyond what
+/// `options.mode` / `options.max_error_rate` allow. When `summary` is
+/// non-null it is always filled for the files read so far, including on the
+/// throwing path.
+[[nodiscard]] RawInputs ReadRawInputs(const std::filesystem::path& dir,
+                                      const ingest::IngestOptions& options,
+                                      IngestSummary* summary = nullptr);
 
 /// Reads the four logs from `dir` and runs the processing pipeline.
 /// `config` supplies the anonymization key and visitor threshold (the logs
-/// themselves are un-anonymized, exactly like the real inputs). Throws
-/// std::runtime_error on missing or malformed files. This is the slow TSV
-/// path; when `dir` also holds a LogFiles::kSnapshot, loading that with
-/// store::LoadSnapshot yields the identical CollectionResult in
+/// themselves are un-anonymized, exactly like the real inputs). This is the
+/// slow TSV path; when `dir` also holds a LogFiles::kSnapshot, loading that
+/// with store::LoadSnapshot yields the identical CollectionResult in
 /// milliseconds (see `lockdown_cli analyze`, which picks the fast path
-/// automatically).
+/// automatically and falls back to this path when the snapshot is corrupt).
 [[nodiscard]] CollectionResult CollectFromLogs(const std::filesystem::path& dir,
                                                const StudyConfig& config);
+
+/// Ingest-parameterized variant; error contract as ReadRawInputs above.
+[[nodiscard]] CollectionResult CollectFromLogs(const std::filesystem::path& dir,
+                                               const StudyConfig& config,
+                                               const ingest::IngestOptions& options,
+                                               IngestSummary* summary = nullptr);
 
 }  // namespace lockdown::core

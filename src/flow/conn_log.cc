@@ -31,6 +31,37 @@ bool ParseDouble(std::string_view s, double& out) {
   out = std::strtod(buf, &end);
   return end == buf + s.size();
 }
+
+/// Parses one data row; nullopt on success. The acceptance set is exactly
+/// the historical ReadConnLog's — only the failure is now classified.
+std::optional<ingest::ErrorClass> ParseRow(std::string_view raw, FlowRecord& r) {
+  const std::string_view line = util::Trim(raw);
+  const auto fields = util::Split(line, '\t');
+  if (fields.size() != 8) return ingest::ErrorClass::kFieldCount;
+  if (!ParseNum(fields[0], r.start)) return ingest::ErrorClass::kBadTimestamp;
+  if (!ParseDouble(fields[1], r.duration_s)) return ingest::ErrorClass::kBadNumber;
+  const auto client = net::Ipv4Address::Parse(fields[2]);
+  if (!client) return ingest::ErrorClass::kBadIp;
+  const auto server = net::Ipv4Address::Parse(fields[3]);
+  if (!server) return ingest::ErrorClass::kBadIp;
+  unsigned port = 0;
+  if (!ParseNum(fields[4], port) || port > 65535) {
+    return ingest::ErrorClass::kBadNumber;
+  }
+  if (fields[5] == "tcp") {
+    r.proto = net::Protocol::kTcp;
+  } else if (fields[5] == "udp") {
+    r.proto = net::Protocol::kUdp;
+  } else {
+    return ingest::ErrorClass::kBadValue;
+  }
+  if (!ParseNum(fields[6], r.bytes_up)) return ingest::ErrorClass::kBadNumber;
+  if (!ParseNum(fields[7], r.bytes_down)) return ingest::ErrorClass::kBadNumber;
+  r.client_ip = *client;
+  r.server_ip = *server;
+  r.server_port = static_cast<net::Port>(port);
+  return std::nullopt;
+}
 }  // namespace
 
 void WriteConnLog(std::ostream& out, const std::vector<FlowRecord>& records) {
@@ -43,37 +74,15 @@ void WriteConnLog(std::ostream& out, const std::vector<FlowRecord>& records) {
   }
 }
 
+std::optional<std::vector<FlowRecord>> ReadConnLog(
+    std::string_view text, const ingest::IngestOptions& options,
+    ingest::IngestReport& report) {
+  return ingest::ParseLog<FlowRecord>(text, kHeader, options, report, ParseRow);
+}
+
 std::optional<std::vector<FlowRecord>> ReadConnLog(std::string_view text) {
-  const auto lines = util::Split(text, '\n');
-  if (lines.empty() || util::Trim(lines[0]) != kHeader) return std::nullopt;
-  std::vector<FlowRecord> out;
-  for (std::size_t i = 1; i < lines.size(); ++i) {
-    const std::string_view line = util::Trim(lines[i]);
-    if (line.empty()) continue;
-    const auto fields = util::Split(line, '\t');
-    if (fields.size() != 8) return std::nullopt;
-    FlowRecord r;
-    const auto client = net::Ipv4Address::Parse(fields[2]);
-    const auto server = net::Ipv4Address::Parse(fields[3]);
-    unsigned port = 0;
-    if (!ParseNum(fields[0], r.start) || !ParseDouble(fields[1], r.duration_s) ||
-        !client || !server || !ParseNum(fields[4], port) || port > 65535 ||
-        !ParseNum(fields[6], r.bytes_up) || !ParseNum(fields[7], r.bytes_down)) {
-      return std::nullopt;
-    }
-    r.client_ip = *client;
-    r.server_ip = *server;
-    r.server_port = static_cast<net::Port>(port);
-    if (fields[5] == "tcp") {
-      r.proto = net::Protocol::kTcp;
-    } else if (fields[5] == "udp") {
-      r.proto = net::Protocol::kUdp;
-    } else {
-      return std::nullopt;
-    }
-    out.push_back(r);
-  }
-  return out;
+  ingest::IngestReport report;
+  return ReadConnLog(text, ingest::IngestOptions{}, report);
 }
 
 }  // namespace lockdown::flow

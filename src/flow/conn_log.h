@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "flow/record.h"
+#include "ingest/ingest.h"
 
 namespace lockdown::flow {
 
@@ -15,7 +16,13 @@ namespace lockdown::flow {
 void WriteConnLog(std::ostream& out, const std::vector<FlowRecord>& records);
 
 /// Parses a conn.log document produced by WriteConnLog. Returns nullopt if
-/// the header is missing or a row is malformed.
+/// the header is missing or a row is malformed (strict-mode read).
 [[nodiscard]] std::optional<std::vector<FlowRecord>> ReadConnLog(std::string_view text);
+
+/// Fault-tolerant read: line-granular recovery under `options`, with every
+/// skipped row classified and accounted in `report` (see ingest/ingest.h).
+[[nodiscard]] std::optional<std::vector<FlowRecord>> ReadConnLog(
+    std::string_view text, const ingest::IngestOptions& options,
+    ingest::IngestReport& report);
 
 }  // namespace lockdown::flow

@@ -1,0 +1,110 @@
+#include "ingest/ingest.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace lockdown::ingest {
+
+std::optional<Mode> ParseMode(std::string_view s) noexcept {
+  if (s == "strict") return Mode::kStrict;
+  if (s == "tolerant") return Mode::kTolerant;
+  return std::nullopt;
+}
+
+const char* ToString(ErrorClass error) noexcept {
+  switch (error) {
+    case ErrorClass::kTruncatedLine: return "truncated_line";
+    case ErrorClass::kFieldCount: return "field_count";
+    case ErrorClass::kBadTimestamp: return "bad_timestamp";
+    case ErrorClass::kBadIp: return "bad_ip";
+    case ErrorClass::kBadMac: return "bad_mac";
+    case ErrorClass::kBadNumber: return "bad_number";
+    case ErrorClass::kBadValue: return "bad_value";
+    case ErrorClass::kBadHeader: return "bad_header";
+  }
+  return "unknown";
+}
+
+IoError::IoError(const std::filesystem::path& path, const char* op, int err)
+    : std::runtime_error(path.string() + ": " + op + ": " + std::strerror(err)) {}
+
+void IngestReport::Merge(const IngestReport& other, std::size_t max_samples) {
+  if (source.empty()) {
+    source = other.source;
+  } else if (!other.source.empty()) {
+    source += "+" + other.source;
+  }
+  lines_total += other.lines_total;
+  kept += other.kept;
+  rejected += other.rejected;
+  for (int i = 0; i < kNumErrorClasses; ++i) by_class[i] += other.by_class[i];
+  header_ok = header_ok && other.header_ok;
+  for (const RejectedLine& s : other.samples) {
+    if (samples.size() >= max_samples) break;
+    samples.push_back(s);
+  }
+}
+
+std::string IngestReport::Summary() const {
+  std::ostringstream out;
+  out << (source.empty() ? "input" : source) << ": kept " << kept << "/"
+      << lines_total;
+  if (rejected == 0) {
+    out << ", no rejected lines";
+    if (!header_ok) out << " (header missing)";
+    return std::move(out).str();
+  }
+  out << ", rejected " << rejected << " ("
+      << util::FormatDouble(100.0 * error_rate(), 2) << "%):";
+  bool first = true;
+  for (int i = 0; i < kNumErrorClasses; ++i) {
+    if (by_class[i] == 0) continue;
+    out << (first ? " " : ", ") << by_class[i] << " "
+        << ToString(static_cast<ErrorClass>(i));
+    first = false;
+  }
+  return std::move(out).str();
+}
+
+namespace detail {
+
+struct QuarantineWriter::State {
+  std::ofstream out;
+};
+
+QuarantineWriter::QuarantineWriter(const IngestOptions& options) {
+  if (options.quarantine_dir.empty()) return;
+  target_ = options.quarantine_dir /
+            (options.source.empty() ? "input.rej" : options.source + ".rej");
+}
+
+QuarantineWriter::~QuarantineWriter() { delete state_; }
+
+void QuarantineWriter::Add(std::string_view line) {
+  if (target_.empty()) return;
+  if (state_ == nullptr) {
+    std::error_code ec;
+    std::filesystem::create_directories(target_.parent_path(), ec);
+    if (ec) throw IoError(target_.parent_path(), "mkdir", ec.value());
+    state_ = new State;
+    state_->out.open(target_, std::ios::binary | std::ios::trunc);
+    if (!state_->out) throw IoError(target_, "open", errno);
+  }
+  state_->out << line << '\n';
+  if (!state_->out) throw IoError(target_, "write", errno);
+}
+
+void QuarantineWriter::Finish(IngestReport& report) {
+  if (state_ == nullptr) return;
+  state_->out.flush();
+  state_->out.close();
+  if (state_->out.fail()) throw IoError(target_, "close", errno);
+  report.quarantine_file = target_;
+}
+
+}  // namespace detail
+}  // namespace lockdown::ingest

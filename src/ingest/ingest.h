@@ -1,0 +1,227 @@
+// Fault-tolerant ingest layer shared by every TSV log reader.
+//
+// Real collection-box logs (Zeek conn.log, DHCP/DNS/UA logs from a live dorm
+// tap) arrive with truncated tails, garbage lines and partial rotations. The
+// readers in flow/ and logs/ recover at line granularity through this layer:
+// each malformed row is classified into a fixed error taxonomy and either
+// aborts the read (strict mode, the historical behavior) or is skipped and
+// accounted (tolerant mode), with an error budget bounding how much loss is
+// acceptable before the file as a whole is rejected.
+//
+// Accounting contract, relied on by the differential fault-injection suite:
+// for every reader and any input whatsoever,
+//
+//   report.kept + report.rejected == report.lines_total
+//
+// where lines_total counts every non-blank line except a valid header line.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace lockdown::ingest {
+
+/// Strict reproduces the historical all-or-nothing readers: the first
+/// malformed row rejects the whole document. Tolerant skips malformed rows
+/// and fails only when the rejection rate exceeds the error budget.
+enum class Mode : std::uint8_t { kStrict, kTolerant };
+
+[[nodiscard]] constexpr const char* ToString(Mode mode) noexcept {
+  return mode == Mode::kStrict ? "strict" : "tolerant";
+}
+
+/// Parses "strict"/"tolerant"; nullopt otherwise (for CLI flags).
+[[nodiscard]] std::optional<Mode> ParseMode(std::string_view s) noexcept;
+
+/// Why a line was rejected. Fixed taxonomy; every rejection lands in exactly
+/// one class (see DESIGN.md §8 for the table).
+enum class ErrorClass : std::uint8_t {
+  kTruncatedLine,  ///< final line of a file with no trailing newline failed
+  kFieldCount,     ///< wrong number of tab-separated fields
+  kBadTimestamp,   ///< unparseable or overflowing timestamp field
+  kBadIp,          ///< unparseable IPv4 field
+  kBadMac,         ///< unparseable MAC field
+  kBadNumber,      ///< unparseable numeric field (duration, port, bytes, ttl)
+  kBadValue,       ///< parseable field with an invalid value (proto, empty UA)
+  kBadHeader,      ///< header line missing or garbled
+};
+inline constexpr int kNumErrorClasses = 8;
+
+[[nodiscard]] const char* ToString(ErrorClass error) noexcept;
+
+/// Ingest failures that are about the environment, not the data: missing
+/// files, open/read/write errors. Maps to exit code 2 in lockdown_cli.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& message) : std::runtime_error(message) {}
+  /// Formats "path: op: strerror(err)" from the captured errno.
+  IoError(const std::filesystem::path& path, const char* op, int err);
+};
+
+/// Malformed input beyond what the mode allows: any malformed row in strict
+/// mode, or a rejection rate above the budget in tolerant mode. Maps to exit
+/// code 3 in lockdown_cli.
+class BudgetError : public std::runtime_error {
+ public:
+  explicit BudgetError(const std::string& message) : std::runtime_error(message) {}
+};
+
+struct IngestOptions {
+  Mode mode = Mode::kStrict;
+  /// Tolerant mode: maximum rejected/lines_total fraction before the whole
+  /// document is rejected anyway. Ignored in strict mode.
+  double max_error_rate = 0.01;
+  /// How many offending lines to retain verbatim in the report.
+  std::size_t max_samples = 10;
+  /// When non-empty, every rejected line is appended verbatim to
+  /// `quarantine_dir/<source>.rej` for later inspection or repair.
+  std::filesystem::path quarantine_dir;
+  /// Label for reports and the quarantine file name (usually the file name).
+  std::string source = "input";
+};
+
+/// One retained offending line.
+struct RejectedLine {
+  std::uint64_t line = 0;  ///< 1-based line number in the source document
+  ErrorClass error = ErrorClass::kBadValue;
+  std::string text;  ///< the offending line, clamped to a sane length
+};
+
+/// Per-document ingest outcome; aggregable across files with Merge().
+struct IngestReport {
+  std::string source;
+  std::uint64_t lines_total = 0;  ///< non-blank lines excluding a valid header
+  std::uint64_t kept = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t by_class[kNumErrorClasses] = {};
+  bool header_ok = true;
+  std::vector<RejectedLine> samples;          ///< first max_samples rejections
+  std::filesystem::path quarantine_file;      ///< set iff any line was written
+
+  [[nodiscard]] double error_rate() const noexcept {
+    return lines_total == 0 ? 0.0
+                            : static_cast<double>(rejected) /
+                                  static_cast<double>(lines_total);
+  }
+
+  /// Folds `other` into this report (totals, per-class counts, samples up to
+  /// `max_samples`; header_ok ANDs). `source` becomes a "+"-joined list.
+  void Merge(const IngestReport& other, std::size_t max_samples = 10);
+
+  /// One-line human summary: "conn.log: kept 12034/12041, rejected 7
+  /// (0.06%): 4 bad_number, 2 field_count, 1 truncated_line".
+  [[nodiscard]] std::string Summary() const;
+};
+
+namespace detail {
+
+/// Lazily opened quarantine sink; no file is created unless a line is
+/// rejected. Throws IoError if the quarantine file cannot be written.
+class QuarantineWriter {
+ public:
+  explicit QuarantineWriter(const IngestOptions& options);
+  ~QuarantineWriter();
+  QuarantineWriter(const QuarantineWriter&) = delete;
+  QuarantineWriter& operator=(const QuarantineWriter&) = delete;
+
+  void Add(std::string_view line);
+  /// Flushes, verifies stream state, and records the path in the report.
+  void Finish(IngestReport& report);
+
+ private:
+  struct State;
+  std::filesystem::path target_;  // empty = quarantine disabled
+  State* state_ = nullptr;
+};
+
+inline constexpr std::size_t kSampleClamp = 200;  // bytes kept per sample line
+
+}  // namespace detail
+
+/// Shared line-recovery driver behind all four log readers. Splits `text`,
+/// validates the header, and runs `parse(line, record)` — which returns
+/// nullopt on success or the rejection's ErrorClass — over every non-blank
+/// line, enforcing the accounting contract above.
+///
+/// Returns nullopt when the document is rejected as a whole: any malformed
+/// row (or missing header) in strict mode, or a rejection rate above
+/// `options.max_error_rate` in tolerant mode. `report` is always filled with
+/// what happened, including why a nullopt came back.
+template <typename Record, typename ParseFn>
+std::optional<std::vector<Record>> ParseLog(std::string_view text,
+                                            std::string_view header,
+                                            const IngestOptions& options,
+                                            IngestReport& report,
+                                            ParseFn&& parse) {
+  report = IngestReport{};
+  report.source = options.source;
+
+  const auto lines = util::Split(text, '\n');
+  const bool ends_with_newline = !text.empty() && text.back() == '\n';
+  // Index of the last non-blank line: a parse failure there on a document
+  // with no trailing newline is a cut-off tail, not ordinary garbage.
+  std::size_t last_content = lines.size();
+  for (std::size_t i = lines.size(); i-- > 0;) {
+    if (!util::Trim(lines[i]).empty()) {
+      last_content = i;
+      break;
+    }
+  }
+  const bool has_content = last_content != lines.size();
+  const bool have_header =
+      has_content && !lines.empty() && util::Trim(lines[0]) == header;
+  report.header_ok = have_header;
+  if (!have_header && options.mode == Mode::kStrict) return std::nullopt;
+
+  detail::QuarantineWriter quarantine(options);
+  std::vector<Record> out;
+  for (std::size_t i = have_header ? 1 : 0; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
+    if (util::Trim(line).empty()) continue;
+    ++report.lines_total;
+
+    Record rec;
+    std::optional<ErrorClass> err =
+        i == 0 && !have_header ? std::optional<ErrorClass>(ErrorClass::kBadHeader)
+                               : parse(line, rec);
+    if (err && *err != ErrorClass::kBadHeader && i == last_content &&
+        !ends_with_newline) {
+      err = ErrorClass::kTruncatedLine;
+    }
+    if (!err) {
+      ++report.kept;
+      out.push_back(std::move(rec));
+      continue;
+    }
+
+    ++report.rejected;
+    ++report.by_class[static_cast<int>(*err)];
+    if (report.samples.size() < options.max_samples) {
+      report.samples.push_back(RejectedLine{
+          static_cast<std::uint64_t>(i) + 1, *err,
+          std::string(line.substr(0, detail::kSampleClamp))});
+    }
+    quarantine.Add(line);
+    if (options.mode == Mode::kStrict) {
+      quarantine.Finish(report);
+      return std::nullopt;
+    }
+  }
+  quarantine.Finish(report);
+
+  if (options.mode == Mode::kTolerant &&
+      report.error_rate() > options.max_error_rate) {
+    return std::nullopt;  // over budget; the report says how far
+  }
+  return out;
+}
+
+}  // namespace lockdown::ingest

@@ -16,6 +16,21 @@ bool ParseNum(std::string_view s, T& out) {
   const auto res = std::from_chars(s.data(), end, out);
   return res.ec == std::errc() && res.ptr == end;
 }
+
+std::optional<ingest::ErrorClass> ParseRow(std::string_view raw, dhcp::Lease& lease) {
+  const std::string_view line = util::Trim(raw);
+  const auto fields = util::Split(line, '\t');
+  if (fields.size() != 4) return ingest::ErrorClass::kFieldCount;
+  if (!ParseNum(fields[0], lease.start)) return ingest::ErrorClass::kBadTimestamp;
+  if (!ParseNum(fields[1], lease.end)) return ingest::ErrorClass::kBadTimestamp;
+  const auto mac = net::MacAddress::Parse(fields[2]);
+  if (!mac) return ingest::ErrorClass::kBadMac;
+  const auto ip = net::Ipv4Address::Parse(fields[3]);
+  if (!ip) return ingest::ErrorClass::kBadIp;
+  lease.mac = *mac;
+  lease.ip = *ip;
+  return std::nullopt;
+}
 }  // namespace
 
 void WriteDhcpLog(std::ostream& out, std::span<const dhcp::Lease> leases) {
@@ -26,27 +41,15 @@ void WriteDhcpLog(std::ostream& out, std::span<const dhcp::Lease> leases) {
   }
 }
 
+std::optional<std::vector<dhcp::Lease>> ReadDhcpLog(
+    std::string_view text, const ingest::IngestOptions& options,
+    ingest::IngestReport& report) {
+  return ingest::ParseLog<dhcp::Lease>(text, kHeader, options, report, ParseRow);
+}
+
 std::optional<std::vector<dhcp::Lease>> ReadDhcpLog(std::string_view text) {
-  const auto lines = util::Split(text, '\n');
-  if (lines.empty() || util::Trim(lines[0]) != kHeader) return std::nullopt;
-  std::vector<dhcp::Lease> out;
-  for (std::size_t i = 1; i < lines.size(); ++i) {
-    const std::string_view line = util::Trim(lines[i]);
-    if (line.empty()) continue;
-    const auto fields = util::Split(line, '\t');
-    if (fields.size() != 4) return std::nullopt;
-    dhcp::Lease lease;
-    const auto mac = net::MacAddress::Parse(fields[2]);
-    const auto ip = net::Ipv4Address::Parse(fields[3]);
-    if (!ParseNum(fields[0], lease.start) || !ParseNum(fields[1], lease.end) ||
-        !mac || !ip) {
-      return std::nullopt;
-    }
-    lease.mac = *mac;
-    lease.ip = *ip;
-    out.push_back(lease);
-  }
-  return out;
+  ingest::IngestReport report;
+  return ReadDhcpLog(text, ingest::IngestOptions{}, report);
 }
 
 }  // namespace lockdown::logs

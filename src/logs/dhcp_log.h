@@ -10,14 +10,21 @@
 #include <vector>
 
 #include "dhcp/lease.h"
+#include "ingest/ingest.h"
 
 namespace lockdown::logs {
 
 /// Writes leases as "start\tend\tmac\tip" rows under a header.
 void WriteDhcpLog(std::ostream& out, std::span<const dhcp::Lease> leases);
 
-/// Parses a document produced by WriteDhcpLog; nullopt on malformed input.
+/// Parses a document produced by WriteDhcpLog; nullopt on malformed input
+/// (strict-mode read).
 [[nodiscard]] std::optional<std::vector<dhcp::Lease>> ReadDhcpLog(
     std::string_view text);
+
+/// Fault-tolerant read with line-granular recovery (see ingest/ingest.h).
+[[nodiscard]] std::optional<std::vector<dhcp::Lease>> ReadDhcpLog(
+    std::string_view text, const ingest::IngestOptions& options,
+    ingest::IngestReport& report);
 
 }  // namespace lockdown::logs

@@ -16,6 +16,23 @@ bool ParseNum(std::string_view s, T& out) {
   const auto res = std::from_chars(s.data(), end, out);
   return res.ec == std::errc() && res.ptr == end;
 }
+
+std::optional<ingest::ErrorClass> ParseRow(std::string_view raw, dns::Resolution& r) {
+  const std::string_view line = util::Trim(raw);
+  const auto fields = util::Split(line, '\t');
+  if (fields.size() != 5) return ingest::ErrorClass::kFieldCount;
+  if (!ParseNum(fields[0], r.ts)) return ingest::ErrorClass::kBadTimestamp;
+  const auto mac = net::MacAddress::Parse(fields[1]);
+  if (!mac) return ingest::ErrorClass::kBadMac;
+  if (fields[2].empty()) return ingest::ErrorClass::kBadValue;
+  const auto ip = net::Ipv4Address::Parse(fields[3]);
+  if (!ip) return ingest::ErrorClass::kBadIp;
+  if (!ParseNum(fields[4], r.ttl)) return ingest::ErrorClass::kBadNumber;
+  r.client = *mac;
+  r.qname = std::string(fields[2]);
+  r.answer = *ip;
+  return std::nullopt;
+}
 }  // namespace
 
 void WriteDnsLog(std::ostream& out, std::span<const dns::Resolution> resolutions) {
@@ -26,28 +43,15 @@ void WriteDnsLog(std::ostream& out, std::span<const dns::Resolution> resolutions
   }
 }
 
+std::optional<std::vector<dns::Resolution>> ReadDnsLog(
+    std::string_view text, const ingest::IngestOptions& options,
+    ingest::IngestReport& report) {
+  return ingest::ParseLog<dns::Resolution>(text, kHeader, options, report, ParseRow);
+}
+
 std::optional<std::vector<dns::Resolution>> ReadDnsLog(std::string_view text) {
-  const auto lines = util::Split(text, '\n');
-  if (lines.empty() || util::Trim(lines[0]) != kHeader) return std::nullopt;
-  std::vector<dns::Resolution> out;
-  for (std::size_t i = 1; i < lines.size(); ++i) {
-    const std::string_view line = util::Trim(lines[i]);
-    if (line.empty()) continue;
-    const auto fields = util::Split(line, '\t');
-    if (fields.size() != 5) return std::nullopt;
-    dns::Resolution r;
-    const auto mac = net::MacAddress::Parse(fields[1]);
-    const auto ip = net::Ipv4Address::Parse(fields[3]);
-    if (!ParseNum(fields[0], r.ts) || !mac || fields[2].empty() || !ip ||
-        !ParseNum(fields[4], r.ttl)) {
-      return std::nullopt;
-    }
-    r.client = *mac;
-    r.qname = std::string(fields[2]);
-    r.answer = *ip;
-    out.push_back(std::move(r));
-  }
-  return out;
+  ingest::IngestReport report;
+  return ReadDnsLog(text, ingest::IngestOptions{}, report);
 }
 
 }  // namespace lockdown::logs

@@ -8,14 +8,21 @@
 #include <vector>
 
 #include "dns/record.h"
+#include "ingest/ingest.h"
 
 namespace lockdown::logs {
 
 /// Writes resolutions as "ts\tclient\tqname\tanswer\tttl" rows.
 void WriteDnsLog(std::ostream& out, std::span<const dns::Resolution> resolutions);
 
-/// Parses a document produced by WriteDnsLog; nullopt on malformed input.
+/// Parses a document produced by WriteDnsLog; nullopt on malformed input
+/// (strict-mode read).
 [[nodiscard]] std::optional<std::vector<dns::Resolution>> ReadDnsLog(
     std::string_view text);
+
+/// Fault-tolerant read with line-granular recovery (see ingest/ingest.h).
+[[nodiscard]] std::optional<std::vector<dns::Resolution>> ReadDnsLog(
+    std::string_view text, const ingest::IngestOptions& options,
+    ingest::IngestReport& report);
 
 }  // namespace lockdown::logs

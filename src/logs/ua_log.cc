@@ -9,7 +9,27 @@ namespace lockdown::logs {
 
 namespace {
 constexpr std::string_view kHeader = "ts\tclient\tuser_agent";
+
+std::optional<ingest::ErrorClass> ParseRow(std::string_view raw, UaRecord& r) {
+  // The UA field may contain any byte except tab/newline, so the raw line is
+  // split untrimmed (the agent text is trimmed on its own at the end).
+  const auto fields = util::Split(raw, '\t');
+  if (fields.size() != 3) return ingest::ErrorClass::kFieldCount;
+  const auto* end = fields[0].data() + fields[0].size();
+  const auto res = std::from_chars(fields[0].data(), end, r.ts);
+  // ec catches overflow: an out-of-range ts consumes every digit (ptr ==
+  // end) but must still reject the row, not record timestamp 0.
+  if (res.ec != std::errc() || res.ptr != end) {
+    return ingest::ErrorClass::kBadTimestamp;
+  }
+  const auto ip = net::Ipv4Address::Parse(fields[1]);
+  if (!ip) return ingest::ErrorClass::kBadIp;
+  if (fields[2].empty()) return ingest::ErrorClass::kBadValue;
+  r.client_ip = *ip;
+  r.user_agent = std::string(util::Trim(fields[2]));
+  return std::nullopt;
 }
+}  // namespace
 
 void WriteUaLog(std::ostream& out, const std::vector<UaRecord>& records) {
   out << kHeader << '\n';
@@ -22,28 +42,15 @@ void WriteUaLog(std::ostream& out, const std::vector<UaRecord>& records) {
   }
 }
 
+std::optional<std::vector<UaRecord>> ReadUaLog(
+    std::string_view text, const ingest::IngestOptions& options,
+    ingest::IngestReport& report) {
+  return ingest::ParseLog<UaRecord>(text, kHeader, options, report, ParseRow);
+}
+
 std::optional<std::vector<UaRecord>> ReadUaLog(std::string_view text) {
-  const auto lines = util::Split(text, '\n');
-  if (lines.empty() || util::Trim(lines[0]) != kHeader) return std::nullopt;
-  std::vector<UaRecord> out;
-  for (std::size_t i = 1; i < lines.size(); ++i) {
-    const std::string_view line = lines[i];
-    if (util::Trim(line).empty()) continue;
-    const auto fields = util::Split(line, '\t');
-    if (fields.size() != 3) return std::nullopt;
-    UaRecord r;
-    const auto* end = fields[0].data() + fields[0].size();
-    const auto res = std::from_chars(fields[0].data(), end, r.ts);
-    // ec catches overflow: an out-of-range ts consumes every digit (ptr ==
-    // end) but must still reject the row, not record timestamp 0.
-    if (res.ec != std::errc() || res.ptr != end) return std::nullopt;
-    const auto ip = net::Ipv4Address::Parse(fields[1]);
-    if (!ip || fields[2].empty()) return std::nullopt;
-    r.client_ip = *ip;
-    r.user_agent = std::string(util::Trim(fields[2]));
-    out.push_back(std::move(r));
-  }
-  return out;
+  ingest::IngestReport report;
+  return ReadUaLog(text, ingest::IngestOptions{}, report);
 }
 
 }  // namespace lockdown::logs

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "ingest/ingest.h"
 #include "net/ipv4.h"
 #include "util/time.h"
 
@@ -24,7 +25,13 @@ struct UaRecord {
 /// Writes sightings as "ts\tclient\tuser_agent" rows.
 void WriteUaLog(std::ostream& out, const std::vector<UaRecord>& records);
 
-/// Parses a document produced by WriteUaLog; nullopt on malformed input.
+/// Parses a document produced by WriteUaLog; nullopt on malformed input
+/// (strict-mode read).
 [[nodiscard]] std::optional<std::vector<UaRecord>> ReadUaLog(std::string_view text);
+
+/// Fault-tolerant read with line-granular recovery (see ingest/ingest.h).
+[[nodiscard]] std::optional<std::vector<UaRecord>> ReadUaLog(
+    std::string_view text, const ingest::IngestOptions& options,
+    ingest::IngestReport& report);
 
 }  // namespace lockdown::logs

@@ -33,21 +33,41 @@ class Reader::Impl {
 
   [[nodiscard]] const SnapshotInfo& info() const noexcept { return info_; }
 
+  [[nodiscard]] bool SectionChecksumOk(int i) const {
+    const ParsedSection& s = sections_[i];
+    return util::Crc32c(s.payload) == s.crc32c;
+  }
+
+  [[nodiscard]] std::string ChecksumMessage(int i) const {
+    return "checksum mismatch in " + std::string(SectionName(KindAt(i))) +
+           " section at offset " + std::to_string(sections_[i].offset) +
+           " (corrupt file)";
+  }
+
   void VerifyChecksums() const {
     for (int i = 0; i < kNumSections; ++i) {
-      const ParsedSection& s = sections_[i];
-      const std::uint32_t computed = util::Crc32c(s.payload);
-      if (computed != s.crc32c) {
-        Fail("checksum mismatch in " + std::string(SectionName(KindAt(i))) +
-             " section (corrupt file)");
-      }
+      if (!SectionChecksumOk(i)) Fail(ChecksumMessage(i));
     }
   }
 
   [[nodiscard]] LoadedSnapshot Load(const LoadOptions& options) const {
-    if (options.verify_checksums) VerifyChecksums();
-
     LoadedSnapshot out;
+    // Mandatory sections fail the load on corruption, naming the section
+    // and offset; the stats section is advisory and may be salvaged
+    // (zero-filled) so months of flow data survive one bad section.
+    bool stats_salvaged = false;
+    if (options.verify_checksums) {
+      for (int i = 0; i < kNumSections; ++i) {
+        if (SectionChecksumOk(i)) continue;
+        if (options.salvage && KindAt(i) == SectionKind::kStats) {
+          stats_salvaged = true;
+          out.warnings.push_back(ChecksumMessage(i) + ": stats zero-filled");
+          continue;
+        }
+        Fail(ChecksumMessage(i));
+      }
+    }
+
     out.info = info_;
     core::Dataset& ds = out.collection.dataset;
 
@@ -138,20 +158,31 @@ class Reader::Impl {
     }
 
     // --- Stats ---------------------------------------------------------------
-    detail::Decoder stats(Section(SectionKind::kStats), "stats");
-    core::CollectionStats& st = out.collection.stats;
-    st.raw_flows = stats.U64();
-    st.tap_excluded = stats.U64();
-    st.unattributed = stats.U64();
-    st.visitor_flows = stats.U64();
-    st.devices_observed = stats.U64();
-    st.devices_retained = stats.U64();
-    st.ua_sightings = stats.U64();
-    if (info_.version >= 2) {
-      st.ua_unattributed = stats.U64();
-      st.ua_visitor_dropped = stats.U64();
+    // Decode errors here are salvageable like a bad checksum: the stats are
+    // reporting counters, not data the analyses index into.
+    if (!stats_salvaged) {
+      try {
+        detail::Decoder stats(Section(SectionKind::kStats), "stats");
+        core::CollectionStats& st = out.collection.stats;
+        st.raw_flows = stats.U64();
+        st.tap_excluded = stats.U64();
+        st.unattributed = stats.U64();
+        st.visitor_flows = stats.U64();
+        st.devices_observed = stats.U64();
+        st.devices_retained = stats.U64();
+        st.ua_sightings = stats.U64();
+        if (info_.version >= 2) {
+          st.ua_unattributed = stats.U64();
+          st.ua_visitor_dropped = stats.U64();
+        }
+        stats.ExpectDone();
+      } catch (const Error&) {
+        if (!options.salvage) throw;
+        out.collection.stats = core::CollectionStats{};
+        out.warnings.push_back(path_.string() +
+                               ": undecodable stats section: zero-filled");
+      }
     }
-    stats.ExpectDone();
 
     return out;
   }

@@ -50,6 +50,11 @@ struct LoadOptions {
   /// CRC32C-check every section before decoding. Leave on except when the
   /// file was verified out-of-band and load latency matters.
   bool verify_checksums = true;
+  /// Per-section salvage: a corrupt *optional* section (currently kStats)
+  /// degrades to zero-fill with a note in LoadedSnapshot::warnings instead
+  /// of failing the load. Corrupt mandatory sections still throw Error,
+  /// naming the section and its file offset.
+  bool salvage = false;
 };
 
 struct SectionInfo {
@@ -76,6 +81,10 @@ struct LoadedSnapshot {
   SnapshotInfo info;
   /// True when collection.dataset.flows() views the file mapping.
   bool zero_copy = false;
+  /// One entry per section salvaged under LoadOptions::salvage (e.g. a
+  /// stats section that failed its CRC and was zero-filled). Empty on a
+  /// fully clean load.
+  std::vector<std::string> warnings;
 };
 
 class MmapFile;

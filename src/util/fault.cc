@@ -1,0 +1,137 @@
+#include "util/fault.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace lockdown::util {
+
+namespace {
+
+std::string GarbageLine(Pcg32& rng) {
+  // Printable noise with occasional tabs: what an interleaved writer or a
+  // corrupted shipper actually leaves behind. Never empty (blank lines are
+  // skipped by the readers, not rejected).
+  const std::size_t len = 1 + rng.NextBounded(60);
+  std::string line;
+  line.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::uint32_t roll = rng.NextBounded(16);
+    line.push_back(roll == 0 ? '\t'
+                             : static_cast<char>(0x21 + rng.NextBounded(0x5E)));
+  }
+  return line;
+}
+
+std::string TruncateTail(std::string_view text, double rate, Pcg32& rng) {
+  if (text.empty()) return std::string(text);
+  // Cut between 1 byte and rate-fraction of the document, uniformly.
+  const auto max_cut = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(rate * static_cast<double>(text.size())));
+  const std::uint64_t cut =
+      1 + static_cast<std::uint64_t>(rng.UniformInt(
+              0, static_cast<std::int64_t>(std::min<std::uint64_t>(
+                     max_cut, text.size()) - 1)));
+  return std::string(text.substr(0, text.size() - cut));
+}
+
+std::string BitFlip(std::string_view text, double rate, Pcg32& rng) {
+  // One random bit per hit line, so the rejection rate stays bounded by the
+  // fault rate (a per-byte model would corrupt ~every line at 1%).
+  std::string out(text);
+  std::size_t line_start = 0;
+  for (std::size_t i = 0; i <= out.size(); ++i) {
+    if (i != out.size() && out[i] != '\n') continue;
+    if (i > line_start && rng.Bernoulli(rate)) {
+      const std::size_t pos =
+          line_start + rng.NextBounded(static_cast<std::uint32_t>(i - line_start));
+      out[pos] = static_cast<char>(static_cast<unsigned char>(out[pos]) ^
+                                   (1u << rng.NextBounded(8)));
+    }
+    line_start = i + 1;
+  }
+  return out;
+}
+
+enum LineOp { kKeep, kDrop, kDup, kSplice };
+
+std::string PerLine(std::string_view text, double rate, Pcg32& rng, LineOp op) {
+  const auto lines = Split(text, '\n');
+  const bool ends_with_newline = !text.empty() && text.back() == '\n';
+  // Split("a\nb\n") yields {"a","b",""}: the trailing empty piece is an
+  // artifact of the final newline, not a line.
+  const std::size_t n = lines.size() - (ends_with_newline ? 1 : 0);
+  std::string out;
+  out.reserve(text.size() + 64);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool hit = rng.Bernoulli(rate);
+    if (hit && op == kDrop) continue;
+    out.append(lines[i]);
+    out.push_back('\n');
+    if (hit && op == kDup) {
+      out.append(lines[i]);
+      out.push_back('\n');
+    }
+    if (hit && op == kSplice) {
+      out.append(GarbageLine(rng));
+      out.push_back('\n');
+    }
+  }
+  if (!ends_with_newline && !out.empty()) out.pop_back();
+  return out;
+}
+
+}  // namespace
+
+const char* ToString(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kTruncateTail: return "truncate_tail";
+    case FaultKind::kBitFlip: return "bit_flip";
+    case FaultKind::kDropLine: return "drop_line";
+    case FaultKind::kDuplicateLine: return "duplicate_line";
+    case FaultKind::kSpliceGarbage: return "splice_garbage";
+    case FaultKind::kMixed: return "mixed";
+  }
+  return "unknown";
+}
+
+std::string FaultInjector::Apply(std::string_view text, FaultKind kind) const {
+  if (config_.rate <= 0.0) return std::string(text);
+  Pcg32 rng(config_.seed, 0xFA01u + static_cast<std::uint64_t>(kind));
+  switch (kind) {
+    case FaultKind::kTruncateTail:
+      return TruncateTail(text, config_.rate, rng);
+    case FaultKind::kBitFlip:
+      return BitFlip(text, config_.rate, rng);
+    case FaultKind::kDropLine:
+      return PerLine(text, config_.rate, rng, kDrop);
+    case FaultKind::kDuplicateLine:
+      return PerLine(text, config_.rate, rng, kDup);
+    case FaultKind::kSpliceGarbage:
+      return PerLine(text, config_.rate, rng, kSplice);
+    case FaultKind::kMixed: {
+      const double r = config_.rate / 5.0;
+      std::string out = PerLine(text, r, rng, kDrop);
+      out = PerLine(out, r, rng, kDup);
+      out = PerLine(out, r, rng, kSplice);
+      out = BitFlip(out, r, rng);
+      out = TruncateTail(out, r, rng);
+      // Guarantee at least one parse-breaking fault so strict readers are
+      // deterministically non-clean at any positive rate (the check.sh fault
+      // tier asserts strict mode fails where tolerant mode succeeds).
+      const std::size_t pos = out.find('\n');
+      std::string garbage = GarbageLine(rng);
+      if (pos == std::string::npos) {
+        out.append("\n").append(garbage).append("\n");
+      } else {
+        out.insert(pos + 1, garbage + "\n");
+      }
+      return out;
+    }
+  }
+  return std::string(text);
+}
+
+}  // namespace lockdown::util

@@ -1,0 +1,50 @@
+// Deterministic fault injection for ingest robustness testing.
+//
+// Models what four months of continuous collection against a live tap
+// actually produces: truncated tails from interrupted rotations, bit flips
+// from bad disks/transfer, dropped and duplicated lines from racy log
+// shippers, and spliced garbage from interleaved writers. Every fault is
+// drawn from a Pcg32 seeded by (seed, kind), so a given (seed, rate, kind)
+// triple maps an input to exactly one output on every platform — the
+// differential test suite and the check.sh fault tier rely on this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lockdown::util {
+
+enum class FaultKind : std::uint8_t {
+  kTruncateTail,    ///< cut bytes off the end of the document
+  kBitFlip,         ///< flip one random bit in randomly chosen lines
+  kDropLine,        ///< remove whole lines
+  kDuplicateLine,   ///< repeat whole lines
+  kSpliceGarbage,   ///< insert random garbage lines between rows
+  kMixed,           ///< all of the above, each at rate/5; guarantees at
+                    ///< least one garbage line so the output is never clean
+};
+inline constexpr int kNumFaultKinds = 6;
+
+[[nodiscard]] const char* ToString(FaultKind kind) noexcept;
+
+struct FaultConfig {
+  std::uint64_t seed = 1;
+  /// Per-line fault probability for the line-level kinds (including
+  /// kBitFlip); fraction of the document for kTruncateTail.
+  double rate = 0.01;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultConfig& config) noexcept : config_(config) {}
+
+  /// Returns a faulted copy of `text`. Pure: same (config, text, kind) in,
+  /// same bytes out. rate == 0 returns `text` unchanged for every kind.
+  [[nodiscard]] std::string Apply(std::string_view text, FaultKind kind) const;
+
+ private:
+  FaultConfig config_;
+};
+
+}  // namespace lockdown::util

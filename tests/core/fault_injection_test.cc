@@ -1,0 +1,216 @@
+// Differential fault-injection suite: every reader, every fault class, seeds
+// {1,2,3}. Proves the tolerant pipeline never crashes on faulted input, that
+// the accounting contract (kept + rejected == lines_total) holds under every
+// fault, and that degradation is bounded by the fault rate. Strict mode on
+// clean input must stay byte-for-byte the historical behavior.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/offline.h"
+#include "flow/conn_log.h"
+#include "ingest/ingest.h"
+#include "logs/dhcp_log.h"
+#include "logs/dns_log.h"
+#include "logs/ua_log.h"
+#include "util/fault.h"
+
+namespace lockdown::core {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 3};
+constexpr double kRates[] = {0.001, 0.01};
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  // One simulated export shared by every test in the suite.
+  static void SetUpTestSuite() {
+    dir_ = new std::filesystem::path(std::filesystem::temp_directory_path() /
+                                     "lockdown_fault_injection_test");
+    std::filesystem::remove_all(*dir_);
+    ExportLogs(StudyConfig::Small(40, 7), *dir_);
+  }
+  static void TearDownTestSuite() {
+    std::filesystem::remove_all(*dir_);
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  static std::string ReadLog(const char* name) {
+    std::ifstream in(*dir_ / name, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+
+  static std::filesystem::path* dir_;
+};
+
+std::filesystem::path* FaultInjectionTest::dir_ = nullptr;
+
+ingest::IngestOptions Tolerant(double budget) {
+  ingest::IngestOptions options;
+  options.mode = ingest::Mode::kTolerant;
+  options.max_error_rate = budget;
+  return options;
+}
+
+// Runs the matching tolerant reader over `text`; returns how many records it
+// kept, asserting the accounting contract along the way.
+std::uint64_t RunReader(const char* name, const std::string& text,
+                        ingest::IngestReport& report) {
+  const auto options = Tolerant(1.0);  // no budget: observe, don't reject
+  std::uint64_t kept = 0;
+  if (std::string_view(name) == LogFiles::kConn) {
+    const auto r = flow::ReadConnLog(text, options, report);
+    kept = r ? r->size() : 0;
+  } else if (std::string_view(name) == LogFiles::kDhcp) {
+    const auto r = logs::ReadDhcpLog(text, options, report);
+    kept = r ? r->size() : 0;
+  } else if (std::string_view(name) == LogFiles::kDns) {
+    const auto r = logs::ReadDnsLog(text, options, report);
+    kept = r ? r->size() : 0;
+  } else {
+    const auto r = logs::ReadUaLog(text, options, report);
+    kept = r ? r->size() : 0;
+  }
+  EXPECT_EQ(report.kept + report.rejected, report.lines_total)
+      << name << ": accounting contract violated";
+  EXPECT_EQ(report.kept, kept) << name;
+  return kept;
+}
+
+TEST_F(FaultInjectionTest, EveryReaderEveryFaultClassNeverViolatesAccounting) {
+  for (const char* name : {LogFiles::kConn, LogFiles::kDhcp, LogFiles::kDns,
+                           LogFiles::kUa}) {
+    const std::string clean = ReadLog(name);
+    ingest::IngestReport clean_report;
+    const std::uint64_t clean_kept = RunReader(name, clean, clean_report);
+    ASSERT_GT(clean_kept, 0u) << name;
+    ASSERT_EQ(clean_report.rejected, 0u) << name;
+
+    for (int k = 0; k < util::kNumFaultKinds; ++k) {
+      const auto kind = static_cast<util::FaultKind>(k);
+      for (const std::uint64_t seed : kSeeds) {
+        for (const double rate : kRates) {
+          const util::FaultInjector injector({seed, rate});
+          const std::string dirty = injector.Apply(clean, kind);
+          ingest::IngestReport report;
+          const std::uint64_t kept = RunReader(name, dirty, report);
+          const std::string ctx = std::string(name) + " " +
+                                  util::ToString(kind) + " seed " +
+                                  std::to_string(seed) + " rate " +
+                                  std::to_string(rate);
+          switch (kind) {
+            case util::FaultKind::kTruncateTail:
+              // At most the cut row is lost; everything before survives.
+              EXPECT_LE(report.rejected, 1u) << ctx;
+              EXPECT_GE(kept + 2, static_cast<std::uint64_t>(
+                                      (1.0 - 2 * rate) * clean_kept))
+                  << ctx;
+              break;
+            case util::FaultKind::kDropLine:
+              // Dropped rows vanish silently; the rest still parse.
+              EXPECT_EQ(report.rejected, 0u) << ctx;
+              EXPECT_LE(kept, clean_kept) << ctx;
+              break;
+            case util::FaultKind::kDuplicateLine:
+              EXPECT_EQ(report.rejected, 0u) << ctx;
+              EXPECT_GE(kept, clean_kept) << ctx;
+              break;
+            case util::FaultKind::kSpliceGarbage:
+              // Garbage rejects; every real row survives.
+              EXPECT_EQ(kept, clean_kept) << ctx;
+              break;
+            case util::FaultKind::kBitFlip:
+            case util::FaultKind::kMixed:
+              // Bounded degradation: one fault hits at most a couple of rows
+              // (a flip that lands on a newline can split one row in two).
+              EXPECT_LE(report.error_rate(), 20 * rate + 0.01) << ctx;
+              break;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, StrictModeFailsOnEveryMixedFault) {
+  for (const std::uint64_t seed : kSeeds) {
+    const util::FaultInjector injector({seed, 0.001});
+    const std::string dirty =
+        injector.Apply(ReadLog(LogFiles::kDns), util::FaultKind::kMixed);
+    EXPECT_FALSE(logs::ReadDnsLog(dirty).has_value()) << "seed " << seed;
+  }
+}
+
+TEST_F(FaultInjectionTest, StrictOnCleanInputMatchesLegacyRead) {
+  const std::string clean = ReadLog(LogFiles::kConn);
+  const auto legacy = flow::ReadConnLog(clean);
+  ingest::IngestReport report;
+  const auto strict = flow::ReadConnLog(clean, ingest::IngestOptions{}, report);
+  ASSERT_TRUE(legacy.has_value());
+  ASSERT_TRUE(strict.has_value());
+  ASSERT_EQ(legacy->size(), strict->size());
+  EXPECT_EQ(report.kept, strict->size());
+  EXPECT_EQ(report.rejected, 0u);
+}
+
+TEST_F(FaultInjectionTest, TolerantPipelineCompletesOnMixedFaults) {
+  const auto clean = CollectFromLogs(*dir_, StudyConfig::Small(40, 7));
+  for (const std::uint64_t seed : kSeeds) {
+    const auto faulted_dir =
+        *dir_ / ("faulted_" + std::to_string(seed));
+    std::filesystem::create_directories(faulted_dir);
+    const util::FaultInjector injector({seed, 0.01});
+    for (const char* name : {LogFiles::kConn, LogFiles::kDhcp, LogFiles::kDns,
+                             LogFiles::kUa}) {
+      std::ofstream out(faulted_dir / name, std::ios::binary);
+      out << injector.Apply(ReadLog(name), util::FaultKind::kMixed);
+    }
+
+    IngestSummary summary;
+    const auto result = CollectFromLogs(faulted_dir, StudyConfig::Small(40, 7),
+                                        Tolerant(0.25), &summary);
+    const auto total = summary.Total();
+    EXPECT_EQ(total.kept + total.rejected, total.lines_total);
+    EXPECT_GT(total.rejected, 0u);
+    // Bounded degradation: a 1% fault rate cannot halve the dataset.
+    EXPECT_GE(result.dataset.num_flows(), clean.dataset.num_flows() / 2);
+    EXPECT_GE(result.dataset.num_devices(), clean.dataset.num_devices() / 2);
+
+    // The same dirty directory is over budget for strict mode.
+    EXPECT_THROW(CollectFromLogs(faulted_dir, StudyConfig::Small(40, 7),
+                                 ingest::IngestOptions{}, nullptr),
+                 ingest::BudgetError);
+    std::filesystem::remove_all(faulted_dir);
+  }
+}
+
+TEST_F(FaultInjectionTest, TolerantOnCleanLogsMatchesStrict) {
+  const auto config = StudyConfig::Small(40, 7);
+  const auto strict = CollectFromLogs(*dir_, config);
+  IngestSummary summary;
+  const auto tolerant = CollectFromLogs(*dir_, config, Tolerant(0.01), &summary);
+  EXPECT_EQ(strict.dataset.num_flows(), tolerant.dataset.num_flows());
+  EXPECT_EQ(strict.dataset.num_devices(), tolerant.dataset.num_devices());
+  EXPECT_EQ(summary.Total().rejected, 0u);
+  EXPECT_TRUE(summary.conn.header_ok);
+}
+
+TEST_F(FaultInjectionTest, MissingFileMapsToIoErrorWithErrnoDetail) {
+  const auto missing = *dir_ / "does_not_exist";
+  try {
+    (void)ReadRawInputs(missing, ingest::IngestOptions{}, nullptr);
+    FAIL() << "expected ingest::IoError";
+  } catch (const ingest::IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("conn.log"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("open"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace lockdown::core

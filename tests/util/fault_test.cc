@@ -1,0 +1,106 @@
+// FaultInjector unit tests: determinism, rate-0 identity, and the
+// characteristic effect of each fault kind.
+#include "util/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace lockdown::util {
+namespace {
+
+std::string SampleDoc(int rows = 200) {
+  std::string doc = "ts\tclient\tqname\tanswer\tttl\n";
+  for (int i = 0; i < rows; ++i) {
+    doc += std::to_string(1000 + i) +
+           "\taa:bb:cc:dd:ee:ff\tzoom.us\t1.2.3.4\t60\n";
+  }
+  return doc;
+}
+
+std::size_t CountLines(const std::string& text) {
+  return static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n'));
+}
+
+TEST(FaultInjector, SameSeedSameBytes) {
+  const std::string doc = SampleDoc();
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    const auto kind = static_cast<FaultKind>(k);
+    const FaultInjector a({42, 0.05});
+    const FaultInjector b({42, 0.05});
+    EXPECT_EQ(a.Apply(doc, kind), b.Apply(doc, kind)) << ToString(kind);
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  const std::string doc = SampleDoc();
+  const FaultInjector a({1, 0.05});
+  const FaultInjector b({2, 0.05});
+  EXPECT_NE(a.Apply(doc, FaultKind::kBitFlip), b.Apply(doc, FaultKind::kBitFlip));
+}
+
+TEST(FaultInjector, RateZeroIsIdentity) {
+  const std::string doc = SampleDoc();
+  const FaultInjector injector({7, 0.0});
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    EXPECT_EQ(injector.Apply(doc, static_cast<FaultKind>(k)), doc)
+        << ToString(static_cast<FaultKind>(k));
+  }
+}
+
+TEST(FaultInjector, TruncateTailShortensButNeverEmpties) {
+  const std::string doc = SampleDoc();
+  const FaultInjector injector({3, 0.1});
+  const std::string out = injector.Apply(doc, FaultKind::kTruncateTail);
+  EXPECT_LT(out.size(), doc.size());
+  EXPECT_FALSE(out.empty());
+  EXPECT_EQ(doc.substr(0, out.size()), out);  // a prefix, nothing rewritten
+}
+
+TEST(FaultInjector, BitFlipPreservesSizeAndLineCount) {
+  const std::string doc = SampleDoc();
+  const FaultInjector injector({3, 0.05});
+  const std::string out = injector.Apply(doc, FaultKind::kBitFlip);
+  EXPECT_EQ(out.size(), doc.size());
+  EXPECT_NE(out, doc);
+  EXPECT_EQ(CountLines(out), CountLines(doc));
+}
+
+TEST(FaultInjector, DropAndDuplicateChangeLineCount) {
+  const std::string doc = SampleDoc();
+  const FaultInjector injector({5, 0.1});
+  EXPECT_LT(CountLines(injector.Apply(doc, FaultKind::kDropLine)),
+            CountLines(doc));
+  EXPECT_GT(CountLines(injector.Apply(doc, FaultKind::kDuplicateLine)),
+            CountLines(doc));
+}
+
+TEST(FaultInjector, SpliceGarbageAddsLines) {
+  const std::string doc = SampleDoc();
+  const FaultInjector injector({5, 0.1});
+  const std::string out = injector.Apply(doc, FaultKind::kSpliceGarbage);
+  EXPECT_GT(CountLines(out), CountLines(doc));
+}
+
+TEST(FaultInjector, MixedAlwaysDirtiesTheDocument) {
+  // The check.sh fault tier needs strict ingest to fail on every kMixed
+  // output, so even a tiny rate must splice at least one garbage line.
+  const std::string doc = SampleDoc(20);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const FaultInjector injector({seed, 0.001});
+    EXPECT_NE(injector.Apply(doc, FaultKind::kMixed), doc) << "seed " << seed;
+  }
+}
+
+TEST(FaultInjector, ToStringNamesAreDistinct) {
+  for (int a = 0; a < kNumFaultKinds; ++a) {
+    for (int b = a + 1; b < kNumFaultKinds; ++b) {
+      EXPECT_STRNE(ToString(static_cast<FaultKind>(a)),
+                   ToString(static_cast<FaultKind>(b)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lockdown::util

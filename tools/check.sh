@@ -8,7 +8,14 @@
 # single-core, where the pool would otherwise fall back to serial) and runs
 # the thread-pool, pipeline, and differential parallel-equivalence tests.
 #
-# Usage: tools/check.sh [--default-only | --asan-only | --tsan-only]
+# A fourth, CLI-level fault tier exercises the ingest robustness surface
+# end-to-end: it exports a small campus, corrupts the snapshot and the TSV
+# logs with the deterministic FaultInjector (seeds {1,2,3} x rates
+# {0.1%, 1%}), and asserts tolerant ingest completes (exit 0) where strict
+# ingest fails with the documented exit codes (3 = over error budget,
+# 4 = corrupt snapshot without fallback).
+#
+# Usage: tools/check.sh [--default-only | --asan-only | --tsan-only | --fault-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,18 +34,18 @@ run_pass() {
   echo "=== ${label}: OK ==="
 }
 
-if [[ "${mode}" != "--asan-only" && "${mode}" != "--tsan-only" ]]; then
+if [[ "${mode}" != "--asan-only" && "${mode}" != "--tsan-only" && "${mode}" != "--fault-only" ]]; then
   run_pass "default" build
 fi
 
-if [[ "${mode}" != "--default-only" && "${mode}" != "--tsan-only" ]]; then
+if [[ "${mode}" != "--default-only" && "${mode}" != "--tsan-only" && "${mode}" != "--fault-only" ]]; then
   run_pass "asan+ubsan" build-asan \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
     -DLOCKDOWN_BUILD_BENCH=OFF
 fi
 
-if [[ "${mode}" != "--default-only" && "${mode}" != "--asan-only" ]]; then
+if [[ "${mode}" != "--default-only" && "${mode}" != "--asan-only" && "${mode}" != "--fault-only" ]]; then
   # Only the concurrency-bearing binaries: a full-suite tsan run costs ~10x
   # and the serial subsystems have nothing for tsan to find.
   dir=build-tsan
@@ -54,6 +61,62 @@ if [[ "${mode}" != "--default-only" && "${mode}" != "--asan-only" ]]; then
   LOCKDOWN_THREADS=8 "${dir}/tests/core_test" \
     --gtest_filter='ParallelEquivalence.*:Pipeline*:GoldenFigures.*'
   echo "=== tsan: OK ==="
+fi
+
+if [[ "${mode}" == "all" || "${mode}" == "--fault-only" ]]; then
+  echo "=== fault: build lockdown_cli ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${jobs}" --target lockdown_cli >/dev/null
+  cli=build/tools/lockdown_cli
+  work=$(mktemp -d)
+  trap 'rm -rf "${work}"' EXIT
+
+  # expect_exit CODE cmd...: run cmd, require the documented exit code.
+  expect_exit() {
+    local want="$1"
+    shift
+    local got=0
+    "$@" >/dev/null 2>&1 || got=$?
+    if [[ "${got}" != "${want}" ]]; then
+      echo "FAIL: expected exit ${want}, got ${got}: $*" >&2
+      exit 1
+    fi
+  }
+
+  echo "=== fault: clean export + snapshot ==="
+  "${cli}" simulate --out "${work}/clean" --students 60 --seed 11 >/dev/null
+  "${cli}" snapshot save --out "${work}/clean/dataset.lds" \
+    --logs "${work}/clean" --students 60 --seed 11 >/dev/null
+
+  echo "=== fault: corrupt snapshot -> tolerant falls back, strict exits 4 ==="
+  cp -r "${work}/clean" "${work}/badsnap"
+  # Flip one byte in the middle of the snapshot payload.
+  size=$(stat -c %s "${work}/badsnap/dataset.lds")
+  printf '\xff' | dd of="${work}/badsnap/dataset.lds" bs=1 \
+    seek=$((size / 2)) conv=notrunc status=none
+  expect_exit 4 "${cli}" analyze --logs "${work}/badsnap" --students 60 --seed 11
+  expect_exit 0 "${cli}" analyze --logs "${work}/badsnap" --students 60 --seed 11 \
+    --ingest-mode tolerant
+  rm "${work}/badsnap/dataset.lds"
+  rm "${work}/clean/dataset.lds"
+
+  echo "=== fault: dirty TSV logs, seeds {1,2,3} x rates {0.001,0.01} ==="
+  for seed in 1 2 3; do
+    for rate in 0.001 0.01; do
+      dirty="${work}/dirty-${seed}-${rate}"
+      "${cli}" fault --logs "${work}/clean" --out "${dirty}" \
+        --seed "${seed}" --rate "${rate}" --kind mixed >/dev/null
+      expect_exit 0 "${cli}" analyze --logs "${dirty}" --students 60 --seed 11 \
+        --ingest-mode tolerant --max-error-rate 0.05 \
+        --quarantine-dir "${dirty}/quarantine"
+      expect_exit 3 "${cli}" analyze --logs "${dirty}" --students 60 --seed 11
+      test -s "${dirty}/quarantine/conn.log.rej" || {
+        echo "FAIL: no quarantined lines for seed ${seed} rate ${rate}" >&2
+        exit 1
+      }
+    done
+  done
+  echo "=== fault: OK ==="
 fi
 
 echo "all requested passes green"

@@ -27,17 +27,37 @@
 //       Full integrity check (structure, CRC32C checksums, invariants);
 //       exits non-zero on any corruption.
 //
+//   lockdown_cli fault --logs DIR --out DIR [--seed S] [--rate R] [--kind K]
+//       Copy the four collection logs from --logs to --out, passing each
+//       through the deterministic FaultInjector (seeded, so a given
+//       seed/rate/kind reproduces byte-identical dirty logs). The ingest
+//       robustness tier of tools/check.sh is built on this.
+//
 //   lockdown_cli catalog
 //       Dump the synthetic service catalog (name, category, country, block).
+//
+// Ingest options (analyze, and snapshot save --logs):
+//   --ingest-mode strict|tolerant   strict (default) rejects a log on the
+//                                   first malformed row; tolerant skips and
+//                                   accounts malformed rows per the budget
+//   --max-error-rate R              tolerant-mode rejection budget (default 0.01)
+//   --quarantine-dir DIR            write rejected lines to DIR/<log>.rej
+//
+// Exit codes: 0 success; 1 usage error; 2 I/O error (missing file, failed
+// read/write); 3 malformed input beyond the error budget; 4 corrupt
+// dataset.lds with no TSV fallback available.
 #include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "core/offline.h"
 #include "core/study.h"
 #include "store/snapshot.h"
+#include "util/fault.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -45,29 +65,44 @@ namespace {
 
 using namespace lockdown;
 
+// Exit codes, kept in sync with the comment above and the README.
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitIo = 2;
+constexpr int kExitBudget = 3;
+constexpr int kExitCorruptSnapshot = 4;
+
 struct Options {
   std::string command;
   std::string subcommand;  // for `snapshot <save|info|verify>`
   std::string dir;
-  std::string out;   // snapshot target file
+  std::string out;   // snapshot target file / fault output dir
   std::string file;  // snapshot input file (positional)
   int students = 400;
   std::uint64_t seed = 2020;
   int threads = 0;  // 0 = LOCKDOWN_THREADS / hardware; 1 = serial
+  ingest::IngestOptions ingest;
+  double fault_rate = 0.01;
+  std::string fault_kind = "mixed";
 };
 
 void Usage() {
-  std::cerr << "usage: lockdown_cli <simulate|analyze|study|snapshot|catalog> ...\n"
+  std::cerr << "usage: lockdown_cli <simulate|analyze|study|snapshot|fault|catalog> ...\n"
                "  simulate --out DIR [--students N] [--seed S]\n"
                "  analyze  --logs DIR [--students N] [--seed S] [--threads T]\n"
+               "           [--ingest-mode strict|tolerant] [--max-error-rate R]\n"
+               "           [--quarantine-dir DIR]\n"
                "  study    [--students N] [--seed S] [--threads T]\n"
                "  snapshot save --out FILE [--logs DIR] [--students N] [--seed S]"
                " [--threads T]\n"
                "  snapshot info FILE\n"
                "  snapshot verify FILE\n"
+               "  fault    --logs DIR --out DIR [--seed S] [--rate R] [--kind K]\n"
                "  catalog\n"
                "--threads 0 (default) defers to LOCKDOWN_THREADS, then the\n"
-               "hardware; results are identical at any thread count.\n";
+               "hardware; results are identical at any thread count.\n"
+               "exit codes: 1 usage, 2 I/O, 3 input over the error budget,\n"
+               "4 corrupt snapshot with no TSV fallback.\n";
 }
 
 bool ParseArgs(int argc, char** argv, Options& opts) {
@@ -88,7 +123,8 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
       const char* v = next();
       if (!v) return false;
       opts.out = v;
-      if (opts.command != "snapshot") opts.dir = v;
+      // simulate's --out names the directory everything else calls --logs.
+      if (opts.command == "simulate") opts.dir = v;
     } else if (arg == "--logs") {
       const char* v = next();
       if (!v) return false;
@@ -107,6 +143,35 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
       if (!v) return false;
       opts.threads = std::atoi(v);
       if (opts.threads < 0) return false;
+    } else if (arg == "--ingest-mode") {
+      const char* v = next();
+      if (!v) return false;
+      const auto mode = ingest::ParseMode(v);
+      if (!mode) {
+        std::cerr << "--ingest-mode must be strict or tolerant, got: " << v << "\n";
+        return false;
+      }
+      opts.ingest.mode = *mode;
+    } else if (arg == "--max-error-rate") {
+      const char* v = next();
+      if (!v) return false;
+      opts.ingest.max_error_rate = std::atof(v);
+      if (opts.ingest.max_error_rate < 0 || opts.ingest.max_error_rate > 1) {
+        return false;
+      }
+    } else if (arg == "--quarantine-dir") {
+      const char* v = next();
+      if (!v) return false;
+      opts.ingest.quarantine_dir = v;
+    } else if (arg == "--rate") {
+      const char* v = next();
+      if (!v) return false;
+      opts.fault_rate = std::atof(v);
+      if (opts.fault_rate < 0 || opts.fault_rate > 1) return false;
+    } else if (arg == "--kind") {
+      const char* v = next();
+      if (!v) return false;
+      opts.fault_kind = v;
     } else if (!arg.starts_with("--") && opts.command == "snapshot" &&
                opts.file.empty()) {
       opts.file = arg;
@@ -149,10 +214,34 @@ void PrintHeadline(const core::CollectionResult& collection, int threads) {
   table.Print(std::cout);
 }
 
+/// Prints per-file ingest accounting after a TSV-path collect/analyze run.
+void PrintIngestSummary(const core::IngestSummary& summary,
+                        const ingest::IngestOptions& options) {
+  const ingest::IngestReport total = summary.Total();
+  std::cout << "ingest (" << ingest::ToString(options.mode) << " mode";
+  if (options.mode == ingest::Mode::kTolerant) {
+    std::cout << ", budget " << util::FormatDouble(100 * options.max_error_rate, 2)
+              << "%";
+  }
+  std::cout << "):\n";
+  for (const ingest::IngestReport* r :
+       {&summary.conn, &summary.dhcp, &summary.dns, &summary.ua}) {
+    std::cout << "  " << r->Summary() << "\n";
+    if (!r->quarantine_file.empty()) {
+      std::cout << "    quarantined -> " << r->quarantine_file.string() << "\n";
+    }
+  }
+  if (total.rejected > 0) {
+    std::cout << "  total rejected: " << total.rejected << " of "
+              << total.lines_total << " lines ("
+              << util::FormatDouble(100 * total.error_rate(), 2) << "%)\n";
+  }
+}
+
 int RunSimulate(const Options& opts) {
   if (opts.dir.empty()) {
     std::cerr << "simulate requires --out DIR\n";
-    return 2;
+    return kExitUsage;
   }
   std::cout << "simulating " << opts.students << " students (seed " << opts.seed
             << ") -> " << opts.dir << "\n";
@@ -169,20 +258,90 @@ int RunSimulate(const Options& opts) {
 int RunAnalyze(const Options& opts) {
   if (opts.dir.empty()) {
     std::cerr << "analyze requires --logs DIR\n";
-    return 2;
+    return kExitUsage;
   }
+  const bool tolerant = opts.ingest.mode == ingest::Mode::kTolerant;
   const auto snapshot =
       std::filesystem::path(opts.dir) / core::LogFiles::kSnapshot;
   if (std::filesystem::exists(snapshot)) {
     std::cout << "loading snapshot " << snapshot.string() << " (LDS fast path)\n";
-    auto snap = store::LoadSnapshot(snapshot);
-    PrintHeadline(snap.collection, opts.threads);
-    return 0;
+    try {
+      store::LoadOptions load;
+      load.salvage = tolerant;
+      auto snap = store::LoadSnapshot(snapshot, load);
+      for (const std::string& w : snap.warnings) {
+        std::cerr << "salvage: " << w << "\n";
+      }
+      PrintHeadline(snap.collection, opts.threads);
+      return kExitOk;
+    } catch (const store::Error& e) {
+      // Fallback order: LDS fast path -> TSV re-processing. Only tolerant
+      // mode may fall back, and only when the TSV logs are actually there.
+      const bool tsv_available = std::filesystem::exists(
+          std::filesystem::path(opts.dir) / core::LogFiles::kConn);
+      if (!tolerant || !tsv_available) {
+        std::cerr << "error: corrupt snapshot: " << e.what() << "\n";
+        if (!tolerant && tsv_available) {
+          std::cerr << "hint: rerun with --ingest-mode tolerant to fall back "
+                       "to the TSV logs\n";
+        }
+        return kExitCorruptSnapshot;
+      }
+      std::cerr << "salvage: corrupt snapshot (" << e.what()
+                << "): falling back to the TSV logs\n";
+    }
   }
   std::cout << "processing logs from " << opts.dir << "\n";
-  const auto collection = core::CollectFromLogs(opts.dir, ConfigFrom(opts));
+  core::IngestSummary summary;
+  const auto collection =
+      core::CollectFromLogs(opts.dir, ConfigFrom(opts), opts.ingest, &summary);
+  PrintIngestSummary(summary, opts.ingest);
   PrintHeadline(collection, opts.threads);
-  return 0;
+  return kExitOk;
+}
+
+// --- fault -------------------------------------------------------------------
+
+int RunFault(const Options& opts) {
+  if (opts.dir.empty() || opts.out.empty()) {
+    std::cerr << "fault requires --logs DIR and --out DIR\n";
+    return kExitUsage;
+  }
+  util::FaultKind kind = util::FaultKind::kMixed;
+  bool known = false;
+  for (int k = 0; k < util::kNumFaultKinds; ++k) {
+    if (opts.fault_kind == util::ToString(static_cast<util::FaultKind>(k))) {
+      kind = static_cast<util::FaultKind>(k);
+      known = true;
+    }
+  }
+  if (!known) {
+    std::cerr << "unknown --kind " << opts.fault_kind
+              << " (want truncate_tail|bit_flip|drop_line|duplicate_line|"
+                 "splice_garbage|mixed)\n";
+    return kExitUsage;
+  }
+  const util::FaultInjector injector({opts.seed, opts.fault_rate});
+  std::filesystem::create_directories(opts.out);
+  for (const char* name : {core::LogFiles::kConn, core::LogFiles::kDhcp,
+                           core::LogFiles::kDns, core::LogFiles::kUa}) {
+    const auto src = std::filesystem::path(opts.dir) / name;
+    const auto dst = std::filesystem::path(opts.out) / name;
+    std::ifstream in(src, std::ios::binary);
+    if (!in) throw ingest::IoError(src, "open", errno);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad()) throw ingest::IoError(src, "read", errno);
+    const std::string faulted = injector.Apply(buf.str(), kind);
+    std::ofstream out(dst, std::ios::binary);
+    out << faulted;
+    out.flush();
+    if (!out) throw ingest::IoError(dst, "write", errno);
+    std::cout << "  " << dst.string() << "  (" << util::ToString(kind)
+              << ", seed " << opts.seed << ", rate " << opts.fault_rate << ", "
+              << buf.str().size() << " -> " << faulted.size() << " bytes)\n";
+  }
+  return kExitOk;
 }
 
 // --- snapshot save | info | verify -------------------------------------------
@@ -196,13 +355,16 @@ double MsSince(std::chrono::steady_clock::time_point t0) {
 int RunSnapshotSave(const Options& opts) {
   if (opts.out.empty()) {
     std::cerr << "snapshot save requires --out FILE\n";
-    return 2;
+    return kExitUsage;
   }
   core::CollectionResult collection;
   store::SnapshotMeta meta;
   if (!opts.dir.empty()) {
     std::cout << "processing logs from " << opts.dir << "\n";
-    collection = core::CollectFromLogs(opts.dir, ConfigFrom(opts));
+    core::IngestSummary summary;
+    collection =
+        core::CollectFromLogs(opts.dir, ConfigFrom(opts), opts.ingest, &summary);
+    PrintIngestSummary(summary, opts.ingest);
   } else {
     std::cout << "simulating " << opts.students << " students (seed "
               << opts.seed << ")\n";
@@ -223,7 +385,7 @@ int RunSnapshotSave(const Options& opts) {
 int RunSnapshotInfo(const Options& opts) {
   if (opts.file.empty()) {
     std::cerr << "snapshot info requires a FILE argument\n";
-    return 2;
+    return kExitUsage;
   }
   const store::SnapshotInfo info = store::InspectSnapshot(opts.file);
   util::TablePrinter header({"field", "value"});
@@ -255,7 +417,7 @@ int RunSnapshotInfo(const Options& opts) {
 int RunSnapshotVerify(const Options& opts) {
   if (opts.file.empty()) {
     std::cerr << "snapshot verify requires a FILE argument\n";
-    return 2;
+    return kExitUsage;
   }
   const auto t0 = std::chrono::steady_clock::now();
   store::VerifySnapshot(opts.file);  // throws on any problem -> exit 1 in main
@@ -271,7 +433,7 @@ int RunSnapshot(const Options& opts) {
   if (opts.subcommand == "info") return RunSnapshotInfo(opts);
   if (opts.subcommand == "verify") return RunSnapshotVerify(opts);
   Usage();
-  return 2;
+  return kExitUsage;
 }
 
 int RunStudy(const Options& opts) {
@@ -302,18 +464,33 @@ int main(int argc, char** argv) {
   Options opts;
   if (!ParseArgs(argc, argv, opts)) {
     Usage();
-    return 2;
+    return kExitUsage;
   }
   try {
     if (opts.command == "simulate") return RunSimulate(opts);
     if (opts.command == "analyze") return RunAnalyze(opts);
     if (opts.command == "study") return RunStudy(opts);
     if (opts.command == "snapshot") return RunSnapshot(opts);
+    if (opts.command == "fault") return RunFault(opts);
     if (opts.command == "catalog") return RunCatalog();
+  } catch (const ingest::BudgetError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitBudget;
+  } catch (const ingest::IoError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitIo;
+  } catch (const std::filesystem::filesystem_error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitIo;
+  } catch (const store::Error& e) {
+    // Snapshot commands (info/verify/save) on a corrupt file; analyze maps
+    // its own fallback-aware case to kExitCorruptSnapshot before this.
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitCorruptSnapshot;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return kExitIo;
   }
   Usage();
-  return 2;
+  return kExitUsage;
 }
