@@ -7,6 +7,12 @@
 // run collects once and writes an LDS snapshot there; every later run (any
 // of the figure binaries) mmaps it back in milliseconds instead of
 // re-simulating the campus. See src/store and README "snapshot workflow".
+//
+// Machine-readable results: when LOCKDOWN_BENCH_JSON=<file> is set, every
+// bench::Metric() call is collected and the process writes one JSON document
+// to <file> at exit ({bench, config, metrics:[{name, value, unit}]}).
+// tools/check.sh uses this to regenerate BENCH_baseline.json; the human
+// tables on stdout are unaffected.
 #pragma once
 
 #include <charconv>
@@ -18,6 +24,7 @@
 #include <limits>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/pipeline.h"
 #include "core/study.h"
@@ -112,6 +119,69 @@ inline const core::LockdownStudy& SharedStudy() {
                                          world::ServiceCatalog::Default(),
                                          DefaultConfig().threads);
   return study;
+}
+
+/// Collects named metrics and writes them as one JSON document at process
+/// exit when LOCKDOWN_BENCH_JSON names a file. Without the env var the
+/// collector is inert, so benches can always report.
+class JsonReport {
+ public:
+  static JsonReport& Get() {
+    static JsonReport report;
+    return report;
+  }
+
+  void SetBenchName(std::string name) { bench_ = std::move(name); }
+
+  void Metric(std::string name, double value, std::string unit) {
+    metrics_.push_back({std::move(name), value, std::move(unit)});
+  }
+
+  ~JsonReport() {
+    const char* path = std::getenv("LOCKDOWN_BENCH_JSON");
+    if (path == nullptr || *path == '\0' || metrics_.empty()) return;
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[bench] cannot write LOCKDOWN_BENCH_JSON=%s\n", path);
+      return;
+    }
+    const core::StudyConfig cfg = DefaultConfig();
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench_.c_str());
+    std::fprintf(f,
+                 "  \"config\": {\"students\": %d, \"seed\": %llu, "
+                 "\"threads\": %d},\n",
+                 cfg.generator.population.num_students,
+                 static_cast<unsigned long long>(cfg.generator.population.seed),
+                 cfg.threads);
+    std::fprintf(f, "  \"metrics\": [\n");
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const Entry& m = metrics_[i];
+      std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.17g, \"unit\": \"%s\"}%s\n",
+                   m.name.c_str(), m.value, m.unit.c_str(),
+                   i + 1 < metrics_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  std::string bench_ = "unnamed";
+  std::vector<Entry> metrics_;
+};
+
+/// `Metric("streaming_flows_per_s", 1.1e6, "flows/s")` — record one result.
+inline void Metric(std::string name, double value, std::string unit) {
+  JsonReport::Get().Metric(std::move(name), value, std::move(unit));
+}
+
+/// Names the document written at exit; call once near the top of main().
+inline void BenchName(std::string name) {
+  JsonReport::Get().SetBenchName(std::move(name));
 }
 
 inline std::string Gb(double bytes, int precision = 2) {

@@ -9,195 +9,21 @@ namespace lockdown::core {
 using util::StudyCalendar;
 using util::Timestamp;
 
-namespace {
-
-// Chunk grains for the sharded passes. Chunk boundaries depend only on the
-// problem size (util/thread_pool.h), so every reduction below — always folded
-// in chunk order — produces the same bits at any thread count.
-constexpr std::size_t kDeviceGrain = 64;    // per-device loops (CSR-disjoint)
-constexpr std::size_t kDayGrain = 8;        // per-day aggregation rows
-constexpr std::size_t kHourGrain = 24;      // hour-of-week median columns
-constexpr std::size_t kSessionGrain = 32;   // per-device session merging
-constexpr std::size_t kFlowGrain = 16384;   // flat flow scans
-
-}  // namespace
-
-const char* ToString(ReportClass c) noexcept {
-  switch (c) {
-    case ReportClass::kMobile: return "mobile";
-    case ReportClass::kLaptopDesktop: return "laptop-desktop";
-    case ReportClass::kIot: return "iot";
-    case ReportClass::kUnclassified: return "unclassified";
-  }
-  return "???";
-}
-
-ReportClass LockdownStudy::GroupOf(classify::DeviceClass c) noexcept {
-  switch (c) {
-    case classify::DeviceClass::kMobile: return ReportClass::kMobile;
-    case classify::DeviceClass::kLaptopDesktop: return ReportClass::kLaptopDesktop;
-    case classify::DeviceClass::kIot:
-    case classify::DeviceClass::kGameConsole: return ReportClass::kIot;
-    case classify::DeviceClass::kUnknown: return ReportClass::kUnclassified;
-  }
-  return ReportClass::kUnclassified;
-}
-
 LockdownStudy::LockdownStudy(const Dataset& dataset,
                              const world::ServiceCatalog& catalog, int threads)
-    : dataset_(&dataset),
-      catalog_(&catalog),
-      geo_db_(catalog),
-      zoom_(catalog),
-      pool_(util::ResolveThreadCount(threads)),
-      shutdown_day_(StudyCalendar::DayIndex(StudyCalendar::kStayAtHome)),
-      post_shutdown_day_(StudyCalendar::DayIndex(StudyCalendar::kBreakEnd)) {
-  const std::size_t n = dataset.num_devices();
-
-  // Classify every device. Each slot is written by exactly one chunk.
-  const classify::DeviceClassifier classifier =
-      classify::DeviceClassifier::Default(catalog);
-  classifications_.resize(n);
-  report_class_.resize(n);
-  pool_.ParallelFor(n, kDeviceGrain,
-                    [&](std::size_t, std::size_t begin, std::size_t end) {
-                      for (std::size_t i = begin; i < end; ++i) {
-                        const auto dev = static_cast<DeviceIndex>(i);
-                        classifications_[i] =
-                            classifier.Classify(dataset.device(dev).observations);
-                        report_class_[i] = GroupOf(classifications_[i].device_class);
-                      }
-                    });
-
-  // Precompute per-domain application flags (slot-disjoint writes).
-  domain_flags_.resize(dataset.num_domains());
-  pool_.ParallelFor(dataset.num_domains(), kDeviceGrain,
-                    [&](std::size_t, std::size_t begin, std::size_t end) {
-                      for (std::size_t i = begin; i < end; ++i) {
-                        const std::string_view name =
-                            dataset.DomainName(static_cast<DomainId>(i));
-                        if (name.empty()) continue;
-                        DomainFlags& f = domain_flags_[i];
-                        f.zoom = zoom_.MatchesDomain(name);
-                        f.fb_family = social_.IsFacebookFamily(name);
-                        f.instagram_only = social_.IsInstagramOnly(name);
-                        f.tiktok = social_.IsTikTok(name);
-                        f.steam = steam_.Matches(name);
-                        f.nintendo = nintendo_.IsNintendo(name);
-                        f.nintendo_gameplay = nintendo_.IsGameplay(name);
-                      }
-                    });
-
-  // Post-shutdown users: the devices that "remained on campus after the
-  // shutdown" (§4). Students kept departing through the academic break, so a
-  // device counts only if it still has traffic once online classes begin
-  // (3/30) — otherwise the cohort would mix in departing devices and the
-  // §4.1 within-cohort comparisons would reflect demographics, not behaviour.
-  // The CSR index makes each device's flag independent of every other's.
-  is_post_shutdown_.assign(n, 0);
-  pool_.ParallelFor(n, kDeviceGrain,
-                    [&](std::size_t, std::size_t begin, std::size_t end) {
-                      for (std::size_t i = begin; i < end; ++i) {
-                        for (const Flow& f :
-                             dataset.FlowsOfDevice(static_cast<DeviceIndex>(i))) {
-                          if (Dataset::DayOf(f) >= post_shutdown_day_) {
-                            is_post_shutdown_[i] = 1;
-                            break;
-                          }
-                        }
-                      }
-                    });
-  for (DeviceIndex i = 0; i < n; ++i) {
-    if (is_post_shutdown_[i]) post_shutdown_.push_back(i);
-  }
-
-  ComputeSplit();
-}
-
-bool LockdownStudy::IsZoomFlow(const Flow& f) const noexcept {
-  if (f.domain != kNoDomain) return domain_flags_[f.domain].zoom;
-  return zoom_.MatchesCurrentIp(f.server_ip) || zoom_.MatchesHistoricalIp(f.server_ip);
-}
-
-template <typename Fn>
-void LockdownStudy::SpreadOverHours(const Flow& f, Fn&& add) {
-  const Timestamp start = Dataset::StartOf(f);
-  const auto dur = static_cast<Timestamp>(f.duration_s);
-  const Timestamp end = start + std::max<Timestamp>(dur, 1);
-  const double total = static_cast<double>(f.total_bytes());
-  const double span = static_cast<double>(end - start);
-  Timestamp t = start;
-  while (t < end) {
-    const Timestamp hour_end =
-        (t / util::kSecondsPerHour + 1) * util::kSecondsPerHour;
-    const Timestamp chunk_end = std::min(hour_end, end);
-    add(t, total * static_cast<double>(chunk_end - t) / span);
-    t = chunk_end;
-  }
-}
-
-void LockdownStudy::ComputeSplit() {
-  // §4.2: February traffic of post-shutdown users, bytes-weighted midpoint,
-  // CDNs excluded (handled inside the classifier via the geo database).
-  // Devices shard by chunk, so the per-shard classifiers hold disjoint keys
-  // and each device's accumulation runs in its serial (CSR) flow order.
-  const std::size_t n = dataset_->num_devices();
-  const std::size_t num_chunks = util::ThreadPool::NumChunks(n, kDeviceGrain);
-  std::vector<geo::InternationalClassifier> shards(
-      num_chunks, geo::InternationalClassifier(geo_db_));
-  pool_.ParallelFor(n, kDeviceGrain,
-                    [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-                      geo::InternationalClassifier& intl = shards[chunk];
-                      for (std::size_t i = begin; i < end; ++i) {
-                        if (!is_post_shutdown_[i]) continue;
-                        const auto dev = static_cast<DeviceIndex>(i);
-                        // The classifier keys on opaque device ids; the dense
-                        // dataset index works as that key directly.
-                        for (const Flow& f : dataset_->FlowsOfDevice(dev)) {
-                          intl.Observe(privacy::DeviceId{dev}, f.server_ip,
-                                       f.total_bytes(), Dataset::StartOf(f));
-                        }
-                      }
-                    });
-  geo::InternationalClassifier intl(geo_db_);
-  for (std::size_t c = 0; c < num_chunks; ++c) intl.Merge(shards[c]);
-  shards.clear();
-
-  // Classify each cohort member; stage verdicts so the vector<bool> and the
-  // counters are filled serially in device order.
-  enum : std::uint8_t { kNoGeo = 0, kDomestic = 1, kInternational = 2 };
-  std::vector<std::uint8_t> verdicts(post_shutdown_.size(), kNoGeo);
-  pool_.ParallelFor(post_shutdown_.size(), kDeviceGrain,
-                    [&](std::size_t, std::size_t begin, std::size_t end) {
-                      for (std::size_t k = begin; k < end; ++k) {
-                        const auto result =
-                            intl.Classify(privacy::DeviceId{post_shutdown_[k]});
-                        if (!result) continue;
-                        verdicts[k] = result->international ? kInternational
-                                                            : kDomestic;
-                      }
-                    });
-  split_.international.assign(n, false);
-  for (std::size_t k = 0; k < post_shutdown_.size(); ++k) {
-    if (verdicts[k] == kNoGeo) continue;  // no usable Feb traffic -> domestic
-    ++split_.num_with_geo;
-    if (verdicts[k] == kInternational) {
-      split_.international[post_shutdown_[k]] = true;
-      ++split_.num_international;
-    }
-  }
-}
+    : pool_(util::ResolveThreadCount(threads)), ctx_(dataset, catalog, pool_) {}
 
 std::vector<LockdownStudy::ActiveDevicesRow> LockdownStudy::ActiveDevicesPerDay()
     const {
+  const Dataset& ds = ctx_.dataset();
   const int days = StudyCalendar::NumDays();
-  const std::size_t n = dataset_->num_devices();
+  const std::size_t n = ds.num_devices();
   std::vector<std::uint8_t> active(static_cast<std::size_t>(days) * n, 0);
   // Column-disjoint fill: each device only touches its own column.
   pool_.ParallelFor(n, kDeviceGrain,
                     [&](std::size_t, std::size_t begin, std::size_t end) {
                       for (std::size_t dev = begin; dev < end; ++dev) {
-                        for (const Flow& f : dataset_->FlowsOfDevice(
+                        for (const Flow& f : ds.FlowsOfDevice(
                                  static_cast<DeviceIndex>(dev))) {
                           const int day = Dataset::DayOf(f);
                           if (day < 0 || day >= days) continue;
@@ -216,7 +42,7 @@ std::vector<LockdownStudy::ActiveDevicesRow> LockdownStudy::ActiveDevicesPerDay(
                         for (std::size_t dev = 0; dev < n; ++dev) {
                           if (!base[dev]) continue;
                           ++row.by_class[static_cast<std::size_t>(
-                              report_class_[dev])];
+                              ctx_.report_class(dev))];
                           ++row.total;
                         }
                       }
@@ -226,13 +52,14 @@ std::vector<LockdownStudy::ActiveDevicesRow> LockdownStudy::ActiveDevicesPerDay(
 
 std::vector<LockdownStudy::BytesPerDeviceRow> LockdownStudy::BytesPerDevicePerDay()
     const {
+  const Dataset& ds = ctx_.dataset();
   const int days = StudyCalendar::NumDays();
-  const std::size_t n = dataset_->num_devices();
+  const std::size_t n = ds.num_devices();
   std::vector<double> bytes(static_cast<std::size_t>(days) * n, 0.0);
   pool_.ParallelFor(n, kDeviceGrain,
                     [&](std::size_t, std::size_t begin, std::size_t end) {
                       for (std::size_t dev = begin; dev < end; ++dev) {
-                        for (const Flow& f : dataset_->FlowsOfDevice(
+                        for (const Flow& f : ds.FlowsOfDevice(
                                  static_cast<DeviceIndex>(dev))) {
                           const int day = Dataset::DayOf(f);
                           if (day < 0 || day >= days) continue;
@@ -253,8 +80,8 @@ std::vector<LockdownStudy::BytesPerDeviceRow> LockdownStudy::BytesPerDevicePerDa
           const double* base = bytes.data() + day * n;
           for (std::size_t dev = 0; dev < n; ++dev) {
             if (base[dev] <= 0.0) continue;
-            per_class[static_cast<std::size_t>(report_class_[dev])].push_back(
-                base[dev]);
+            per_class[static_cast<std::size_t>(ctx_.report_class(dev))]
+                .push_back(base[dev]);
           }
           for (int c = 0; c < kNumReportClasses; ++c) {
             auto& v = per_class[static_cast<std::size_t>(c)];
@@ -269,7 +96,8 @@ std::vector<LockdownStudy::BytesPerDeviceRow> LockdownStudy::BytesPerDevicePerDa
 
 LockdownStudy::HourOfWeekResult LockdownStudy::HourOfWeekVolume() const {
   HourOfWeekResult result;
-  const std::size_t n = dataset_->num_devices();
+  const Dataset& ds = ctx_.dataset();
+  const std::size_t n = ds.num_devices();
   constexpr int kH = analysis::HourOfWeekSeries::kHours;
   for (std::size_t w = 0; w < 4; ++w) {
     const Timestamp anchor = util::TimestampOf(StudyCalendar::kFig3Weeks[w]);
@@ -280,8 +108,8 @@ LockdownStudy::HourOfWeekResult LockdownStudy::HourOfWeekVolume() const {
         n, kDeviceGrain, [&](std::size_t, std::size_t begin, std::size_t end) {
           for (std::size_t dev = begin; dev < end; ++dev) {
             for (const Flow& f :
-                 dataset_->FlowsOfDevice(static_cast<DeviceIndex>(dev))) {
-              SpreadOverHours(f, [&](Timestamp t, double b) {
+                 ds.FlowsOfDevice(static_cast<DeviceIndex>(dev))) {
+              StudyContext::SpreadOverHours(f, [&](Timestamp t, double b) {
                 const auto bin = analysis::HourOfWeekSeries::BinOf(t, anchor);
                 if (bin) {
                   volume[dev * static_cast<std::size_t>(kH) +
@@ -291,11 +119,8 @@ LockdownStudy::HourOfWeekResult LockdownStudy::HourOfWeekVolume() const {
             }
           }
         });
-    // Median across devices with substantive traffic in that hour. The
-    // floor keeps heartbeat-only devices (IoT pings, idle gadgets) from
-    // swamping the median — their per-hour kilobytes say nothing about user
-    // behaviour, which is what Fig. 3 tracks.
-    constexpr double kMinHourBytes = 1e6;
+    // Median across devices with substantive traffic in that hour (see
+    // kMinHourBytes in study_context.h).
     pool_.ParallelFor(
         static_cast<std::size_t>(kH), kHourGrain,
         [&](std::size_t, std::size_t begin, std::size_t end) {
@@ -324,18 +149,19 @@ LockdownStudy::HourOfWeekResult LockdownStudy::HourOfWeekVolume() const {
 }
 
 std::vector<LockdownStudy::Fig4Row> LockdownStudy::MedianBytesExcludingZoom() const {
+  const Dataset& ds = ctx_.dataset();
   const int days = StudyCalendar::NumDays();
-  const std::size_t n = dataset_->num_devices();
+  const std::size_t n = ds.num_devices();
   std::vector<double> bytes(static_cast<std::size_t>(days) * n, 0.0);
   pool_.ParallelFor(
       n, kDeviceGrain, [&](std::size_t, std::size_t begin, std::size_t end) {
         for (std::size_t dev = begin; dev < end; ++dev) {
-          if (!is_post_shutdown_[dev]) continue;
+          if (!ctx_.IsPostShutdown(dev)) continue;
           for (const Flow& f :
-               dataset_->FlowsOfDevice(static_cast<DeviceIndex>(dev))) {
+               ds.FlowsOfDevice(static_cast<DeviceIndex>(dev))) {
             const int day = Dataset::DayOf(f);
             if (day < 0 || day >= days) continue;
-            if (IsZoomFlow(f)) continue;  // "we exclude Zoom traffic" (§4.2)
+            if (ctx_.IsZoomFlow(f)) continue;  // "we exclude Zoom traffic" (§4.2)
             bytes[static_cast<std::size_t>(day) * n + dev] +=
                 static_cast<double>(f.total_bytes());
           }
@@ -352,16 +178,16 @@ std::vector<LockdownStudy::Fig4Row> LockdownStudy::MedianBytesExcludingZoom() co
           for (auto& g : groups) g.clear();
           const double* base = bytes.data() + day * n;
           for (std::size_t dev = 0; dev < n; ++dev) {
-            if (base[dev] <= 0.0 || !is_post_shutdown_[dev]) continue;
-            const ReportClass rc = report_class_[dev];
+            if (base[dev] <= 0.0 || !ctx_.IsPostShutdown(dev)) continue;
+            const ReportClass rc = ctx_.report_class(dev);
             // "We consider mobile and desktop devices separately from
             //  unclassified devices, and exclude IoT devices here" (Fig. 4
             //  caption).
             int group;
             if (rc == ReportClass::kMobile || rc == ReportClass::kLaptopDesktop) {
-              group = split_.international[dev] ? 0 : 1;
+              group = ctx_.split().international[dev] ? 0 : 1;
             } else if (rc == ReportClass::kUnclassified) {
-              group = split_.international[dev] ? 2 : 3;
+              group = ctx_.split().international[dev] ? 2 : 3;
             } else {
               continue;
             }
@@ -377,7 +203,8 @@ std::vector<LockdownStudy::Fig4Row> LockdownStudy::MedianBytesExcludingZoom() co
 }
 
 analysis::DailySeries LockdownStudy::ZoomDailyBytes() const {
-  const std::size_t n = dataset_->num_devices();
+  const Dataset& ds = ctx_.dataset();
+  const std::size_t n = ds.num_devices();
   const std::size_t num_chunks = util::ThreadPool::NumChunks(n, kDeviceGrain);
   std::vector<analysis::DailySeries> shards(num_chunks);
   pool_.ParallelFor(
@@ -385,10 +212,10 @@ analysis::DailySeries LockdownStudy::ZoomDailyBytes() const {
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         analysis::DailySeries& series = shards[chunk];
         for (std::size_t dev = begin; dev < end; ++dev) {
-          if (!is_post_shutdown_[dev]) continue;
+          if (!ctx_.IsPostShutdown(dev)) continue;
           for (const Flow& f :
-               dataset_->FlowsOfDevice(static_cast<DeviceIndex>(dev))) {
-            if (!IsZoomFlow(f)) continue;
+               ds.FlowsOfDevice(static_cast<DeviceIndex>(dev))) {
+            if (!ctx_.IsZoomFlow(f)) continue;
             series.Add(Dataset::StartOf(f), static_cast<double>(f.total_bytes()));
           }
         }
@@ -400,6 +227,8 @@ analysis::DailySeries LockdownStudy::ZoomDailyBytes() const {
 
 LockdownStudy::SocialBox LockdownStudy::SocialDurations(apps::SocialApp app,
                                                         int month) const {
+  const Dataset& ds = ctx_.dataset();
+  const std::vector<DeviceIndex>& cohort = ctx_.post_shutdown();
   const Timestamp month_start = util::TimestampOf(util::CivilDate{2020, month, 1});
   const Timestamp month_end =
       util::TimestampOf(util::CivilDate{2020, month + 1, 1});
@@ -407,24 +236,24 @@ LockdownStudy::SocialBox LockdownStudy::SocialDurations(apps::SocialApp app,
   // hours land in disjoint slots and fold below in cohort order — the order
   // the serial loop pushed them.
   enum : std::uint8_t { kSkip = 0, kDomestic = 1, kInternational = 2 };
-  std::vector<double> hours_of(post_shutdown_.size(), 0.0);
-  std::vector<std::uint8_t> bucket(post_shutdown_.size(), kSkip);
+  std::vector<double> hours_of(cohort.size(), 0.0);
+  std::vector<std::uint8_t> bucket(cohort.size(), kSkip);
   pool_.ParallelFor(
-      post_shutdown_.size(), kSessionGrain,
+      cohort.size(), kSessionGrain,
       [&](std::size_t, std::size_t begin, std::size_t end) {
         std::vector<apps::FlowInterval> intervals;
         for (std::size_t k = begin; k < end; ++k) {
-          const DeviceIndex dev = post_shutdown_[k];
+          const DeviceIndex dev = cohort[k];
           // "We analyze only mobile traffic" (§5.2).
-          if (report_class_[dev] != ReportClass::kMobile) continue;
+          if (ctx_.report_class(dev) != ReportClass::kMobile) continue;
           intervals.clear();
-          for (const Flow& f : dataset_->FlowsOfDevice(dev)) {
+          for (const Flow& f : ds.FlowsOfDevice(dev)) {
             const Timestamp start = Dataset::StartOf(f);
             if (start < month_start || start >= month_end ||
                 f.domain == kNoDomain) {
               continue;
             }
-            const DomainFlags& flags = domain_flags_[f.domain];
+            const StudyContext::DomainFlags& flags = ctx_.domain_flags(f.domain);
             const bool relevant =
                 app == apps::SocialApp::kTikTok ? flags.tiktok : flags.fb_family;
             if (!relevant) continue;
@@ -437,21 +266,21 @@ LockdownStudy::SocialBox LockdownStudy::SocialDurations(apps::SocialApp app,
           double hours = 0.0;
           for (const apps::Session& session : apps::MergeSessions(intervals)) {
             if (app != apps::SocialApp::kTikTok) {
-              const apps::SocialApp resolved = social_.ClassifySession(
+              const apps::SocialApp resolved = ctx_.social().ClassifySession(
                   session,
-                  [this](std::uint32_t tag) { return dataset_->DomainName(tag); });
+                  [&ds](std::uint32_t tag) { return ds.DomainName(tag); });
               if (resolved != app) continue;
             }
             hours += session.duration_s() / 3600.0;
           }
           if (hours <= 0.0) continue;
           hours_of[k] = hours;
-          bucket[k] = split_.international[dev] ? kInternational : kDomestic;
+          bucket[k] = ctx_.split().international[dev] ? kInternational : kDomestic;
         }
       });
   std::vector<double> dom;
   std::vector<double> intl;
-  for (std::size_t k = 0; k < post_shutdown_.size(); ++k) {
+  for (std::size_t k = 0; k < cohort.size(); ++k) {
     if (bucket[k] == kSkip) continue;
     (bucket[k] == kInternational ? intl : dom).push_back(hours_of[k]);
   }
@@ -460,32 +289,33 @@ LockdownStudy::SocialBox LockdownStudy::SocialDurations(apps::SocialApp app,
 }
 
 LockdownStudy::SteamBox LockdownStudy::SteamUsage(int month) const {
+  const Dataset& ds = ctx_.dataset();
   const Timestamp month_start = util::TimestampOf(util::CivilDate{2020, month, 1});
   const Timestamp month_end =
       util::TimestampOf(util::CivilDate{2020, month + 1, 1});
   std::vector<double> dom_bytes, intl_bytes, dom_conns, intl_conns;
-  const std::size_t n = dataset_->num_devices();
+  const std::size_t n = ds.num_devices();
   std::vector<double> bytes(n, 0.0);
   std::vector<double> conns(n, 0.0);
   pool_.ParallelFor(
       n, kDeviceGrain, [&](std::size_t, std::size_t begin, std::size_t end) {
         for (std::size_t dev = begin; dev < end; ++dev) {
           for (const Flow& f :
-               dataset_->FlowsOfDevice(static_cast<DeviceIndex>(dev))) {
+               ds.FlowsOfDevice(static_cast<DeviceIndex>(dev))) {
             const Timestamp start = Dataset::StartOf(f);
             if (start < month_start || start >= month_end ||
                 f.domain == kNoDomain) {
               continue;
             }
-            if (!domain_flags_[f.domain].steam) continue;
+            if (!ctx_.domain_flags(f.domain).steam) continue;
             bytes[dev] += static_cast<double>(f.total_bytes());
             conns[dev] += 1.0;
           }
         }
       });
-  for (const DeviceIndex dev : post_shutdown_) {
+  for (const DeviceIndex dev : ctx_.post_shutdown()) {
     if (conns[dev] <= 0.0) continue;
-    if (split_.international[dev]) {
+    if (ctx_.split().international[dev]) {
       intl_bytes.push_back(bytes[dev]);
       intl_conns.push_back(conns[dev]);
     } else {
@@ -499,25 +329,10 @@ LockdownStudy::SteamBox LockdownStudy::SteamUsage(int month) const {
                   analysis::ComputeBoxStats(std::move(intl_conns))};
 }
 
-namespace {
-
-/// True if the device is a Switch by the §5.3.2 traffic rule.
-bool IsSwitchDevice(const classify::DeviceObservations& obs,
-                    const apps::NintendoSignature& nintendo) {
-  std::uint64_t total = 0;
-  std::uint64_t nintendo_bytes = 0;
-  for (const auto& [domain, b] : obs.bytes_by_domain) {
-    total += b;
-    if (nintendo.IsNintendo(domain)) nintendo_bytes += b;
-  }
-  return total > 0 && nintendo_bytes * 2 >= total;
-}
-
-}  // namespace
-
 analysis::DailySeries LockdownStudy::SwitchGameplayDaily(int ma_window) const {
   // Switches "active in both February and May" (Fig. 8 caption).
-  const std::size_t n = dataset_->num_devices();
+  const Dataset& ds = ctx_.dataset();
+  const std::size_t n = ds.num_devices();
   const int feb_end = StudyCalendar::DayIndex(util::CivilDate{2020, 3, 1});
   const int may_start = StudyCalendar::DayIndex(util::CivilDate{2020, 5, 1});
   const std::size_t num_chunks = util::ThreadPool::NumChunks(n, kDeviceGrain);
@@ -528,10 +343,8 @@ analysis::DailySeries LockdownStudy::SwitchGameplayDaily(int ma_window) const {
         analysis::DailySeries& series = shards[chunk];
         for (std::size_t dev = begin; dev < end; ++dev) {
           const auto di = static_cast<DeviceIndex>(dev);
-          if (!IsSwitchDevice(dataset_->device(di).observations, nintendo_)) {
-            continue;
-          }
-          const auto flows = dataset_->FlowsOfDevice(di);
+          if (!ctx_.IsSwitchDevice(di)) continue;
+          const auto flows = ds.FlowsOfDevice(di);
           bool in_feb = false;
           bool in_may = false;
           for (const Flow& f : flows) {
@@ -542,7 +355,7 @@ analysis::DailySeries LockdownStudy::SwitchGameplayDaily(int ma_window) const {
           if (!in_feb || !in_may) continue;
           for (const Flow& f : flows) {
             if (f.domain == kNoDomain ||
-                !domain_flags_[f.domain].nintendo_gameplay) {
+                !ctx_.domain_flags(f.domain).nintendo_gameplay) {
               continue;
             }
             series.Add(Dataset::StartOf(f), static_cast<double>(f.total_bytes()));
@@ -555,7 +368,8 @@ analysis::DailySeries LockdownStudy::SwitchGameplayDaily(int ma_window) const {
 }
 
 LockdownStudy::SwitchCounts LockdownStudy::CountSwitches() const {
-  const std::size_t n = dataset_->num_devices();
+  const Dataset& ds = ctx_.dataset();
+  const std::size_t n = ds.num_devices();
   const int feb_end = StudyCalendar::DayIndex(util::CivilDate{2020, 3, 1});
   const int april_start = StudyCalendar::DayIndex(util::CivilDate{2020, 4, 1});
   const std::size_t num_chunks = util::ThreadPool::NumChunks(n, kDeviceGrain);
@@ -566,10 +380,8 @@ LockdownStudy::SwitchCounts LockdownStudy::CountSwitches() const {
         SwitchCounts& counts = shards[chunk];
         for (std::size_t dev = begin; dev < end; ++dev) {
           const auto di = static_cast<DeviceIndex>(dev);
-          if (!IsSwitchDevice(dataset_->device(di).observations, nintendo_)) {
-            continue;
-          }
-          const auto flows = dataset_->FlowsOfDevice(di);
+          if (!ctx_.IsSwitchDevice(di)) continue;
+          const auto flows = ds.FlowsOfDevice(di);
           if (flows.empty()) continue;
           int first_day = StudyCalendar::NumDays();
           bool feb = false;
@@ -578,7 +390,7 @@ LockdownStudy::SwitchCounts LockdownStudy::CountSwitches() const {
             const int day = Dataset::DayOf(f);
             first_day = std::min(first_day, day);
             feb |= day < feb_end;
-            post |= day >= post_shutdown_day_;
+            post |= day >= ctx_.post_shutdown_day();
           }
           counts.active_february += feb;
           counts.active_post_shutdown += post;
@@ -596,30 +408,32 @@ LockdownStudy::SwitchCounts LockdownStudy::CountSwitches() const {
 
 std::vector<LockdownStudy::CategoryVolumeRow> LockdownStudy::CategoryVolumes()
     const {
+  const Dataset& ds = ctx_.dataset();
+  const world::ServiceCatalog& catalog = ctx_.catalog();
   const int days = StudyCalendar::NumDays();
-  const std::size_t num_flows = dataset_->num_flows();
+  const std::size_t num_flows = ds.num_flows();
   const std::size_t num_chunks =
       util::ThreadPool::NumChunks(num_flows, kFlowGrain);
   std::vector<std::vector<CategoryVolumeRow>> shards(
       num_chunks, std::vector<CategoryVolumeRow>(static_cast<std::size_t>(days)));
-  const auto flows = dataset_->flows();
+  const auto flows = ds.flows();
   pool_.ParallelFor(
       num_flows, kFlowGrain,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         std::vector<CategoryVolumeRow>& rows = shards[chunk];
         for (std::size_t i = begin; i < end; ++i) {
           const Flow& f = flows[i];
-          if (!is_post_shutdown_[f.device]) continue;
+          if (!ctx_.IsPostShutdown(f.device)) continue;
           const int day = Dataset::DayOf(f);
           if (day < 0 || day >= days) continue;
           CategoryVolumeRow& row = rows[static_cast<std::size_t>(day)];
           const double bytes = static_cast<double>(f.total_bytes());
-          const auto svc = catalog_->FindByIp(f.server_ip);
+          const auto svc = catalog.FindByIp(f.server_ip);
           if (!svc) {
             row.other += bytes;
             continue;
           }
-          switch (catalog_->Get(*svc).category) {
+          switch (catalog.Get(*svc).category) {
             case world::Category::kEducation:
             case world::Category::kEmailCloud:
               row.education += bytes;
@@ -667,11 +481,12 @@ std::vector<LockdownStudy::CategoryVolumeRow> LockdownStudy::CategoryVolumes()
 
 LockdownStudy::DiurnalShapeResult LockdownStudy::DiurnalShape(int first_day,
                                                               int last_day) const {
-  const std::size_t num_flows = dataset_->num_flows();
+  const Dataset& ds = ctx_.dataset();
+  const std::size_t num_flows = ds.num_flows();
   const std::size_t num_chunks =
       util::ThreadPool::NumChunks(num_flows, kFlowGrain);
   std::vector<DiurnalShapeResult> shards(num_chunks);
-  const auto flows = dataset_->flows();
+  const auto flows = ds.flows();
   pool_.ParallelFor(
       num_flows, kFlowGrain,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
@@ -683,7 +498,7 @@ LockdownStudy::DiurnalShapeResult LockdownStudy::DiurnalShape(int first_day,
           const bool weekend =
               util::IsWeekend(util::WeekdayOf(StudyCalendar::DateAt(day)));
           auto& profile = weekend ? partial.weekend : partial.weekday;
-          SpreadOverHours(f, [&profile](Timestamp t, double bytes) {
+          StudyContext::SpreadOverHours(f, [&profile](Timestamp t, double bytes) {
             profile[static_cast<std::size_t>(util::HourOf(t))] += bytes;
           });
         }
@@ -711,23 +526,24 @@ LockdownStudy::Headline LockdownStudy::HeadlineStats() const {
   const auto rows = ActiveDevicesPerDay();
   for (const ActiveDevicesRow& row : rows) {
     h.peak_active_devices = std::max(h.peak_active_devices, row.total);
-    if (row.day >= shutdown_day_ &&
+    if (row.day >= ctx_.shutdown_day() &&
         (h.trough_active_devices == 0 || row.total < h.trough_active_devices)) {
       h.trough_active_devices = row.total;
     }
   }
-  h.post_shutdown_users = post_shutdown_.size();
-  h.international_devices = split_.num_international;
+  h.post_shutdown_users = ctx_.post_shutdown().size();
+  h.international_devices = ctx_.split().num_international;
   h.international_share =
-      post_shutdown_.empty()
+      ctx_.post_shutdown().empty()
           ? 0.0
-          : static_cast<double>(split_.num_international) /
-                static_cast<double>(post_shutdown_.size());
+          : static_cast<double>(ctx_.split().num_international) /
+                static_cast<double>(ctx_.post_shutdown().size());
 
   // Traffic increase (post-shutdown users): mean daily bytes Apr+May vs Feb,
   // and distinct sites per device per month. The flow scan shards into
   // per-chunk partial sums and (device, domain) sets; partials fold in chunk
   // order, and set sizes are union-order independent.
+  const Dataset& ds = ctx_.dataset();
   const int feb_start = 0;
   const int feb_days = 29;
   const int apr_start = StudyCalendar::DayIndex(util::CivilDate{2020, 4, 1});
@@ -738,18 +554,18 @@ LockdownStudy::Headline LockdownStudy::HeadlineStats() const {
     double apr_may_bytes = 0.0;
     std::unordered_set<std::uint64_t> seen_feb, seen_apr, seen_may;
   };
-  const std::size_t num_flows = dataset_->num_flows();
+  const std::size_t num_flows = ds.num_flows();
   const std::size_t num_chunks =
       util::ThreadPool::NumChunks(num_flows, kFlowGrain);
   std::vector<Partial> shards(num_chunks);
-  const auto flows = dataset_->flows();
+  const auto flows = ds.flows();
   pool_.ParallelFor(
       num_flows, kFlowGrain,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         Partial& p = shards[chunk];
         for (std::size_t i = begin; i < end; ++i) {
           const Flow& f = flows[i];
-          if (!is_post_shutdown_[f.device]) continue;
+          if (!ctx_.IsPostShutdown(f.device)) continue;
           const int day = Dataset::DayOf(f);
           if (day >= feb_start && day < feb_days) {
             p.feb_bytes += static_cast<double>(f.total_bytes());

@@ -1,5 +1,10 @@
 // LockdownStudy: every analysis in the paper, computed from a processed
 // Dataset. Method names reference the figure or section they reproduce.
+//
+// The shared census (classification, domain flags, cohort, intl split) lives
+// in StudyContext so the streaming engine (src/stream) can reuse it; this
+// class adds the batch figure computations, which materialise per-(day,
+// device) matrices and therefore scale with the dataset.
 #pragma once
 
 #include <array>
@@ -8,28 +13,11 @@
 
 #include "analysis/stats.h"
 #include "analysis/timeseries.h"
-#include "apps/nintendo.h"
-#include "apps/social.h"
-#include "apps/steam.h"
-#include "apps/zoom.h"
-#include "classify/classifier.h"
 #include "core/dataset.h"
-#include "geo/intl.h"
+#include "core/study_context.h"
 #include "util/thread_pool.h"
-#include "world/geo_db.h"
 
 namespace lockdown::core {
-
-/// Figure-1 reporting classes (consoles are folded into IoT there).
-enum class ReportClass : std::uint8_t {
-  kMobile = 0,
-  kLaptopDesktop = 1,
-  kIot = 2,
-  kUnclassified = 3,
-};
-inline constexpr int kNumReportClasses = 4;
-
-[[nodiscard]] const char* ToString(ReportClass c) noexcept;
 
 class LockdownStudy {
  public:
@@ -47,9 +35,11 @@ class LockdownStudy {
 
   // --- Device classification ------------------------------------------------
   [[nodiscard]] std::span<const classify::Classification> classifications() const noexcept {
-    return classifications_;
+    return ctx_.classifications();
   }
-  [[nodiscard]] static ReportClass GroupOf(classify::DeviceClass c) noexcept;
+  [[nodiscard]] static ReportClass GroupOf(classify::DeviceClass c) noexcept {
+    return ReportClassOf(c);
+  }
 
   // --- Figure 1: active devices per day by type ------------------------------
   struct ActiveDevicesRow {
@@ -69,10 +59,10 @@ class LockdownStudy {
 
   // --- §4: post-shutdown users -----------------------------------------------
   /// The devices that "remained on campus after the shutdown": any traffic
-  /// once online classes begin (3/30). See the constructor comment for why
-  /// the cohort anchors there rather than at the stay-at-home order.
+  /// once online classes begin (3/30). See StudyContext::post_shutdown for
+  /// why the cohort anchors there rather than at the stay-at-home order.
   [[nodiscard]] const std::vector<DeviceIndex>& PostShutdownDevices() const noexcept {
-    return post_shutdown_;
+    return ctx_.post_shutdown();
   }
 
   // --- Figure 3: normalized median per-device volume per hour of week --------
@@ -86,12 +76,10 @@ class LockdownStudy {
   [[nodiscard]] HourOfWeekResult HourOfWeekVolume() const;
 
   // --- §4.2: international / domestic split ----------------------------------
-  struct PopulationSplit {
-    std::vector<bool> international;  ///< per DeviceIndex; unlabeled => domestic
-    std::size_t num_international = 0;
-    std::size_t num_with_geo = 0;  ///< devices with usable February traffic
-  };
-  [[nodiscard]] const PopulationSplit& Split() const noexcept { return split_; }
+  using PopulationSplit = StudyContext::PopulationSplit;
+  [[nodiscard]] const PopulationSplit& Split() const noexcept {
+    return ctx_.split();
+  }
 
   // --- Figure 4: median daily bytes per device excluding Zoom ----------------
   struct Fig4Row {
@@ -176,44 +164,12 @@ class LockdownStudy {
   };
   [[nodiscard]] Headline HeadlineStats() const;
 
-  [[nodiscard]] const Dataset& dataset() const noexcept { return *dataset_; }
+  [[nodiscard]] const Dataset& dataset() const noexcept { return ctx_.dataset(); }
+  [[nodiscard]] const StudyContext& context() const noexcept { return ctx_; }
 
  private:
-  /// Per-domain application flags, precomputed over the interned domains.
-  struct DomainFlags {
-    bool zoom = false;
-    bool fb_family = false;
-    bool instagram_only = false;
-    bool tiktok = false;
-    bool steam = false;
-    bool nintendo = false;
-    bool nintendo_gameplay = false;
-  };
-
-  [[nodiscard]] bool IsZoomFlow(const Flow& f) const noexcept;
-  /// Spreads a flow's bytes uniformly over the hours it spans, calling
-  /// add(hour_timestamp, bytes_in_hour).
-  template <typename Fn>
-  static void SpreadOverHours(const Flow& f, Fn&& add);
-
-  void ComputeSplit();
-
-  const Dataset* dataset_;
-  const world::ServiceCatalog* catalog_;
-  world::GeoDatabase geo_db_;
-  apps::ZoomMatcher zoom_;
-  apps::SocialMediaSignatures social_;
-  apps::SteamSignature steam_;
-  apps::NintendoSignature nintendo_;
   util::ThreadPool pool_;
-  std::vector<classify::Classification> classifications_;
-  std::vector<ReportClass> report_class_;
-  std::vector<DomainFlags> domain_flags_;  // indexed by DomainId
-  std::vector<DeviceIndex> post_shutdown_;
-  std::vector<std::uint8_t> is_post_shutdown_;  // per device
-  PopulationSplit split_;
-  int shutdown_day_ = 0;       ///< stay-at-home order (Fig. 1 trough search)
-  int post_shutdown_day_ = 0;  ///< online-term start (post-shutdown cohort)
+  StudyContext ctx_;
 };
 
 }  // namespace lockdown::core

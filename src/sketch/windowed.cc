@@ -1,0 +1,25 @@
+#include "sketch/windowed.h"
+
+namespace lockdown::sketch {
+
+WindowedAggregator::WindowedAggregator(std::size_t num_bins) {
+  if (num_bins == 0) {
+    throw std::invalid_argument("WindowedAggregator needs at least one bin");
+  }
+  bins_.assign(num_bins, 0.0);
+}
+
+void WindowedAggregator::Add(std::size_t bin, double v) noexcept {
+  if (bin < bins_.size()) bins_[bin] += v;
+}
+
+void WindowedAggregator::Merge(const WindowedAggregator& other) {
+  if (bins_.size() != other.bins_.size()) {
+    throw MergeError("WindowedAggregator merge: bin count mismatch");
+  }
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    bins_[i] += other.bins_[i];
+  }
+}
+
+}  // namespace lockdown::sketch

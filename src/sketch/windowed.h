@@ -1,0 +1,52 @@
+// Fixed-bin windowed aggregator.
+//
+// The diurnal and hour-of-week figures are sums over a fixed, known-ahead
+// grid (24 five-minute-free bins, 168 hours, 121 days), so "sketching" them
+// needs no approximation at all — just a dense vector of doubles with
+// elementwise merge. The class exists so the streaming engine can treat
+// these curves uniformly with the probabilistic sketches: seeded-free,
+// mergeable, memory-accountable.
+//
+// Exactness: when every Add is integer-valued (byte counts) the accumulated
+// sums stay below 2^53 and double addition is exact, hence associative and
+// commutative — streaming equals batch bit-for-bit regardless of order.
+// Fractional adds (the diurnal spread) are reproduced bit-identically by
+// preserving the batch summation order, which the engine does by folding
+// per-chunk grids in chunk order.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sketch/sketch.h"
+
+namespace lockdown::sketch {
+
+class WindowedAggregator {
+ public:
+  /// A window of `num_bins` zero-initialised bins. Throws
+  /// std::invalid_argument if num_bins is zero.
+  explicit WindowedAggregator(std::size_t num_bins);
+
+  /// Adds `v` to `bin`; out-of-range bins are ignored (the streaming engine
+  /// clamps flows to the study window before binning, this is a backstop).
+  void Add(std::size_t bin, double v) noexcept;
+
+  /// Elementwise sum. Throws MergeError unless bin counts match.
+  void Merge(const WindowedAggregator& other);
+
+  [[nodiscard]] double at(std::size_t bin) const { return bins_.at(bin); }
+  [[nodiscard]] std::span<const double> values() const noexcept {
+    return bins_;
+  }
+  [[nodiscard]] std::size_t num_bins() const noexcept { return bins_.size(); }
+  [[nodiscard]] std::size_t MemoryBytes() const noexcept {
+    return bins_.size() * sizeof(double) + sizeof(*this);
+  }
+
+ private:
+  std::vector<double> bins_;
+};
+
+}  // namespace lockdown::sketch

@@ -1,0 +1,74 @@
+#include "stream/budget.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace lockdown::stream {
+
+namespace {
+
+// Accounting constants: a reservoir entry is {priority, key, value} = 24
+// bytes, and std::vector growth can hold up to ~2x the live entries, so the
+// plan charges 48 bytes per slot. Per-sketch object headers are charged flat.
+constexpr std::size_t kBytesPerReservoirSlot = 48;
+constexpr std::size_t kSketchHeaderBytes = 64;
+
+}  // namespace
+
+MemoryPlan MemoryPlan::ForBudget(std::size_t budget_bytes) {
+  MemoryPlan plan;
+  plan.budget_bytes = budget_bytes;
+
+  const std::size_t hll_share = budget_bytes / 4;
+  const std::size_t per_hll = hll_share / kNumHlls;
+  const int p =
+      per_hll < 2 ? kMinPrecision : std::bit_width(per_hll) - 1;  // floor(log2)
+  plan.hll_precision = std::clamp(p, kMinPrecision, kMaxPrecision);
+
+  const std::size_t res_share = budget_bytes / 2;
+  plan.reservoir_capacity =
+      std::clamp(res_share / (kNumReservoirs * kBytesPerReservoirSlot),
+                 kMinReservoirCapacity, kMaxReservoirCapacity);
+
+  plan.cms_depth = 4;
+  const std::size_t cms_share = budget_bytes / 16;
+  plan.cms_width = std::clamp(cms_share / (plan.cms_depth * sizeof(std::uint64_t)),
+                              kMinCmsWidth, kMaxCmsWidth);
+
+  if (plan.EstimatedSketchBytes() > budget_bytes) {
+    throw std::invalid_argument(
+        "memory budget too small for the streaming study: " +
+        std::to_string(budget_bytes) + " bytes < " +
+        std::to_string(plan.EstimatedSketchBytes()) +
+        " needed at the floor configuration (use at least 2 MiB)");
+  }
+  return plan;
+}
+
+std::size_t MemoryPlan::EstimatedSketchBytes() const noexcept {
+  const std::size_t hll_bytes =
+      kNumHlls * ((std::size_t{1} << hll_precision) + kSketchHeaderBytes);
+  const std::size_t res_bytes =
+      kNumReservoirs *
+      (reservoir_capacity * kBytesPerReservoirSlot + kSketchHeaderBytes);
+  const std::size_t cms_bytes =
+      cms_width * cms_depth * sizeof(std::uint64_t) + kSketchHeaderBytes;
+  return hll_bytes + res_bytes + cms_bytes;
+}
+
+double MemoryPlan::HllRelativeStandardError() const noexcept {
+  return 1.04 / std::sqrt(static_cast<double>(std::size_t{1} << hll_precision));
+}
+
+double MemoryPlan::CmsEpsilon() const noexcept {
+  return std::exp(1.0) / static_cast<double>(cms_width);
+}
+
+double MemoryPlan::CmsDelta() const noexcept {
+  return std::exp(-static_cast<double>(cms_depth));
+}
+
+}  // namespace lockdown::stream

@@ -1,0 +1,90 @@
+#include "util/memstats.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <limits>
+
+namespace lockdown::util {
+
+std::size_t PeakRssBytes() noexcept {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024U;
+}
+
+std::size_t CurrentRssBytes() noexcept {
+  std::FILE* f = std::fopen("/proc/self/statm", "re");
+  if (f == nullptr) return 0;
+  unsigned long long size_pages = 0;
+  unsigned long long rss_pages = 0;
+  const int matched = std::fscanf(f, "%llu %llu", &size_pages, &rss_pages);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<std::size_t>(rss_pages) *
+         static_cast<std::size_t>(page > 0 ? page : 4096);
+}
+
+std::string FormatByteSize(std::size_t bytes) {
+  constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < std::size(kUnits)) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof buf, "%zu B", bytes);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::optional<std::size_t> ParseByteSize(std::string_view s) noexcept {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr == begin) return std::nullopt;
+  std::string_view suffix(ptr, static_cast<std::size_t>(end - ptr));
+  std::uint64_t multiplier = 1;
+  if (!suffix.empty()) {
+    const char unit = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(suffix.front())));
+    std::string_view rest = suffix.substr(1);
+    switch (unit) {
+      case 'b': multiplier = 1; break;
+      case 'k': multiplier = 1ULL << 10; break;
+      case 'm': multiplier = 1ULL << 20; break;
+      case 'g': multiplier = 1ULL << 30; break;
+      case 't': multiplier = 1ULL << 40; break;
+      default: return std::nullopt;
+    }
+    // Accept "64K", "64KB", "64KiB" (and lower-case variants); nothing else.
+    if (unit != 'b' && !rest.empty()) {
+      if (rest == "b" || rest == "B") {
+        rest = {};
+      } else if (rest.size() == 2 &&
+                 (rest[0] == 'i' || rest[0] == 'I') &&
+                 (rest[1] == 'b' || rest[1] == 'B')) {
+        rest = {};
+      }
+    }
+    if (!rest.empty()) return std::nullopt;
+  }
+  if (value != 0 &&
+      multiplier > std::numeric_limits<std::uint64_t>::max() / value) {
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(value * multiplier);
+}
+
+}  // namespace lockdown::util

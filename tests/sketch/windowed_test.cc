@@ -1,0 +1,112 @@
+#include "sketch/windowed.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace lockdown::sketch {
+namespace {
+
+TEST(WindowedAggregator, RejectsZeroBins) {
+  EXPECT_THROW(WindowedAggregator(0), std::invalid_argument);
+}
+
+TEST(WindowedAggregator, AccumulatesPerBin) {
+  WindowedAggregator w(24);
+  w.Add(0, 1.5);
+  w.Add(0, 2.5);
+  w.Add(23, 7.0);
+  EXPECT_DOUBLE_EQ(w.at(0), 4.0);
+  EXPECT_DOUBLE_EQ(w.at(23), 7.0);
+  EXPECT_DOUBLE_EQ(w.at(12), 0.0);
+}
+
+TEST(WindowedAggregator, IgnoresOutOfRangeBins) {
+  WindowedAggregator w(4);
+  w.Add(4, 100.0);
+  w.Add(std::size_t{1} << 40, 100.0);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(w.at(i), 0.0);
+}
+
+TEST(WindowedAggregator, IntegerSumsExactInAnyOrder) {
+  // Byte counts are integers; double addition over integers below 2^53 is
+  // exact, so bin totals must match bit-for-bit no matter how the adds are
+  // ordered or split across instances.
+  util::Pcg32 rng(8, 8);
+  std::vector<std::pair<std::size_t, double>> adds;
+  for (int i = 0; i < 10000; ++i) {
+    adds.emplace_back(rng.Next() % 168,
+                      static_cast<double>(rng.Next()));  // integer-valued
+  }
+  WindowedAggregator forward(168);
+  WindowedAggregator reverse(168);
+  for (const auto& [bin, v] : adds) forward.Add(bin, v);
+  for (auto it = adds.rbegin(); it != adds.rend(); ++it) {
+    reverse.Add(it->first, it->second);
+  }
+  for (std::size_t i = 0; i < 168; ++i) {
+    EXPECT_EQ(forward.at(i), reverse.at(i)) << "bin " << i;
+  }
+}
+
+TEST(WindowedAggregator, MergeEqualsCombinedStreamForIntegerAdds) {
+  util::Pcg32 rng(3, 1);
+  WindowedAggregator whole(121);
+  WindowedAggregator left(121);
+  WindowedAggregator right(121);
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t bin = rng.Next() % 121;
+    const double v = static_cast<double>(rng.Next() % 1000000);
+    whole.Add(bin, v);
+    (i % 2 == 0 ? left : right).Add(bin, v);
+  }
+  left.Merge(right);
+  for (std::size_t i = 0; i < 121; ++i) {
+    EXPECT_EQ(left.at(i), whole.at(i)) << "bin " << i;
+  }
+}
+
+TEST(WindowedAggregator, MergeAssociativeAndCommutativeForIntegerAdds) {
+  const auto make = [](std::uint64_t salt) {
+    WindowedAggregator w(24);
+    util::Pcg32 rng(salt, 0);
+    for (int i = 0; i < 2000; ++i) {
+      w.Add(rng.Next() % 24, static_cast<double>(rng.Next() % 4096));
+    }
+    return w;
+  };
+  const auto a = make(1);
+  const auto b = make(2);
+  const auto c = make(3);
+
+  auto ab_c = a;
+  ab_c.Merge(b);
+  ab_c.Merge(c);
+  auto bc = b;
+  bc.Merge(c);
+  auto a_bc = a;
+  a_bc.Merge(bc);
+  auto cba = c;
+  cba.Merge(b);
+  cba.Merge(a);
+
+  for (std::size_t i = 0; i < 24; ++i) {
+    EXPECT_EQ(ab_c.at(i), a_bc.at(i));
+    EXPECT_EQ(ab_c.at(i), cba.at(i));
+  }
+}
+
+TEST(WindowedAggregator, MergeRejectsMismatch) {
+  WindowedAggregator a(24);
+  EXPECT_THROW(a.Merge(WindowedAggregator(25)), MergeError);
+}
+
+TEST(WindowedAggregator, MemoryBytesCoversBins) {
+  EXPECT_GE(WindowedAggregator(168).MemoryBytes(), 168 * sizeof(double));
+}
+
+}  // namespace
+}  // namespace lockdown::sketch

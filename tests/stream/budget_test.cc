@@ -1,0 +1,73 @@
+// MemoryPlan unit tests: dial derivation, clamping, the a-priori accuracy
+// formulas, and rejection of budgets below the floor configuration.
+#include "stream/budget.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lockdown::stream {
+namespace {
+
+constexpr std::size_t kMiB = std::size_t{1} << 20;
+
+TEST(MemoryPlan, DefaultBudgetGivesUsefulDials) {
+  const MemoryPlan plan = MemoryPlan::ForBudget(32 * kMiB);
+  EXPECT_EQ(plan.budget_bytes, 32 * kMiB);
+  EXPECT_GE(plan.hll_precision, MemoryPlan::kMinPrecision);
+  EXPECT_LE(plan.hll_precision, MemoryPlan::kMaxPrecision);
+  EXPECT_GE(plan.reservoir_capacity, MemoryPlan::kMinReservoirCapacity);
+  EXPECT_LE(plan.reservoir_capacity, MemoryPlan::kMaxReservoirCapacity);
+  EXPECT_GE(plan.cms_width, MemoryPlan::kMinCmsWidth);
+  EXPECT_LE(plan.cms_width, MemoryPlan::kMaxCmsWidth);
+  EXPECT_EQ(plan.cms_depth, 4u);
+  EXPECT_LE(plan.EstimatedSketchBytes(), plan.budget_bytes);
+}
+
+TEST(MemoryPlan, DialsAreMonotoneInBudget) {
+  MemoryPlan prev = MemoryPlan::ForBudget(2 * kMiB);
+  for (const std::size_t mib : {4, 8, 16, 32, 64, 128, 256}) {
+    const MemoryPlan plan = MemoryPlan::ForBudget(mib * kMiB);
+    EXPECT_GE(plan.hll_precision, prev.hll_precision) << mib << " MiB";
+    EXPECT_GE(plan.reservoir_capacity, prev.reservoir_capacity) << mib << " MiB";
+    EXPECT_GE(plan.cms_width, prev.cms_width) << mib << " MiB";
+    EXPECT_LE(plan.EstimatedSketchBytes(), plan.budget_bytes) << mib << " MiB";
+    prev = plan;
+  }
+}
+
+TEST(MemoryPlan, HugeBudgetHitsTheCaps) {
+  const MemoryPlan plan = MemoryPlan::ForBudget(std::size_t{8} << 30);
+  EXPECT_EQ(plan.hll_precision, MemoryPlan::kMaxPrecision);
+  EXPECT_EQ(plan.reservoir_capacity, MemoryPlan::kMaxReservoirCapacity);
+  EXPECT_EQ(plan.cms_width, MemoryPlan::kMaxCmsWidth);
+}
+
+TEST(MemoryPlan, FloorBudgetHitsTheFloors) {
+  const MemoryPlan plan = MemoryPlan::ForBudget(2 * kMiB);
+  EXPECT_EQ(plan.reservoir_capacity, MemoryPlan::kMinReservoirCapacity);
+  EXPECT_LE(plan.EstimatedSketchBytes(), plan.budget_bytes);
+}
+
+TEST(MemoryPlan, BudgetBelowFloorThrows) {
+  EXPECT_THROW((void)MemoryPlan::ForBudget(0), std::invalid_argument);
+  EXPECT_THROW((void)MemoryPlan::ForBudget(kMiB), std::invalid_argument);
+}
+
+TEST(MemoryPlan, AccuracyFormulas) {
+  const MemoryPlan plan = MemoryPlan::ForBudget(32 * kMiB);
+  const double m = std::pow(2.0, plan.hll_precision);
+  EXPECT_DOUBLE_EQ(plan.HllRelativeStandardError(), 1.04 / std::sqrt(m));
+  EXPECT_DOUBLE_EQ(plan.CmsEpsilon(),
+                   std::exp(1.0) / static_cast<double>(plan.cms_width));
+  EXPECT_DOUBLE_EQ(plan.CmsDelta(),
+                   std::exp(-static_cast<double>(plan.cms_depth)));
+  // The dials buy sub-2% error at the default budget.
+  EXPECT_LT(plan.HllRelativeStandardError(), 0.02);
+  EXPECT_LT(plan.CmsEpsilon(), 0.001);
+  EXPECT_LT(plan.CmsDelta(), 0.02);
+}
+
+}  // namespace
+}  // namespace lockdown::stream

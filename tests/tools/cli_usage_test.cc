@@ -1,0 +1,61 @@
+// Guards the lockdown_cli help against drifting from its parser: every
+// public flag must appear in the help text, the exit codes must all be
+// documented, and the flag inventory itself must stay sorted and duplicate
+// free. Flags are matched with a trailing delimiter so "--out" cannot be
+// satisfied by "--output".
+#include "tools/usage.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+namespace lockdown::cli {
+namespace {
+
+bool MentionsFlag(std::string_view text, std::string_view flag) {
+  std::size_t pos = 0;
+  while ((pos = text.find(flag, pos)) != std::string_view::npos) {
+    const std::size_t end = pos + flag.size();
+    if (end == text.size() || !(std::isalnum(text[end]) || text[end] == '-')) {
+      return true;
+    }
+    pos = end;
+  }
+  return false;
+}
+
+TEST(CliUsage, EveryPublicFlagIsDocumented) {
+  for (const std::string_view flag : kPublicFlags) {
+    EXPECT_TRUE(MentionsFlag(kUsageText, flag))
+        << "help text does not mention " << flag;
+  }
+}
+
+TEST(CliUsage, EveryExitCodeIsDocumented) {
+  const std::size_t section = kUsageText.find("exit codes:");
+  ASSERT_NE(section, std::string_view::npos);
+  const std::string_view codes = kUsageText.substr(section);
+  for (const int code : kDocumentedExitCodes) {
+    const std::string label = "\n  " + std::to_string(code) + "  ";
+    EXPECT_NE(codes.find(label), std::string_view::npos)
+        << "exit code " << code << " missing from the help";
+  }
+  EXPECT_NE(codes.find("0  success"), std::string_view::npos);
+}
+
+TEST(CliUsage, FlagInventoryIsSortedAndUnique) {
+  EXPECT_TRUE(std::is_sorted(kPublicFlags.begin(), kPublicFlags.end()));
+  EXPECT_EQ(std::adjacent_find(kPublicFlags.begin(), kPublicFlags.end()),
+            kPublicFlags.end());
+}
+
+TEST(CliUsage, DocumentsTheStreamingSurface) {
+  EXPECT_TRUE(MentionsFlag(kUsageText, "--streaming"));
+  EXPECT_TRUE(MentionsFlag(kUsageText, "--memory-budget"));
+  EXPECT_NE(kUsageText.find("accuracy report"), std::string_view::npos);
+}
+
+}  // namespace
+}  // namespace lockdown::cli

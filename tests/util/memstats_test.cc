@@ -1,0 +1,81 @@
+#include "util/memstats.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace lockdown::util {
+namespace {
+
+TEST(Memstats, PeakRssIsReported) {
+  const std::size_t peak = PeakRssBytes();
+  // A running test binary has at least a megabyte resident.
+  EXPECT_GT(peak, 1U << 20);
+}
+
+TEST(Memstats, CurrentRssIsReported) {
+  const std::size_t current = CurrentRssBytes();
+  EXPECT_GT(current, 1U << 20);
+  // current <= peak is not a strict kernel invariant: ru_maxrss is sampled
+  // at scheduling points while statm is live, so allow slack of a few pages.
+  EXPECT_LE(current, PeakRssBytes() + (1U << 20));
+}
+
+TEST(Memstats, PeakTracksLargeAllocations) {
+  const std::size_t before = PeakRssBytes();
+  constexpr std::size_t kBytes = 64U << 20;
+  std::vector<char> block(kBytes);
+  // Touch every page so the kernel actually maps it.
+  std::memset(block.data(), 0x5a, block.size());
+  const std::size_t after = PeakRssBytes();
+  EXPECT_GE(after, before);
+  EXPECT_GT(after, kBytes / 2);
+}
+
+TEST(Memstats, FormatByteSize) {
+  EXPECT_EQ(FormatByteSize(0), "0 B");
+  EXPECT_EQ(FormatByteSize(1023), "1023 B");
+  EXPECT_EQ(FormatByteSize(1024), "1.0 KiB");
+  EXPECT_EQ(FormatByteSize(1536), "1.5 KiB");
+  EXPECT_EQ(FormatByteSize(32U << 20), "32.0 MiB");
+  EXPECT_EQ(FormatByteSize(3ULL << 30), "3.0 GiB");
+}
+
+TEST(Memstats, ParseByteSizeAcceptsSuffixes) {
+  EXPECT_EQ(ParseByteSize("65536"), 65536U);
+  EXPECT_EQ(ParseByteSize("64K"), 64U << 10);
+  EXPECT_EQ(ParseByteSize("64k"), 64U << 10);
+  EXPECT_EQ(ParseByteSize("64KB"), 64U << 10);
+  EXPECT_EQ(ParseByteSize("64KiB"), 64U << 10);
+  EXPECT_EQ(ParseByteSize("32M"), 32U << 20);
+  EXPECT_EQ(ParseByteSize("32MiB"), 32U << 20);
+  EXPECT_EQ(ParseByteSize("2G"), 2ULL << 30);
+  EXPECT_EQ(ParseByteSize("100B"), 100U);
+  EXPECT_EQ(ParseByteSize("0"), 0U);
+}
+
+TEST(Memstats, ParseByteSizeRejectsGarbage) {
+  EXPECT_FALSE(ParseByteSize(""));
+  EXPECT_FALSE(ParseByteSize("abc"));
+  EXPECT_FALSE(ParseByteSize("-1"));
+  EXPECT_FALSE(ParseByteSize("12X"));
+  EXPECT_FALSE(ParseByteSize("12MBs"));
+  EXPECT_FALSE(ParseByteSize("12Mi"));
+  EXPECT_FALSE(ParseByteSize("  12"));
+  // Overflow: 2^60 KiB does not fit in 64 bits.
+  EXPECT_FALSE(ParseByteSize("1152921504606846976K"));
+}
+
+TEST(Memstats, ParseFormatRoundTrip) {
+  for (const std::size_t v : {std::size_t{1} << 10, std::size_t{7} << 20,
+                              std::size_t{3} << 30}) {
+    const auto parsed = ParseByteSize(std::to_string(v));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, v);
+  }
+}
+
+}  // namespace
+}  // namespace lockdown::util

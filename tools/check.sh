@@ -15,7 +15,15 @@
 # ingest fails with the documented exit codes (3 = over error budget,
 # 4 = corrupt snapshot without fallback).
 #
-# Usage: tools/check.sh [--default-only | --asan-only | --tsan-only | --fault-only]
+# The stream tier runs the streaming-vs-batch differential convergence suite
+# (tests/stream) under ASan+UBSan — including its FaultInjector leg, which
+# re-ingests a deterministically corrupted export before differencing — so
+# the sketch memory claims hold with the allocator instrumented. The tsan
+# pass additionally runs the streaming bit-identity test at LOCKDOWN_THREADS=8
+# to cover the parallel sketch merges.
+#
+# Usage: tools/check.sh [--default-only | --asan-only | --tsan-only |
+#                        --fault-only | --stream-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -34,18 +42,35 @@ run_pass() {
   echo "=== ${label}: OK ==="
 }
 
-if [[ "${mode}" != "--asan-only" && "${mode}" != "--tsan-only" && "${mode}" != "--fault-only" ]]; then
+if [[ "${mode}" == "all" || "${mode}" == "--default-only" ]]; then
   run_pass "default" build
 fi
 
-if [[ "${mode}" != "--default-only" && "${mode}" != "--tsan-only" && "${mode}" != "--fault-only" ]]; then
+if [[ "${mode}" == "all" || "${mode}" == "--asan-only" ]]; then
   run_pass "asan+ubsan" build-asan \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
     -DLOCKDOWN_BUILD_BENCH=OFF
 fi
 
-if [[ "${mode}" != "--default-only" && "${mode}" != "--asan-only" && "${mode}" != "--fault-only" ]]; then
+if [[ "${mode}" == "all" || "${mode}" == "--stream-only" ]]; then
+  # Streaming differential convergence under asan+ubsan (reuses / creates the
+  # asan tree). The suite's fault leg injects one deterministic FaultInjector
+  # seed into an exported conn.log and re-differences the tolerant re-ingest.
+  dir=build-asan
+  echo "=== stream: configure (${dir}) ==="
+  cmake -B "${dir}" -S . \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
+    -DLOCKDOWN_BUILD_BENCH=OFF >/dev/null
+  echo "=== stream: build ==="
+  cmake --build "${dir}" -j "${jobs}" --target stream_test
+  echo "=== stream: differential suite (asan+ubsan) ==="
+  "${dir}/tests/stream_test"
+  echo "=== stream: OK ==="
+fi
+
+if [[ "${mode}" == "all" || "${mode}" == "--tsan-only" ]]; then
   # Only the concurrency-bearing binaries: a full-suite tsan run costs ~10x
   # and the serial subsystems have nothing for tsan to find.
   dir=build-tsan
@@ -55,11 +80,15 @@ if [[ "${mode}" != "--default-only" && "${mode}" != "--asan-only" && "${mode}" !
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
     -DLOCKDOWN_BUILD_BENCH=OFF
   echo "=== tsan: build ==="
-  cmake --build "${dir}" -j "${jobs}" --target util_test core_test
+  cmake --build "${dir}" -j "${jobs}" --target util_test core_test stream_test
   echo "=== tsan: parallel tests (LOCKDOWN_THREADS=8) ==="
   LOCKDOWN_THREADS=8 "${dir}/tests/util_test" --gtest_filter='ThreadPool*'
   LOCKDOWN_THREADS=8 "${dir}/tests/core_test" \
     --gtest_filter='ParallelEquivalence.*:Pipeline*:GoldenFigures.*'
+  # Parallel sketch merges: per-device scratch flushed into shared sketches
+  # must be race-free, not just deterministic.
+  LOCKDOWN_THREADS=8 "${dir}/tests/stream_test" \
+    --gtest_filter='StreamingStudy.BitIdenticalAcrossThreadCounts'
   echo "=== tsan: OK ==="
 fi
 

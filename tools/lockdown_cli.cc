@@ -12,8 +12,13 @@
 //       it is loaded directly (the LDS fast path) instead of re-processing
 //       the TSV logs.
 //
-//   lockdown_cli study [--students N] [--seed S]
+//   lockdown_cli study [--students N] [--seed S] [--streaming]
+//                      [--memory-budget BYTES]
 //       One-shot: simulate + process + print every figure's summary.
+//       --streaming swaps the batch study for the one-pass bounded-memory
+//       sketch engine (src/stream) and appends its accuracy report;
+//       --memory-budget sizes the engine's analysis state (default 32M,
+//       implies --streaming). Both modes report the process peak RSS.
 //
 //   lockdown_cli snapshot save --out FILE [--logs DIR] [--students N] [--seed S]
 //       Write an LDS snapshot of the processed dataset: simulate + process
@@ -57,7 +62,10 @@
 #include "core/offline.h"
 #include "core/study.h"
 #include "store/snapshot.h"
+#include "stream/streaming_study.h"
+#include "usage.h"
 #include "util/fault.h"
+#include "util/memstats.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -84,30 +92,21 @@ struct Options {
   ingest::IngestOptions ingest;
   double fault_rate = 0.01;
   std::string fault_kind = "mixed";
+  bool streaming = false;
+  std::size_t memory_budget = stream::StreamingOptions{}.memory_budget_bytes;
+  bool help = false;
 };
 
-void Usage() {
-  std::cerr << "usage: lockdown_cli <simulate|analyze|study|snapshot|fault|catalog> ...\n"
-               "  simulate --out DIR [--students N] [--seed S]\n"
-               "  analyze  --logs DIR [--students N] [--seed S] [--threads T]\n"
-               "           [--ingest-mode strict|tolerant] [--max-error-rate R]\n"
-               "           [--quarantine-dir DIR]\n"
-               "  study    [--students N] [--seed S] [--threads T]\n"
-               "  snapshot save --out FILE [--logs DIR] [--students N] [--seed S]"
-               " [--threads T]\n"
-               "  snapshot info FILE\n"
-               "  snapshot verify FILE\n"
-               "  fault    --logs DIR --out DIR [--seed S] [--rate R] [--kind K]\n"
-               "  catalog\n"
-               "--threads 0 (default) defers to LOCKDOWN_THREADS, then the\n"
-               "hardware; results are identical at any thread count.\n"
-               "exit codes: 1 usage, 2 I/O, 3 input over the error budget,\n"
-               "4 corrupt snapshot with no TSV fallback.\n";
-}
+void Usage() { std::cerr << cli::kUsageText; }
 
 bool ParseArgs(int argc, char** argv, Options& opts) {
   if (argc < 2) return false;
   opts.command = argv[1];
+  if (opts.command == "--help" || opts.command == "-h" ||
+      opts.command == "help") {
+    opts.help = true;
+    return true;
+  }
   int first_flag = 2;
   if (opts.command == "snapshot") {
     if (argc < 3) return false;
@@ -172,6 +171,22 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
       const char* v = next();
       if (!v) return false;
       opts.fault_kind = v;
+    } else if (arg == "--streaming") {
+      opts.streaming = true;
+    } else if (arg == "--memory-budget") {
+      const char* v = next();
+      if (!v) return false;
+      const auto bytes = util::ParseByteSize(v);
+      if (!bytes) {
+        std::cerr << "--memory-budget wants a byte size like 33554432, 64M or "
+                     "2G, got: " << v << "\n";
+        return false;
+      }
+      opts.memory_budget = *bytes;
+      opts.streaming = true;  // a budget only means anything when streaming
+    } else if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+      return true;
     } else if (!arg.starts_with("--") && opts.command == "snapshot" &&
                opts.file.empty()) {
       opts.file = arg;
@@ -189,14 +204,12 @@ core::StudyConfig ConfigFrom(const Options& opts) {
   return cfg;
 }
 
-void PrintHeadline(const core::CollectionResult& collection, int threads) {
-  const core::LockdownStudy study(collection.dataset,
-                                  world::ServiceCatalog::Default(), threads);
-  const auto h = study.HeadlineStats();
-  const auto sw = study.CountSwitches();
+void PrintHeadlineTable(const core::Dataset& dataset,
+                        const core::LockdownStudy::Headline& h,
+                        const core::LockdownStudy::SwitchCounts& sw) {
   util::TablePrinter table({"statistic", "value"});
-  table.AddRow({"flows", std::to_string(collection.dataset.num_flows())});
-  table.AddRow({"devices", std::to_string(collection.dataset.num_devices())});
+  table.AddRow({"flows", std::to_string(dataset.num_flows())});
+  table.AddRow({"devices", std::to_string(dataset.num_devices())});
   table.AddRow({"peak active devices", std::to_string(h.peak_active_devices)});
   table.AddRow({"trough active devices", std::to_string(h.trough_active_devices)});
   table.AddRow({"post-shutdown users", std::to_string(h.post_shutdown_users)});
@@ -211,6 +224,52 @@ void PrintHeadline(const core::CollectionResult& collection, int threads) {
                 std::to_string(sw.active_february) + " / " +
                     std::to_string(sw.active_post_shutdown) + " / " +
                     std::to_string(sw.new_in_april_may)});
+  table.Print(std::cout);
+}
+
+void PrintPeakRss() {
+  std::cout << "peak RSS: " << util::FormatByteSize(util::PeakRssBytes())
+            << "\n";
+}
+
+void PrintHeadline(const core::CollectionResult& collection, int threads) {
+  const core::LockdownStudy study(collection.dataset,
+                                  world::ServiceCatalog::Default(), threads);
+  PrintHeadlineTable(collection.dataset, study.HeadlineStats(),
+                     study.CountSwitches());
+}
+
+/// The streaming counterpart of PrintHeadline: same figure table, produced
+/// by the bounded-memory engine, followed by its accuracy report.
+void PrintStreamingStudy(const core::CollectionResult& collection,
+                         const Options& opts) {
+  stream::StreamingOptions streaming;
+  streaming.memory_budget_bytes = opts.memory_budget;
+  streaming.threads = opts.threads;
+  const stream::StreamingStudy study(collection.dataset,
+                                     world::ServiceCatalog::Default(),
+                                     streaming);
+  PrintHeadlineTable(collection.dataset, study.HeadlineStats(),
+                     study.CountSwitches());
+  const stream::StreamingStudy::AccuracyReport report = study.Accuracy();
+  std::cout << "\n";
+  util::TablePrinter table({"accuracy", "value"});
+  table.AddRow({"sketch state",
+                util::FormatByteSize(report.state_bytes) + " of " +
+                    util::FormatByteSize(report.budget_bytes) + " budget"});
+  table.AddRow({"HLL precision",
+                "p=" + std::to_string(report.hll_precision) + " (rse " +
+                    util::FormatDouble(
+                        100 * report.hll_relative_standard_error, 2) +
+                    "%)"});
+  table.AddRow({"count-min",
+                "eps " + util::FormatDouble(100 * report.cms_epsilon, 4) +
+                    "% of " + util::FormatByteSize(report.cms_total_bytes) +
+                    ", delta " + util::FormatDouble(report.cms_delta, 3)});
+  table.AddRow({"reservoirs",
+                "k=" + std::to_string(report.reservoir_capacity) +
+                    (report.reservoirs_exact ? " (exact: nothing evicted)"
+                                             : " (sampled)")});
   table.Print(std::cout);
 }
 
@@ -440,7 +499,14 @@ int RunStudy(const Options& opts) {
   std::cout << "simulating " << opts.students << " students (seed " << opts.seed
             << ")\n";
   const auto collection = core::MeasurementPipeline::Collect(ConfigFrom(opts));
-  PrintHeadline(collection, opts.threads);
+  if (opts.streaming) {
+    std::cout << "streaming study (memory budget "
+              << util::FormatByteSize(opts.memory_budget) << ")\n";
+    PrintStreamingStudy(collection, opts);
+  } else {
+    PrintHeadline(collection, opts.threads);
+  }
+  PrintPeakRss();
   return 0;
 }
 
@@ -466,6 +532,10 @@ int main(int argc, char** argv) {
     Usage();
     return kExitUsage;
   }
+  if (opts.help) {
+    std::cout << cli::kUsageText;
+    return kExitOk;
+  }
   try {
     if (opts.command == "simulate") return RunSimulate(opts);
     if (opts.command == "analyze") return RunAnalyze(opts);
@@ -487,6 +557,10 @@ int main(int argc, char** argv) {
     // its own fallback-aware case to kExitCorruptSnapshot before this.
     std::cerr << "error: " << e.what() << "\n";
     return kExitCorruptSnapshot;
+  } catch (const std::invalid_argument& e) {
+    // e.g. a --memory-budget below the streaming engine's floor.
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitUsage;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return kExitIo;

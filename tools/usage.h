@@ -1,0 +1,84 @@
+// The lockdown_cli help text and the machine-checkable flag inventory.
+//
+// kUsageText is the single source of truth printed by `lockdown_cli --help`
+// (and on usage errors). kPublicFlags lists every public flag; a test
+// asserts each one appears in kUsageText so the help cannot drift from the
+// parser again. Update both when adding a flag.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace lockdown::cli {
+
+inline constexpr std::string_view kUsageText =
+    R"(usage: lockdown_cli <command> [flags]
+       lockdown_cli --help | help
+
+commands:
+  simulate --out DIR [--students N] [--seed S]
+      Simulate the campus and write the four collection logs
+      (conn/dhcp/dns/ua) into DIR.
+  analyze --logs DIR [--students N] [--seed S] [--threads T]
+          [--ingest-mode strict|tolerant] [--max-error-rate R]
+          [--quarantine-dir DIR]
+      Ingest previously exported logs (or a dataset.lds snapshot in DIR)
+      and print the headline statistics.
+  study [--students N] [--seed S] [--threads T]
+        [--streaming] [--memory-budget BYTES]
+      One-shot: simulate + process + print the figure summaries.
+      --streaming runs the bounded-memory sketch engine instead of the
+      batch study and appends its accuracy report; --memory-budget caps
+      the engine's analysis state (binary suffixes accepted: 64M, 2G;
+      default 32M, implies --streaming).
+  snapshot save --out FILE [--logs DIR] [--students N] [--seed S] [--threads T]
+      Persist the processed dataset as an LDS snapshot.
+  snapshot info FILE
+      Print snapshot header, provenance and section table.
+  snapshot verify FILE
+      Full integrity check; exits non-zero on any corruption.
+  fault --logs DIR --out DIR [--seed S] [--rate R] [--kind K]
+      Copy the collection logs through the deterministic fault injector
+      (--kind truncate_tail|bit_flip|drop_line|duplicate_line|
+      splice_garbage|mixed).
+  catalog
+      Dump the synthetic service catalog.
+
+flags:
+  --out DIR|FILE        output directory (simulate, fault) or file (snapshot save)
+  --logs DIR            input directory holding the collection logs
+  --students N          simulated student count (default 400)
+  --seed S              simulation / anonymization / fault seed (default 2020)
+  --threads T           worker threads; 0 (default) defers to LOCKDOWN_THREADS,
+                        then the hardware. Results are identical at any count.
+  --ingest-mode M       strict (default) rejects a log on the first malformed
+                        row; tolerant skips and accounts malformed rows
+  --max-error-rate R    tolerant-mode rejection budget in [0,1] (default 0.01)
+  --quarantine-dir DIR  write rejected lines to DIR/<log>.rej
+  --rate R              fault injection rate in [0,1] (default 0.01)
+  --kind K              fault kind (default mixed)
+  --streaming           use the one-pass bounded-memory study engine
+  --memory-budget BYTES streaming analysis-state budget (default 32M)
+  --help                print this help and exit 0
+
+exit codes:
+  0  success
+  1  usage error (unknown command/flag, bad flag value)
+  2  I/O error (missing file, failed read/write)
+  3  malformed input beyond the tolerant-mode error budget
+  4  corrupt dataset.lds snapshot with no TSV fallback available
+)";
+
+/// Every public flag, for the help-drift test. Keep sorted.
+inline constexpr std::array<std::string_view, 13> kPublicFlags = {
+    "--help",          "--ingest-mode", "--kind",
+    "--logs",          "--max-error-rate", "--memory-budget",
+    "--out",           "--quarantine-dir", "--rate",
+    "--seed",          "--streaming",   "--students",
+    "--threads",
+};
+
+/// The exit codes kUsageText must document, matching lockdown_cli.cc.
+inline constexpr std::array<int, 4> kDocumentedExitCodes = {1, 2, 3, 4};
+
+}  // namespace lockdown::cli
