@@ -16,6 +16,7 @@
 #pragma once
 
 #include <charconv>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -23,11 +24,13 @@
 #include <filesystem>
 #include <limits>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "core/pipeline.h"
 #include "core/study.h"
+#include "obs/obs.h"
 #include "store/snapshot.h"
 #include "util/strings.h"
 
@@ -58,6 +61,9 @@ T EnvIntOr(const char* name, T fallback, T min_value, T max_value) {
 }  // namespace internal
 
 inline core::StudyConfig DefaultConfig() {
+  // Every bench funnels through here, so this is the one place the env-var
+  // observability hookup (LOCKDOWN_METRICS / LOCKDOWN_TRACE) needs to live.
+  obs::ConfigureFromEnv();
   core::StudyConfig cfg;
   cfg.generator.population.num_students =
       internal::EnvIntOr<int>("LOCKDOWN_STUDENTS", 1200, 1, 10'000'000);
@@ -126,6 +132,8 @@ inline const core::LockdownStudy& SharedStudy() {
 /// collector is inert, so benches can always report.
 class JsonReport {
  public:
+  JsonReport() = default;
+
   static JsonReport& Get() {
     static JsonReport report;
     return report;
@@ -137,6 +145,62 @@ class JsonReport {
     metrics_.push_back({std::move(name), value, std::move(unit)});
   }
 
+  /// JSON string-escapes quotes, backslashes and control characters; metric
+  /// names come from code today, but one stray quote must not corrupt the
+  /// whole baseline file.
+  static std::string JsonEscape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  /// %.17g round-trips doubles, but prints non-finite values as nan/inf —
+  /// which is not JSON. Map those to null (JSON's only honest spelling).
+  static std::string JsonNumber(double value) {
+    if (!std::isfinite(value)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+  }
+
+  /// The full document as a string; the exit-time writer and tests share it.
+  [[nodiscard]] std::string Render() const {
+    const core::StudyConfig cfg = DefaultConfig();
+    std::string doc = "{\n  \"bench\": \"" + JsonEscape(bench_) + "\",\n";
+    doc += "  \"config\": {\"students\": " +
+           std::to_string(cfg.generator.population.num_students) +
+           ", \"seed\": " + std::to_string(cfg.generator.population.seed) +
+           ", \"threads\": " + std::to_string(cfg.threads) + "},\n";
+    doc += "  \"metrics\": [\n";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const Entry& m = metrics_[i];
+      doc += "    {\"name\": \"" + JsonEscape(m.name) +
+             "\", \"value\": " + JsonNumber(m.value) + ", \"unit\": \"" +
+             JsonEscape(m.unit) + "\"}";
+      doc += i + 1 < metrics_.size() ? ",\n" : "\n";
+    }
+    doc += "  ]\n}\n";
+    return doc;
+  }
+
   ~JsonReport() {
     const char* path = std::getenv("LOCKDOWN_BENCH_JSON");
     if (path == nullptr || *path == '\0' || metrics_.empty()) return;
@@ -145,22 +209,8 @@ class JsonReport {
       std::fprintf(stderr, "[bench] cannot write LOCKDOWN_BENCH_JSON=%s\n", path);
       return;
     }
-    const core::StudyConfig cfg = DefaultConfig();
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench_.c_str());
-    std::fprintf(f,
-                 "  \"config\": {\"students\": %d, \"seed\": %llu, "
-                 "\"threads\": %d},\n",
-                 cfg.generator.population.num_students,
-                 static_cast<unsigned long long>(cfg.generator.population.seed),
-                 cfg.threads);
-    std::fprintf(f, "  \"metrics\": [\n");
-    for (std::size_t i = 0; i < metrics_.size(); ++i) {
-      const Entry& m = metrics_[i];
-      std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.17g, \"unit\": \"%s\"}%s\n",
-                   m.name.c_str(), m.value, m.unit.c_str(),
-                   i + 1 < metrics_.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
+    const std::string doc = Render();
+    std::fwrite(doc.data(), 1, doc.size(), f);
     std::fclose(f);
   }
 

@@ -10,6 +10,7 @@
 #include "logs/dhcp_log.h"
 #include "logs/dns_log.h"
 #include "logs/ua_log.h"
+#include "obs/obs.h"
 #include "sim/generator.h"
 
 namespace lockdown::core {
@@ -54,9 +55,15 @@ template <typename ReadFn>
 auto IngestLog(const std::filesystem::path& path,
                const ingest::IngestOptions& options, ingest::IngestReport& report,
                ReadFn&& read) {
+  obs::ScopedSpan span("ingest/" + path.filename().string());
   ingest::IngestOptions per_file = options;
   per_file.source = path.filename().string();
-  auto records = read(ReadFileOrThrow(path), per_file, report);
+  std::string text = ReadFileOrThrow(path);
+  if (obs::MetricsEnabled()) {
+    obs::GetCounter("ingest/bytes_read", "bytes").Add(text.size());
+  }
+  auto records = read(std::move(text), per_file, report);
+  ingest::RecordReport(report);  // error-path reads still count
   if (!records) {
     std::string why = report.Summary();
     if (!report.header_ok && report.lines_total == 0) {
@@ -86,20 +93,24 @@ ingest::IngestReport IngestSummary::Total() const {
 
 void ExportLogs(const StudyConfig& config, const std::filesystem::path& dir,
                 const world::ServiceCatalog& catalog) {
+  OBS_SPAN("ingest/export");
   std::filesystem::create_directories(dir);
 
   sim::TrafficGenerator generator(config.generator, catalog);
   std::vector<flow::FlowRecord> flows;
-  flow::Assembler assembler(flow::AssemblerConfig{},
-                            [&flows](const flow::FlowRecord& rec) {
-                              flows.push_back(rec);
-                            });
-  generator.Run([&](const flow::TapEvent& ev) {
-    const auto svc = catalog.FindByIp(ev.tuple.dst_ip);
-    if (svc && catalog.Get(*svc).tap_excluded) return;
-    assembler.Ingest(ev);
-  });
-  assembler.Finish();
+  {
+    OBS_SPAN("sim/generate");
+    flow::Assembler assembler(flow::AssemblerConfig{},
+                              [&flows](const flow::FlowRecord& rec) {
+                                flows.push_back(rec);
+                              });
+    generator.Run([&](const flow::TapEvent& ev) {
+      const auto svc = catalog.FindByIp(ev.tuple.dst_ip);
+      if (svc && catalog.Get(*svc).tap_excluded) return;
+      assembler.Ingest(ev);
+    });
+    assembler.Finish();
+  }
 
   WriteLogOrThrow(dir / LogFiles::kConn, [&](std::ostream& out) {
     flow::WriteConnLog(out, flows);

@@ -10,6 +10,7 @@
 #include "dhcp/normalizer.h"
 #include "dns/mapper.h"
 #include "flow/assembler.h"
+#include "obs/obs.h"
 #include "privacy/visitor_filter.h"
 #include "sim/generator.h"
 #include "util/hash.h"
@@ -32,6 +33,22 @@ enum Disposition : std::uint8_t {
   kKeepDomain = 3,  // retained, with an attributed domain
 };
 
+// Counters summarizing a finished Process call; values mirror the
+// CollectionStats the caller already gets, so --metrics-out sees them too.
+void RecordPipelineStats(const CollectionStats& stats,
+                         std::uint64_t kept_flows) {
+  if (!obs::MetricsEnabled()) return;
+  obs::GetCounter("pipeline/raw_flows", "flows").Add(stats.raw_flows);
+  obs::GetCounter("pipeline/unattributed_flows", "flows").Add(stats.unattributed);
+  obs::GetCounter("pipeline/visitor_flows", "flows").Add(stats.visitor_flows);
+  obs::GetCounter("pipeline/kept_flows", "flows").Add(kept_flows);
+  obs::GetCounter("pipeline/devices_observed", "devices")
+      .Add(stats.devices_observed);
+  obs::GetCounter("pipeline/devices_retained", "devices")
+      .Add(stats.devices_retained);
+  obs::GetCounter("pipeline/ua_sightings", "records").Add(stats.ua_sightings);
+}
+
 }  // namespace
 
 privacy::Anonymizer MeasurementPipeline::MakeAnonymizer(const StudyConfig& config) {
@@ -46,6 +63,7 @@ CollectionResult MeasurementPipeline::Process(RawInputs inputs,
                                               const privacy::Anonymizer& anonymizer,
                                               int visitor_min_days,
                                               int threads) {
+  OBS_SPAN("pipeline/process");
   CollectionResult result;
   CollectionStats& stats = result.stats;
   const std::size_t n = inputs.flows.size();
@@ -69,27 +87,30 @@ CollectionResult MeasurementPipeline::Process(RawInputs inputs,
   std::vector<privacy::VisitorFilter> shard_visitors(
       num_chunks, privacy::VisitorFilter(visitor_min_days));
   std::vector<std::uint64_t> shard_unattributed(num_chunks, 0);
-  pool.ParallelFor(n, kFlowGrain,
-                   [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-                     privacy::VisitorFilter& shard = shard_visitors[chunk];
-                     for (std::size_t i = begin; i < end; ++i) {
-                       const flow::FlowRecord& rec = inputs.flows[i];
-                       const auto mac = normalizer.Lookup(rec.client_ip, rec.start);
-                       if (!mac) {
-                         ++shard_unattributed[chunk];
-                         continue;
-                       }
-                       record_macs[i] = mac->value();
-                       device_ids[i] = anonymizer.AnonymizeMac(*mac);
-                       shard.Observe(device_ids[i], rec.start);
-                     }
-                   });
   privacy::VisitorFilter visitors(visitor_min_days);
-  for (std::size_t c = 0; c < num_chunks; ++c) {
-    stats.unattributed += shard_unattributed[c];
-    visitors.Merge(shard_visitors[c]);
+  {
+    OBS_SPAN("pipeline/pass1_attribution");
+    pool.ParallelFor(n, kFlowGrain,
+                     [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                       privacy::VisitorFilter& shard = shard_visitors[chunk];
+                       for (std::size_t i = begin; i < end; ++i) {
+                         const flow::FlowRecord& rec = inputs.flows[i];
+                         const auto mac = normalizer.Lookup(rec.client_ip, rec.start);
+                         if (!mac) {
+                           ++shard_unattributed[chunk];
+                           continue;
+                         }
+                         record_macs[i] = mac->value();
+                         device_ids[i] = anonymizer.AnonymizeMac(*mac);
+                         shard.Observe(device_ids[i], rec.start);
+                       }
+                     });
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      stats.unattributed += shard_unattributed[c];
+      visitors.Merge(shard_visitors[c]);
+    }
+    shard_visitors.clear();
   }
-  shard_visitors.clear();
   stats.devices_observed = visitors.num_observed();
   stats.devices_retained = visitors.num_retained();
 
@@ -99,24 +120,27 @@ CollectionResult MeasurementPipeline::Process(RawInputs inputs,
   // use of them.
   std::vector<std::uint8_t> disposition(n, kDrop);
   std::vector<std::string_view> domains(n);
-  pool.ParallelFor(n, kFlowGrain,
-                   [&](std::size_t, std::size_t begin, std::size_t end) {
-                     for (std::size_t i = begin; i < end; ++i) {
-                       if (record_macs[i] == 0) continue;
-                       if (!visitors.Retained(device_ids[i])) {
-                         disposition[i] = kVisitor;
-                         continue;
+  {
+    OBS_SPAN("pipeline/pass2_retention_dns");
+    pool.ParallelFor(n, kFlowGrain,
+                     [&](std::size_t, std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         if (record_macs[i] == 0) continue;
+                         if (!visitors.Retained(device_ids[i])) {
+                           disposition[i] = kVisitor;
+                           continue;
+                         }
+                         const flow::FlowRecord& rec = inputs.flows[i];
+                         const auto domain = mapper.Lookup(rec.server_ip, rec.start);
+                         if (domain) {
+                           disposition[i] = kKeepDomain;
+                           domains[i] = *domain;
+                         } else {
+                           disposition[i] = kKeep;
+                         }
                        }
-                       const flow::FlowRecord& rec = inputs.flows[i];
-                       const auto domain = mapper.Lookup(rec.server_ip, rec.start);
-                       if (domain) {
-                         disposition[i] = kKeepDomain;
-                         domains[i] = *domain;
-                       } else {
-                         disposition[i] = kKeep;
-                       }
-                     }
-                   });
+                     });
+  }
 
   // --- Pass 3 (serial merge): assemble the dataset in flow order ---------------
   // Device indices and interned-domain ids are assigned in first-appearance
@@ -126,40 +150,43 @@ CollectionResult MeasurementPipeline::Process(RawInputs inputs,
   Dataset& ds = result.dataset;
   std::unordered_map<privacy::DeviceId, DeviceIndex, privacy::DeviceIdHash> index;
   const util::Timestamp study_start = util::StudyCalendar::StartTs();
-  for (std::size_t i = 0; i < n; ++i) {
-    if (disposition[i] == kDrop) continue;
-    if (disposition[i] == kVisitor) {
-      ++stats.visitor_flows;
-      continue;
-    }
-    const net::MacAddress mac(record_macs[i]);
-    const flow::FlowRecord& rec = inputs.flows[i];
-    auto [it, inserted] = index.try_emplace(device_ids[i], 0);
-    if (inserted) {
-      it->second = ds.AddDevice(device_ids[i]);
-      classify::DeviceObservations& obs = ds.device_mutable(it->second).observations;
-      obs.oui = mac.oui();
-      obs.locally_administered = world::OuiDatabase::IsLocallyAdministered(mac);
-    }
-    const DeviceIndex dev = it->second;
+  {
+    OBS_SPAN("pipeline/pass3_assemble");
+    for (std::size_t i = 0; i < n; ++i) {
+      if (disposition[i] == kDrop) continue;
+      if (disposition[i] == kVisitor) {
+        ++stats.visitor_flows;
+        continue;
+      }
+      const net::MacAddress mac(record_macs[i]);
+      const flow::FlowRecord& rec = inputs.flows[i];
+      auto [it, inserted] = index.try_emplace(device_ids[i], 0);
+      if (inserted) {
+        it->second = ds.AddDevice(device_ids[i]);
+        classify::DeviceObservations& obs = ds.device_mutable(it->second).observations;
+        obs.oui = mac.oui();
+        obs.locally_administered = world::OuiDatabase::IsLocallyAdministered(mac);
+      }
+      const DeviceIndex dev = it->second;
 
-    Flow f;
-    f.start_offset_s = static_cast<std::uint32_t>(rec.start - study_start);
-    f.duration_s = static_cast<float>(rec.duration_s);
-    f.device = dev;
-    f.domain = disposition[i] == kKeepDomain ? ds.InternDomain(domains[i]) : kNoDomain;
-    f.server_ip = rec.server_ip;
-    f.server_port = rec.server_port;
-    f.proto = static_cast<std::uint8_t>(rec.proto);
-    f.bytes_up = rec.bytes_up;
-    f.bytes_down = rec.bytes_down;
-    ds.AddFlow(f);
+      Flow f;
+      f.start_offset_s = static_cast<std::uint32_t>(rec.start - study_start);
+      f.duration_s = static_cast<float>(rec.duration_s);
+      f.device = dev;
+      f.domain = disposition[i] == kKeepDomain ? ds.InternDomain(domains[i]) : kNoDomain;
+      f.server_ip = rec.server_ip;
+      f.server_port = rec.server_port;
+      f.proto = static_cast<std::uint8_t>(rec.proto);
+      f.bytes_up = rec.bytes_up;
+      f.bytes_down = rec.bytes_down;
+      ds.AddFlow(f);
 
-    classify::DeviceObservations& obs = ds.device_mutable(dev).observations;
-    obs.total_bytes += f.total_bytes();
-    obs.flow_count += 1;
-    if (disposition[i] == kKeepDomain) {
-      obs.bytes_by_domain[std::string(domains[i])] += f.total_bytes();
+      classify::DeviceObservations& obs = ds.device_mutable(dev).observations;
+      obs.total_bytes += f.total_bytes();
+      obs.flow_count += 1;
+      if (disposition[i] == kKeepDomain) {
+        obs.bytes_by_domain[std::string(domains[i])] += f.total_bytes();
+      }
     }
   }
 
@@ -168,58 +195,66 @@ CollectionResult MeasurementPipeline::Process(RawInputs inputs,
   // stays serial so AddUserAgent's first-seen dedup matches log order. Every
   // record lands in exactly one counter: sightings, unattributed (no covering
   // lease), or visitor_dropped (attributed to a device the filter discarded).
-  const std::size_t num_ua = inputs.ua_log.size();
-  std::vector<privacy::DeviceId> ua_ids(num_ua);
-  std::vector<std::uint8_t> ua_attributed(num_ua, 0);
-  pool.ParallelFor(num_ua, kFlowGrain,
-                   [&](std::size_t, std::size_t begin, std::size_t end) {
-                     for (std::size_t i = begin; i < end; ++i) {
-                       const logs::UaRecord& ua = inputs.ua_log[i];
-                       const auto mac = normalizer.Lookup(ua.client_ip, ua.ts);
-                       if (!mac) continue;
-                       ua_attributed[i] = 1;
-                       ua_ids[i] = anonymizer.AnonymizeMac(*mac);
-                     }
-                   });
-  for (std::size_t i = 0; i < num_ua; ++i) {
-    if (!ua_attributed[i]) {
-      ++stats.ua_unattributed;
-      continue;
+  {
+    OBS_SPAN("pipeline/ua_sightings");
+    const std::size_t num_ua = inputs.ua_log.size();
+    std::vector<privacy::DeviceId> ua_ids(num_ua);
+    std::vector<std::uint8_t> ua_attributed(num_ua, 0);
+    pool.ParallelFor(num_ua, kFlowGrain,
+                     [&](std::size_t, std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         const logs::UaRecord& ua = inputs.ua_log[i];
+                         const auto mac = normalizer.Lookup(ua.client_ip, ua.ts);
+                         if (!mac) continue;
+                         ua_attributed[i] = 1;
+                         ua_ids[i] = anonymizer.AnonymizeMac(*mac);
+                       }
+                     });
+    for (std::size_t i = 0; i < num_ua; ++i) {
+      if (!ua_attributed[i]) {
+        ++stats.ua_unattributed;
+        continue;
+      }
+      const auto it = index.find(ua_ids[i]);
+      if (it == index.end()) {
+        ++stats.ua_visitor_dropped;
+        continue;
+      }
+      ds.device_mutable(it->second).observations.AddUserAgent(
+          inputs.ua_log[i].user_agent);
+      ++stats.ua_sightings;
     }
-    const auto it = index.find(ua_ids[i]);
-    if (it == index.end()) {
-      ++stats.ua_visitor_dropped;
-      continue;
-    }
-    ds.device_mutable(it->second).observations.AddUserAgent(
-        inputs.ua_log[i].user_agent);
-    ++stats.ua_sightings;
   }
 
   ds.Finalize();
+  RecordPipelineStats(stats, ds.num_flows());
   return result;
 }
 
 CollectionResult MeasurementPipeline::Collect(const StudyConfig& config,
                                               const world::ServiceCatalog& catalog) {
+  OBS_SPAN("pipeline/collect");
   // --- Stage 1: tap capture + flow extraction ---------------------------------
   sim::TrafficGenerator generator(config.generator, catalog);
   RawInputs inputs;
   std::uint64_t tap_excluded = 0;
-  flow::Assembler assembler(flow::AssemblerConfig{},
-                            [&inputs](const flow::FlowRecord& rec) {
-                              inputs.flows.push_back(rec);
-                            });
-  generator.Run([&](const flow::TapEvent& ev) {
-    // Tap exclusion list (§3): traffic to these networks is never mirrored.
-    const auto svc = catalog.FindByIp(ev.tuple.dst_ip);
-    if (svc && catalog.Get(*svc).tap_excluded) {
-      ++tap_excluded;
-      return;
-    }
-    assembler.Ingest(ev);
-  });
-  assembler.Finish();
+  {
+    OBS_SPAN("sim/generate");
+    flow::Assembler assembler(flow::AssemblerConfig{},
+                              [&inputs](const flow::FlowRecord& rec) {
+                                inputs.flows.push_back(rec);
+                              });
+    generator.Run([&](const flow::TapEvent& ev) {
+      // Tap exclusion list (§3): traffic to these networks is never mirrored.
+      const auto svc = catalog.FindByIp(ev.tuple.dst_ip);
+      if (svc && catalog.Get(*svc).tap_excluded) {
+        ++tap_excluded;
+        return;
+      }
+      assembler.Ingest(ev);
+    });
+    assembler.Finish();
+  }
 
   inputs.dhcp_log = generator.dhcp_log();
   inputs.dns_log = generator.dns_log();
@@ -227,6 +262,9 @@ CollectionResult MeasurementPipeline::Collect(const StudyConfig& config,
   for (const sim::UaSighting& ua : generator.ua_sightings()) {
     inputs.ua_log.push_back(
         logs::UaRecord{ua.ts, ua.client_ip, std::string(ua.user_agent)});
+  }
+  if (obs::MetricsEnabled()) {
+    obs::GetCounter("sim/tap_excluded", "events").Add(tap_excluded);
   }
 
   // --- Stages 2-5 --------------------------------------------------------------

@@ -1,5 +1,7 @@
 #include "core/study.h"
 
+#include "obs/obs.h"
+
 #include <algorithm>
 #include <cmath>
 #include <unordered_set>
@@ -15,6 +17,7 @@ LockdownStudy::LockdownStudy(const Dataset& dataset,
 
 std::vector<LockdownStudy::ActiveDevicesRow> LockdownStudy::ActiveDevicesPerDay()
     const {
+  OBS_SPAN("study/fig1_active_devices");
   const Dataset& ds = ctx_.dataset();
   const int days = StudyCalendar::NumDays();
   const std::size_t n = ds.num_devices();
@@ -52,6 +55,7 @@ std::vector<LockdownStudy::ActiveDevicesRow> LockdownStudy::ActiveDevicesPerDay(
 
 std::vector<LockdownStudy::BytesPerDeviceRow> LockdownStudy::BytesPerDevicePerDay()
     const {
+  OBS_SPAN("study/fig2_bytes_per_device");
   const Dataset& ds = ctx_.dataset();
   const int days = StudyCalendar::NumDays();
   const std::size_t n = ds.num_devices();
@@ -95,6 +99,7 @@ std::vector<LockdownStudy::BytesPerDeviceRow> LockdownStudy::BytesPerDevicePerDa
 }
 
 LockdownStudy::HourOfWeekResult LockdownStudy::HourOfWeekVolume() const {
+  OBS_SPAN("study/fig3_hour_of_week");
   HourOfWeekResult result;
   const Dataset& ds = ctx_.dataset();
   const std::size_t n = ds.num_devices();
@@ -149,6 +154,7 @@ LockdownStudy::HourOfWeekResult LockdownStudy::HourOfWeekVolume() const {
 }
 
 std::vector<LockdownStudy::Fig4Row> LockdownStudy::MedianBytesExcludingZoom() const {
+  OBS_SPAN("study/fig4_population_split");
   const Dataset& ds = ctx_.dataset();
   const int days = StudyCalendar::NumDays();
   const std::size_t n = ds.num_devices();
@@ -203,6 +209,7 @@ std::vector<LockdownStudy::Fig4Row> LockdownStudy::MedianBytesExcludingZoom() co
 }
 
 analysis::DailySeries LockdownStudy::ZoomDailyBytes() const {
+  OBS_SPAN("study/fig5_zoom_daily");
   const Dataset& ds = ctx_.dataset();
   const std::size_t n = ds.num_devices();
   const std::size_t num_chunks = util::ThreadPool::NumChunks(n, kDeviceGrain);
@@ -227,6 +234,7 @@ analysis::DailySeries LockdownStudy::ZoomDailyBytes() const {
 
 LockdownStudy::SocialBox LockdownStudy::SocialDurations(apps::SocialApp app,
                                                         int month) const {
+  OBS_SPAN("study/fig6_social");
   const Dataset& ds = ctx_.dataset();
   const std::vector<DeviceIndex>& cohort = ctx_.post_shutdown();
   const Timestamp month_start = util::TimestampOf(util::CivilDate{2020, month, 1});
@@ -289,6 +297,7 @@ LockdownStudy::SocialBox LockdownStudy::SocialDurations(apps::SocialApp app,
 }
 
 LockdownStudy::SteamBox LockdownStudy::SteamUsage(int month) const {
+  OBS_SPAN("study/fig7_steam");
   const Dataset& ds = ctx_.dataset();
   const Timestamp month_start = util::TimestampOf(util::CivilDate{2020, month, 1});
   const Timestamp month_end =
@@ -330,6 +339,7 @@ LockdownStudy::SteamBox LockdownStudy::SteamUsage(int month) const {
 }
 
 analysis::DailySeries LockdownStudy::SwitchGameplayDaily(int ma_window) const {
+  OBS_SPAN("study/fig8_switch_daily");
   // Switches "active in both February and May" (Fig. 8 caption).
   const Dataset& ds = ctx_.dataset();
   const std::size_t n = ds.num_devices();
@@ -368,6 +378,7 @@ analysis::DailySeries LockdownStudy::SwitchGameplayDaily(int ma_window) const {
 }
 
 LockdownStudy::SwitchCounts LockdownStudy::CountSwitches() const {
+  OBS_SPAN("study/fig8_switch_counts");
   const Dataset& ds = ctx_.dataset();
   const std::size_t n = ds.num_devices();
   const int feb_end = StudyCalendar::DayIndex(util::CivilDate{2020, 3, 1});
@@ -408,6 +419,7 @@ LockdownStudy::SwitchCounts LockdownStudy::CountSwitches() const {
 
 std::vector<LockdownStudy::CategoryVolumeRow> LockdownStudy::CategoryVolumes()
     const {
+  OBS_SPAN("study/categories");
   const Dataset& ds = ctx_.dataset();
   const world::ServiceCatalog& catalog = ctx_.catalog();
   const int days = StudyCalendar::NumDays();
@@ -481,6 +493,7 @@ std::vector<LockdownStudy::CategoryVolumeRow> LockdownStudy::CategoryVolumes()
 
 LockdownStudy::DiurnalShapeResult LockdownStudy::DiurnalShape(int first_day,
                                                               int last_day) const {
+  OBS_SPAN("study/diurnal");
   const Dataset& ds = ctx_.dataset();
   const std::size_t num_flows = ds.num_flows();
   const std::size_t num_chunks =
@@ -521,6 +534,7 @@ LockdownStudy::DiurnalShapeResult LockdownStudy::DiurnalShape(int first_day,
 }
 
 LockdownStudy::Headline LockdownStudy::HeadlineStats() const {
+  OBS_SPAN("study/headline");
   Headline h;
   // Peak / trough of total active devices (Fig. 1's 32,019 -> 4,973).
   const auto rows = ActiveDevicesPerDay();

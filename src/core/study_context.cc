@@ -1,5 +1,7 @@
 #include "core/study_context.h"
 
+#include "obs/obs.h"
+
 namespace lockdown::core {
 
 using util::StudyCalendar;
@@ -34,6 +36,7 @@ StudyContext::StudyContext(const Dataset& dataset,
       zoom_(catalog),
       shutdown_day_(StudyCalendar::DayIndex(StudyCalendar::kStayAtHome)),
       post_shutdown_day_(StudyCalendar::DayIndex(StudyCalendar::kBreakEnd)) {
+  OBS_SPAN("study/census");
   const std::size_t n = dataset.num_devices();
 
   // Classify every device. Each slot is written by exactly one chunk.

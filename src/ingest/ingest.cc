@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/obs.h"
 #include "util/strings.h"
 
 namespace lockdown::ingest {
@@ -68,6 +69,22 @@ std::string IngestReport::Summary() const {
     first = false;
   }
   return std::move(out).str();
+}
+
+void RecordReport(const IngestReport& report) {
+  if (!obs::MetricsEnabled()) return;
+  static obs::Counter& kept = obs::GetCounter("ingest/lines_kept", "lines");
+  static obs::Counter& rejected =
+      obs::GetCounter("ingest/lines_rejected", "lines");
+  kept.Add(report.kept);
+  rejected.Add(report.rejected);
+  for (int i = 0; i < kNumErrorClasses; ++i) {
+    if (report.by_class[i] == 0) continue;
+    obs::GetCounter(
+        std::string("ingest/rejected_") + ToString(static_cast<ErrorClass>(i)),
+        "lines")
+        .Add(report.by_class[i]);
+  }
 }
 
 namespace detail {

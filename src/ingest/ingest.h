@@ -121,6 +121,11 @@ struct IngestReport {
   [[nodiscard]] std::string Summary() const;
 };
 
+/// Folds a finished report into the obs metrics registry: ingest/lines_kept,
+/// ingest/lines_rejected, and one ingest/rejected_<class> counter per
+/// taxonomy class that rejected anything. No-op unless metrics are enabled.
+void RecordReport(const IngestReport& report);
+
 namespace detail {
 
 /// Lazily opened quarantine sink; no file is created unless a line is

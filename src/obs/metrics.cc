@@ -1,0 +1,363 @@
+#include "obs/metrics.h"
+
+#include <array>
+#include <atomic>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace lockdown::obs {
+namespace {
+
+// Fixed capacities keep shard layout static so handle ids can index shard
+// arrays without any indirection or resizing race. Exceeding one is a
+// programming error (too many distinct metric names), reported loudly.
+constexpr std::uint32_t kMaxCounters = 256;
+constexpr std::uint32_t kMaxGauges = 64;
+constexpr std::uint32_t kMaxHistograms = 96;
+constexpr std::uint32_t kMaxBuckets = 28;
+
+// Log-ish microsecond grid, 1us .. 60s.
+constexpr std::array<std::uint64_t, 24> kDurationBoundsUs = {
+    1,      2,      5,       10,      20,      50,       100,      200,
+    500,    1000,   2000,    5000,    10000,   20000,    50000,    100000,
+    200000, 500000, 1000000, 2000000, 5000000, 10000000, 30000000, 60000000};
+
+// Byte-size grid, 64B .. 4GiB.
+constexpr std::array<std::uint64_t, 14> kSizeBoundsBytes = {
+    64,        256,        1024,       4096,        16384,
+    65536,     262144,     1048576,    4194304,     16777216,
+    67108864,  268435456,  1073741824, 4294967296ULL};
+
+// Coarse percentage grid.
+constexpr std::array<std::uint64_t, 13> kPercentBounds = {
+    1, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+
+std::atomic<bool> g_metrics_enabled{false};
+
+struct HistShard {
+  std::atomic<std::uint64_t> count;
+  std::atomic<std::uint64_t> sum;
+  std::array<std::atomic<std::uint64_t>, kMaxBuckets + 1> buckets;
+};
+
+// One shard per thread that ever touched a metric. Shards are owned by the
+// registry and retained after thread exit so totals stay exact.
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters;
+  std::array<HistShard, kMaxHistograms> hists;
+};
+
+void AppendJsonUint(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+// Not in the anonymous namespace: the metric classes befriend
+// lockdown::obs::Registry by name so only the registry mints handles.
+class Registry {
+ public:
+  static Registry& Instance() {
+    static Registry* instance = new Registry();  // never destroyed: handles
+    return *instance;                            // and shards outlive atexit
+  }
+
+  Counter& GetCounter(std::string_view name, std::string_view unit) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counter_ids_.find(std::string(name));
+    if (it != counter_ids_.end()) return counters_[it->second].handle;
+    const auto id = static_cast<std::uint32_t>(counters_.size());
+    if (id >= kMaxCounters) {
+      throw std::length_error("obs: counter capacity exhausted");
+    }
+    counters_.push_back(CounterInfo{std::string(name), std::string(unit),
+                                    Counter(id)});
+    counter_ids_.emplace(counters_.back().name, id);
+    return counters_.back().handle;
+  }
+
+  Gauge& GetGauge(std::string_view name, std::string_view unit) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = gauge_ids_.find(std::string(name));
+    if (it != gauge_ids_.end()) return gauges_[it->second].handle;
+    const auto id = static_cast<std::uint32_t>(gauges_.size());
+    if (id >= kMaxGauges) {
+      throw std::length_error("obs: gauge capacity exhausted");
+    }
+    gauges_.push_back(
+        GaugeInfo{std::string(name), std::string(unit), Gauge(id)});
+    gauge_values_.emplace_back(0.0);
+    gauge_ids_.emplace(gauges_.back().name, id);
+    return gauges_.back().handle;
+  }
+
+  Histogram& GetHistogram(std::string_view name, Buckets kind,
+                          std::string_view unit) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = hist_ids_.find(std::string(name));
+    if (it != hist_ids_.end()) return hists_[it->second].handle;
+    const auto id = static_cast<std::uint32_t>(hists_.size());
+    if (id >= kMaxHistograms) {
+      throw std::length_error("obs: histogram capacity exhausted");
+    }
+    const std::uint64_t* bounds = nullptr;
+    std::uint32_t num_bounds = 0;
+    switch (kind) {
+      case Buckets::kDurationUs:
+        bounds = kDurationBoundsUs.data();
+        num_bounds = static_cast<std::uint32_t>(kDurationBoundsUs.size());
+        break;
+      case Buckets::kSizeBytes:
+        bounds = kSizeBoundsBytes.data();
+        num_bounds = static_cast<std::uint32_t>(kSizeBoundsBytes.size());
+        break;
+      case Buckets::kPercent:
+        bounds = kPercentBounds.data();
+        num_bounds = static_cast<std::uint32_t>(kPercentBounds.size());
+        break;
+    }
+    hists_.push_back(HistogramInfo{std::string(name), std::string(unit),
+                                   Histogram(id, bounds, num_bounds)});
+    hist_ids_.emplace(hists_.back().name, id);
+    return hists_.back().handle;
+  }
+
+  // Lazily creates (and permanently registers) the calling thread's shard.
+  Shard& LocalShard() {
+    thread_local Shard* shard = nullptr;
+    if (shard == nullptr) {
+      auto owned = std::make_unique<Shard>();  // atomics value-initialize to 0
+      Shard* raw = owned.get();
+      std::lock_guard<std::mutex> lock(mu_);
+      shards_.push_back(std::move(owned));
+      shard = raw;
+    }
+    return *shard;
+  }
+
+  void SetGauge(std::uint32_t id, double value) noexcept {
+    // Gauge ids only exist post-registration and gauge_values_ is a deque
+    // (stable addresses), so this lock-free store is safe.
+    gauge_values_[id].store(value, std::memory_order_relaxed);
+  }
+
+  MetricsSnapshot Snapshot() {
+    std::lock_guard<std::mutex> lock(mu_);
+    MetricsSnapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      std::uint64_t total = 0;
+      for (const auto& shard : shards_) {
+        total += shard->counters[i].load(std::memory_order_relaxed);
+      }
+      snap.counters.push_back({counters_[i].name, counters_[i].unit, total});
+    }
+    snap.gauges.reserve(gauges_.size());
+    for (std::size_t i = 0; i < gauges_.size(); ++i) {
+      snap.gauges.push_back(
+          {gauges_[i].name, gauges_[i].unit,
+           gauge_values_[i].load(std::memory_order_relaxed)});
+    }
+    snap.histograms.reserve(hists_.size());
+    for (std::size_t i = 0; i < hists_.size(); ++i) {
+      MetricsSnapshot::HistogramValue hv;
+      hv.name = hists_[i].name;
+      hv.unit = hists_[i].unit;
+      const Histogram& h = hists_[i].handle;
+      hv.bounds.assign(h.bounds_, h.bounds_ + h.num_bounds_);
+      hv.bucket_counts.assign(h.num_bounds_ + 1, 0);
+      for (const auto& shard : shards_) {
+        const HistShard& hs = shard->hists[i];
+        hv.count += hs.count.load(std::memory_order_relaxed);
+        hv.sum += hs.sum.load(std::memory_order_relaxed);
+        for (std::uint32_t b = 0; b <= h.num_bounds_; ++b) {
+          hv.bucket_counts[b] += hs.buckets[b].load(std::memory_order_relaxed);
+        }
+      }
+      snap.histograms.push_back(std::move(hv));
+    }
+    return snap;
+  }
+
+  void Reset() noexcept {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& shard : shards_) {
+      for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
+      for (auto& h : shard->hists) {
+        h.count.store(0, std::memory_order_relaxed);
+        h.sum.store(0, std::memory_order_relaxed);
+        for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+      }
+    }
+    for (auto& g : gauge_values_) g.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct CounterInfo {
+    std::string name;
+    std::string unit;
+    Counter handle;
+  };
+  struct GaugeInfo {
+    std::string name;
+    std::string unit;
+    Gauge handle;
+  };
+  struct HistogramInfo {
+    std::string name;
+    std::string unit;
+    Histogram handle;
+  };
+
+  Registry() = default;
+
+  std::mutex mu_;
+  // Deques: stable element addresses, so returned handle references and the
+  // lock-free gauge store stay valid across registrations.
+  std::deque<CounterInfo> counters_;
+  std::deque<GaugeInfo> gauges_;
+  std::deque<std::atomic<double>> gauge_values_;
+  std::deque<HistogramInfo> hists_;
+  std::unordered_map<std::string, std::uint32_t> counter_ids_;
+  std::unordered_map<std::string, std::uint32_t> gauge_ids_;
+  std::unordered_map<std::string, std::uint32_t> hist_ids_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+bool MetricsEnabled() noexcept {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool on) noexcept {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Counter::Add(std::uint64_t n) noexcept {
+  if (!MetricsEnabled()) return;
+  Registry::Instance().LocalShard().counters[id_].fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+void Gauge::Set(double value) noexcept {
+  if (!MetricsEnabled()) return;
+  Registry::Instance().SetGauge(id_, value);
+}
+
+void Histogram::Observe(std::uint64_t value) noexcept {
+  if (!MetricsEnabled()) return;
+  std::uint32_t b = 0;
+  while (b < num_bounds_ && value > bounds_[b]) ++b;
+  HistShard& hs = Registry::Instance().LocalShard().hists[id_];
+  hs.count.fetch_add(1, std::memory_order_relaxed);
+  hs.sum.fetch_add(value, std::memory_order_relaxed);
+  hs.buckets[b].fetch_add(1, std::memory_order_relaxed);
+}
+
+Counter& GetCounter(std::string_view name, std::string_view unit) {
+  return Registry::Instance().GetCounter(name, unit);
+}
+
+Gauge& GetGauge(std::string_view name, std::string_view unit) {
+  return Registry::Instance().GetGauge(name, unit);
+}
+
+Histogram& GetHistogram(std::string_view name, Buckets kind,
+                        std::string_view unit) {
+  return Registry::Instance().GetHistogram(name, kind, unit);
+}
+
+MetricsSnapshot SnapshotMetrics() { return Registry::Instance().Snapshot(); }
+
+void ResetMetrics() noexcept { Registry::Instance().Reset(); }
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WriteMetricsJson(std::ostream& out) {
+  const MetricsSnapshot snap = SnapshotMetrics();
+  std::string doc;
+  doc += "{\n  \"counters\": [";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    const auto& c = snap.counters[i];
+    doc += (i == 0) ? "\n" : ",\n";
+    doc += "    {\"name\": \"" + JsonEscape(c.name) + "\", \"unit\": \"" +
+           JsonEscape(c.unit) + "\", \"value\": ";
+    AppendJsonUint(doc, c.value);
+    doc += "}";
+  }
+  doc += "\n  ],\n  \"gauges\": [";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    const auto& g = snap.gauges[i];
+    doc += (i == 0) ? "\n" : ",\n";
+    doc += "    {\"name\": \"" + JsonEscape(g.name) + "\", \"unit\": \"" +
+           JsonEscape(g.unit) + "\", \"value\": ";
+    if (std::isfinite(g.value)) {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", g.value);
+      doc += buf;
+    } else {
+      doc += "null";
+    }
+    doc += "}";
+  }
+  doc += "\n  ],\n  \"histograms\": [";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    doc += (i == 0) ? "\n" : ",\n";
+    doc += "    {\"name\": \"" + JsonEscape(h.name) + "\", \"unit\": \"" +
+           JsonEscape(h.unit) + "\", \"count\": ";
+    AppendJsonUint(doc, h.count);
+    doc += ", \"sum\": ";
+    AppendJsonUint(doc, h.sum);
+    doc += ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.bucket_counts.size(); ++b) {
+      if (b != 0) doc += ", ";
+      doc += "{\"le\": ";
+      if (b < h.bounds.size()) {
+        AppendJsonUint(doc, h.bounds[b]);
+      } else {
+        doc += "null";
+      }
+      doc += ", \"count\": ";
+      AppendJsonUint(doc, h.bucket_counts[b]);
+      doc += "}";
+    }
+    doc += "]}";
+  }
+  doc += "\n  ]\n}\n";
+  out << doc;
+}
+
+}  // namespace lockdown::obs

@@ -1,0 +1,129 @@
+// Zero-perturbation metrics registry: monotonic counters, gauges, and
+// fixed-bucket histograms, updated through lock-free per-thread shards that
+// are merged only when a snapshot is taken.
+//
+// Determinism contract (DESIGN.md §10): instrumentation is compiled in
+// everywhere but inert unless enabled — every hot-path update is a single
+// relaxed atomic load of the enabled flag followed by an early return. When
+// enabled, updates are relaxed atomic adds into a shard owned by the calling
+// thread, so they never synchronize, allocate, or reorder the instrumented
+// computation; figure outputs are bit-identical with observability on or off
+// (tests/obs/differential_test.cc holds the pipeline to exactly this).
+//
+// Handle pattern at an instrumentation site:
+//
+//   static obs::Counter& c = obs::GetCounter("ingest/lines_kept", "lines");
+//   c.Add(report.kept);
+//
+// Registration (GetCounter/GetGauge/GetHistogram) takes a mutex and is
+// expected on cold paths only; the returned references stay valid for the
+// process lifetime (ResetMetrics zeroes values but never unregisters).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lockdown::obs {
+
+/// Global metrics gate; relaxed-atomic, safe from any thread.
+[[nodiscard]] bool MetricsEnabled() noexcept;
+void SetMetricsEnabled(bool on) noexcept;
+
+/// Monotonic counter. Add is wait-free when enabled, a no-op when not.
+class Counter {
+ public:
+  void Add(std::uint64_t n) noexcept;
+  void Increment() noexcept { Add(1); }
+
+ private:
+  friend class Registry;
+  explicit Counter(std::uint32_t id) noexcept : id_(id) {}
+  std::uint32_t id_;
+};
+
+/// Last-write-wins instantaneous value (RSS, fill ratios, budget headroom).
+class Gauge {
+ public:
+  void Set(double value) noexcept;
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::uint32_t id) noexcept : id_(id) {}
+  std::uint32_t id_;
+};
+
+/// Fixed bucket layouts; bounds are upper-inclusive ("le"), with an implicit
+/// overflow bucket past the last bound.
+enum class Buckets : std::uint8_t {
+  kDurationUs,  ///< log-ish microsecond grid, 1us .. 60s
+  kSizeBytes,   ///< power-of-4-ish byte grid, 64B .. 4GiB
+  kPercent,     ///< coarse percentage grid, 1% .. 200%
+};
+
+/// Fixed-bucket histogram over non-negative integer values (us, bytes, %).
+class Histogram {
+ public:
+  void Observe(std::uint64_t value) noexcept;
+
+ private:
+  friend class Registry;
+  Histogram(std::uint32_t id, const std::uint64_t* bounds,
+            std::uint32_t num_bounds) noexcept
+      : id_(id), bounds_(bounds), num_bounds_(num_bounds) {}
+  std::uint32_t id_;
+  const std::uint64_t* bounds_;
+  std::uint32_t num_bounds_;
+};
+
+/// Registers (or finds) a metric by name. The unit is recorded on first
+/// registration; later calls with the same name return the same handle.
+/// Throws std::length_error if a fixed per-kind capacity is exhausted.
+[[nodiscard]] Counter& GetCounter(std::string_view name,
+                                  std::string_view unit = "");
+[[nodiscard]] Gauge& GetGauge(std::string_view name, std::string_view unit = "");
+[[nodiscard]] Histogram& GetHistogram(std::string_view name, Buckets kind,
+                                      std::string_view unit = "");
+
+/// Point-in-time merged view of every shard, in registration order.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::string unit;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    std::string unit;
+    double value = 0.0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::string unit;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::vector<std::uint64_t> bounds;         ///< upper bounds ("le")
+    std::vector<std::uint64_t> bucket_counts;  ///< bounds.size() + 1 (overflow)
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+[[nodiscard]] MetricsSnapshot SnapshotMetrics();
+
+/// Serializes a snapshot as one JSON document:
+/// {"counters": [...], "gauges": [...], "histograms": [...]}. Non-finite
+/// gauge values render as null (JSON has no NaN/Inf); names are escaped.
+void WriteMetricsJson(std::ostream& out);
+
+/// Zeroes every counter/gauge/histogram value in every shard. Registrations
+/// (and outstanding handles) stay valid. For tests and repeated runs.
+void ResetMetrics() noexcept;
+
+/// Minimal JSON string escaping shared by the obs serializers.
+[[nodiscard]] std::string JsonEscape(std::string_view s);
+
+}  // namespace lockdown::obs

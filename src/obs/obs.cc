@@ -1,0 +1,101 @@
+#include "obs/obs.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+namespace lockdown::obs {
+namespace {
+
+struct OutputConfig {
+  std::mutex mu;
+  std::string metrics_path;
+  std::string trace_path;
+  std::once_flag exit_hook;
+  std::once_flag env_once;
+};
+
+OutputConfig& Config() {
+  static OutputConfig* config = new OutputConfig();
+  return *config;
+}
+
+void RegisterExitHook() {
+  std::call_once(Config().exit_hook, [] { std::atexit(FlushOutputs); });
+}
+
+}  // namespace
+
+void EnableMetricsOutput(std::string_view path) {
+  {
+    std::lock_guard<std::mutex> lock(Config().mu);
+    Config().metrics_path = std::string(path);
+  }
+  SetMetricsEnabled(true);
+  RegisterExitHook();
+}
+
+void EnableTraceOutput(std::string_view path) {
+  {
+    std::lock_guard<std::mutex> lock(Config().mu);
+    Config().trace_path = std::string(path);
+  }
+  SetTracingEnabled(true);
+  RegisterExitHook();
+}
+
+void ConfigureFromEnv() {
+  std::call_once(Config().env_once, [] {
+    if (const char* path = std::getenv("LOCKDOWN_METRICS");
+        path != nullptr && path[0] != '\0') {
+      EnableMetricsOutput(path);
+    }
+    if (const char* path = std::getenv("LOCKDOWN_TRACE");
+        path != nullptr && path[0] != '\0') {
+      EnableTraceOutput(path);
+    }
+  });
+}
+
+std::string MetricsOutputPath() {
+  std::lock_guard<std::mutex> lock(Config().mu);
+  return Config().metrics_path;
+}
+
+std::string TraceOutputPath() {
+  std::lock_guard<std::mutex> lock(Config().mu);
+  return Config().trace_path;
+}
+
+void FlushOutputs() noexcept {
+  std::string metrics_path;
+  std::string trace_path;
+  {
+    std::lock_guard<std::mutex> lock(Config().mu);
+    metrics_path = Config().metrics_path;
+    trace_path = Config().trace_path;
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path, std::ios::binary | std::ios::trunc);
+    if (out) {
+      WriteMetricsJson(out);
+    }
+    if (!out) {
+      std::fprintf(stderr, "obs: cannot write metrics to %s\n",
+                   metrics_path.c_str());
+    }
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, std::ios::binary | std::ios::trunc);
+    if (out) {
+      WriteChromeTrace(out);
+    }
+    if (!out) {
+      std::fprintf(stderr, "obs: cannot write trace to %s\n",
+                   trace_path.c_str());
+    }
+  }
+}
+
+}  // namespace lockdown::obs

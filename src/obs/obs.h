@@ -1,0 +1,40 @@
+// Umbrella header for the observability subsystem plus run configuration:
+// turning metrics/tracing on, binding output files, and the env hookup used
+// by benches (LOCKDOWN_METRICS / LOCKDOWN_TRACE).
+//
+// Output files are written by a process-exit hook registered on the first
+// Enable*Output call, so instrumented code never needs to know whether a
+// run wants output — lockdown_cli simply binds the paths up front and every
+// span/counter recorded anywhere in the process lands in the files.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"  // IWYU pragma: export
+#include "obs/trace.h"    // IWYU pragma: export
+
+namespace lockdown::obs {
+
+/// Enables metrics and arranges for the merged snapshot to be written as
+/// JSON to `path` at process exit. Last call wins if repeated.
+void EnableMetricsOutput(std::string_view path);
+
+/// Enables tracing and arranges for the Chrome trace-event JSON to be
+/// written to `path` at process exit. Last call wins if repeated.
+void EnableTraceOutput(std::string_view path);
+
+/// Reads LOCKDOWN_METRICS / LOCKDOWN_TRACE (each a file path) and calls the
+/// matching Enable*Output. Idempotent; explicit flags may override after.
+void ConfigureFromEnv();
+
+/// Paths currently bound for exit-time output; empty when unbound (tests).
+[[nodiscard]] std::string MetricsOutputPath();
+[[nodiscard]] std::string TraceOutputPath();
+
+/// Writes any bound outputs immediately (the exit hook calls this; tests
+/// and long-lived embedders may call it directly). Unwritable paths are
+/// reported to stderr, never thrown.
+void FlushOutputs() noexcept;
+
+}  // namespace lockdown::obs

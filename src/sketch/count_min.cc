@@ -68,4 +68,11 @@ double CountMinSketch::delta() const noexcept {
   return std::exp(-static_cast<double>(depth_));
 }
 
+double CountMinSketch::FillRatio() const noexcept {
+  if (cells_.empty()) return 0.0;
+  std::size_t nonzero = 0;
+  for (const std::uint64_t c : cells_) nonzero += c != 0;
+  return static_cast<double>(nonzero) / static_cast<double>(cells_.size());
+}
+
 }  // namespace lockdown::sketch

@@ -56,6 +56,10 @@ class CountMinSketch {
            row_keys_.size() * sizeof(util::SipHashKey);
   }
 
+  /// Fraction of nonzero cells, in [0, 1]. High fill means heavy hash
+  /// collision pressure and a looser practical overestimate.
+  [[nodiscard]] double FillRatio() const noexcept;
+
  private:
   std::size_t width_;
   std::size_t depth_;

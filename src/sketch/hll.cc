@@ -74,4 +74,11 @@ double HyperLogLog::RelativeStandardError() const noexcept {
   return 1.04 / std::sqrt(static_cast<double>(registers_.size()));
 }
 
+double HyperLogLog::FillRatio() const noexcept {
+  if (registers_.empty()) return 0.0;
+  std::size_t nonzero = 0;
+  for (const std::uint8_t r : registers_) nonzero += r != 0;
+  return static_cast<double>(nonzero) / static_cast<double>(registers_.size());
+}
+
 }  // namespace lockdown::sketch

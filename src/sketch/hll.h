@@ -55,6 +55,10 @@ class HyperLogLog {
     return registers_.size() + sizeof(*this);
   }
 
+  /// Fraction of registers holding a nonzero rank, in [0, 1]. A fill ratio
+  /// near 0 means the precision budget is oversized for the stream.
+  [[nodiscard]] double FillRatio() const noexcept;
+
  private:
   int precision_;
   util::SipHashKey key_;

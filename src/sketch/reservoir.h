@@ -69,6 +69,13 @@ class ReservoirSample {
   [[nodiscard]] std::size_t MemoryBytes() const noexcept {
     return entries_.capacity() * sizeof(Entry) + sizeof(*this);
   }
+  /// Fraction of capacity in use, in [0, 1]; 1 once the sample is sampling.
+  [[nodiscard]] double FillRatio() const noexcept {
+    return capacity_ == 0
+               ? 0.0
+               : static_cast<double>(entries_.size()) /
+                     static_cast<double>(capacity_);
+  }
 
  private:
   static bool EntryLess(const Entry& a, const Entry& b) noexcept;

@@ -1,9 +1,11 @@
 #include <bit>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
 #include "store/codec.h"
 #include "store/format.h"
 #include "store/mmap_file.h"
@@ -22,12 +24,31 @@ struct ParsedSection {
   std::span<const std::byte> payload;
 };
 
+// CRC with its cost recorded per call; checksum time is the dominant
+// non-mmap cost of opening a snapshot, so it gets its own histogram.
+std::uint32_t TimedCrc32c(std::span<const std::byte> bytes) {
+  if (!obs::MetricsEnabled()) return util::Crc32c(bytes);
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint32_t crc = util::Crc32c(bytes);
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  static obs::Histogram& crc_us =
+      obs::GetHistogram("store/crc_us", obs::Buckets::kDurationUs, "us");
+  crc_us.Observe(static_cast<std::uint64_t>(us));
+  return crc;
+}
+
 }  // namespace
 
 class Reader::Impl {
  public:
   explicit Impl(std::filesystem::path path) : path_(std::move(path)) {
+    OBS_SPAN("store/open");
     map_ = MmapFile::Open(path_);
+    if (obs::MetricsEnabled()) {
+      obs::GetCounter("store/bytes_read", "bytes").Add(map_->bytes().size());
+    }
     ParseStructure();
   }
 
@@ -35,7 +56,7 @@ class Reader::Impl {
 
   [[nodiscard]] bool SectionChecksumOk(int i) const {
     const ParsedSection& s = sections_[i];
-    return util::Crc32c(s.payload) == s.crc32c;
+    return TimedCrc32c(s.payload) == s.crc32c;
   }
 
   [[nodiscard]] std::string ChecksumMessage(int i) const {
@@ -45,12 +66,14 @@ class Reader::Impl {
   }
 
   void VerifyChecksums() const {
+    OBS_SPAN("store/verify_checksums");
     for (int i = 0; i < kNumSections; ++i) {
       if (!SectionChecksumOk(i)) Fail(ChecksumMessage(i));
     }
   }
 
   [[nodiscard]] LoadedSnapshot Load(const LoadOptions& options) const {
+    OBS_SPAN("store/load");
     LoadedSnapshot out;
     // Mandatory sections fail the load on corruption, naming the section
     // and offset; the stats section is advisory and may be salvaged
@@ -115,6 +138,9 @@ class Reader::Impl {
           static_cast<std::size_t>(info_.num_flows)};
       ds.BorrowFlows(flows, map_);
       out.zero_copy = true;
+      if (lockdown::obs::MetricsEnabled()) {
+        lockdown::obs::GetCounter("store/load_zero_copy", "loads").Increment();
+      }
     } else {
       detail::Decoder dec(flow_bytes, "flows");
       for (std::uint64_t i = 0; i < info_.num_flows; ++i) {
@@ -132,6 +158,9 @@ class Reader::Impl {
         ds.AddFlow(f);
       }
       dec.ExpectDone();
+      if (lockdown::obs::MetricsEnabled()) {
+        lockdown::obs::GetCounter("store/load_copy", "loads").Increment();
+      }
     }
 
     // Per-flow references must be in range before any analysis indexes by

@@ -4,12 +4,14 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
 #include "store/codec.h"
 #include "store/format.h"
 #include "store/snapshot.h"
@@ -20,6 +22,47 @@ namespace lockdown::store {
 namespace {
 
 constexpr std::size_t kFlowsPerChunk = 16384;  // 640 KiB encode buffer
+
+// Accumulates checksum time across a save; one histogram observation per
+// WriteCollection, not per chunk, so the sample means "CRC cost of a save".
+class CrcTimer {
+ public:
+  CrcTimer() : on_(obs::MetricsEnabled()) {}
+
+  std::uint32_t Crc(std::span<const std::byte> bytes,
+                    util::Crc32cAccumulator* acc = nullptr) {
+    if (!on_) {
+      if (acc != nullptr) {
+        acc->Update(bytes);
+        return acc->value();
+      }
+      return util::Crc32c(bytes);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint32_t crc;
+    if (acc != nullptr) {
+      acc->Update(bytes);
+      crc = acc->value();
+    } else {
+      crc = util::Crc32c(bytes);
+    }
+    total_ns_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+    return crc;
+  }
+
+  void Record() const {
+    if (!on_) return;
+    static obs::Histogram& crc_us =
+        obs::GetHistogram("store/crc_us", obs::Buckets::kDurationUs, "us");
+    crc_us.Observe(static_cast<std::uint64_t>(total_ns_ / 1000));
+  }
+
+ private:
+  bool on_;
+  std::int64_t total_ns_ = 0;
+};
 
 [[noreturn]] void ThrowErrno(const std::filesystem::path& path, const char* op) {
   throw Error(path.string() + ": " + op + ": " + std::strerror(errno));
@@ -167,6 +210,8 @@ class Writer::Impl {
     const core::Dataset& ds = result.dataset;
     if (!ds.finalized()) throw Error("cannot snapshot a non-finalized dataset");
     written_ = true;
+    OBS_SPAN("store/save");
+    CrcTimer crc_timer;
 
     // Variable-length sections are encoded up front so every section size —
     // and with it the header and section table — is known before the first
@@ -204,7 +249,7 @@ class Writer::Impl {
     const std::uint64_t file_size = trailer_offset + kTrailerSize;
 
     for (Section& s : sections) {
-      if (s.body != nullptr) s.crc = util::Crc32c(s.body->bytes());
+      if (s.body != nullptr) s.crc = crc_timer.Crc(s.body->bytes());
     }
 
     // The flow section is not buffered: the file is sized up front (holes
@@ -222,7 +267,7 @@ class Writer::Impl {
       detail::Encoder chunk;
       chunk.Reserve((end - begin) * kFlowStride);
       for (std::size_t i = begin; i < end; ++i) EncodeFlow(chunk, flows[i]);
-      flow_crc.Update(chunk.bytes());
+      crc_timer.Crc(chunk.bytes(), &flow_crc);
       PWrite(chunk.bytes(),
              sections[1].offset + static_cast<std::uint64_t>(begin) * kFlowStride);
     }
@@ -252,9 +297,17 @@ class Writer::Impl {
 
     detail::Encoder trailer;
     for (const char c : kTrailerMagic) trailer.U8(static_cast<std::uint8_t>(c));
-    trailer.U32(util::Crc32c(table.bytes()));
+    trailer.U32(crc_timer.Crc(table.bytes()));
     trailer.U32(0);
     PWrite(trailer.bytes(), trailer_offset);
+
+    crc_timer.Record();
+    if (obs::MetricsEnabled()) {
+      obs::GetCounter("store/bytes_written", "bytes").Add(file_size);
+      obs::GetHistogram("store/snapshot_bytes", obs::Buckets::kSizeBytes,
+                        "bytes")
+          .Observe(file_size);
+    }
   }
 
   void Commit() {

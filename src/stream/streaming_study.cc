@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "apps/sessionizer.h"
+#include "obs/obs.h"
 #include "world/catalog.h"
 
 namespace lockdown::stream {
@@ -234,9 +235,11 @@ StreamingStudy::StreamingStudy(const core::Dataset& dataset,
   }
 
   RunPass();
+  RecordObsGauges();
 }
 
 void StreamingStudy::RunPass() {
+  OBS_SPAN("stream/pass");
   const Dataset& ds = ctx_.dataset();
   const std::size_t n = ds.num_devices();
   const auto days = static_cast<std::size_t>(Cal().num_days);
@@ -261,9 +264,63 @@ void StreamingStudy::RunPass() {
   for (const sketch::WindowedAggregator& grid : chunk_diurnal) {
     diurnal_grid_.Merge(grid);
   }
+  if (obs::MetricsEnabled()) {
+    obs::GetCounter("sketch/diurnal_merges", "merges").Add(num_chunks);
+  }
   diurnal_scratch_high_water_ =
       num_chunks * (days * 24 * sizeof(double) +
                     sizeof(sketch::WindowedAggregator));
+}
+
+void StreamingStudy::RecordObsGauges() const {
+  if (!obs::MetricsEnabled()) return;
+
+  const auto state = static_cast<double>(TrackedStateBytes());
+  const auto budget = static_cast<double>(plan_.budget_bytes);
+  obs::GetGauge("stream/state_bytes", "bytes").Set(state);
+  obs::GetGauge("stream/budget_bytes", "bytes").Set(budget);
+  obs::GetGauge("stream/budget_headroom_bytes", "bytes")
+      .Set(budget > state ? budget - state : 0.0);
+
+  double hll_fill = 0.0;
+  std::size_t hll_count = 0;
+  for (const sketch::HyperLogLog& h : fig1_hll_) {
+    hll_fill += h.FillRatio();
+    ++hll_count;
+  }
+  for (const sketch::HyperLogLog& h : site_hll_) {
+    hll_fill += h.FillRatio();
+    ++hll_count;
+  }
+  if (hll_count != 0) {
+    obs::GetGauge("sketch/hll_fill_ratio", "ratio")
+        .Set(hll_fill / static_cast<double>(hll_count));
+  }
+
+  double res_fill = 0.0;
+  std::size_t res_count = 0;
+  std::uint64_t overflow_offers = 0;
+  const auto fold = [&](const std::vector<sketch::ReservoirSample>& family) {
+    for (const sketch::ReservoirSample& r : family) {
+      res_fill += r.FillRatio();
+      ++res_count;
+      if (r.seen() > r.capacity()) overflow_offers += r.seen() - r.capacity();
+    }
+  };
+  fold(fig2_res_);
+  fold(fig3_res_);
+  fold(fig4_res_);
+  fold(fig6_res_);
+  fold(fig7_res_);
+  if (res_count != 0) {
+    obs::GetGauge("sketch/reservoir_fill_ratio", "ratio")
+        .Set(res_fill / static_cast<double>(res_count));
+  }
+  obs::GetCounter("sketch/reservoir_overflow_offers", "offers")
+      .Add(overflow_offers);
+
+  obs::GetGauge("sketch/cms_fill_ratio", "ratio")
+      .Set(domain_bytes_.FillRatio());
 }
 
 void StreamingStudy::ProcessDevice(DeviceIndex dev, DeviceScratch& s,
@@ -513,6 +570,7 @@ void StreamingStudy::FlushDevice(DeviceIndex dev, const DeviceScratch& s) {
 
 std::vector<StreamingStudy::ActiveDevicesRow>
 StreamingStudy::ActiveDevicesPerDay() const {
+  OBS_SPAN("stream/fig1_active_devices");
   const int days = Cal().num_days;
   std::vector<ActiveDevicesRow> rows(static_cast<std::size_t>(days));
   for (int day = 0; day < days; ++day) {
@@ -530,6 +588,7 @@ StreamingStudy::ActiveDevicesPerDay() const {
 
 std::vector<core::LockdownStudy::BytesPerDeviceRow>
 StreamingStudy::BytesPerDevicePerDay() const {
+  OBS_SPAN("stream/fig2_bytes_per_device");
   const int days = Cal().num_days;
   std::vector<core::LockdownStudy::BytesPerDeviceRow> rows(
       static_cast<std::size_t>(days));
@@ -552,6 +611,7 @@ StreamingStudy::BytesPerDevicePerDay() const {
 }
 
 core::LockdownStudy::HourOfWeekResult StreamingStudy::HourOfWeekVolume() const {
+  OBS_SPAN("stream/fig3_hour_of_week");
   core::LockdownStudy::HourOfWeekResult result;
   constexpr int kH = analysis::HourOfWeekSeries::kHours;
   for (std::size_t w = 0; w < 4; ++w) {
@@ -573,6 +633,7 @@ core::LockdownStudy::HourOfWeekResult StreamingStudy::HourOfWeekVolume() const {
 
 std::vector<core::LockdownStudy::Fig4Row>
 StreamingStudy::MedianBytesExcludingZoom() const {
+  OBS_SPAN("stream/fig4_population_split");
   const int days = Cal().num_days;
   std::vector<core::LockdownStudy::Fig4Row> rows(
       static_cast<std::size_t>(days));
@@ -599,6 +660,7 @@ analysis::DailySeries StreamingStudy::ZoomDailyBytes() const {
 
 core::LockdownStudy::SocialBox StreamingStudy::SocialDurations(
     apps::SocialApp app, int month) const {
+  OBS_SPAN("stream/fig6_social");
   const int m = month - 2;
   if (m < 0 || m >= static_cast<int>(kNumMonths)) return {};
   const auto base =
@@ -610,6 +672,7 @@ core::LockdownStudy::SocialBox StreamingStudy::SocialDurations(
 }
 
 core::LockdownStudy::SteamBox StreamingStudy::SteamUsage(int month) const {
+  OBS_SPAN("stream/fig7_steam");
   const int m = month - 2;
   if (m < 0 || m >= static_cast<int>(kNumMonths)) return {};
   const auto dom = static_cast<std::size_t>(m) * 2 * 2;
@@ -626,11 +689,13 @@ analysis::DailySeries StreamingStudy::SwitchGameplayDaily(int ma_window) const {
 }
 
 core::LockdownStudy::SwitchCounts StreamingStudy::CountSwitches() const {
+  OBS_SPAN("stream/fig8_switch_counts");
   return switch_counts_;
 }
 
 std::vector<core::LockdownStudy::CategoryVolumeRow>
 StreamingStudy::CategoryVolumes() const {
+  OBS_SPAN("stream/categories");
   const int days = Cal().num_days;
   std::vector<core::LockdownStudy::CategoryVolumeRow> rows(
       static_cast<std::size_t>(days));
@@ -651,6 +716,7 @@ StreamingStudy::CategoryVolumes() const {
 
 core::LockdownStudy::DiurnalShapeResult StreamingStudy::DiurnalShape(
     int first_day, int last_day) const {
+  OBS_SPAN("stream/diurnal");
   core::LockdownStudy::DiurnalShapeResult result;
   const int days = Cal().num_days;
   const int lo = std::max(first_day, 0);
@@ -675,6 +741,7 @@ core::LockdownStudy::DiurnalShapeResult StreamingStudy::DiurnalShape(
 }
 
 core::LockdownStudy::Headline StreamingStudy::HeadlineStats() const {
+  OBS_SPAN("stream/headline");
   core::LockdownStudy::Headline h;
   double peak = 0.0;
   double trough = 0.0;

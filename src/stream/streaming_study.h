@@ -155,6 +155,9 @@ class StreamingStudy {
   struct DeviceScratch;
 
   void RunPass();
+  /// Publishes post-pass sketch health (fill ratios, budget headroom,
+  /// overflow pressure) to the obs registry; no-op unless metrics are on.
+  void RecordObsGauges() const;
   void ProcessDevice(core::DeviceIndex dev, DeviceScratch& scratch,
                      sketch::WindowedAggregator& chunk_diurnal);
   void FlushDevice(core::DeviceIndex dev, const DeviceScratch& scratch);

@@ -1,23 +1,37 @@
 #include "util/memstats.h"
 
+#if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
 #include <unistd.h>
+#endif
 
 #include <cctype>
 #include <charconv>
 #include <cstdio>
 #include <limits>
 
+#include "obs/obs.h"
+
 namespace lockdown::util {
 
 std::size_t PeakRssBytes() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
   struct rusage usage {};
   if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  // macOS reports ru_maxrss in bytes.
+  return static_cast<std::size_t>(usage.ru_maxrss);
+#else
   // Linux reports ru_maxrss in kilobytes.
   return static_cast<std::size_t>(usage.ru_maxrss) * 1024U;
+#endif
+#else
+  return 0;  // unsupported platform: report "unknown", never garbage
+#endif
 }
 
 std::size_t CurrentRssBytes() noexcept {
+#if defined(__linux__)
   std::FILE* f = std::fopen("/proc/self/statm", "re");
   if (f == nullptr) return 0;
   unsigned long long size_pages = 0;
@@ -28,6 +42,18 @@ std::size_t CurrentRssBytes() noexcept {
   const long page = sysconf(_SC_PAGESIZE);
   return static_cast<std::size_t>(rss_pages) *
          static_cast<std::size_t>(page > 0 ? page : 4096);
+#else
+  return 0;  // live RSS needs procfs; peak via getrusage may still work
+#endif
+}
+
+void PublishRssGauges() noexcept {
+  if (!obs::MetricsEnabled()) return;
+  static obs::Gauge& peak = obs::GetGauge("process/peak_rss_bytes", "bytes");
+  static obs::Gauge& current =
+      obs::GetGauge("process/current_rss_bytes", "bytes");
+  peak.Set(static_cast<double>(PeakRssBytes()));
+  current.Set(static_cast<double>(CurrentRssBytes()));
 }
 
 std::string FormatByteSize(std::size_t bytes) {

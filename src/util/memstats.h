@@ -23,6 +23,12 @@ namespace lockdown::util {
 /// unavailable (non-Linux or unreadable procfs).
 [[nodiscard]] std::size_t CurrentRssBytes() noexcept;
 
+/// Samples PeakRssBytes/CurrentRssBytes into the obs gauges
+/// "process/peak_rss_bytes" and "process/current_rss_bytes". No-op unless
+/// metrics are enabled. Call at natural milestones (end of a run, after a
+/// pass) — gauges are last-write-wins.
+void PublishRssGauges() noexcept;
+
 /// "1023 B", "4.0 KiB", "31.5 MiB", "2.0 GiB" — binary units, one decimal
 /// for scaled values.
 [[nodiscard]] std::string FormatByteSize(std::size_t bytes);

@@ -1,12 +1,60 @@
 #include "util/thread_pool.h"
 
+#include <array>
 #include <atomic>
 #include <charconv>
+#include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 
+#include "obs/obs.h"
+
 namespace lockdown::util {
+namespace {
+
+// Per-lane accounting is capped; lanes past the cap still run chunks, they
+// just skip utilization bookkeeping.
+constexpr int kMaxObsLanes = 64;
+
+std::int64_t ObsNowNs() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Folds a finished job's lane timings into the registry: per-lane busy time,
+// total chunk count, and the busy-time spread between the most and least
+// loaded lanes (the "one slow chunk serializes the tail" signal).
+void RecordJobStats(const std::array<std::uint64_t, kMaxObsLanes>& busy_ns,
+                    const std::array<std::uint64_t, kMaxObsLanes>& lane_chunks,
+                    std::size_t num_chunks) {
+  static obs::Counter& jobs =
+      obs::GetCounter("thread_pool/parallel_for", "calls");
+  static obs::Counter& chunks = obs::GetCounter("thread_pool/chunks", "chunks");
+  static obs::Histogram& lane_busy = obs::GetHistogram(
+      "thread_pool/lane_busy_us", obs::Buckets::kDurationUs, "us");
+  static obs::Histogram& imbalance = obs::GetHistogram(
+      "thread_pool/imbalance_pct", obs::Buckets::kPercent, "%");
+  jobs.Increment();
+  chunks.Add(num_chunks);
+  std::uint64_t max_busy = 0;
+  std::uint64_t min_busy = UINT64_MAX;
+  bool any = false;
+  for (int lane = 0; lane < kMaxObsLanes; ++lane) {
+    if (lane_chunks[lane] == 0) continue;
+    any = true;
+    lane_busy.Observe(busy_ns[lane] / 1000);
+    if (busy_ns[lane] > max_busy) max_busy = busy_ns[lane];
+    if (busy_ns[lane] < min_busy) min_busy = busy_ns[lane];
+  }
+  if (any && max_busy > 0) {
+    imbalance.Observe(100 * (max_busy - min_busy) / max_busy);
+  }
+}
+
+}  // namespace
 
 int ResolveThreadCount(int requested) noexcept {
   if (requested > 0) return requested;
@@ -33,13 +81,19 @@ struct ThreadPool::Job {
   int attached = 0;  // workers currently holding this job; guarded by mutex_
   std::mutex error_mutex;
   std::exception_ptr error;
+  // Lane accounting, populated only when obs_on. Each lane writes its own
+  // slot; the caller reads after the done_ handshake, so no atomics needed.
+  bool obs_on = false;
+  std::array<std::uint64_t, kMaxObsLanes> busy_ns{};
+  std::array<std::uint64_t, kMaxObsLanes> lane_chunks{};
 };
 
 ThreadPool::ThreadPool(int threads) {
   const int workers = threads > 1 ? threads - 1 : 0;
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    // Lane 0 is the caller; workers take 1..N.
+    workers_.emplace_back([this, lane = i + 1] { WorkerLoop(lane); });
   }
 }
 
@@ -52,23 +106,34 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::RunChunks(Job& job) {
+void ThreadPool::RunChunks(Job& job, int lane) {
+  static obs::Histogram& chunk_us = obs::GetHistogram(
+      "thread_pool/chunk_us", obs::Buckets::kDurationUs, "us");
   for (;;) {
     const std::size_t chunk = job.next.fetch_add(1, std::memory_order_relaxed);
     if (chunk >= job.num_chunks) return;
     const std::size_t begin = chunk * job.grain;
     const std::size_t end = std::min(begin + job.grain, job.n);
+    const std::int64_t t0 = job.obs_on ? ObsNowNs() : 0;
     try {
       (*job.fn)(chunk, begin, end);
     } catch (...) {
       const std::lock_guard<std::mutex> lock(job.error_mutex);
       if (!job.error) job.error = std::current_exception();
     }
+    if (job.obs_on) {
+      const auto elapsed = static_cast<std::uint64_t>(ObsNowNs() - t0);
+      chunk_us.Observe(elapsed / 1000);
+      if (lane < kMaxObsLanes) {
+        job.busy_ns[static_cast<std::size_t>(lane)] += elapsed;
+        job.lane_chunks[static_cast<std::size_t>(lane)] += 1;
+      }
+    }
     job.finished.fetch_add(1, std::memory_order_release);
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int lane) {
   std::uint64_t seen = 0;
   for (;;) {
     Job* job = nullptr;
@@ -80,7 +145,7 @@ void ThreadPool::WorkerLoop() {
       job = job_;
       ++job->attached;
     }
-    RunChunks(*job);
+    RunChunks(*job, lane);
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       --job->attached;
@@ -101,12 +166,27 @@ void ThreadPool::ParallelFor(
   job.n = n;
   job.grain = grain;
   job.num_chunks = NumChunks(n, grain);
+  job.obs_on = obs::MetricsEnabled();
 
   if (workers_.empty() || job.num_chunks == 1) {
-    // Serial fallback: the identical chunks, in chunk order.
+    // Serial fallback: the identical chunks, in chunk order. Exceptions
+    // propagate immediately (later chunks do not run), unlike the parallel
+    // path — timing is inlined here so that contract stays untouched.
+    static obs::Histogram& chunk_us = obs::GetHistogram(
+        "thread_pool/chunk_us", obs::Buckets::kDurationUs, "us");
     for (std::size_t c = 0; c < job.num_chunks; ++c) {
       const std::size_t begin = c * grain;
+      const std::int64_t t0 = job.obs_on ? ObsNowNs() : 0;
       (*job.fn)(c, begin, std::min(begin + grain, n));
+      if (job.obs_on) {
+        const auto elapsed = static_cast<std::uint64_t>(ObsNowNs() - t0);
+        chunk_us.Observe(elapsed / 1000);
+        job.busy_ns[0] += elapsed;
+        job.lane_chunks[0] += 1;
+      }
+    }
+    if (job.obs_on) {
+      RecordJobStats(job.busy_ns, job.lane_chunks, job.num_chunks);
     }
     return;
   }
@@ -117,7 +197,7 @@ void ThreadPool::ParallelFor(
     ++generation_;
   }
   wake_.notify_all();
-  RunChunks(job);  // the caller is a lane too
+  RunChunks(job, /*lane=*/0);  // the caller is a lane too
   {
     std::unique_lock<std::mutex> lock(mutex_);
     done_.wait(lock, [&] {
@@ -125,6 +205,9 @@ void ThreadPool::ParallelFor(
              job.finished.load(std::memory_order_acquire) == job.num_chunks;
     });
     job_ = nullptr;
+  }
+  if (job.obs_on) {
+    RecordJobStats(job.busy_ns, job.lane_chunks, job.num_chunks);
   }
   if (job.error) std::rethrow_exception(job.error);
 }

@@ -63,8 +63,8 @@ class ThreadPool {
  private:
   struct Job;
 
-  void WorkerLoop();
-  static void RunChunks(Job& job);
+  void WorkerLoop(int lane);
+  static void RunChunks(Job& job, int lane);
 
   std::vector<std::thread> workers_;
   // Job hand-off; mutable so ParallelFor can be const (a pool held by a

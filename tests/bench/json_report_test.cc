@@ -1,0 +1,67 @@
+// Regression tests for the bench JSON reporter (bench/common.h): non-finite
+// metric values must render as null (printf %.17g spells them nan/inf, which
+// no JSON parser accepts — this corrupted machine-read baselines), and metric
+// names/units must be string-escaped.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "bench/common.h"
+
+namespace lockdown::bench {
+namespace {
+
+TEST(BenchJsonReport, NonFiniteValuesRenderAsNull) {
+  JsonReport report;
+  report.SetBenchName("json_report_test");
+  report.Metric("nan_metric", std::numeric_limits<double>::quiet_NaN(), "ms");
+  report.Metric("pos_inf_metric", std::numeric_limits<double>::infinity(), "x");
+  report.Metric("neg_inf_metric", -std::numeric_limits<double>::infinity(), "x");
+  report.Metric("finite_metric", 1.5, "ms");
+
+  const std::string doc = report.Render();
+  EXPECT_NE(doc.find("{\"name\": \"nan_metric\", \"value\": null"),
+            std::string::npos);
+  EXPECT_NE(doc.find("{\"name\": \"pos_inf_metric\", \"value\": null"),
+            std::string::npos);
+  EXPECT_NE(doc.find("{\"name\": \"neg_inf_metric\", \"value\": null"),
+            std::string::npos);
+  EXPECT_NE(doc.find("{\"name\": \"finite_metric\", \"value\": 1.5"),
+            std::string::npos);
+  EXPECT_EQ(doc.find("nan,"), std::string::npos);
+  EXPECT_EQ(doc.find("inf,"), std::string::npos);
+}
+
+TEST(BenchJsonReport, NumberFormattingRoundTrips) {
+  EXPECT_EQ(JsonReport::JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonReport::JsonNumber(4354167.0), "4354167");
+  // %.17g preserves all 53 mantissa bits.
+  EXPECT_EQ(JsonReport::JsonNumber(1074.5840459999999), "1074.5840459999999");
+  EXPECT_EQ(JsonReport::JsonNumber(std::nan("")), "null");
+  EXPECT_EQ(JsonReport::JsonNumber(HUGE_VAL), "null");
+}
+
+TEST(BenchJsonReport, NamesAndUnitsAreEscaped) {
+  JsonReport report;
+  report.SetBenchName("quote\"in\\name");
+  report.Metric("metric\twith\ncontrol", 1.0, "unit\"x");
+  const std::string doc = report.Render();
+  EXPECT_NE(doc.find("\"bench\": \"quote\\\"in\\\\name\""), std::string::npos);
+  EXPECT_NE(doc.find("metric\\twith\\ncontrol"), std::string::npos);
+  EXPECT_NE(doc.find("\"unit\\\"x\""), std::string::npos);
+  // No raw control characters may survive inside the document.
+  EXPECT_EQ(doc.find("metric\twith"), std::string::npos);
+}
+
+TEST(BenchJsonReport, EscapeHandlesControlCharacters) {
+  EXPECT_EQ(JsonReport::JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonReport::JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonReport::JsonEscape("a\\b"), "a\\\\b");
+  // \1 (octal) not \x01: a hex escape would swallow the following 'b'.
+  EXPECT_EQ(JsonReport::JsonEscape(std::string("a\1b", 3)), "a\\u0001b");
+}
+
+}  // namespace
+}  // namespace lockdown::bench

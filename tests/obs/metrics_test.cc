@@ -1,0 +1,206 @@
+// Unit tests for the zero-perturbation metrics registry (src/obs/metrics.h):
+// handle dedup, the disabled-is-no-op gate, exact shard-merged totals,
+// histogram bucket placement, gauge semantics (including the non-finite ->
+// null JSON contract), reset, and — the load-bearing one for the tsan tier —
+// concurrent updates from ParallelFor lanes merging to exact totals.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "util/thread_pool.h"
+
+namespace lockdown::obs {
+namespace {
+
+/// Scoped enable/disable so a failing test cannot leak the global gate.
+class MetricsOn {
+ public:
+  MetricsOn() { SetMetricsEnabled(true); }
+  ~MetricsOn() {
+    SetMetricsEnabled(false);
+    ResetMetrics();
+  }
+};
+
+const MetricsSnapshot::CounterValue* FindCounter(const MetricsSnapshot& snap,
+                                                 std::string_view name) {
+  for (const auto& c : snap.counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const MetricsSnapshot::GaugeValue* FindGauge(const MetricsSnapshot& snap,
+                                             std::string_view name) {
+  for (const auto& g : snap.gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const MetricsSnapshot::HistogramValue* FindHistogram(
+    const MetricsSnapshot& snap, std::string_view name) {
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+TEST(MetricsRegistry, RegistrationReturnsSameHandle) {
+  Counter& a = GetCounter("test/dedup_counter", "items");
+  Counter& b = GetCounter("test/dedup_counter", "ignored_second_unit");
+  EXPECT_EQ(&a, &b);
+
+  Gauge& ga = GetGauge("test/dedup_gauge", "bytes");
+  Gauge& gb = GetGauge("test/dedup_gauge");
+  EXPECT_EQ(&ga, &gb);
+
+  Histogram& ha = GetHistogram("test/dedup_hist", Buckets::kDurationUs, "us");
+  Histogram& hb = GetHistogram("test/dedup_hist", Buckets::kDurationUs, "us");
+  EXPECT_EQ(&ha, &hb);
+
+  // The unit is recorded on first registration and later calls don't change it.
+  const MetricsSnapshot snap = SnapshotMetrics();
+  const auto* c = FindCounter(snap, "test/dedup_counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->unit, "items");
+}
+
+TEST(MetricsRegistry, DisabledUpdatesAreDropped) {
+  SetMetricsEnabled(false);
+  Counter& c = GetCounter("test/disabled_counter", "items");
+  Histogram& h = GetHistogram("test/disabled_hist", Buckets::kSizeBytes, "bytes");
+  c.Add(41);
+  h.Observe(1024);
+
+  const MetricsSnapshot snap = SnapshotMetrics();
+  const auto* cv = FindCounter(snap, "test/disabled_counter");
+  ASSERT_NE(cv, nullptr);
+  EXPECT_EQ(cv->value, 0u);
+  const auto* hv = FindHistogram(snap, "test/disabled_hist");
+  ASSERT_NE(hv, nullptr);
+  EXPECT_EQ(hv->count, 0u);
+}
+
+TEST(MetricsRegistry, CounterTotalsAreExact) {
+  MetricsOn on;
+  Counter& c = GetCounter("test/exact_counter", "items");
+  for (int i = 0; i < 1000; ++i) c.Add(3);
+  c.Increment();
+  const MetricsSnapshot snap = SnapshotMetrics();
+  const auto* cv = FindCounter(snap, "test/exact_counter");
+  ASSERT_NE(cv, nullptr);
+  EXPECT_EQ(cv->value, 3001u);
+}
+
+TEST(MetricsRegistry, HistogramBucketPlacement) {
+  MetricsOn on;
+  Histogram& h = GetHistogram("test/buckets", Buckets::kDurationUs, "us");
+  h.Observe(0);   // first bucket (le 1)
+  h.Observe(1);   // still first bucket (bounds are upper-inclusive)
+  h.Observe(2);   // second bucket
+  h.Observe(std::numeric_limits<std::uint64_t>::max() / 2);  // overflow bucket
+
+  const MetricsSnapshot snap = SnapshotMetrics();
+  const auto* hv = FindHistogram(snap, "test/buckets");
+  ASSERT_NE(hv, nullptr);
+  ASSERT_EQ(hv->bucket_counts.size(), hv->bounds.size() + 1);
+  EXPECT_EQ(hv->count, 4u);
+  EXPECT_EQ(hv->bounds.front(), 1u);
+  EXPECT_EQ(hv->bucket_counts.front(), 2u);
+  EXPECT_EQ(hv->bucket_counts[1], 1u);
+  EXPECT_EQ(hv->bucket_counts.back(), 1u);  // overflow
+  // The sum saturates long before uint64 overflow matters here.
+  EXPECT_EQ(hv->sum, 0u + 1 + 2 + std::numeric_limits<std::uint64_t>::max() / 2);
+}
+
+TEST(MetricsRegistry, GaugeLastWriteWins) {
+  MetricsOn on;
+  Gauge& g = GetGauge("test/gauge", "bytes");
+  g.Set(10.0);
+  g.Set(42.5);
+  const MetricsSnapshot snap = SnapshotMetrics();
+  const auto* gv = FindGauge(snap, "test/gauge");
+  ASSERT_NE(gv, nullptr);
+  EXPECT_EQ(gv->value, 42.5);
+}
+
+TEST(MetricsRegistry, NonFiniteGaugeRendersAsJsonNull) {
+  MetricsOn on;
+  GetGauge("test/nonfinite_gauge", "ratio")
+      .Set(std::numeric_limits<double>::quiet_NaN());
+  std::ostringstream out;
+  WriteMetricsJson(out);
+  const std::string doc = out.str();
+  EXPECT_NE(doc.find("\"test/nonfinite_gauge\""), std::string::npos);
+  EXPECT_NE(doc.find("\"value\": null"), std::string::npos);
+  EXPECT_EQ(doc.find("nan"), std::string::npos);
+  EXPECT_EQ(doc.find("inf"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsRegistrations) {
+  MetricsOn on;
+  Counter& c = GetCounter("test/reset_counter", "items");
+  c.Add(7);
+  ResetMetrics();
+  c.Add(2);  // the old handle must stay live across Reset
+  const MetricsSnapshot snap = SnapshotMetrics();
+  const auto* cv = FindCounter(snap, "test/reset_counter");
+  ASSERT_NE(cv, nullptr);
+  EXPECT_EQ(cv->value, 2u);
+}
+
+// The concurrency contract: lanes update through per-thread shards with no
+// synchronization between them, and the snapshot merge still sees every
+// update exactly once. Run under tsan by tools/check.sh (LOCKDOWN_THREADS=8).
+TEST(MetricsRegistry, ConcurrentUpdatesMergeExactly) {
+  MetricsOn on;
+  Counter& c = GetCounter("test/concurrent_counter", "items");
+  Histogram& h = GetHistogram("test/concurrent_hist", Buckets::kSizeBytes,
+                              "bytes");
+  Gauge& g = GetGauge("test/concurrent_gauge", "items");
+
+  constexpr std::size_t kItems = 100'000;
+  util::ThreadPool pool(/*threads=*/0);  // 0 = LOCKDOWN_THREADS / hardware
+  pool.ParallelFor(kItems, /*grain=*/1024,
+                   [&](std::size_t, std::size_t begin, std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                       c.Add(2);
+                       h.Observe(i % 128);
+                       g.Set(static_cast<double>(i));
+                     }
+                   });
+
+  const MetricsSnapshot snap = SnapshotMetrics();
+  const auto* cv = FindCounter(snap, "test/concurrent_counter");
+  ASSERT_NE(cv, nullptr);
+  EXPECT_EQ(cv->value, 2 * kItems);
+
+  const auto* hv = FindHistogram(snap, "test/concurrent_hist");
+  ASSERT_NE(hv, nullptr);
+  EXPECT_EQ(hv->count, kItems);
+  std::uint64_t expected_sum = 0;
+  for (std::size_t i = 0; i < kItems; ++i) expected_sum += i % 128;
+  EXPECT_EQ(hv->sum, expected_sum);
+  // Values 0..63 land in the first bucket (le 64, upper-inclusive).
+  std::uint64_t first_bucket = 0;
+  for (std::size_t i = 0; i < kItems; ++i) first_bucket += (i % 128) <= 64;
+  ASSERT_FALSE(hv->bucket_counts.empty());
+  EXPECT_EQ(hv->bucket_counts.front(), first_bucket);
+
+  const auto* gv = FindGauge(snap, "test/concurrent_gauge");
+  ASSERT_NE(gv, nullptr);
+  // Last write wins, but "last" is racy across lanes — any observed index is
+  // a valid final value.
+  EXPECT_GE(gv->value, 0.0);
+  EXPECT_LT(gv->value, static_cast<double>(kItems));
+}
+
+}  // namespace
+}  // namespace lockdown::obs

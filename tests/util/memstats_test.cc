@@ -6,6 +6,8 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace lockdown::util {
 namespace {
 
@@ -32,6 +34,34 @@ TEST(Memstats, PeakTracksLargeAllocations) {
   const std::size_t after = PeakRssBytes();
   EXPECT_GE(after, before);
   EXPECT_GT(after, kBytes / 2);
+}
+
+TEST(Memstats, PublishRssGaugesSetsBothGauges) {
+  obs::SetMetricsEnabled(true);
+  PublishRssGauges();
+  obs::SetMetricsEnabled(false);
+  const obs::MetricsSnapshot snap = obs::SnapshotMetrics();
+  double peak = -1.0;
+  double current = -1.0;
+  for (const auto& g : snap.gauges) {
+    if (g.name == "process/peak_rss_bytes") peak = g.value;
+    if (g.name == "process/current_rss_bytes") current = g.value;
+  }
+  EXPECT_GT(peak, double{1U << 20});
+  EXPECT_GT(current, double{1U << 20});
+  obs::ResetMetrics();
+}
+
+TEST(Memstats, PublishRssGaugesIsInertWhenMetricsOff) {
+  obs::SetMetricsEnabled(false);
+  PublishRssGauges();  // must not register or set anything
+  const obs::MetricsSnapshot snap = obs::SnapshotMetrics();
+  for (const auto& g : snap.gauges) {
+    if (g.name == "process/peak_rss_bytes" ||
+        g.name == "process/current_rss_bytes") {
+      EXPECT_EQ(g.value, 0.0);
+    }
+  }
 }
 
 TEST(Memstats, FormatByteSize) {

@@ -22,8 +22,15 @@
 # pass additionally runs the streaming bit-identity test at LOCKDOWN_THREADS=8
 # to cover the parallel sketch merges.
 #
+# The obs tier exercises the observability surface end-to-end: it runs the
+# CLI with --metrics-out/--trace-out plus an analyze/snapshot flow (so the
+# ingest and store instrumentation actually fires), validates both JSON
+# documents' shapes with python3, and regenerates BENCH_components.json (the
+# per-stage perf breakdown emitted by bench/perf_components through the obs
+# registry).
+#
 # Usage: tools/check.sh [--default-only | --asan-only | --tsan-only |
-#                        --fault-only | --stream-only]
+#                        --fault-only | --stream-only | --obs-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -80,9 +87,12 @@ if [[ "${mode}" == "all" || "${mode}" == "--tsan-only" ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
     -DLOCKDOWN_BUILD_BENCH=OFF
   echo "=== tsan: build ==="
-  cmake --build "${dir}" -j "${jobs}" --target util_test core_test stream_test
+  cmake --build "${dir}" -j "${jobs}" --target util_test core_test stream_test obs_test
   echo "=== tsan: parallel tests (LOCKDOWN_THREADS=8) ==="
   LOCKDOWN_THREADS=8 "${dir}/tests/util_test" --gtest_filter='ThreadPool*'
+  # Lock-free metric shards: concurrent counter/histogram updates from
+  # ParallelFor lanes must merge to exact totals without races.
+  LOCKDOWN_THREADS=8 "${dir}/tests/obs_test" --gtest_filter='MetricsRegistry.*'
   LOCKDOWN_THREADS=8 "${dir}/tests/core_test" \
     --gtest_filter='ParallelEquivalence.*:Pipeline*:GoldenFigures.*'
   # Parallel sketch merges: per-device scratch flushed into shared sketches
@@ -146,6 +156,78 @@ if [[ "${mode}" == "all" || "${mode}" == "--fault-only" ]]; then
     done
   done
   echo "=== fault: OK ==="
+fi
+
+if [[ "${mode}" == "all" || "${mode}" == "--obs-only" ]]; then
+  echo "=== obs: build lockdown_cli + perf_components ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${jobs}" --target lockdown_cli perf_components >/dev/null
+  cli=build/tools/lockdown_cli
+  obs_work=$(mktemp -d)
+  # ${work:-} also covers the fault tier's directory when both tiers run.
+  trap 'rm -rf "${work:-}" "${obs_work}"' EXIT
+
+  echo "=== obs: study with --metrics-out/--trace-out ==="
+  "${cli}" study --students 60 --seed 11 --streaming \
+    --metrics-out "${obs_work}/m.json" --trace-out "${obs_work}/t.json" >/dev/null
+
+  echo "=== obs: analyze + snapshot flow (ingest/store coverage) ==="
+  "${cli}" simulate --out "${obs_work}/logs" --students 60 --seed 11 >/dev/null
+  "${cli}" snapshot save --out "${obs_work}/logs/dataset.lds" \
+    --logs "${obs_work}/logs" --students 60 --seed 11 \
+    --metrics-out "${obs_work}/m_ingest.json" >/dev/null
+  LOCKDOWN_METRICS="${obs_work}/m_store.json" \
+    "${cli}" analyze --logs "${obs_work}/logs" --students 60 --seed 11 >/dev/null
+
+  echo "=== obs: validate JSON shapes ==="
+  python3 - "${obs_work}/m.json" "${obs_work}/t.json" "${obs_work}/m_ingest.json" \
+    "${obs_work}/m_store.json" <<'PY'
+import json, sys
+m_path, t_path, ingest_path, store_path = sys.argv[1:5]
+
+def names(doc):
+    return {entry["name"]
+            for section in ("counters", "gauges", "histograms")
+            for entry in doc[section]}
+
+m = json.load(open(m_path))
+for section in ("counters", "gauges", "histograms"):
+    assert isinstance(m[section], list), f"missing {section}"
+for h in m["histograms"]:
+    assert len(h["buckets"]) >= 2, f"{h['name']}: too few buckets"
+    assert h["buckets"][-1]["le"] is None, f"{h['name']}: no overflow bucket"
+    assert sum(b["count"] for b in h["buckets"]) == h["count"], h["name"]
+subsystems = {n.split("/")[0] for n in names(m)}
+want = {"pipeline", "study", "stream", "sketch", "thread_pool", "process"}
+missing = want - subsystems
+assert not missing, f"metrics missing subsystems: {missing} (got {subsystems})"
+
+ing = json.load(open(ingest_path))
+assert any(n.startswith("ingest/") for n in names(ing)), "no ingest metrics"
+st = json.load(open(store_path))
+assert any(n.startswith("store/") for n in names(st)), "no store metrics"
+
+t = json.load(open(t_path))
+events = [e for e in t["traceEvents"] if e["ph"] == "X"]
+assert len(events) >= 10, f"only {len(events)} trace events"
+for e in events:
+    for key in ("name", "pid", "tid", "ts", "dur"):
+        assert key in e, f"trace event missing {key}"
+assert max(e["args"]["depth"] for e in events) >= 1, "no nested spans"
+print(f"ok: {len(names(m))} metrics across {sorted(subsystems)}, "
+      f"{len(events)} trace events")
+PY
+
+  echo "=== obs: regenerate BENCH_components.json ==="
+  LOCKDOWN_STUDENTS=400 LOCKDOWN_BENCH_JSON=BENCH_components.json \
+    ./build/bench/perf_components --benchmark_filter='NONE' >/dev/null
+  python3 -c "
+import json
+doc = json.load(open('BENCH_components.json'))
+assert doc['bench'] == 'perf_components'
+assert any(m['name'].endswith('_total_ms') for m in doc['metrics'])
+print(f\"ok: {len(doc['metrics'])} component metrics\")"
+  echo "=== obs: OK ==="
 fi
 
 echo "all requested passes green"

@@ -48,6 +48,13 @@
 //   --max-error-rate R              tolerant-mode rejection budget (default 0.01)
 //   --quarantine-dir DIR            write rejected lines to DIR/<log>.rej
 //
+// Observability (every command):
+//   --metrics-out FILE              write the obs metrics snapshot as JSON at exit
+//   --trace-out FILE                write scoped-span timing as Chrome
+//                                   trace-event JSON at exit
+//   LOCKDOWN_METRICS / LOCKDOWN_TRACE env vars bind the same outputs; the
+//   explicit flags win when both are given.
+//
 // Exit codes: 0 success; 1 usage error; 2 I/O error (missing file, failed
 // read/write); 3 malformed input beyond the error budget; 4 corrupt
 // dataset.lds with no TSV fallback available.
@@ -61,6 +68,7 @@
 
 #include "core/offline.h"
 #include "core/study.h"
+#include "obs/obs.h"
 #include "store/snapshot.h"
 #include "stream/streaming_study.h"
 #include "usage.h"
@@ -94,6 +102,8 @@ struct Options {
   std::string fault_kind = "mixed";
   bool streaming = false;
   std::size_t memory_budget = stream::StreamingOptions{}.memory_budget_bytes;
+  std::string metrics_out;  // --metrics-out FILE (obs metrics JSON at exit)
+  std::string trace_out;    // --trace-out FILE (Chrome trace JSON at exit)
   bool help = false;
 };
 
@@ -171,6 +181,14 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
       const char* v = next();
       if (!v) return false;
       opts.fault_kind = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return false;
+      opts.metrics_out = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return false;
+      opts.trace_out = v;
     } else if (arg == "--streaming") {
       opts.streaming = true;
     } else if (arg == "--memory-budget") {
@@ -536,13 +554,25 @@ int main(int argc, char** argv) {
     std::cout << cli::kUsageText;
     return kExitOk;
   }
+  // Env first, explicit flags after, so --metrics-out/--trace-out win over
+  // LOCKDOWN_METRICS/LOCKDOWN_TRACE. Output files are written at exit.
+  obs::ConfigureFromEnv();
+  if (!opts.metrics_out.empty()) obs::EnableMetricsOutput(opts.metrics_out);
+  if (!opts.trace_out.empty()) obs::EnableTraceOutput(opts.trace_out);
   try {
-    if (opts.command == "simulate") return RunSimulate(opts);
-    if (opts.command == "analyze") return RunAnalyze(opts);
-    if (opts.command == "study") return RunStudy(opts);
-    if (opts.command == "snapshot") return RunSnapshot(opts);
-    if (opts.command == "fault") return RunFault(opts);
-    if (opts.command == "catalog") return RunCatalog();
+    int rc = kExitUsage;
+    bool handled = true;
+    if (opts.command == "simulate") rc = RunSimulate(opts);
+    else if (opts.command == "analyze") rc = RunAnalyze(opts);
+    else if (opts.command == "study") rc = RunStudy(opts);
+    else if (opts.command == "snapshot") rc = RunSnapshot(opts);
+    else if (opts.command == "fault") rc = RunFault(opts);
+    else if (opts.command == "catalog") rc = RunCatalog();
+    else handled = false;
+    if (handled) {
+      util::PublishRssGauges();
+      return rc;
+    }
   } catch (const ingest::BudgetError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return kExitBudget;

@@ -59,6 +59,10 @@ flags:
   --kind K              fault kind (default mixed)
   --streaming           use the one-pass bounded-memory study engine
   --memory-budget BYTES streaming analysis-state budget (default 32M)
+  --metrics-out FILE    write the obs metrics snapshot (counters, gauges,
+                        histograms) as JSON to FILE at exit
+  --trace-out FILE      write scoped-span timing as Chrome trace-event JSON
+                        to FILE at exit (load in chrome://tracing or Perfetto)
   --help                print this help and exit 0
 
 exit codes:
@@ -70,12 +74,12 @@ exit codes:
 )";
 
 /// Every public flag, for the help-drift test. Keep sorted.
-inline constexpr std::array<std::string_view, 13> kPublicFlags = {
+inline constexpr std::array<std::string_view, 15> kPublicFlags = {
     "--help",          "--ingest-mode", "--kind",
     "--logs",          "--max-error-rate", "--memory-budget",
-    "--out",           "--quarantine-dir", "--rate",
-    "--seed",          "--streaming",   "--students",
-    "--threads",
+    "--metrics-out",   "--out",         "--quarantine-dir",
+    "--rate",          "--seed",        "--streaming",
+    "--students",      "--threads",     "--trace-out",
 };
 
 /// The exit codes kUsageText must document, matching lockdown_cli.cc.
