@@ -1,0 +1,193 @@
+// Per-kernel scalar-vs-SIMD throughput for the columnar query kernels
+// (src/query/kernels.h). Synthetic columns shaped like the real LDS data —
+// sorted u32 timestamps over the 107-day study window, u64 byte counts,
+// 0/1-ish masks, dense domain ids against a ByteLut — each kernel timed
+// min-of-N against both tables, with the scalar and SIMD checksums required
+// to match (the bench doubles as a coarse differential smoke test; the real
+// proof lives in tests/query).
+//
+// The two scatter kernels (day_sums_u64 / mark_days_u8 and the masked
+// variant) share the scalar implementation in both tables by design, so they
+// are not benchmarked: their "speedup" would only measure timer noise.
+//
+// Knobs: LOCKDOWN_KERNEL_ELEMS (default 8Mi elements), LOCKDOWN_KERNEL_REPS
+// (default 9). With LOCKDOWN_BENCH_JSON set, emits one metric triple per
+// kernel — <kernel>_scalar_gbps, <kernel>_simd_gbps, <kernel>_speedup —
+// checked in as BENCH_kernels.json.
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iostream>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "bench/common.h"
+#include "query/kernels.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+template <typename Fn>
+double MinSeconds(int reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const auto t1 = Clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lockdown;
+  bench::BenchName("kernel_microbench");
+
+  const auto n = static_cast<std::size_t>(bench::internal::EnvIntOr<long long>(
+      "LOCKDOWN_KERNEL_ELEMS", 8ll << 20, 1, 1ll << 30));
+  const int reps =
+      bench::internal::EnvIntOr<int>("LOCKDOWN_KERNEL_REPS", 9, 1, 1000);
+
+  // Synthetic columns, fixed seed: identical data every run.
+  constexpr std::uint32_t kDaySeconds = 86400;
+  constexpr std::uint32_t kDays = 107;
+  constexpr std::size_t kNumDomains = 4096;
+  std::mt19937_64 rng(20200316);
+  std::vector<std::uint32_t> ts(n);
+  std::uniform_int_distribution<std::uint32_t> ts_dist(0, kDays * kDaySeconds - 1);
+  for (auto& t : ts) t = ts_dist(rng);
+  std::sort(ts.begin(), ts.end());
+  std::vector<std::uint64_t> bytes(n);
+  std::uniform_int_distribution<std::uint64_t> byte_dist(0, 1u << 20);
+  for (auto& b : bytes) b = byte_dist(rng);
+  std::vector<std::uint8_t> mask(n);
+  for (auto& m : mask) m = (rng() & 1) ? static_cast<std::uint8_t>(1 + rng() % 255)
+                                       : std::uint8_t{0};
+  std::vector<std::uint32_t> ids(n);
+  std::uniform_int_distribution<std::uint32_t> id_dist(
+      0, static_cast<std::uint32_t>(kNumDomains - 1));
+  for (auto& id : ids) id = id_dist(rng);
+  const query::ByteLut lut(kNumDomains, [](std::size_t i) { return i % 7 == 0; });
+  std::vector<std::uint8_t> out(n);
+
+  const std::uint32_t lo = 30 * kDaySeconds;
+  const std::uint32_t hi = 75 * kDaySeconds;
+
+  const query::KernelTable& scalar = query::Scalar();
+  const query::KernelTable* simd = query::Simd();
+  if (simd == nullptr) {
+    std::cout << "kernel microbench: no SIMD table on this build/CPU; "
+                 "scalar-only numbers below\n";
+  }
+
+  util::TablePrinter table(
+      {"kernel", "scalar GB/s", "simd GB/s", "speedup"});
+  double best_speedup = 0.0;
+
+  // Times one kernel against both tables. `run` must return a checksum that
+  // is a pure function of the data so the calls cannot be dead-code
+  // eliminated and scalar/SIMD disagreement is caught on the spot.
+  std::uint64_t sink = 0;
+  const auto bench_kernel = [&](const char* name, double bytes_per_call,
+                                auto&& run) {
+    std::uint64_t scalar_sum = run(scalar);  // warm the data, pin the answer
+    const double scalar_s = MinSeconds(reps, [&] { sink += run(scalar); });
+    const double scalar_gbps = bytes_per_call / scalar_s / 1e9;
+    bench::Metric(std::string(name) + "_scalar_gbps", scalar_gbps, "GB/s");
+    double simd_gbps = 0.0;
+    double speedup = 0.0;
+    if (simd != nullptr) {
+      const std::uint64_t simd_sum = run(*simd);
+      if (simd_sum != scalar_sum) {
+        std::cerr << "kernel " << name << ": scalar/SIMD checksum mismatch ("
+                  << scalar_sum << " vs " << simd_sum << ")\n";
+        std::exit(1);
+      }
+      const double simd_s = MinSeconds(reps, [&] { sink += run(*simd); });
+      simd_gbps = bytes_per_call / simd_s / 1e9;
+      speedup = scalar_s / simd_s;
+      best_speedup = std::max(best_speedup, speedup);
+      bench::Metric(std::string(name) + "_simd_gbps", simd_gbps, "GB/s");
+      bench::Metric(std::string(name) + "_speedup", speedup, "x");
+    }
+    table.AddRow({name, util::FormatDouble(scalar_gbps, 2),
+                  simd != nullptr ? util::FormatDouble(simd_gbps, 2) : "-",
+                  simd != nullptr ? util::FormatDouble(speedup, 2) : "-"});
+  };
+
+  bench::Metric("elements", static_cast<double>(n), "elements");
+
+  // Three bounds per call: early, mid, late window edges — the shape the
+  // figure passes use for [lo, hi) rank pairs over sorted starts.
+  bench_kernel("count_less_u32", 3.0 * static_cast<double>(n) * 4,
+               [&](const query::KernelTable& k) {
+                 return static_cast<std::uint64_t>(
+                     k.count_less_u32(ts.data(), n, lo) +
+                     k.count_less_u32(ts.data(), n, hi) +
+                     k.count_less_u32(ts.data(), n, kDays * kDaySeconds));
+               });
+  bench_kernel("sum_u64", static_cast<double>(n) * 8,
+               [&](const query::KernelTable& k) {
+                 return k.sum_u64(bytes.data(), n);
+               });
+  bench_kernel("masked_sum_u64", static_cast<double>(n) * 9,
+               [&](const query::KernelTable& k) {
+                 return k.masked_sum_u64(bytes.data(), mask.data(), n);
+               });
+  bench_kernel("masked_range_sum_u64", static_cast<double>(n) * 13,
+               [&](const query::KernelTable& k) {
+                 return k.masked_range_sum_u64(ts.data(), bytes.data(),
+                                               mask.data(), n, lo, hi);
+               });
+  bench_kernel("count_nonzero_u8", static_cast<double>(n),
+               [&](const query::KernelTable& k) {
+                 return static_cast<std::uint64_t>(
+                     k.count_nonzero_u8(mask.data(), n));
+               });
+  // flag_mask writes a mask instead of returning a reduction, so its
+  // scalar/SIMD agreement is verified once here, outside the timed region;
+  // the timed lambda is the bare kernel call (opaque through the function
+  // pointer, so it cannot be elided).
+  {
+    std::vector<std::uint8_t> simd_out(n);
+    scalar.flag_mask_u8(ids.data(), n, lut.data(), lut.size(), out.data());
+    if (simd != nullptr) {
+      simd->flag_mask_u8(ids.data(), n, lut.data(), lut.size(),
+                         simd_out.data());
+      if (out != simd_out) {
+        std::cerr << "kernel flag_mask_u8: scalar/SIMD output mismatch\n";
+        return 1;
+      }
+    }
+  }
+  bench_kernel("flag_mask_u8", static_cast<double>(n) * 5,
+               [&](const query::KernelTable& k) {
+                 k.flag_mask_u8(ids.data(), n, lut.data(), lut.size(),
+                                out.data());
+                 return std::uint64_t{0};
+               });
+
+  if (simd != nullptr) {
+    bench::Metric("best_speedup", best_speedup, "x");
+  }
+
+  std::cout << "kernel microbench — " << n << " elements, min of " << reps
+            << " reps per cell\n";
+  table.Print(std::cout);
+  if (simd != nullptr) {
+    std::cout << "\nbest speedup: " << util::FormatDouble(best_speedup, 2)
+              << "x (" << query::ToString(query::DispatchKind::kSimd)
+              << " table)\n";
+  }
+  // The sink keeps the timed calls observable; print it so the optimizer
+  // cannot argue otherwise.
+  std::cerr << "[bench] checksum " << sink << "\n";
+  return 0;
+}

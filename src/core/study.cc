@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_set>
 
 namespace lockdown::core {
@@ -11,39 +12,89 @@ namespace lockdown::core {
 using util::StudyCalendar;
 using util::Timestamp;
 
+namespace {
+
+constexpr auto kSpd = static_cast<std::uint32_t>(util::kSecondsPerDay);
+
+/// Clamps a timestamp-difference to the u32 start-offset domain, so calendar
+/// windows translate into count_less_u32 bounds.
+[[nodiscard]] std::uint32_t ClampOffset(std::int64_t v) noexcept {
+  if (v < 0) return 0;
+  if (v > std::numeric_limits<std::uint32_t>::max()) {
+    return std::numeric_limits<std::uint32_t>::max();
+  }
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
 LockdownStudy::LockdownStudy(const Dataset& dataset,
                              const world::ServiceCatalog& catalog, int threads)
-    : pool_(util::ResolveThreadCount(threads)), ctx_(dataset, catalog, pool_) {}
+    : pool_(util::ResolveThreadCount(threads)),
+      ctx_(dataset, catalog, pool_),
+      cols_(query::BuildFlowColumns(dataset.flows(), pool_)) {
+  OBS_SPAN("study/build_masks");
+  // Per-flow Zoom mask: the domain-signature kernel covers every interned
+  // domain; raw-IP flows (domain 0) fall back to the context's IP matcher.
+  const std::size_t num_flows = cols_.size();
+  zoom_mask_.resize(num_flows);
+  not_zoom_mask_.resize(num_flows);
+  const query::ByteLut zoom_lut(dataset.num_domains(), [&](std::size_t d) {
+    return ctx_.domain_flags(static_cast<DomainId>(d)).zoom;
+  });
+  const auto flows = dataset.flows();
+  const query::KernelTable& kern = query::Active();
+  pool_.ParallelFor(
+      num_flows, kFlowGrain,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        kern.flag_mask_u8(cols_.domain.data() + begin, end - begin,
+                          zoom_lut.data(), zoom_lut.size(),
+                          zoom_mask_.data() + begin);
+        for (std::size_t i = begin; i < end; ++i) {
+          if (cols_.domain[i] == kNoDomain) {
+            zoom_mask_[i] = ctx_.IsZoomFlow(flows[i]) ? 1 : 0;
+          }
+          not_zoom_mask_[i] = zoom_mask_[i] ^ 1;
+        }
+      });
+}
 
 std::vector<LockdownStudy::ActiveDevicesRow> LockdownStudy::ActiveDevicesPerDay()
     const {
   OBS_SPAN("study/fig1_active_devices");
   const Dataset& ds = ctx_.dataset();
   const int days = StudyCalendar::NumDays();
+  const auto udays = static_cast<std::uint32_t>(days);
   const std::size_t n = ds.num_devices();
-  std::vector<std::uint8_t> active(static_cast<std::size_t>(days) * n, 0);
-  // Column-disjoint fill: each device only touches its own column.
-  pool_.ParallelFor(n, kDeviceGrain,
-                    [&](std::size_t, std::size_t begin, std::size_t end) {
-                      for (std::size_t dev = begin; dev < end; ++dev) {
-                        for (const Flow& f : ds.FlowsOfDevice(
-                                 static_cast<DeviceIndex>(dev))) {
-                          const int day = Dataset::DayOf(f);
-                          if (day < 0 || day >= days) continue;
-                          active[static_cast<std::size_t>(day) * n + dev] = 1;
-                        }
-                      }
-                    });
+  const auto offsets = ds.device_offsets();
+  const query::KernelTable& kern = query::Active();
+  // Device-major active matrix: each device scatters its (sorted) timestamp
+  // slice into its own row, so the fill shards without write overlap.
+  std::vector<std::uint8_t> active(n * static_cast<std::size_t>(days), 0);
+  pool_.ParallelFor(
+      n, kDeviceGrain, [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t dev = begin; dev < end; ++dev) {
+          const auto b = static_cast<std::size_t>(offsets[dev]);
+          kern.mark_days_u8(cols_.start.data() + b,
+                            static_cast<std::size_t>(offsets[dev + 1]) - b,
+                            kSpd,
+                            active.data() + dev * static_cast<std::size_t>(days),
+                            udays);
+        }
+      });
   std::vector<ActiveDevicesRow> rows(static_cast<std::size_t>(days));
-  // Row-disjoint aggregation: each day reads its own slice.
+  // Row-disjoint aggregation: each day reads its own stripe, devices in
+  // index order (the order the old day-major loop visited them).
   pool_.ParallelFor(static_cast<std::size_t>(days), kDayGrain,
                     [&](std::size_t, std::size_t begin, std::size_t end) {
                       for (std::size_t day = begin; day < end; ++day) {
                         ActiveDevicesRow& row = rows[day];
                         row.day = static_cast<int>(day);
-                        const std::uint8_t* base = active.data() + day * n;
                         for (std::size_t dev = 0; dev < n; ++dev) {
-                          if (!base[dev]) continue;
+                          if (!active[dev * static_cast<std::size_t>(days) +
+                                      day]) {
+                            continue;
+                          }
                           ++row.by_class[static_cast<std::size_t>(
                               ctx_.report_class(dev))];
                           ++row.total;
@@ -58,20 +109,25 @@ std::vector<LockdownStudy::BytesPerDeviceRow> LockdownStudy::BytesPerDevicePerDa
   OBS_SPAN("study/fig2_bytes_per_device");
   const Dataset& ds = ctx_.dataset();
   const int days = StudyCalendar::NumDays();
+  const auto udays = static_cast<std::uint32_t>(days);
   const std::size_t n = ds.num_devices();
-  std::vector<double> bytes(static_cast<std::size_t>(days) * n, 0.0);
-  pool_.ParallelFor(n, kDeviceGrain,
-                    [&](std::size_t, std::size_t begin, std::size_t end) {
-                      for (std::size_t dev = begin; dev < end; ++dev) {
-                        for (const Flow& f : ds.FlowsOfDevice(
-                                 static_cast<DeviceIndex>(dev))) {
-                          const int day = Dataset::DayOf(f);
-                          if (day < 0 || day >= days) continue;
-                          bytes[static_cast<std::size_t>(day) * n + dev] +=
-                              static_cast<double>(f.total_bytes());
-                        }
-                      }
-                    });
+  const auto offsets = ds.device_offsets();
+  const query::KernelTable& kern = query::Active();
+  // Device-major u64 sums; each day-sum stays far below 2^53, so the final
+  // double conversion reproduces the old per-flow double accumulation bit
+  // for bit.
+  std::vector<std::uint64_t> bytes(n * static_cast<std::size_t>(days), 0);
+  pool_.ParallelFor(
+      n, kDeviceGrain, [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t dev = begin; dev < end; ++dev) {
+          const auto b = static_cast<std::size_t>(offsets[dev]);
+          kern.day_sums_u64(cols_.start.data() + b, cols_.bytes.data() + b,
+                            static_cast<std::size_t>(offsets[dev + 1]) - b,
+                            kSpd,
+                            bytes.data() + dev * static_cast<std::size_t>(days),
+                            udays);
+        }
+      });
   std::vector<BytesPerDeviceRow> rows(static_cast<std::size_t>(days));
   pool_.ParallelFor(
       static_cast<std::size_t>(days), kDayGrain,
@@ -81,11 +137,12 @@ std::vector<LockdownStudy::BytesPerDeviceRow> LockdownStudy::BytesPerDevicePerDa
           BytesPerDeviceRow& row = rows[day];
           row.day = static_cast<int>(day);
           for (auto& v : per_class) v.clear();
-          const double* base = bytes.data() + day * n;
           for (std::size_t dev = 0; dev < n; ++dev) {
-            if (base[dev] <= 0.0) continue;
+            const std::uint64_t v =
+                bytes[dev * static_cast<std::size_t>(days) + day];
+            if (v == 0) continue;
             per_class[static_cast<std::size_t>(ctx_.report_class(dev))]
-                .push_back(base[dev]);
+                .push_back(static_cast<double>(v));
           }
           for (int c = 0; c < kNumReportClasses; ++c) {
             auto& v = per_class[static_cast<std::size_t>(c)];
@@ -157,20 +214,23 @@ std::vector<LockdownStudy::Fig4Row> LockdownStudy::MedianBytesExcludingZoom() co
   OBS_SPAN("study/fig4_population_split");
   const Dataset& ds = ctx_.dataset();
   const int days = StudyCalendar::NumDays();
+  const auto udays = static_cast<std::uint32_t>(days);
   const std::size_t n = ds.num_devices();
-  std::vector<double> bytes(static_cast<std::size_t>(days) * n, 0.0);
+  const auto offsets = ds.device_offsets();
+  const query::KernelTable& kern = query::Active();
+  // "we exclude Zoom traffic" (§4.2): the not-Zoom mask gates the masked
+  // day-sum kernel over each post-shutdown device's slice.
+  std::vector<std::uint64_t> bytes(n * static_cast<std::size_t>(days), 0);
   pool_.ParallelFor(
       n, kDeviceGrain, [&](std::size_t, std::size_t begin, std::size_t end) {
         for (std::size_t dev = begin; dev < end; ++dev) {
           if (!ctx_.IsPostShutdown(dev)) continue;
-          for (const Flow& f :
-               ds.FlowsOfDevice(static_cast<DeviceIndex>(dev))) {
-            const int day = Dataset::DayOf(f);
-            if (day < 0 || day >= days) continue;
-            if (ctx_.IsZoomFlow(f)) continue;  // "we exclude Zoom traffic" (§4.2)
-            bytes[static_cast<std::size_t>(day) * n + dev] +=
-                static_cast<double>(f.total_bytes());
-          }
+          const auto b = static_cast<std::size_t>(offsets[dev]);
+          kern.masked_day_sums_u64(
+              cols_.start.data() + b, cols_.bytes.data() + b,
+              not_zoom_mask_.data() + b,
+              static_cast<std::size_t>(offsets[dev + 1]) - b, kSpd,
+              bytes.data() + dev * static_cast<std::size_t>(days), udays);
         }
       });
   std::vector<Fig4Row> rows(static_cast<std::size_t>(days));
@@ -182,9 +242,10 @@ std::vector<LockdownStudy::Fig4Row> LockdownStudy::MedianBytesExcludingZoom() co
           Fig4Row& row = rows[day];
           row.day = static_cast<int>(day);
           for (auto& g : groups) g.clear();
-          const double* base = bytes.data() + day * n;
           for (std::size_t dev = 0; dev < n; ++dev) {
-            if (base[dev] <= 0.0 || !ctx_.IsPostShutdown(dev)) continue;
+            const std::uint64_t v =
+                bytes[dev * static_cast<std::size_t>(days) + day];
+            if (v == 0 || !ctx_.IsPostShutdown(dev)) continue;
             const ReportClass rc = ctx_.report_class(dev);
             // "We consider mobile and desktop devices separately from
             //  unclassified devices, and exclude IoT devices here" (Fig. 4
@@ -197,7 +258,7 @@ std::vector<LockdownStudy::Fig4Row> LockdownStudy::MedianBytesExcludingZoom() co
             } else {
               continue;
             }
-            groups[group].push_back(base[dev]);
+            groups[group].push_back(static_cast<double>(v));
           }
           row.intl_mobile_desktop = analysis::PercentileInPlace(groups[0], 50.0);
           row.dom_mobile_desktop = analysis::PercentileInPlace(groups[1], 50.0);
@@ -211,24 +272,38 @@ std::vector<LockdownStudy::Fig4Row> LockdownStudy::MedianBytesExcludingZoom() co
 analysis::DailySeries LockdownStudy::ZoomDailyBytes() const {
   OBS_SPAN("study/fig5_zoom_daily");
   const Dataset& ds = ctx_.dataset();
+  const int days = StudyCalendar::NumDays();
+  const auto udays = static_cast<std::uint32_t>(days);
   const std::size_t n = ds.num_devices();
+  const auto offsets = ds.device_offsets();
+  const query::KernelTable& kern = query::Active();
   const std::size_t num_chunks = util::ThreadPool::NumChunks(n, kDeviceGrain);
-  std::vector<analysis::DailySeries> shards(num_chunks);
+  // Per-chunk u64 day totals, folded in chunk order below — integer sums
+  // make the fold exact, so the series matches the old per-flow double
+  // accumulation.
+  std::vector<std::vector<std::uint64_t>> shards(num_chunks);
   pool_.ParallelFor(
       n, kDeviceGrain,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-        analysis::DailySeries& series = shards[chunk];
+        std::vector<std::uint64_t>& sums = shards[chunk];
+        sums.assign(static_cast<std::size_t>(days), 0);
         for (std::size_t dev = begin; dev < end; ++dev) {
           if (!ctx_.IsPostShutdown(dev)) continue;
-          for (const Flow& f :
-               ds.FlowsOfDevice(static_cast<DeviceIndex>(dev))) {
-            if (!ctx_.IsZoomFlow(f)) continue;
-            series.Add(Dataset::StartOf(f), static_cast<double>(f.total_bytes()));
-          }
+          const auto b = static_cast<std::size_t>(offsets[dev]);
+          kern.masked_day_sums_u64(
+              cols_.start.data() + b, cols_.bytes.data() + b,
+              zoom_mask_.data() + b,
+              static_cast<std::size_t>(offsets[dev + 1]) - b, kSpd,
+              sums.data(), udays);
         }
       });
   analysis::DailySeries series;
-  for (std::size_t c = 0; c < num_chunks; ++c) series.Merge(shards[c]);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    for (int d = 0; d < days; ++d) {
+      const std::uint64_t v = shards[c][static_cast<std::size_t>(d)];
+      if (v != 0) series.AddDay(d, static_cast<double>(v));
+    }
+  }
   return series;
 }
 
@@ -240,6 +315,14 @@ LockdownStudy::SocialBox LockdownStudy::SocialDurations(apps::SocialApp app,
   const Timestamp month_start = util::TimestampOf(util::CivilDate{2020, month, 1});
   const Timestamp month_end =
       util::TimestampOf(util::CivilDate{2020, month + 1, 1});
+  // The month window as start-offset bounds: count_less_u32 over each
+  // device's sorted timestamp slice yields [first, last) directly, so the
+  // session pass only touches in-window flows.
+  const std::uint32_t win_lo = ClampOffset(month_start - StudyCalendar::StartTs());
+  const std::uint32_t win_hi = ClampOffset(month_end - StudyCalendar::StartTs());
+  const auto offsets = ds.device_offsets();
+  const auto flows = ds.flows();
+  const query::KernelTable& kern = query::Active();
   // Session merging dominates here, so shard over cohort members; per-device
   // hours land in disjoint slots and fold below in cohort order — the order
   // the serial loop pushed them.
@@ -255,12 +338,16 @@ LockdownStudy::SocialBox LockdownStudy::SocialDurations(apps::SocialApp app,
           // "We analyze only mobile traffic" (§5.2).
           if (ctx_.report_class(dev) != ReportClass::kMobile) continue;
           intervals.clear();
-          for (const Flow& f : ds.FlowsOfDevice(dev)) {
+          const auto b = static_cast<std::size_t>(offsets[dev]);
+          const std::size_t len = static_cast<std::size_t>(offsets[dev + 1]) - b;
+          const std::size_t wb =
+              b + kern.count_less_u32(cols_.start.data() + b, len, win_lo);
+          const std::size_t we =
+              b + kern.count_less_u32(cols_.start.data() + b, len, win_hi);
+          for (std::size_t i = wb; i < we; ++i) {
+            const Flow& f = flows[i];
             const Timestamp start = Dataset::StartOf(f);
-            if (start < month_start || start >= month_end ||
-                f.domain == kNoDomain) {
-              continue;
-            }
+            if (f.domain == kNoDomain) continue;
             const StudyContext::DomainFlags& flags = ctx_.domain_flags(f.domain);
             const bool relevant =
                 app == apps::SocialApp::kTikTok ? flags.tiktok : flags.fb_family;
@@ -302,24 +389,36 @@ LockdownStudy::SteamBox LockdownStudy::SteamUsage(int month) const {
   const Timestamp month_start = util::TimestampOf(util::CivilDate{2020, month, 1});
   const Timestamp month_end =
       util::TimestampOf(util::CivilDate{2020, month + 1, 1});
+  const std::uint32_t win_lo = ClampOffset(month_start - StudyCalendar::StartTs());
+  const std::uint32_t win_hi = ClampOffset(month_end - StudyCalendar::StartTs());
+  const query::ByteLut steam_lut(ds.num_domains(), [&](std::uint32_t d) {
+    return d != kNoDomain && ctx_.domain_flags(d).steam;
+  });
+  const auto offsets = ds.device_offsets();
+  const query::KernelTable& kern = query::Active();
   std::vector<double> dom_bytes, intl_bytes, dom_conns, intl_conns;
   const std::size_t n = ds.num_devices();
   std::vector<double> bytes(n, 0.0);
   std::vector<double> conns(n, 0.0);
   pool_.ParallelFor(
       n, kDeviceGrain, [&](std::size_t, std::size_t begin, std::size_t end) {
+        std::vector<std::uint8_t> mask;
         for (std::size_t dev = begin; dev < end; ++dev) {
-          for (const Flow& f :
-               ds.FlowsOfDevice(static_cast<DeviceIndex>(dev))) {
-            const Timestamp start = Dataset::StartOf(f);
-            if (start < month_start || start >= month_end ||
-                f.domain == kNoDomain) {
-              continue;
-            }
-            if (!ctx_.domain_flags(f.domain).steam) continue;
-            bytes[dev] += static_cast<double>(f.total_bytes());
-            conns[dev] += 1.0;
-          }
+          const auto b = static_cast<std::size_t>(offsets[dev]);
+          const std::size_t len = static_cast<std::size_t>(offsets[dev + 1]) - b;
+          const std::size_t wb =
+              b + kern.count_less_u32(cols_.start.data() + b, len, win_lo);
+          const std::size_t we =
+              b + kern.count_less_u32(cols_.start.data() + b, len, win_hi);
+          if (wb == we) continue;
+          mask.resize(we - wb);
+          kern.flag_mask_u8(cols_.domain.data() + wb, we - wb, steam_lut.data(),
+                            steam_lut.size(), mask.data());
+          const std::size_t hits = kern.count_nonzero_u8(mask.data(), we - wb);
+          if (hits == 0) continue;
+          bytes[dev] = static_cast<double>(
+              kern.masked_sum_u64(cols_.bytes.data() + wb, mask.data(), we - wb));
+          conns[dev] = static_cast<double>(hits);
         }
       });
   for (const DeviceIndex dev : ctx_.post_shutdown()) {
@@ -345,35 +444,50 @@ analysis::DailySeries LockdownStudy::SwitchGameplayDaily(int ma_window) const {
   const std::size_t n = ds.num_devices();
   const int feb_end = StudyCalendar::DayIndex(util::CivilDate{2020, 3, 1});
   const int may_start = StudyCalendar::DayIndex(util::CivilDate{2020, 5, 1});
+  const std::uint32_t feb_end_off = static_cast<std::uint32_t>(feb_end) * kSpd;
+  const std::uint32_t may_start_off = static_cast<std::uint32_t>(may_start) * kSpd;
+  const int days = StudyCalendar::NumDays();
+  const auto udays = static_cast<std::uint32_t>(days);
+  const query::ByteLut gameplay_lut(ds.num_domains(), [&](std::uint32_t d) {
+    return d != kNoDomain && ctx_.domain_flags(d).nintendo_gameplay;
+  });
+  const auto offsets = ds.device_offsets();
+  const query::KernelTable& kern = query::Active();
   const std::size_t num_chunks = util::ThreadPool::NumChunks(n, kDeviceGrain);
-  std::vector<analysis::DailySeries> shards(num_chunks);
+  std::vector<std::vector<std::uint64_t>> shards(num_chunks);
   pool_.ParallelFor(
       n, kDeviceGrain,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-        analysis::DailySeries& series = shards[chunk];
+        std::vector<std::uint64_t>& sums = shards[chunk];
+        sums.assign(static_cast<std::size_t>(days), 0);
+        std::vector<std::uint8_t> mask;
         for (std::size_t dev = begin; dev < end; ++dev) {
           const auto di = static_cast<DeviceIndex>(dev);
           if (!ctx_.IsSwitchDevice(di)) continue;
-          const auto flows = ds.FlowsOfDevice(di);
-          bool in_feb = false;
-          bool in_may = false;
-          for (const Flow& f : flows) {
-            const int day = Dataset::DayOf(f);
-            in_feb |= day < feb_end;
-            in_may |= day >= may_start;
-          }
+          const auto b = static_cast<std::size_t>(offsets[dev]);
+          const std::size_t len = static_cast<std::size_t>(offsets[dev + 1]) - b;
+          if (len == 0) continue;
+          // Sorted timestamps turn the activity tests into rank queries:
+          // any flow before March 1 / any flow on or after May 1.
+          const bool in_feb =
+              kern.count_less_u32(cols_.start.data() + b, len, feb_end_off) > 0;
+          const bool in_may =
+              kern.count_less_u32(cols_.start.data() + b, len, may_start_off) < len;
           if (!in_feb || !in_may) continue;
-          for (const Flow& f : flows) {
-            if (f.domain == kNoDomain ||
-                !ctx_.domain_flags(f.domain).nintendo_gameplay) {
-              continue;
-            }
-            series.Add(Dataset::StartOf(f), static_cast<double>(f.total_bytes()));
-          }
+          mask.resize(len);
+          kern.flag_mask_u8(cols_.domain.data() + b, len, gameplay_lut.data(),
+                            gameplay_lut.size(), mask.data());
+          kern.masked_day_sums_u64(cols_.start.data() + b, cols_.bytes.data() + b,
+                                   mask.data(), len, kSpd, sums.data(), udays);
         }
       });
   analysis::DailySeries series;
-  for (std::size_t c = 0; c < num_chunks; ++c) series.Merge(shards[c]);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    for (int d = 0; d < days; ++d) {
+      const std::uint64_t v = shards[c][static_cast<std::size_t>(d)];
+      if (v != 0) series.AddDay(d, static_cast<double>(v));
+    }
+  }
   return series.MovingAverage(ma_window);
 }
 
@@ -383,6 +497,11 @@ LockdownStudy::SwitchCounts LockdownStudy::CountSwitches() const {
   const std::size_t n = ds.num_devices();
   const int feb_end = StudyCalendar::DayIndex(util::CivilDate{2020, 3, 1});
   const int april_start = StudyCalendar::DayIndex(util::CivilDate{2020, 4, 1});
+  const std::uint32_t feb_end_off = static_cast<std::uint32_t>(feb_end) * kSpd;
+  const std::uint32_t post_off =
+      static_cast<std::uint32_t>(ctx_.post_shutdown_day()) * kSpd;
+  const auto offsets = ds.device_offsets();
+  const query::KernelTable& kern = query::Active();
   const std::size_t num_chunks = util::ThreadPool::NumChunks(n, kDeviceGrain);
   std::vector<SwitchCounts> shards(num_chunks);
   pool_.ParallelFor(
@@ -392,17 +511,16 @@ LockdownStudy::SwitchCounts LockdownStudy::CountSwitches() const {
         for (std::size_t dev = begin; dev < end; ++dev) {
           const auto di = static_cast<DeviceIndex>(dev);
           if (!ctx_.IsSwitchDevice(di)) continue;
-          const auto flows = ds.FlowsOfDevice(di);
-          if (flows.empty()) continue;
-          int first_day = StudyCalendar::NumDays();
-          bool feb = false;
-          bool post = false;
-          for (const Flow& f : flows) {
-            const int day = Dataset::DayOf(f);
-            first_day = std::min(first_day, day);
-            feb |= day < feb_end;
-            post |= day >= ctx_.post_shutdown_day();
-          }
+          const auto b = static_cast<std::size_t>(offsets[dev]);
+          const std::size_t len = static_cast<std::size_t>(offsets[dev + 1]) - b;
+          if (len == 0) continue;
+          // Within-device flows are sorted by start, so the first flow holds
+          // the earliest day and the activity tests are rank queries.
+          const bool feb =
+              kern.count_less_u32(cols_.start.data() + b, len, feb_end_off) > 0;
+          const bool post =
+              kern.count_less_u32(cols_.start.data() + b, len, post_off) < len;
+          const int first_day = static_cast<int>(cols_.start[b] / kSpd);
           counts.active_february += feb;
           counts.active_post_shutdown += post;
           counts.new_in_april_may += first_day >= april_start;
@@ -556,13 +674,20 @@ LockdownStudy::Headline LockdownStudy::HeadlineStats() const {
   // Traffic increase (post-shutdown users): mean daily bytes Apr+May vs Feb,
   // and distinct sites per device per month. The flow scan shards into
   // per-chunk partial sums and (device, domain) sets; partials fold in chunk
-  // order, and set sizes are union-order independent.
+  // order, and set sizes are union-order independent. Byte totals come from
+  // masked_range_sum_u64 over a per-chunk post-shutdown device mask; the
+  // distinct-site sets stay scalar (hash insertion has no kernel shape).
   const Dataset& ds = ctx_.dataset();
-  const int feb_start = 0;
   const int feb_days = 29;
   const int apr_start = StudyCalendar::DayIndex(util::CivilDate{2020, 4, 1});
   const int apr_may_days = 61;
   const int may_start = StudyCalendar::DayIndex(util::CivilDate{2020, 5, 1});
+  const std::uint32_t feb_end_off = static_cast<std::uint32_t>(feb_days) * kSpd;
+  const std::uint32_t apr_start_off = static_cast<std::uint32_t>(apr_start) * kSpd;
+  const query::ByteLut post_lut(ds.num_devices(), [&](std::uint32_t dev) {
+    return ctx_.IsPostShutdown(static_cast<DeviceIndex>(dev));
+  });
+  const query::KernelTable& kern = query::Active();
   struct Partial {
     double feb_bytes = 0.0;
     double apr_may_bytes = 0.0;
@@ -572,23 +697,26 @@ LockdownStudy::Headline LockdownStudy::HeadlineStats() const {
   const std::size_t num_chunks =
       util::ThreadPool::NumChunks(num_flows, kFlowGrain);
   std::vector<Partial> shards(num_chunks);
-  const auto flows = ds.flows();
   pool_.ParallelFor(
       num_flows, kFlowGrain,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         Partial& p = shards[chunk];
+        const std::size_t len = end - begin;
+        std::vector<std::uint8_t> mask(len);
+        kern.flag_mask_u8(cols_.device.data() + begin, len, post_lut.data(),
+                          post_lut.size(), mask.data());
+        p.feb_bytes = static_cast<double>(kern.masked_range_sum_u64(
+            cols_.start.data() + begin, cols_.bytes.data() + begin, mask.data(),
+            len, 0, feb_end_off));
+        p.apr_may_bytes = static_cast<double>(kern.masked_range_sum_u64(
+            cols_.start.data() + begin, cols_.bytes.data() + begin, mask.data(),
+            len, apr_start_off, std::numeric_limits<std::uint32_t>::max()));
         for (std::size_t i = begin; i < end; ++i) {
-          const Flow& f = flows[i];
-          if (!ctx_.IsPostShutdown(f.device)) continue;
-          const int day = Dataset::DayOf(f);
-          if (day >= feb_start && day < feb_days) {
-            p.feb_bytes += static_cast<double>(f.total_bytes());
-          } else if (day >= apr_start) {
-            p.apr_may_bytes += static_cast<double>(f.total_bytes());
-          }
-          if (f.domain == kNoDomain) continue;
+          if (!mask[i - begin] || cols_.domain[i] == kNoDomain) continue;
+          const int day = static_cast<int>(cols_.start[i] / kSpd);
           const std::uint64_t key =
-              (static_cast<std::uint64_t>(f.device) << 32) | f.domain;
+              (static_cast<std::uint64_t>(cols_.device[i]) << 32) |
+              cols_.domain[i];
           if (day < feb_days) {
             p.seen_feb.insert(key);
           } else if (day >= may_start) {

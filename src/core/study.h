@@ -15,6 +15,8 @@
 #include "analysis/timeseries.h"
 #include "core/dataset.h"
 #include "core/study_context.h"
+#include "query/columns.h"
+#include "query/kernels.h"
 #include "util/thread_pool.h"
 
 namespace lockdown::core {
@@ -170,6 +172,12 @@ class LockdownStudy {
  private:
   util::ThreadPool pool_;
   StudyContext ctx_;
+  /// Columnar projection of the flow array (finalize order, so the CSR
+  /// device offsets index it directly); the figure passes feed per-device
+  /// and per-chunk slices of these columns through query::Active()'s kernels.
+  query::FlowColumns cols_;
+  std::vector<std::uint8_t> zoom_mask_;      ///< per flow: IsZoomFlow
+  std::vector<std::uint8_t> not_zoom_mask_;  ///< complement of zoom_mask_
 };
 
 }  // namespace lockdown::core

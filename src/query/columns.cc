@@ -1,0 +1,39 @@
+#include "query/columns.h"
+
+#include "obs/obs.h"
+#include "util/thread_pool.h"
+
+namespace lockdown::query {
+
+namespace {
+// Same grain as the study's flat flow scans (core/study_context.h); the
+// value is duplicated here because query sits below core in the build graph.
+constexpr std::size_t kColumnGrain = 16384;
+}  // namespace
+
+FlowColumns BuildFlowColumns(std::span<const core::Flow> flows,
+                             util::ThreadPool& pool) {
+  OBS_SPAN("query/build_columns");
+  FlowColumns cols;
+  const std::size_t n = flows.size();
+  cols.start.resize(n);
+  cols.device.resize(n);
+  cols.domain.resize(n);
+  cols.bytes.resize(n);
+  pool.ParallelFor(n, kColumnGrain,
+                   [&](std::size_t, std::size_t begin, std::size_t end) {
+                     for (std::size_t i = begin; i < end; ++i) {
+                       const core::Flow& f = flows[i];
+                       cols.start[i] = f.start_offset_s;
+                       cols.device[i] = f.device;
+                       cols.domain[i] = f.domain;
+                       cols.bytes[i] = f.total_bytes();
+                     }
+                   });
+  if (obs::MetricsEnabled()) {
+    obs::GetCounter("query/columns_built", "flows").Add(n);
+  }
+  return cols;
+}
+
+}  // namespace lockdown::query

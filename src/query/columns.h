@@ -1,0 +1,36 @@
+// Columnar (SoA) projection of the flow array. The kernels are strided for
+// dense columns, not the 40-byte Flow records, so the study materialises the
+// three hot columns once — start offsets, domain ids, total bytes, plus the
+// device column for flat scans — and every figure pass reads these.
+//
+// The projection preserves flow order exactly, so per-device CSR ranges from
+// Dataset::device_offsets() index the columns directly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace lockdown::util {
+class ThreadPool;
+}
+
+namespace lockdown::query {
+
+struct FlowColumns {
+  std::vector<std::uint32_t> start;   ///< Flow::start_offset_s
+  std::vector<std::uint32_t> device;  ///< Flow::device
+  std::vector<std::uint32_t> domain;  ///< Flow::domain
+  std::vector<std::uint64_t> bytes;   ///< Flow::total_bytes()
+
+  [[nodiscard]] std::size_t size() const noexcept { return start.size(); }
+};
+
+/// Builds the columns from a flow span, sharded over `pool` with
+/// slot-disjoint writes (deterministic at any thread count).
+[[nodiscard]] FlowColumns BuildFlowColumns(std::span<const core::Flow> flows,
+                                           util::ThreadPool& pool);
+
+}  // namespace lockdown::query

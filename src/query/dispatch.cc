@@ -1,0 +1,82 @@
+// Runtime kernel dispatch: LOCKDOWN_NO_SIMD=1 forces the scalar reference,
+// otherwise the SIMD table is used when the CPU supports it. The decision is
+// published as the gauge "query/kernel_dispatch" (0 = scalar, 1 = simd) so
+// the fallback path is observable — tests/query/dispatch_test.cc keeps it
+// from silently rotting.
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/obs.h"
+#include "query/kernels.h"
+#include "query/kernels_impl.h"
+
+namespace lockdown::query {
+
+namespace {
+
+std::atomic<const KernelTable*> g_active{nullptr};
+std::atomic<DispatchKind> g_kind{DispatchKind::kScalar};
+
+void PublishDispatchGauge(DispatchKind kind) {
+  if (!obs::MetricsEnabled()) return;
+  static obs::Gauge& dispatch = obs::GetGauge("query/kernel_dispatch", "kind");
+  dispatch.Set(kind == DispatchKind::kSimd ? 1.0 : 0.0);
+}
+
+bool SimdDisabledByEnv() {
+  const char* v = std::getenv("LOCKDOWN_NO_SIMD");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+DispatchKind Resolve() {
+  const KernelTable* simd =
+      SimdDisabledByEnv() ? nullptr : detail::ResolveSimdTable();
+  const DispatchKind kind =
+      simd != nullptr ? DispatchKind::kSimd : DispatchKind::kScalar;
+  g_active.store(simd != nullptr ? simd : &detail::kScalarTable,
+                 std::memory_order_release);
+  g_kind.store(kind, std::memory_order_release);
+  PublishDispatchGauge(kind);
+  return kind;
+}
+
+}  // namespace
+
+const char* ToString(DispatchKind kind) noexcept {
+  return kind == DispatchKind::kSimd ? "simd" : "scalar";
+}
+
+const KernelTable& Scalar() noexcept { return detail::kScalarTable; }
+
+const KernelTable* Simd() noexcept { return detail::ResolveSimdTable(); }
+
+const KernelTable& Active() noexcept {
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    Resolve();
+    table = g_active.load(std::memory_order_acquire);
+  }
+  return *table;
+}
+
+DispatchKind ActiveKind() noexcept {
+  if (g_active.load(std::memory_order_acquire) == nullptr) Resolve();
+  return g_kind.load(std::memory_order_acquire);
+}
+
+DispatchKind ReresolveDispatchForTest() { return Resolve(); }
+
+void SetDispatchForTest(DispatchKind kind) {
+  g_active.store(kind == DispatchKind::kSimd && detail::ResolveSimdTable() != nullptr
+                     ? detail::ResolveSimdTable()
+                     : &detail::kScalarTable,
+                 std::memory_order_release);
+  g_kind.store(kind == DispatchKind::kSimd && detail::ResolveSimdTable() != nullptr
+                   ? DispatchKind::kSimd
+                   : DispatchKind::kScalar,
+               std::memory_order_release);
+  PublishDispatchGauge(g_kind.load(std::memory_order_acquire));
+}
+
+}  // namespace lockdown::query

@@ -1,0 +1,43 @@
+// Internal: the concrete kernel implementations behind the dispatch table.
+// kernels_scalar.cc defines the reference set; kernels_simd.cc defines the
+// vector set on targets that have one. The scatter kernels (day sums, day
+// marks) are memory-bound scatter loops with nothing for SIMD to win, so the
+// SIMD table reuses the scalar definitions.
+#pragma once
+
+#include "query/kernels.h"
+
+namespace lockdown::query::detail {
+
+extern const KernelTable kScalarTable;
+
+std::size_t ScalarCountLessU32(const std::uint32_t* v, std::size_t n,
+                               std::uint32_t bound);
+std::uint64_t ScalarSumU64(const std::uint64_t* v, std::size_t n);
+std::uint64_t ScalarMaskedSumU64(const std::uint64_t* v,
+                                 const std::uint8_t* mask, std::size_t n);
+std::uint64_t ScalarMaskedRangeSumU64(const std::uint32_t* ts,
+                                      const std::uint64_t* bytes,
+                                      const std::uint8_t* mask, std::size_t n,
+                                      std::uint32_t lo, std::uint32_t hi);
+std::size_t ScalarCountNonZeroU8(const std::uint8_t* mask, std::size_t n);
+void ScalarFlagMaskU8(const std::uint32_t* ids, std::size_t n,
+                      const std::uint8_t* lut, std::size_t lut_size,
+                      std::uint8_t* out);
+void ScalarDaySumsU64(const std::uint32_t* ts, const std::uint64_t* bytes,
+                      std::size_t n, std::uint32_t day_seconds,
+                      std::uint64_t* sums, std::uint32_t num_days);
+void ScalarMaskedDaySumsU64(const std::uint32_t* ts, const std::uint64_t* bytes,
+                            const std::uint8_t* mask, std::size_t n,
+                            std::uint32_t day_seconds, std::uint64_t* sums,
+                            std::uint32_t num_days);
+void ScalarMarkDaysU8(const std::uint32_t* ts, std::size_t n,
+                      std::uint32_t day_seconds, std::uint8_t* days,
+                      std::uint32_t num_days);
+
+/// The vector table for this build, or nullptr when the target has no SIMD
+/// implementation or the CPU lacks the required extensions (checked at
+/// runtime).
+const KernelTable* ResolveSimdTable();
+
+}  // namespace lockdown::query::detail

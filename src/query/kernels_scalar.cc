@@ -1,0 +1,96 @@
+// Scalar reference kernels: the executable specification every SIMD
+// implementation is differentially tested against (tests/query). This
+// translation unit is compiled with auto-vectorization disabled (see
+// src/query/CMakeLists.txt) so the reference stays genuinely scalar — both
+// for honest microbenchmark baselines and so a miscompiled vectorizer can
+// never make the reference and the vector path wrong in the same way.
+#include "query/kernels_impl.h"
+
+namespace lockdown::query::detail {
+
+std::size_t ScalarCountLessU32(const std::uint32_t* v, std::size_t n,
+                               std::uint32_t bound) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) count += v[i] < bound ? 1 : 0;
+  return count;
+}
+
+std::uint64_t ScalarSumU64(const std::uint64_t* v, std::size_t n) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) sum += v[i];
+  return sum;
+}
+
+std::uint64_t ScalarMaskedSumU64(const std::uint64_t* v,
+                                 const std::uint8_t* mask, std::size_t n) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mask[i] != 0) sum += v[i];
+  }
+  return sum;
+}
+
+std::uint64_t ScalarMaskedRangeSumU64(const std::uint32_t* ts,
+                                      const std::uint64_t* bytes,
+                                      const std::uint8_t* mask, std::size_t n,
+                                      std::uint32_t lo, std::uint32_t hi) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mask[i] != 0 && ts[i] >= lo && ts[i] < hi) sum += bytes[i];
+  }
+  return sum;
+}
+
+std::size_t ScalarCountNonZeroU8(const std::uint8_t* mask, std::size_t n) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) count += mask[i] != 0 ? 1 : 0;
+  return count;
+}
+
+void ScalarFlagMaskU8(const std::uint32_t* ids, std::size_t n,
+                      const std::uint8_t* lut, std::size_t lut_size,
+                      std::uint8_t* out) {
+  (void)lut_size;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = lut[ids[i]] != 0 ? std::uint8_t{1} : std::uint8_t{0};
+  }
+}
+
+void ScalarDaySumsU64(const std::uint32_t* ts, const std::uint64_t* bytes,
+                      std::size_t n, std::uint32_t day_seconds,
+                      std::uint64_t* sums, std::uint32_t num_days) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t day = ts[i] / day_seconds;
+    if (day < num_days) sums[day] += bytes[i];
+  }
+}
+
+void ScalarMaskedDaySumsU64(const std::uint32_t* ts, const std::uint64_t* bytes,
+                            const std::uint8_t* mask, std::size_t n,
+                            std::uint32_t day_seconds, std::uint64_t* sums,
+                            std::uint32_t num_days) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (mask[i] == 0) continue;
+    const std::uint32_t day = ts[i] / day_seconds;
+    if (day < num_days) sums[day] += bytes[i];
+  }
+}
+
+void ScalarMarkDaysU8(const std::uint32_t* ts, std::size_t n,
+                      std::uint32_t day_seconds, std::uint8_t* days,
+                      std::uint32_t num_days) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t day = ts[i] / day_seconds;
+    if (day < num_days) days[day] = 1;
+  }
+}
+
+const KernelTable kScalarTable = {
+    &ScalarCountLessU32,     &ScalarSumU64,
+    &ScalarMaskedSumU64,     &ScalarMaskedRangeSumU64,
+    &ScalarCountNonZeroU8,   &ScalarFlagMaskU8,
+    &ScalarDaySumsU64,       &ScalarMaskedDaySumsU64,
+    &ScalarMarkDaysU8,
+};
+
+}  // namespace lockdown::query::detail

@@ -1,0 +1,198 @@
+// AVX2 kernel implementations (x86-64). Compiled into every x86-64 build via
+// per-function target attributes — no global -mavx2, so the binary still runs
+// on older CPUs — and selected at runtime only when __builtin_cpu_supports
+// reports the extension. Non-x86 targets compile this TU to a null resolver
+// and always dispatch scalar.
+//
+// Bit-identity with the scalar reference is by construction: every kernel
+// accumulates in u64/size_t with the same wrap-around semantics, so lane
+// order cannot perturb results. The differential suite (tests/query) checks
+// this on random and adversarial inputs anyway.
+#include "query/kernels_impl.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace lockdown::query::detail {
+
+namespace {
+
+#define LOCKDOWN_AVX2 __attribute__((target("avx2")))
+
+LOCKDOWN_AVX2 inline std::uint64_t HorizontalSumU64(__m256i acc) {
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i s = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint64_t>(_mm_cvtsi128_si64(s)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(s, 1));
+}
+
+/// 4 mask bytes -> per-u64-lane all-ones where the byte is nonzero.
+LOCKDOWN_AVX2 inline __m256i MaskLanes4(const std::uint8_t* mask) {
+  std::uint32_t m4;
+  std::memcpy(&m4, mask, 4);
+  const __m256i bytes =
+      _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(static_cast<int>(m4)));
+  return _mm256_cmpgt_epi64(bytes, _mm256_setzero_si256());
+}
+
+LOCKDOWN_AVX2 std::size_t SimdCountLessU32(const std::uint32_t* v,
+                                           std::size_t n, std::uint32_t bound) {
+  const __m256i bias = _mm256_set1_epi32(static_cast<int>(0x80000000U));
+  const __m256i b =
+      _mm256_xor_si256(_mm256_set1_epi32(static_cast<int>(bound)), bias);
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i)), bias);
+    // Signed compare of bias-flipped values == unsigned v[i] < bound.
+    const __m256i lt = _mm256_cmpgt_epi32(b, x);
+    count += static_cast<std::size_t>(__builtin_popcount(static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(lt)))));
+  }
+  for (; i < n; ++i) count += v[i] < bound ? 1 : 0;
+  return count;
+}
+
+LOCKDOWN_AVX2 std::uint64_t SimdSumU64(const std::uint64_t* v, std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i)));
+  }
+  std::uint64_t sum = HorizontalSumU64(acc);
+  for (; i < n; ++i) sum += v[i];
+  return sum;
+}
+
+LOCKDOWN_AVX2 std::uint64_t SimdMaskedSumU64(const std::uint64_t* v,
+                                             const std::uint8_t* mask,
+                                             std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i keep = MaskLanes4(mask + i);
+    const __m256i vals =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    acc = _mm256_add_epi64(acc, _mm256_and_si256(keep, vals));
+  }
+  std::uint64_t sum = HorizontalSumU64(acc);
+  for (; i < n; ++i) {
+    if (mask[i] != 0) sum += v[i];
+  }
+  return sum;
+}
+
+LOCKDOWN_AVX2 std::uint64_t SimdMaskedRangeSumU64(
+    const std::uint32_t* ts, const std::uint64_t* bytes,
+    const std::uint8_t* mask, std::size_t n, std::uint32_t lo,
+    std::uint32_t hi) {
+  // Timestamps widen to u64 lanes, so the [lo, hi) compares are plain signed
+  // 64-bit (every operand < 2^32).
+  const __m256i lo64 = _mm256_set1_epi64x(static_cast<long long>(lo));
+  const __m256i hi64 = _mm256_set1_epi64x(static_cast<long long>(hi));
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i t = _mm256_cvtepu32_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ts + i)));
+    const __m256i ge_lo = _mm256_or_si256(_mm256_cmpgt_epi64(t, lo64),
+                                          _mm256_cmpeq_epi64(t, lo64));
+    const __m256i lt_hi = _mm256_cmpgt_epi64(hi64, t);
+    const __m256i sel = _mm256_and_si256(
+        MaskLanes4(mask + i), _mm256_and_si256(ge_lo, lt_hi));
+    const __m256i vals =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bytes + i));
+    acc = _mm256_add_epi64(acc, _mm256_and_si256(sel, vals));
+  }
+  std::uint64_t sum = HorizontalSumU64(acc);
+  for (; i < n; ++i) {
+    if (mask[i] != 0 && ts[i] >= lo && ts[i] < hi) sum += bytes[i];
+  }
+  return sum;
+}
+
+LOCKDOWN_AVX2 std::size_t SimdCountNonZeroU8(const std::uint8_t* mask,
+                                             std::size_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i m =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + i));
+    const auto zeros = static_cast<unsigned>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(m, zero)));
+    count += 32U - static_cast<unsigned>(__builtin_popcount(zeros));
+  }
+  for (; i < n; ++i) count += mask[i] != 0 ? 1 : 0;
+  return count;
+}
+
+LOCKDOWN_AVX2 void SimdFlagMaskU8(const std::uint32_t* ids, std::size_t n,
+                                  const std::uint8_t* lut,
+                                  std::size_t lut_size, std::uint8_t* out) {
+  (void)lut_size;  // caller contract: ids < lut_size, lut padded by 3 bytes
+  const __m256i byte_mask = _mm256_set1_epi32(0xFF);
+  const __m256i one = _mm256_set1_epi32(1);
+  // packus interleaves 128-bit lanes; this permutation restores id order.
+  const __m256i unshuffle = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+  const int* base = reinterpret_cast<const int*>(lut);
+  std::size_t i = 0;
+  // 32 ids per iteration: four scale-1 gathers (a 32-bit load at each byte
+  // offset — the low byte is the lut entry, the 3 overread bytes come from
+  // the lut's tail padding), each normalized to 0/1 per 32-bit lane, then
+  // packed 32->16->8 bits wide into a single 32-byte store. Packing in bulk
+  // is what pays: extracting gather lanes byte-by-byte loses to scalar.
+  for (; i + 32 <= n; i += 32) {
+    __m256i v[4];
+    for (int j = 0; j < 4; ++j) {
+      const __m256i id = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(ids + i + 8 * static_cast<unsigned>(j)));
+      const __m256i g = _mm256_i32gather_epi32(base, id, 1);
+      v[j] = _mm256_min_epu32(_mm256_and_si256(g, byte_mask), one);
+    }
+    const __m256i p01 = _mm256_packus_epi32(v[0], v[1]);
+    const __m256i p23 = _mm256_packus_epi32(v[2], v[3]);
+    const __m256i packed = _mm256_permutevar8x32_epi32(
+        _mm256_packus_epi16(p01, p23), unshuffle);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), packed);
+  }
+  for (; i < n; ++i) {
+    out[i] = lut[ids[i]] != 0 ? std::uint8_t{1} : std::uint8_t{0};
+  }
+}
+
+#undef LOCKDOWN_AVX2
+
+const KernelTable kSimdTable = {
+    &SimdCountLessU32,     &SimdSumU64,
+    &SimdMaskedSumU64,     &SimdMaskedRangeSumU64,
+    &SimdCountNonZeroU8,   &SimdFlagMaskU8,
+    // Scatter kernels have no profitable vector form; the SIMD table keeps
+    // the scalar definitions (see kernels_impl.h).
+    &ScalarDaySumsU64,     &ScalarMaskedDaySumsU64,
+    &ScalarMarkDaysU8,
+};
+
+}  // namespace
+
+const KernelTable* ResolveSimdTable() {
+  return __builtin_cpu_supports("avx2") ? &kSimdTable : nullptr;
+}
+
+}  // namespace lockdown::query::detail
+
+#else  // !x86-64
+
+namespace lockdown::query::detail {
+
+const KernelTable* ResolveSimdTable() { return nullptr; }
+
+}  // namespace lockdown::query::detail
+
+#endif

@@ -29,6 +29,20 @@ class Encoder {
   void Str(std::string_view s) {
     Bytes(std::as_bytes(std::span<const char>(s.data(), s.size())));
   }
+  /// LEB128 unsigned varint (1..10 bytes).
+  void Uvarint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::byte>((v & 0x7F) | 0x80));
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::byte>(v));
+  }
+  /// Zigzag-mapped signed varint (small magnitudes of either sign stay
+  /// short; the delta codecs use this for timestamp/run-begin deltas).
+  void Svarint(std::int64_t v) {
+    Uvarint((static_cast<std::uint64_t>(v) << 1) ^
+            static_cast<std::uint64_t>(v >> 63));
+  }
 
   [[nodiscard]] std::span<const std::byte> bytes() const noexcept { return buf_; }
   [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
@@ -56,6 +70,25 @@ class Decoder {
   [[nodiscard]] std::uint64_t U64() { return Le(8); }
   [[nodiscard]] float F32() { return std::bit_cast<float>(U32()); }
   [[nodiscard]] std::span<const std::byte> Bytes(std::size_t n) { return Take(n); }
+  /// LEB128 unsigned varint; throws on truncation and on non-canonical
+  /// encodings that overflow 64 bits or run past 10 bytes.
+  [[nodiscard]] std::uint64_t Uvarint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      const auto b = static_cast<std::uint8_t>(Take(1)[0]);
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) {
+        // The 10th byte has room for only one payload bit.
+        if (shift == 63 && b > 1) break;
+        return v;
+      }
+    }
+    throw Error(std::string("overlong varint in ") + section_ + " section");
+  }
+  [[nodiscard]] std::int64_t Svarint() {
+    const std::uint64_t z = Uvarint();
+    return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
   [[nodiscard]] std::string_view Str(std::size_t n) {
     const auto b = Take(n);
     return {reinterpret_cast<const char*>(b.data()), b.size()};

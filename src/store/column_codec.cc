@@ -1,0 +1,247 @@
+#include "store/column_codec.h"
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+#include "store/format.h"
+
+namespace lockdown::store::detail {
+
+namespace {
+
+/// Decoded sizes the codecs advertise in their raw-size prefix: what the
+/// equivalent raw section would occupy (per-flow field bytes; for the day
+/// index, the begin/len arrays plus the CSR offsets).
+constexpr std::uint64_t kTimestampRawBytes = 4;
+constexpr std::uint64_t kDomainRawBytes = 4;
+constexpr std::uint64_t kRestRawBytes = 31;  // 40B flow minus start/domain/pad
+
+[[noreturn]] void Corrupt(const char* section, const std::string& what) {
+  throw Error(std::string(section) + " section: " + what);
+}
+
+}  // namespace
+
+Encoder EncodeTimestampColumn(std::span<const core::Flow> flows) {
+  Encoder enc;
+  enc.Reserve(16 + flows.size() * 2);
+  enc.U64(flows.size() * kTimestampRawBytes);
+  enc.U64(flows.size());
+  std::int64_t prev = 0;
+  for (const core::Flow& f : flows) {
+    const auto ts = static_cast<std::int64_t>(f.start_offset_s);
+    enc.Svarint(ts - prev);
+    prev = ts;
+  }
+  return enc;
+}
+
+std::vector<std::uint32_t> DecodeTimestampColumn(
+    std::span<const std::byte> payload, std::uint64_t expected_count) {
+  Decoder dec(payload, "col-timestamps");
+  const std::uint64_t raw = dec.U64();
+  const std::uint64_t count = dec.U64();
+  if (count != expected_count || raw != count * kTimestampRawBytes) {
+    Corrupt("col-timestamps", "count disagrees with meta section");
+  }
+  std::vector<std::uint32_t> out(count);
+  std::int64_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::int64_t ts = prev + dec.Svarint();
+    if (ts < 0 || ts > std::numeric_limits<std::uint32_t>::max()) {
+      Corrupt("col-timestamps", "timestamp out of u32 range");
+    }
+    out[i] = static_cast<std::uint32_t>(ts);
+    prev = ts;
+  }
+  dec.ExpectDone();
+  return out;
+}
+
+Encoder EncodeDomainColumn(std::span<const core::Flow> flows) {
+  // First-appearance dictionary: campus traffic concentrates on a few
+  // thousand domains, so refs are short varints.
+  std::unordered_map<core::DomainId, std::uint32_t> index;
+  std::vector<core::DomainId> dict;
+  std::vector<std::uint32_t> refs;
+  refs.reserve(flows.size());
+  for (const core::Flow& f : flows) {
+    const auto [it, inserted] =
+        index.emplace(f.domain, static_cast<std::uint32_t>(dict.size()));
+    if (inserted) dict.push_back(f.domain);
+    refs.push_back(it->second);
+  }
+  Encoder enc;
+  enc.Reserve(24 + dict.size() * 3 + refs.size() * 2);
+  enc.U64(flows.size() * kDomainRawBytes);
+  enc.U64(flows.size());
+  enc.U32(static_cast<std::uint32_t>(dict.size()));
+  for (const core::DomainId id : dict) enc.Uvarint(id);
+  for (const std::uint32_t r : refs) enc.Uvarint(r);
+  return enc;
+}
+
+std::vector<std::uint32_t> DecodeDomainColumn(
+    std::span<const std::byte> payload, std::uint64_t expected_count) {
+  Decoder dec(payload, "col-domains");
+  const std::uint64_t raw = dec.U64();
+  const std::uint64_t count = dec.U64();
+  if (count != expected_count || raw != count * kDomainRawBytes) {
+    Corrupt("col-domains", "count disagrees with meta section");
+  }
+  const std::uint32_t dict_size = dec.U32();
+  if (count > 0 && dict_size == 0) {
+    Corrupt("col-domains", "empty dictionary with nonzero flow count");
+  }
+  if (dict_size > count) {
+    Corrupt("col-domains", "dictionary larger than the flow count");
+  }
+  std::vector<std::uint32_t> dict(dict_size);
+  for (std::uint32_t i = 0; i < dict_size; ++i) {
+    const std::uint64_t id = dec.Uvarint();
+    if (id > std::numeric_limits<std::uint32_t>::max()) {
+      Corrupt("col-domains", "dictionary entry out of u32 range");
+    }
+    dict[i] = static_cast<std::uint32_t>(id);
+  }
+  std::vector<std::uint32_t> out(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t ref = dec.Uvarint();
+    if (ref >= dict_size) Corrupt("col-domains", "dictionary ref out of range");
+    out[i] = dict[ref];
+  }
+  dec.ExpectDone();
+  return out;
+}
+
+Encoder EncodeRestColumn(std::span<const core::Flow> flows) {
+  Encoder enc;
+  enc.Reserve(16 + flows.size() * 16);
+  enc.U64(flows.size() * kRestRawBytes);
+  enc.U64(flows.size());
+  for (const core::Flow& f : flows) enc.F32(f.duration_s);
+  std::uint64_t prev_device = 0;
+  for (const core::Flow& f : flows) {
+    // Non-decreasing in Finalize() order, so plain (unsigned) deltas.
+    enc.Uvarint(f.device - prev_device);
+    prev_device = f.device;
+  }
+  for (const core::Flow& f : flows) enc.U32(f.server_ip.value());
+  for (const core::Flow& f : flows) enc.U16(f.server_port);
+  for (const core::Flow& f : flows) enc.U8(f.proto);
+  for (const core::Flow& f : flows) enc.Uvarint(f.bytes_up);
+  for (const core::Flow& f : flows) enc.Uvarint(f.bytes_down);
+  return enc;
+}
+
+RestColumns DecodeRestColumn(std::span<const std::byte> payload,
+                             std::uint64_t expected_count) {
+  Decoder dec(payload, "col-rest");
+  const std::uint64_t raw = dec.U64();
+  const std::uint64_t count = dec.U64();
+  if (count != expected_count || raw != count * kRestRawBytes) {
+    Corrupt("col-rest", "count disagrees with meta section");
+  }
+  RestColumns out;
+  out.duration.resize(count);
+  out.device.resize(count);
+  out.server_ip.resize(count);
+  out.server_port.resize(count);
+  out.proto.resize(count);
+  out.bytes_up.resize(count);
+  out.bytes_down.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) out.duration[i] = dec.F32();
+  std::uint64_t device = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    device += dec.Uvarint();
+    if (device > std::numeric_limits<std::uint32_t>::max()) {
+      Corrupt("col-rest", "device index out of u32 range");
+    }
+    out.device[i] = static_cast<std::uint32_t>(device);
+  }
+  for (std::uint64_t i = 0; i < count; ++i) out.server_ip[i] = dec.U32();
+  for (std::uint64_t i = 0; i < count; ++i) out.server_port[i] = dec.U16();
+  for (std::uint64_t i = 0; i < count; ++i) out.proto[i] = dec.U8();
+  for (std::uint64_t i = 0; i < count; ++i) out.bytes_up[i] = dec.Uvarint();
+  for (std::uint64_t i = 0; i < count; ++i) out.bytes_down[i] = dec.Uvarint();
+  dec.ExpectDone();
+  return out;
+}
+
+Encoder EncodeDayIndex(const core::DayRunIndex& runs) {
+  Encoder enc;
+  enc.Reserve(32 + runs.num_runs() * 4);
+  const auto num_days = static_cast<std::uint64_t>(runs.num_days());
+  enc.U64((num_days + 1) * 8 + runs.num_runs() * 16);
+  enc.U32(static_cast<std::uint32_t>(num_days));
+  enc.U64(runs.num_runs());
+  for (std::uint64_t d = 0; d < num_days; ++d) {
+    enc.Uvarint(runs.day_offsets[d + 1] - runs.day_offsets[d]);
+  }
+  std::int64_t prev_begin = 0;
+  for (std::size_t r = 0; r < runs.num_runs(); ++r) {
+    const auto begin = static_cast<std::int64_t>(runs.run_begin[r]);
+    enc.Svarint(begin - prev_begin);
+    prev_begin = begin;
+    enc.Uvarint(runs.run_len[r]);
+  }
+  return enc;
+}
+
+core::DayRunIndex DecodeDayIndex(std::span<const std::byte> payload,
+                                 std::uint64_t num_flows) {
+  Decoder dec(payload, "day-index");
+  const std::uint64_t raw = dec.U64();
+  const std::uint64_t num_days = dec.U32();
+  const std::uint64_t num_runs = dec.U64();
+  if (raw != (num_days + 1) * 8 + num_runs * 16) {
+    Corrupt("day-index", "raw size disagrees with day/run counts");
+  }
+  if (num_runs > num_flows) {
+    Corrupt("day-index", "more runs than flows");
+  }
+  core::DayRunIndex runs;
+  runs.day_offsets.resize(num_days + 1);
+  runs.day_offsets[0] = 0;
+  for (std::uint64_t d = 0; d < num_days; ++d) {
+    const std::uint64_t count = dec.Uvarint();
+    if (count > num_runs - runs.day_offsets[d]) {
+      Corrupt("day-index", "per-day run counts exceed the run total");
+    }
+    runs.day_offsets[d + 1] = runs.day_offsets[d] + count;
+  }
+  if (runs.day_offsets.back() != num_runs) {
+    Corrupt("day-index", "per-day run counts disagree with the run total");
+  }
+  runs.run_begin.resize(num_runs);
+  runs.run_len.resize(num_runs);
+  std::int64_t prev_begin = 0;
+  for (std::uint64_t r = 0; r < num_runs; ++r) {
+    const std::int64_t begin = prev_begin + dec.Svarint();
+    if (begin < 0 || static_cast<std::uint64_t>(begin) > num_flows) {
+      Corrupt("day-index", "run begin out of range");
+    }
+    runs.run_begin[r] = static_cast<std::uint64_t>(begin);
+    prev_begin = begin;
+    const std::uint64_t len = dec.Uvarint();
+    if (len == 0 || len > num_flows - static_cast<std::uint64_t>(begin)) {
+      Corrupt("day-index", "run length out of range");
+    }
+    runs.run_len[r] = len;
+  }
+  dec.ExpectDone();
+  return runs;
+}
+
+std::uint64_t PeekRawSize(std::span<const std::byte> payload) noexcept {
+  if (payload.size() < 8) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(payload[static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace lockdown::store::detail

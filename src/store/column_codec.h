@@ -1,0 +1,65 @@
+// Column codecs for LDS v3: the optional compressed flow representation
+// (`snapshot save --compress`) and the day-run index section.
+//
+// Layouts (every payload begins with a u64 raw/decoded byte size, so tools
+// report compression ratios without decoding):
+//
+//   kColTimestamps  raw | u64 count | zigzag-varint deltas of start_offset_s
+//                   (small within a device's sorted run; the sign absorbs
+//                   the reset at device boundaries)
+//   kColDomains     raw | u64 count | u32 dict_size | dict entries (uvarint
+//                   DomainIds, first-appearance order) | uvarint dict refs
+//   kColRest        raw | u64 count | duration f32[] | uvarint device deltas
+//                   (non-decreasing in finalize order) | server_ip u32[] |
+//                   server_port u16[] | proto u8[] | uvarint bytes_up |
+//                   uvarint bytes_down
+//   kDayIndex       raw | u32 num_days | u64 num_runs | per-day uvarint run
+//                   counts | per-run zigzag-varint begin delta + uvarint len
+//
+// Every decoder is bounds-checked through detail::Decoder and cross-checks
+// its element count against the caller's expectation (the meta section), so
+// a corrupt-but-CRC-valid payload throws store::Error — it never silently
+// misreads. tests/store/codec_test.cc round-trips these on random inputs and
+// byte-sweeps a compressed snapshot.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/dataset.h"
+#include "store/codec.h"
+
+namespace lockdown::store::detail {
+
+[[nodiscard]] Encoder EncodeTimestampColumn(std::span<const core::Flow> flows);
+[[nodiscard]] Encoder EncodeDomainColumn(std::span<const core::Flow> flows);
+[[nodiscard]] Encoder EncodeRestColumn(std::span<const core::Flow> flows);
+[[nodiscard]] Encoder EncodeDayIndex(const core::DayRunIndex& runs);
+
+/// Reads the leading u64 raw-size field of a coded payload (0 when the
+/// payload is too short even for that).
+[[nodiscard]] std::uint64_t PeekRawSize(std::span<const std::byte> payload) noexcept;
+
+[[nodiscard]] std::vector<std::uint32_t> DecodeTimestampColumn(
+    std::span<const std::byte> payload, std::uint64_t expected_count);
+[[nodiscard]] std::vector<std::uint32_t> DecodeDomainColumn(
+    std::span<const std::byte> payload, std::uint64_t expected_count);
+
+/// The non-timestamp, non-domain flow fields.
+struct RestColumns {
+  std::vector<float> duration;
+  std::vector<std::uint32_t> device;
+  std::vector<std::uint32_t> server_ip;
+  std::vector<std::uint16_t> server_port;
+  std::vector<std::uint8_t> proto;
+  std::vector<std::uint64_t> bytes_up;
+  std::vector<std::uint64_t> bytes_down;
+};
+[[nodiscard]] RestColumns DecodeRestColumn(std::span<const std::byte> payload,
+                                           std::uint64_t expected_count);
+
+[[nodiscard]] core::DayRunIndex DecodeDayIndex(std::span<const std::byte> payload,
+                                               std::uint64_t num_flows);
+
+}  // namespace lockdown::store::detail

@@ -1,4 +1,4 @@
-// LDS ("Lockdown Dataset Snapshot") on-disk format, version 2.
+// LDS ("Lockdown Dataset Snapshot") on-disk format, version 3.
 //
 // The write-once/analyze-many layer: the processed dataset the paper keeps
 // after discarding raw data (§3), serialized so every downstream analysis
@@ -9,8 +9,8 @@
 //
 // All integers are little-endian. Every section begins at a 64-byte-aligned
 // offset and carries a CRC32C in its descriptor; the trailer carries a
-// CRC32C over the header + section table. Version-1 files contain exactly
-// the six section kinds below, each once:
+// CRC32C over the header + section table. Version-1 and version-2 files
+// contain exactly the six section kinds below, each once:
 //
 //   kMeta          fixed 48B: counts, flow stride, provenance (students/seed)
 //   kFlows         num_flows x 40B fixed-stride core::Flow records, in
@@ -21,6 +21,32 @@
 //   kDevices       variable-length device records (see reader/writer)
 //   kStats         core::CollectionStats, 9 x u64 (7 x u64 in version 1;
 //                  the reader zero-fills the UA-accounting fields there)
+//
+// Version 3 makes the section set variable (the header's section count is
+// authoritative) and adds the columnar query layout:
+//
+//   kDayIndex      per-day section groups: for every study day, the list of
+//                  contiguous [begin, end) runs of the flow array whose
+//                  flows start on that day (flows are (device, start)-sorted,
+//                  so every (device, day) pair is one run). Figure queries
+//                  with a time range walk only these runs instead of the
+//                  whole flow array. Delta-varint coded.
+//   kColTimestamps start_offset_s column, zigzag delta-varint coded
+//                  (deltas are small within a device run; the sign absorbs
+//                  the reset at device boundaries).
+//   kColDomains    domain column, dictionary coded (first-appearance
+//                  dictionary of distinct DomainIds + per-flow varint ref).
+//   kColRest       the remaining flow fields as packed plain columns:
+//                  duration f32 | device delta-varint | server_ip u32 |
+//                  server_port u16 | proto u8 | bytes_up varint |
+//                  bytes_down varint.
+//
+// A v3 file stores flows either as kFlows (raw, zero-copy eligible) or as
+// the three kCol* sections (`snapshot save --compress`; decoded into an
+// owned array on load), never both. Every non-raw section's payload begins
+// with a u64 raw (decoded) byte size, and its descriptor's flags word
+// carries the codec id, so `snapshot info` can report per-section
+// compression ratios without decoding.
 //
 // The flow record layout is frozen against core::Flow below; any change to
 // that struct is a format break and must bump kFormatVersion.
@@ -39,9 +65,11 @@ namespace lockdown::store {
 inline constexpr std::array<char, 8> kMagic = {'L', 'D', 'S', 'N', 'A', 'P', '0', '1'};
 inline constexpr std::array<char, 8> kTrailerMagic = {'L', 'D', 'S', 'F', 'I', 'N', 'I', '1'};
 // Version 2 widened kStats from 7 to 9 u64 fields (ua_unattributed,
-// ua_visitor_dropped); everything else is unchanged and version-1 files
-// remain readable.
-inline constexpr std::uint32_t kFormatVersion = 2;
+// ua_visitor_dropped). Version 3 made the section count variable, added the
+// kDayIndex section group and the optional columnar flow sections
+// (kColTimestamps/kColDomains/kColRest), and started recording codec ids in
+// the descriptor flags. Version-1 and version-2 files remain readable.
+inline constexpr std::uint32_t kFormatVersion = 3;
 inline constexpr std::uint32_t kMinReadVersion = 1;
 /// Written as a u32; reads back as something else on a mixed-endian copy.
 inline constexpr std::uint32_t kEndianMarker = 0x0A0B0C0Du;
@@ -61,8 +89,30 @@ enum class SectionKind : std::uint32_t {
   kStringPool = 4,
   kDevices = 5,
   kStats = 6,
+  // Version 3:
+  kDayIndex = 7,       ///< per-day [begin, len) flow runs, delta-varint
+  kColTimestamps = 8,  ///< start_offset_s column, zigzag delta-varint
+  kColDomains = 9,     ///< domain column, dictionary + varint refs
+  kColRest = 10,       ///< remaining flow fields, packed columns
 };
-inline constexpr int kNumSections = 6;
+/// The fixed section count of version 1/2 files (also the mandatory core of
+/// every version-3 file, minus kFlows when the flow columns replace it).
+inline constexpr int kNumSectionsV2 = 6;
+/// Highest section kind this build understands.
+inline constexpr std::uint32_t kMaxSectionKind = 10;
+/// Upper bound on the section count a v3 header may claim (all distinct
+/// kinds at most once).
+inline constexpr std::uint32_t kMaxSections = kMaxSectionKind;
+
+/// Per-section codec, recorded in the descriptor's flags word. Every coded
+/// (non-raw) payload begins with a u64 raw (decoded) size so tools can
+/// report compression ratios without decoding.
+enum class SectionCodec : std::uint32_t {
+  kRaw = 0,
+  kDeltaVarint = 1,  ///< zigzag delta-varint streams (timestamps, day index)
+  kDictionary = 2,   ///< first-appearance dictionary + varint refs (domains)
+  kPacked = 3,       ///< per-field packed columns, varint where it pays
+};
 
 [[nodiscard]] constexpr const char* SectionName(SectionKind kind) noexcept {
   switch (kind) {
@@ -72,6 +122,20 @@ inline constexpr int kNumSections = 6;
     case SectionKind::kStringPool: return "string-pool";
     case SectionKind::kDevices: return "devices";
     case SectionKind::kStats: return "stats";
+    case SectionKind::kDayIndex: return "day-index";
+    case SectionKind::kColTimestamps: return "col-timestamps";
+    case SectionKind::kColDomains: return "col-domains";
+    case SectionKind::kColRest: return "col-rest";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] constexpr const char* CodecName(SectionCodec codec) noexcept {
+  switch (codec) {
+    case SectionCodec::kRaw: return "raw";
+    case SectionCodec::kDeltaVarint: return "delta-varint";
+    case SectionCodec::kDictionary: return "dictionary";
+    case SectionCodec::kPacked: return "packed";
   }
   return "unknown";
 }

@@ -1,3 +1,4 @@
+#include <array>
 #include <bit>
 #include <chrono>
 #include <cstring>
@@ -7,6 +8,7 @@
 
 #include "obs/obs.h"
 #include "store/codec.h"
+#include "store/column_codec.h"
 #include "store/format.h"
 #include "store/mmap_file.h"
 #include "store/snapshot.h"
@@ -54,12 +56,12 @@ class Reader::Impl {
 
   [[nodiscard]] const SnapshotInfo& info() const noexcept { return info_; }
 
-  [[nodiscard]] bool SectionChecksumOk(int i) const {
+  [[nodiscard]] bool SectionChecksumOk(std::size_t i) const {
     const ParsedSection& s = sections_[i];
     return TimedCrc32c(s.payload) == s.crc32c;
   }
 
-  [[nodiscard]] std::string ChecksumMessage(int i) const {
+  [[nodiscard]] std::string ChecksumMessage(std::size_t i) const {
     return "checksum mismatch in " + std::string(SectionName(KindAt(i))) +
            " section at offset " + std::to_string(sections_[i].offset) +
            " (corrupt file)";
@@ -67,7 +69,7 @@ class Reader::Impl {
 
   void VerifyChecksums() const {
     OBS_SPAN("store/verify_checksums");
-    for (int i = 0; i < kNumSections; ++i) {
+    for (std::size_t i = 0; i < sections_.size(); ++i) {
       if (!SectionChecksumOk(i)) Fail(ChecksumMessage(i));
     }
   }
@@ -77,14 +79,23 @@ class Reader::Impl {
     LoadedSnapshot out;
     // Mandatory sections fail the load on corruption, naming the section
     // and offset; the stats section is advisory and may be salvaged
-    // (zero-filled) so months of flow data survive one bad section.
+    // (zero-filled), and the day index is derivable and may be salvaged by
+    // rebuilding it from the flows — so months of flow data survive one bad
+    // section.
     bool stats_salvaged = false;
+    bool day_index_salvaged = false;
     if (options.verify_checksums) {
-      for (int i = 0; i < kNumSections; ++i) {
+      for (std::size_t i = 0; i < sections_.size(); ++i) {
         if (SectionChecksumOk(i)) continue;
         if (options.salvage && KindAt(i) == SectionKind::kStats) {
           stats_salvaged = true;
           out.warnings.push_back(ChecksumMessage(i) + ": stats zero-filled");
+          continue;
+        }
+        if (options.salvage && KindAt(i) == SectionKind::kDayIndex) {
+          day_index_salvaged = true;
+          out.warnings.push_back(ChecksumMessage(i) +
+                                 ": day index rebuilt from flows");
           continue;
         }
         Fail(ChecksumMessage(i));
@@ -127,48 +138,89 @@ class Reader::Impl {
     dev.ExpectDone();
 
     // --- Flows ---------------------------------------------------------------
-    const std::span<const std::byte> flow_bytes = Section(SectionKind::kFlows);
-    const bool zero_copy_eligible = kHostIsLittleEndian;
-    if (options.mode == LoadMode::kMmap && !zero_copy_eligible) {
-      Fail("zero-copy load unavailable on a big-endian host");
-    }
-    if (options.mode != LoadMode::kCopy && zero_copy_eligible) {
-      const std::span<const core::Flow> flows{
-          reinterpret_cast<const core::Flow*>(flow_bytes.data()),
-          static_cast<std::size_t>(info_.num_flows)};
-      ds.BorrowFlows(flows, map_);
-      out.zero_copy = true;
-      if (lockdown::obs::MetricsEnabled()) {
-        lockdown::obs::GetCounter("store/load_zero_copy", "loads").Increment();
+    if (HasSection(SectionKind::kFlows)) {
+      const std::span<const std::byte> flow_bytes = Section(SectionKind::kFlows);
+      const bool zero_copy_eligible = kHostIsLittleEndian;
+      if (options.mode == LoadMode::kMmap && !zero_copy_eligible) {
+        Fail("zero-copy load unavailable on a big-endian host");
+      }
+      if (options.mode != LoadMode::kCopy && zero_copy_eligible) {
+        const std::span<const core::Flow> flows{
+            reinterpret_cast<const core::Flow*>(flow_bytes.data()),
+            static_cast<std::size_t>(info_.num_flows)};
+        ds.BorrowFlows(flows, map_);
+        out.zero_copy = true;
+        if (lockdown::obs::MetricsEnabled()) {
+          lockdown::obs::GetCounter("store/load_zero_copy", "loads").Increment();
+        }
+      } else {
+        detail::Decoder dec(flow_bytes, "flows");
+        for (std::uint64_t i = 0; i < info_.num_flows; ++i) {
+          core::Flow f;
+          f.start_offset_s = dec.U32();
+          f.duration_s = dec.F32();
+          f.device = dec.U32();
+          f.domain = dec.U32();
+          f.server_ip = net::Ipv4Address(dec.U32());
+          f.server_port = dec.U16();
+          f.proto = dec.U8();
+          (void)dec.U8();  // padding byte
+          f.bytes_up = dec.U64();
+          f.bytes_down = dec.U64();
+          ds.AddFlow(f);
+        }
+        dec.ExpectDone();
+        if (lockdown::obs::MetricsEnabled()) {
+          lockdown::obs::GetCounter("store/load_copy", "loads").Increment();
+        }
       }
     } else {
-      detail::Decoder dec(flow_bytes, "flows");
+      // Columnar (compressed) flow storage: always decoded into an owned
+      // array; the varint streams cannot back a zero-copy view.
+      if (options.mode == LoadMode::kMmap) {
+        Fail("zero-copy load unavailable: flows are stored compressed");
+      }
+      const std::vector<std::uint32_t> ts = detail::DecodeTimestampColumn(
+          Section(SectionKind::kColTimestamps), info_.num_flows);
+      const std::vector<std::uint32_t> dom = detail::DecodeDomainColumn(
+          Section(SectionKind::kColDomains), info_.num_flows);
+      const detail::RestColumns rest = detail::DecodeRestColumn(
+          Section(SectionKind::kColRest), info_.num_flows);
       for (std::uint64_t i = 0; i < info_.num_flows; ++i) {
         core::Flow f;
-        f.start_offset_s = dec.U32();
-        f.duration_s = dec.F32();
-        f.device = dec.U32();
-        f.domain = dec.U32();
-        f.server_ip = net::Ipv4Address(dec.U32());
-        f.server_port = dec.U16();
-        f.proto = dec.U8();
-        (void)dec.U8();  // padding byte
-        f.bytes_up = dec.U64();
-        f.bytes_down = dec.U64();
+        f.start_offset_s = ts[i];
+        f.duration_s = rest.duration[i];
+        f.device = rest.device[i];
+        f.domain = dom[i];
+        f.server_ip = net::Ipv4Address(rest.server_ip[i]);
+        f.server_port = rest.server_port[i];
+        f.proto = rest.proto[i];
+        f.bytes_up = rest.bytes_up[i];
+        f.bytes_down = rest.bytes_down[i];
         ds.AddFlow(f);
       }
-      dec.ExpectDone();
       if (lockdown::obs::MetricsEnabled()) {
-        lockdown::obs::GetCounter("store/load_copy", "loads").Increment();
+        lockdown::obs::GetCounter("store/load_columnar", "loads").Increment();
       }
     }
 
-    // Per-flow references must be in range before any analysis indexes by
-    // them — a CRC-valid but ill-formed file must fail here, not as UB in a
-    // consumer.
-    for (const core::Flow& f : ds.flows()) {
+    // Per-flow references must be in range and the array must be in
+    // Finalize() order before any analysis indexes by them — a CRC-valid but
+    // ill-formed file must fail here, not as UB (or a silently wrong figure)
+    // in a consumer. The query kernels binary-search timestamps per device,
+    // so the sort order is part of the format contract.
+    const std::span<const core::Flow> loaded = ds.flows();
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+      const core::Flow& f = loaded[i];
       if (f.device >= info_.num_devices) Fail("flow references invalid device");
       if (f.domain >= info_.num_domains) Fail("flow references invalid domain");
+      if (i > 0) {
+        const core::Flow& p = loaded[i - 1];
+        if (p.device > f.device ||
+            (p.device == f.device && p.start_offset_s > f.start_offset_s)) {
+          Fail("flows not in finalize order");
+        }
+      }
     }
 
     // --- CSR device index ----------------------------------------------------
@@ -184,6 +236,26 @@ class Reader::Impl {
       ds.RestoreDeviceIndex(std::move(offsets));
     } catch (const std::invalid_argument&) {
       Fail("inconsistent device index section");
+    }
+
+    // --- Day-run index -------------------------------------------------------
+    // v3 files persist it; pre-v3 files (and salvaged v3 loads) rebuild it
+    // from the flow order, which is always possible — the section is an
+    // accelerator, never the only source of truth.
+    if (HasSection(SectionKind::kDayIndex) && !day_index_salvaged) {
+      try {
+        ds.RestoreDayRuns(detail::DecodeDayIndex(
+            Section(SectionKind::kDayIndex), info_.num_flows));
+      } catch (const std::exception& e) {
+        if (!options.salvage) {
+          Fail(std::string("corrupt day-index section: ") + e.what());
+        }
+        out.warnings.push_back(path_.string() +
+                               ": undecodable day index: rebuilt from flows");
+        ds.RebuildDayRuns();
+      }
+    } else {
+      ds.RebuildDayRuns();
     }
 
     // --- Stats ---------------------------------------------------------------
@@ -235,6 +307,24 @@ class Reader::Impl {
         Fail("device index disagrees with flow ordering");
       }
     }
+    // Full interior check of every day run (RestoreDayRuns only spot-checks
+    // each run's endpoints; a run spanning a device boundary could hide a
+    // day dip in its interior).
+    const core::DayRunIndex& runs = ds.day_runs();
+    std::uint64_t covered = 0;
+    for (int d = 0; d < runs.num_days(); ++d) {
+      bool bad = false;
+      runs.ForEachRun(d, d, [&](std::uint64_t begin, std::uint64_t len) {
+        for (std::uint64_t k = begin; k < begin + len; ++k) {
+          if (core::Dataset::DayOf(flows[static_cast<std::size_t>(k)]) != d) {
+            bad = true;
+          }
+        }
+        covered += len;
+      });
+      if (bad) Fail("day index interior disagrees with flows");
+    }
+    if (covered != flows.size()) Fail("day index does not cover the flow array");
   }
 
  private:
@@ -242,12 +332,18 @@ class Reader::Impl {
     throw Error(path_.string() + ": " + message);
   }
 
-  [[nodiscard]] SectionKind KindAt(int i) const noexcept {
-    return static_cast<SectionKind>(info_.sections[static_cast<std::size_t>(i)].kind);
+  [[nodiscard]] SectionKind KindAt(std::size_t i) const noexcept {
+    return static_cast<SectionKind>(info_.sections[i].kind);
+  }
+
+  [[nodiscard]] bool HasSection(SectionKind kind) const noexcept {
+    return kind_slot_[static_cast<std::size_t>(kind) - 1] >= 0;
   }
 
   [[nodiscard]] std::span<const std::byte> Section(SectionKind kind) const {
-    return sections_[static_cast<int>(kind) - 1].payload;
+    const int slot = kind_slot_[static_cast<std::size_t>(kind) - 1];
+    if (slot < 0) Fail(std::string(SectionName(kind)) + " section missing");
+    return sections_[static_cast<std::size_t>(slot)].payload;
   }
 
   [[nodiscard]] std::string_view StringAt(
@@ -287,10 +383,31 @@ class Reader::Impl {
     return strings;
   }
 
+  /// The codec each section kind is allowed to carry. v1/v2 writers put 0
+  /// in flags, so raw-everywhere is always acceptable.
+  [[nodiscard]] static bool CodecAllowed(SectionKind kind, SectionCodec codec) {
+    if (codec == SectionCodec::kRaw) {
+      return kind != SectionKind::kDayIndex &&
+             kind != SectionKind::kColTimestamps &&
+             kind != SectionKind::kColDomains && kind != SectionKind::kColRest;
+    }
+    switch (kind) {
+      case SectionKind::kDayIndex:
+      case SectionKind::kColTimestamps:
+        return codec == SectionCodec::kDeltaVarint;
+      case SectionKind::kColDomains:
+        return codec == SectionCodec::kDictionary;
+      case SectionKind::kColRest:
+        return codec == SectionCodec::kPacked;
+      default:
+        return false;
+    }
+  }
+
   void ParseStructure() {
     const std::span<const std::byte> file = map_->bytes();
     info_.file_size = file.size();
-    if (file.size() < kHeaderSize + kNumSections * kSectionDescSize + kTrailerSize) {
+    if (file.size() < kHeaderSize + kSectionDescSize + kTrailerSize) {
       Fail("file too small to be an LDS snapshot (" +
            std::to_string(file.size()) + " bytes)");
     }
@@ -309,8 +426,12 @@ class Reader::Impl {
            ".." + std::to_string(kFormatVersion) + ")");
     }
     if (hdr.U32() != kHeaderSize) Fail("bad header size");
+    // v1/v2 files have exactly the six classic sections; from v3 on the
+    // header's count is authoritative (bounded by the known kinds, each at
+    // most once).
     const std::uint32_t section_count = hdr.U32();
-    if (section_count != kNumSections) {
+    if (info_.version < 3 ? section_count != kNumSectionsV2
+                          : (section_count < 1 || section_count > kMaxSections)) {
       Fail("unexpected section count " + std::to_string(section_count));
     }
     const std::uint64_t recorded_size = hdr.U64();
@@ -322,7 +443,10 @@ class Reader::Impl {
     if (table_offset != kHeaderSize) Fail("bad section table offset");
 
     const std::uint64_t table_end =
-        kHeaderSize + static_cast<std::uint64_t>(kNumSections) * kSectionDescSize;
+        kHeaderSize + static_cast<std::uint64_t>(section_count) * kSectionDescSize;
+    if (file.size() < table_end + kTrailerSize) {
+      Fail("file too small for its section table");
+    }
     const std::uint64_t trailer_offset = file.size() - kTrailerSize;
 
     detail::Decoder trailer(file.subspan(trailer_offset, kTrailerSize), "trailer");
@@ -338,33 +462,67 @@ class Reader::Impl {
 
     detail::Decoder table(file.subspan(kHeaderSize, table_end - kHeaderSize),
                           "section table");
-    bool seen[kNumSections] = {};
-    for (int i = 0; i < kNumSections; ++i) {
+    kind_slot_.fill(-1);
+    const std::uint32_t max_kind =
+        info_.version < 3 ? kNumSectionsV2 : kMaxSectionKind;
+    for (std::uint32_t i = 0; i < section_count; ++i) {
       const std::uint32_t kind = table.U32();
-      (void)table.U32();  // flags
+      const std::uint32_t flags = table.U32();
       const std::uint64_t offset = table.U64();
       const std::uint64_t size = table.U64();
       const std::uint32_t crc = table.U32();
       (void)table.U32();  // reserved
-      if (kind < 1 || kind > kNumSections) {
+      if (kind < 1 || kind > max_kind) {
         Fail("unknown section kind " + std::to_string(kind));
       }
-      if (seen[kind - 1]) {
-        Fail("duplicate " + std::string(SectionName(static_cast<SectionKind>(kind))) +
-             " section");
+      const auto k = static_cast<SectionKind>(kind);
+      if (kind_slot_[kind - 1] >= 0) {
+        Fail("duplicate " + std::string(SectionName(k)) + " section");
       }
-      seen[kind - 1] = true;
       if (offset % kSectionAlign != 0) Fail("misaligned section");
       if (offset < table_end || size > trailer_offset ||
           offset > trailer_offset - size) {
         Fail("section out of bounds");
       }
-      sections_[kind - 1] = ParsedSection{
-          offset, crc,
+      if (flags > static_cast<std::uint32_t>(SectionCodec::kPacked) ||
+          !CodecAllowed(k, static_cast<SectionCodec>(flags))) {
+        Fail("unsupported codec " + std::to_string(flags) + " for " +
+             std::string(SectionName(k)) + " section");
+      }
+      const auto codec = static_cast<SectionCodec>(flags);
+      const std::span<const std::byte> payload =
           file.subspan(static_cast<std::size_t>(offset),
-                       static_cast<std::size_t>(size))};
+                       static_cast<std::size_t>(size));
+      kind_slot_[kind - 1] = static_cast<int>(sections_.size());
+      sections_.push_back(ParsedSection{offset, crc, payload});
       info_.sections.push_back(SectionInfo{
-          kind, SectionName(static_cast<SectionKind>(kind)), offset, size, crc});
+          kind, SectionName(k), offset, size, crc, flags, CodecName(codec),
+          codec == SectionCodec::kRaw ? size : detail::PeekRawSize(payload)});
+    }
+
+    // --- Required sections ---------------------------------------------------
+    for (const SectionKind k :
+         {SectionKind::kMeta, SectionKind::kDeviceOffsets,
+          SectionKind::kStringPool, SectionKind::kDevices, SectionKind::kStats}) {
+      if (!HasSection(k)) {
+        Fail("missing " + std::string(SectionName(k)) + " section");
+      }
+    }
+    const bool has_flows = HasSection(SectionKind::kFlows);
+    const bool has_columns = HasSection(SectionKind::kColTimestamps) ||
+                             HasSection(SectionKind::kColDomains) ||
+                             HasSection(SectionKind::kColRest);
+    if (has_flows == has_columns) {
+      Fail(has_flows ? "both raw and columnar flow sections present"
+                     : "no flow storage (neither raw nor columnar sections)");
+    }
+    if (has_columns && (!HasSection(SectionKind::kColTimestamps) ||
+                        !HasSection(SectionKind::kColDomains) ||
+                        !HasSection(SectionKind::kColRest))) {
+      Fail("incomplete columnar flow storage");
+    }
+    if (info_.version >= 3 && !HasSection(SectionKind::kDayIndex)) {
+      Fail("missing day-index section");
     }
 
     // --- Meta + cross-section size consistency -------------------------------
@@ -382,7 +540,8 @@ class Reader::Impl {
       Fail("incompatible flow stride " + std::to_string(info_.flow_stride) +
            " (this build uses " + std::to_string(kFlowStride) + ")");
     }
-    if (Section(SectionKind::kFlows).size() != info_.num_flows * kFlowStride) {
+    if (has_flows &&
+        Section(SectionKind::kFlows).size() != info_.num_flows * kFlowStride) {
       Fail("flows section size disagrees with flow count");
     }
     if (Section(SectionKind::kDeviceOffsets).size() !=
@@ -399,7 +558,8 @@ class Reader::Impl {
   std::filesystem::path path_;
   std::shared_ptr<const MmapFile> map_;
   SnapshotInfo info_;
-  ParsedSection sections_[kNumSections];
+  std::vector<ParsedSection> sections_;  ///< in section-table order
+  std::array<int, kMaxSectionKind> kind_slot_{};  ///< kind-1 -> sections_ slot
 };
 
 Reader::Reader(std::filesystem::path path)

@@ -57,12 +57,29 @@ struct LoadOptions {
   bool salvage = false;
 };
 
+/// How a snapshot should be written. Defaults produce the current format;
+/// `format_version = 2` reproduces the previous layout byte-for-byte (the
+/// differential suite reads figures off all three).
+struct SaveOptions {
+  /// 2 or 3. Version 2 is the fixed six-section layout; version 3 adds the
+  /// day index and may compress.
+  std::uint32_t format_version = 3;
+  /// Store flows as dictionary/delta-varint coded columns instead of the
+  /// raw (zero-copy eligible) record array. Requires format_version >= 3.
+  bool compress = false;
+};
+
 struct SectionInfo {
   std::uint32_t kind = 0;
   std::string name;
   std::uint64_t offset = 0;
-  std::uint64_t size = 0;
+  std::uint64_t size = 0;      ///< stored (on-disk) bytes
   std::uint32_t crc32c = 0;
+  std::uint32_t codec = 0;     ///< store::SectionCodec as written in flags
+  std::string codec_name;
+  /// Decoded size: equals `size` for raw sections, the payload's recorded
+  /// raw size for coded ones — so stored/raw is the compression ratio.
+  std::uint64_t raw_size = 0;
 };
 
 struct SnapshotInfo {
@@ -103,7 +120,8 @@ class Writer {
   /// Encodes and writes all sections of `result`. The dataset must be
   /// finalized. Call once per Writer.
   void WriteCollection(const core::CollectionResult& result,
-                       const SnapshotMeta& meta = {});
+                       const SnapshotMeta& meta = {},
+                       const SaveOptions& options = {});
   /// fsync + rename over the target path (+ directory fsync).
   void Commit();
 
@@ -142,7 +160,8 @@ class Reader {
 /// Collect -> disk: write `result` to `path` atomically.
 void SaveSnapshot(const std::filesystem::path& path,
                   const core::CollectionResult& result,
-                  const SnapshotMeta& meta = {});
+                  const SnapshotMeta& meta = {},
+                  const SaveOptions& options = {});
 
 /// Disk -> analysis: validate and load a snapshot.
 [[nodiscard]] LoadedSnapshot LoadSnapshot(const std::filesystem::path& path,

@@ -13,6 +13,7 @@
 
 #include "obs/obs.h"
 #include "store/codec.h"
+#include "store/column_codec.h"
 #include "store/format.h"
 #include "store/snapshot.h"
 #include "util/crc32c.h"
@@ -205,42 +206,88 @@ class Writer::Impl {
   }
 
   void WriteCollection(const core::CollectionResult& result,
-                       const SnapshotMeta& meta) {
+                       const SnapshotMeta& meta, const SaveOptions& options) {
     if (written_) throw Error("WriteCollection called twice");
+    if (options.format_version < 2 || options.format_version > kFormatVersion) {
+      throw Error("unsupported save format version " +
+                  std::to_string(options.format_version));
+    }
+    if (options.compress && options.format_version < 3) {
+      throw Error("compressed snapshots require format version 3");
+    }
     const core::Dataset& ds = result.dataset;
     if (!ds.finalized()) throw Error("cannot snapshot a non-finalized dataset");
+    const bool v3 = options.format_version >= 3;
+    if (v3 && !ds.has_day_runs()) {
+      throw Error("dataset has no day-run index (Finalize was bypassed)");
+    }
     written_ = true;
     OBS_SPAN("store/save");
     CrcTimer crc_timer;
 
     // Variable-length sections are encoded up front so every section size —
     // and with it the header and section table — is known before the first
-    // byte hits the file; the flow section streams afterwards in chunks.
+    // byte hits the file; the (uncompressed) flow section streams afterwards
+    // in chunks.
     PoolBuilder pool(ds.domains());
     const detail::Encoder devices = EncodeDevices(ds, pool);
     const detail::Encoder pool_enc = pool.Encode(ds.num_domains());
     const detail::Encoder meta_enc = EncodeMeta(ds, meta);
     const detail::Encoder stats_enc = EncodeStats(result.stats);
     const detail::Encoder csr = EncodeDeviceOffsets(ds.device_offsets());
+    const auto flows = ds.flows();
     const std::uint64_t flows_size = ds.num_flows() * kFlowStride;
 
     struct Section {
       SectionKind kind;
+      SectionCodec codec;
       std::uint64_t size;
       std::uint64_t offset = 0;
       std::uint32_t crc = 0;
       const detail::Encoder* body = nullptr;  // null for the streamed flows
     };
-    Section sections[kNumSections] = {
-        {SectionKind::kMeta, meta_enc.size(), 0, 0, &meta_enc},
-        {SectionKind::kFlows, flows_size, 0, 0, nullptr},
-        {SectionKind::kDeviceOffsets, csr.size(), 0, 0, &csr},
-        {SectionKind::kStringPool, pool_enc.size(), 0, 0, &pool_enc},
-        {SectionKind::kDevices, devices.size(), 0, 0, &devices},
-        {SectionKind::kStats, stats_enc.size(), 0, 0, &stats_enc},
-    };
+    // Version-2 files contain exactly the first six kinds in this order;
+    // version 3 appends the day index and, when compressing, swaps the raw
+    // flow array for the three column sections.
+    std::vector<Section> sections;
+    sections.push_back(
+        {SectionKind::kMeta, SectionCodec::kRaw, meta_enc.size(), 0, 0, &meta_enc});
+    if (!options.compress) {
+      sections.push_back(
+          {SectionKind::kFlows, SectionCodec::kRaw, flows_size, 0, 0, nullptr});
+    }
+    sections.push_back({SectionKind::kDeviceOffsets, SectionCodec::kRaw,
+                        csr.size(), 0, 0, &csr});
+    sections.push_back({SectionKind::kStringPool, SectionCodec::kRaw,
+                        pool_enc.size(), 0, 0, &pool_enc});
+    sections.push_back({SectionKind::kDevices, SectionCodec::kRaw,
+                        devices.size(), 0, 0, &devices});
+    sections.push_back({SectionKind::kStats, SectionCodec::kRaw,
+                        stats_enc.size(), 0, 0, &stats_enc});
+    detail::Encoder day_index;
+    detail::Encoder col_ts;
+    detail::Encoder col_dom;
+    detail::Encoder col_rest;
+    if (v3) {
+      day_index = detail::EncodeDayIndex(ds.day_runs());
+      sections.push_back({SectionKind::kDayIndex, SectionCodec::kDeltaVarint,
+                          day_index.size(), 0, 0, &day_index});
+    }
+    if (options.compress) {
+      col_ts = detail::EncodeTimestampColumn(flows);
+      col_dom = detail::EncodeDomainColumn(flows);
+      col_rest = detail::EncodeRestColumn(flows);
+      sections.push_back({SectionKind::kColTimestamps,
+                          SectionCodec::kDeltaVarint, col_ts.size(), 0, 0,
+                          &col_ts});
+      sections.push_back({SectionKind::kColDomains, SectionCodec::kDictionary,
+                          col_dom.size(), 0, 0, &col_dom});
+      sections.push_back({SectionKind::kColRest, SectionCodec::kPacked,
+                          col_rest.size(), 0, 0, &col_rest});
+    }
 
-    std::uint64_t cursor = AlignUp(kHeaderSize + kNumSections * kSectionDescSize);
+    std::uint64_t cursor =
+        AlignUp(kHeaderSize + sections.size() * kSectionDescSize);
     for (Section& s : sections) {
       s.offset = cursor;
       cursor = AlignUp(s.offset + s.size);
@@ -252,39 +299,44 @@ class Writer::Impl {
       if (s.body != nullptr) s.crc = crc_timer.Crc(s.body->bytes());
     }
 
-    // The flow section is not buffered: the file is sized up front (holes
-    // read back as the zero padding the format wants), flows stream through
-    // a bounded chunk while accumulating their CRC, and the header + table
-    // go in last, once every section CRC is known.
+    // The raw flow section is not buffered: the file is sized up front
+    // (holes read back as the zero padding the format wants), flows stream
+    // through a bounded chunk while accumulating their CRC, and the header +
+    // table go in last, once every section CRC is known.
     if (::ftruncate(fd_, static_cast<off_t>(file_size)) != 0) {
       ThrowErrno(tmp_, "ftruncate");
     }
 
-    const auto flows = ds.flows();
-    util::Crc32cAccumulator flow_crc;
-    for (std::size_t begin = 0; begin < flows.size(); begin += kFlowsPerChunk) {
-      const std::size_t end = std::min(begin + kFlowsPerChunk, flows.size());
-      detail::Encoder chunk;
-      chunk.Reserve((end - begin) * kFlowStride);
-      for (std::size_t i = begin; i < end; ++i) EncodeFlow(chunk, flows[i]);
-      crc_timer.Crc(chunk.bytes(), &flow_crc);
-      PWrite(chunk.bytes(),
-             sections[1].offset + static_cast<std::uint64_t>(begin) * kFlowStride);
+    Section* flow_section = nullptr;
+    for (Section& s : sections) {
+      if (s.kind == SectionKind::kFlows) flow_section = &s;
     }
-    sections[1].crc = flow_crc.value();
+    if (flow_section != nullptr) {
+      util::Crc32cAccumulator flow_crc;
+      for (std::size_t begin = 0; begin < flows.size(); begin += kFlowsPerChunk) {
+        const std::size_t end = std::min(begin + kFlowsPerChunk, flows.size());
+        detail::Encoder chunk;
+        chunk.Reserve((end - begin) * kFlowStride);
+        for (std::size_t i = begin; i < end; ++i) EncodeFlow(chunk, flows[i]);
+        crc_timer.Crc(chunk.bytes(), &flow_crc);
+        PWrite(chunk.bytes(), flow_section->offset +
+                                  static_cast<std::uint64_t>(begin) * kFlowStride);
+      }
+      flow_section->crc = flow_crc.value();
+    }
 
     detail::Encoder table;
     for (const char c : kMagic) table.U8(static_cast<std::uint8_t>(c));
     table.U32(kEndianMarker);
-    table.U32(kFormatVersion);
+    table.U32(options.format_version);
     table.U32(kHeaderSize);
-    table.U32(kNumSections);
+    table.U32(static_cast<std::uint32_t>(sections.size()));
     table.U64(file_size);
     table.U64(kHeaderSize);  // section table offset
     for (int i = 0; i < 24; ++i) table.U8(0);
     for (const Section& s : sections) {
       table.U32(static_cast<std::uint32_t>(s.kind));
-      table.U32(0);  // flags
+      table.U32(static_cast<std::uint32_t>(s.codec));  // flags
       table.U64(s.offset);
       table.U64(s.size);
       table.U32(s.crc);
@@ -359,16 +411,18 @@ Writer::Writer(std::filesystem::path path)
 Writer::~Writer() = default;
 
 void Writer::WriteCollection(const core::CollectionResult& result,
-                             const SnapshotMeta& meta) {
-  impl_->WriteCollection(result, meta);
+                             const SnapshotMeta& meta,
+                             const SaveOptions& options) {
+  impl_->WriteCollection(result, meta, options);
 }
 
 void Writer::Commit() { impl_->Commit(); }
 
 void SaveSnapshot(const std::filesystem::path& path,
-                  const core::CollectionResult& result, const SnapshotMeta& meta) {
+                  const core::CollectionResult& result, const SnapshotMeta& meta,
+                  const SaveOptions& options) {
   Writer writer(path);
-  writer.WriteCollection(result, meta);
+  writer.WriteCollection(result, meta, options);
   writer.Commit();
 }
 

@@ -5,6 +5,8 @@
 // clean input must stay byte-for-byte the historical behavior.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -28,8 +30,10 @@ class FaultInjectionTest : public ::testing::Test {
  protected:
   // One simulated export shared by every test in the suite.
   static void SetUpTestSuite() {
-    dir_ = new std::filesystem::path(std::filesystem::temp_directory_path() /
-                                     "lockdown_fault_injection_test");
+    // Per-process suite directory: each TEST is its own ctest process.
+    dir_ = new std::filesystem::path(
+        std::filesystem::temp_directory_path() /
+        ("lockdown_fault_injection_test_" + std::to_string(::getpid())));
     std::filesystem::remove_all(*dir_);
     ExportLogs(StudyConfig::Small(40, 7), *dir_);
   }

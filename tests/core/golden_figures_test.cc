@@ -12,15 +12,14 @@
 //   LOCKDOWN_REGEN_GOLDEN=1 ./tests/core_test --gtest_filter='GoldenFigures.*'
 #include <gtest/gtest.h>
 
-#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
-#include <vector>
 
 #include "core/pipeline.h"
 #include "core/study.h"
+#include "figure_render.h"
 #include "world/catalog.h"
 
 namespace lockdown::core {
@@ -29,107 +28,14 @@ namespace {
 constexpr int kStudents = 60;
 constexpr std::uint64_t kSeed = 2020;
 
-std::string Num(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
-
-void BoxLine(std::ostringstream& out, const std::string& tag,
-             const analysis::BoxStats& b) {
-  out << tag << '\t' << b.n << '\t' << Num(b.p1) << '\t' << Num(b.q1) << '\t'
-      << Num(b.median) << '\t' << Num(b.q3) << '\t' << Num(b.p95) << '\t'
-      << Num(b.p99) << '\t' << Num(b.mean) << '\n';
-}
-
-/// One canonical text rendering of everything the study computes.
+/// One canonical text rendering of everything the study computes (the
+/// renderer itself is shared with tests/query/figures_differential_test.cc).
 std::string RenderFigures() {
   const StudyConfig cfg = StudyConfig::Small(kStudents, kSeed);
   const CollectionResult collection = MeasurementPipeline::Collect(cfg);
   const LockdownStudy study(collection.dataset,
                             world::ServiceCatalog::Default());
-
-  std::ostringstream out;
-  const auto& st = collection.stats;
-  out << "stats\t" << st.raw_flows << '\t' << st.tap_excluded << '\t'
-      << st.unattributed << '\t' << st.visitor_flows << '\t'
-      << st.devices_observed << '\t' << st.devices_retained << '\t'
-      << st.ua_sightings << '\t' << st.ua_unattributed << '\t'
-      << st.ua_visitor_dropped << '\n';
-
-  for (const auto& row : study.ActiveDevicesPerDay()) {
-    out << "fig1\t" << row.day;
-    for (const int v : row.by_class) out << '\t' << v;
-    out << '\t' << row.total << '\n';
-  }
-  for (const auto& row : study.BytesPerDevicePerDay()) {
-    out << "fig2\t" << row.day;
-    for (const double v : row.mean) out << '\t' << Num(v);
-    for (const double v : row.median) out << '\t' << Num(v);
-    out << '\n';
-  }
-  const auto f3 = study.HourOfWeekVolume();
-  out << "fig3.norm\t" << Num(f3.normalization) << '\n';
-  for (std::size_t w = 0; w < f3.weeks.size(); ++w) {
-    out << "fig3.week" << w;
-    for (int h = 0; h < analysis::HourOfWeekSeries::kHours; ++h) {
-      out << '\t' << Num(f3.weeks[w].at(h));
-    }
-    out << '\n';
-  }
-  for (const auto& row : study.MedianBytesExcludingZoom()) {
-    out << "fig4\t" << row.day << '\t' << Num(row.intl_mobile_desktop) << '\t'
-        << Num(row.dom_mobile_desktop) << '\t' << Num(row.intl_unclassified)
-        << '\t' << Num(row.dom_unclassified) << '\n';
-  }
-  const auto f5 = study.ZoomDailyBytes();
-  for (int d = 0; d < f5.num_days(); ++d) {
-    out << "fig5\t" << d << '\t' << Num(f5.at(d)) << '\n';
-  }
-  for (int month = 2; month <= 5; ++month) {
-    for (const auto& [app, name] :
-         {std::pair{apps::SocialApp::kFacebook, "facebook"},
-          std::pair{apps::SocialApp::kInstagram, "instagram"},
-          std::pair{apps::SocialApp::kTikTok, "tiktok"}}) {
-      const auto box = study.SocialDurations(app, month);
-      const std::string tag =
-          "fig6." + std::string(name) + ".m" + std::to_string(month);
-      BoxLine(out, tag + ".dom", box.domestic);
-      BoxLine(out, tag + ".intl", box.international);
-    }
-    const auto steam = study.SteamUsage(month);
-    const std::string tag = "fig7.m" + std::to_string(month);
-    BoxLine(out, tag + ".dom_bytes", steam.dom_bytes);
-    BoxLine(out, tag + ".intl_bytes", steam.intl_bytes);
-    BoxLine(out, tag + ".dom_conns", steam.dom_conns);
-    BoxLine(out, tag + ".intl_conns", steam.intl_conns);
-  }
-  const auto f8 = study.SwitchGameplayDaily();
-  for (int d = 0; d < f8.num_days(); ++d) {
-    out << "fig8\t" << d << '\t' << Num(f8.at(d)) << '\n';
-  }
-  const auto sw = study.CountSwitches();
-  out << "fig8.counts\t" << sw.active_february << '\t'
-      << sw.active_post_shutdown << '\t' << sw.new_in_april_may << '\n';
-  for (const auto& row : study.CategoryVolumes()) {
-    out << "categories\t" << row.day << '\t' << Num(row.education) << '\t'
-        << Num(row.video_conferencing) << '\t' << Num(row.streaming) << '\t'
-        << Num(row.social_media) << '\t' << Num(row.gaming) << '\t'
-        << Num(row.messaging) << '\t' << Num(row.other) << '\n';
-  }
-  const auto diurnal = study.DiurnalShape(0, util::StudyCalendar::NumDays() - 1);
-  out << "diurnal.weekday";
-  for (const double v : diurnal.weekday) out << '\t' << Num(v);
-  out << "\ndiurnal.weekend";
-  for (const double v : diurnal.weekend) out << '\t' << Num(v);
-  out << '\n';
-  const auto h = study.HeadlineStats();
-  out << "headline\t" << h.peak_active_devices << '\t'
-      << h.trough_active_devices << '\t' << h.post_shutdown_users << '\t'
-      << Num(h.traffic_increase) << '\t' << Num(h.distinct_sites_increase)
-      << '\t' << h.international_devices << '\t'
-      << Num(h.international_share) << '\n';
-  return out.str();
+  return testing::RenderFigures(collection, study);
 }
 
 std::string GoldenPath() {

@@ -1,0 +1,87 @@
+// Runtime dispatch selection: LOCKDOWN_NO_SIMD=1 must actually select the
+// scalar reference table, and the decision must be observable through the
+// metrics registry as the gauge "query/kernel_dispatch" (0 = scalar,
+// 1 = simd) — so a silently broken fallback cannot ship.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "obs/metrics.h"
+#include "query/kernels.h"
+
+namespace lockdown::query {
+namespace {
+
+std::optional<double> DispatchGauge() {
+  for (const auto& g : obs::SnapshotMetrics().gauges) {
+    if (g.name == "query/kernel_dispatch") return g.value;
+  }
+  return std::nullopt;
+}
+
+class DispatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* old = std::getenv("LOCKDOWN_NO_SIMD");
+    if (old != nullptr) saved_env_ = old;
+    obs::SetMetricsEnabled(true);
+  }
+  void TearDown() override {
+    // Restore the environment-driven selection for the rest of the binary.
+    if (saved_env_) {
+      ::setenv("LOCKDOWN_NO_SIMD", saved_env_->c_str(), 1);
+    } else {
+      ::unsetenv("LOCKDOWN_NO_SIMD");
+    }
+    ReresolveDispatchForTest();
+    obs::SetMetricsEnabled(false);
+  }
+  std::optional<std::string> saved_env_;
+};
+
+TEST_F(DispatchTest, NoSimdEnvSelectsScalarTable) {
+  ASSERT_EQ(::setenv("LOCKDOWN_NO_SIMD", "1", 1), 0);
+  EXPECT_EQ(ReresolveDispatchForTest(), DispatchKind::kScalar);
+  EXPECT_EQ(ActiveKind(), DispatchKind::kScalar);
+  // The active table is the scalar reference itself, not a copy.
+  EXPECT_EQ(&Active(), &Scalar());
+  const auto gauge = DispatchGauge();
+  ASSERT_TRUE(gauge.has_value())
+      << "dispatch did not publish query/kernel_dispatch";
+  EXPECT_EQ(*gauge, 0.0);
+}
+
+TEST_F(DispatchTest, EmptyAndZeroValuesDoNotDisableSimd) {
+  if (Simd() == nullptr) GTEST_SKIP() << "no SIMD table on this CPU/build";
+  for (const char* v : {"", "0"}) {
+    ASSERT_EQ(::setenv("LOCKDOWN_NO_SIMD", v, 1), 0);
+    EXPECT_EQ(ReresolveDispatchForTest(), DispatchKind::kSimd)
+        << "LOCKDOWN_NO_SIMD=\"" << v << "\" should not force scalar";
+  }
+}
+
+TEST_F(DispatchTest, SimdSelectedWhenAvailableAndPublishesGauge) {
+  if (Simd() == nullptr) GTEST_SKIP() << "no SIMD table on this CPU/build";
+  ASSERT_EQ(::unsetenv("LOCKDOWN_NO_SIMD"), 0);
+  EXPECT_EQ(ReresolveDispatchForTest(), DispatchKind::kSimd);
+  EXPECT_EQ(&Active(), Simd());
+  const auto gauge = DispatchGauge();
+  ASSERT_TRUE(gauge.has_value());
+  EXPECT_EQ(*gauge, 1.0);
+}
+
+TEST_F(DispatchTest, SetDispatchForTestForcesAndRepublishes) {
+  SetDispatchForTest(DispatchKind::kScalar);
+  EXPECT_EQ(ActiveKind(), DispatchKind::kScalar);
+  EXPECT_EQ(DispatchGauge().value_or(-1.0), 0.0);
+  if (Simd() != nullptr) {
+    SetDispatchForTest(DispatchKind::kSimd);
+    EXPECT_EQ(ActiveKind(), DispatchKind::kSimd);
+    EXPECT_EQ(DispatchGauge().value_or(-1.0), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace lockdown::query

@@ -1,0 +1,260 @@
+// Differential kernel suite: every kernel in the SIMD table is run against
+// its scalar twin on random, adversarial, and golden-fixture inputs, and the
+// results must be bit-identical — the scalar TU is compiled with the
+// auto-vectorizer off, so the two sides cannot share a miscompilation.
+//
+// Adversarial shapes: empty inputs, every length from 1 to a few SIMD widths
+// (tail handling), unaligned base pointers (the kernels promise no alignment
+// requirement), all-match and none-match masks, and bound extremes (0,
+// UINT32_MAX). Fixtures assert absolute expected values against BOTH tables,
+// so a bug shared by some future refactor of both sides still gets caught.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "query/kernels.h"
+
+namespace lockdown::query {
+namespace {
+
+constexpr std::uint32_t kU32Max = std::numeric_limits<std::uint32_t>::max();
+
+/// The lengths that stress SIMD tails: empty, every size through a few
+/// vector widths (AVX2 processes 8 u32 per lane-group), and larger blocks
+/// that exercise the unrolled main loop with every tail residue.
+std::vector<std::size_t> TailLengths() {
+  std::vector<std::size_t> lens;
+  for (std::size_t n = 0; n <= 40; ++n) lens.push_back(n);
+  for (std::size_t n : {std::size_t{63}, std::size_t{64}, std::size_t{65},
+                        std::size_t{127}, std::size_t{1000}, std::size_t{4096},
+                        std::size_t{4097}}) {
+    lens.push_back(n);
+  }
+  return lens;
+}
+
+class KernelsDiffTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (Simd() == nullptr) GTEST_SKIP() << "no SIMD table on this CPU/build";
+  }
+  const KernelTable& scalar_ = Scalar();
+  const KernelTable& simd_ = *Simd();
+  std::mt19937_64 rng_{20200316};
+
+  std::vector<std::uint32_t> RandomU32(std::size_t n, std::uint32_t max) {
+    std::uniform_int_distribution<std::uint32_t> dist(0, max);
+    std::vector<std::uint32_t> v(n);
+    for (auto& x : v) x = dist(rng_);
+    return v;
+  }
+  std::vector<std::uint64_t> RandomU64(std::size_t n) {
+    std::uniform_int_distribution<std::uint64_t> dist;
+    std::vector<std::uint64_t> v(n);
+    for (auto& x : v) x = dist(rng_);
+    return v;
+  }
+  std::vector<std::uint8_t> RandomMask(std::size_t n, double p_set) {
+    std::bernoulli_distribution dist(p_set);
+    std::vector<std::uint8_t> m(n);
+    // Nonzero means "set": use varied nonzero values, not just 1, to catch
+    // implementations that test for == 1 instead of != 0.
+    std::uniform_int_distribution<int> val(1, 255);
+    for (auto& x : m) x = dist(rng_) ? static_cast<std::uint8_t>(val(rng_)) : 0;
+    return m;
+  }
+};
+
+TEST_F(KernelsDiffTest, CountLessMatchesOnRandomAndTails) {
+  for (const std::size_t n : TailLengths()) {
+    auto v = RandomU32(n, 1000);
+    std::vector<std::uint32_t> bounds = {0, 1, 500, 999, 1000, 1001, kU32Max};
+    if (n > 0) bounds.push_back(v[n / 2]);
+    for (const std::uint32_t bound : bounds) {
+      ASSERT_EQ(scalar_.count_less_u32(v.data(), n, bound),
+                simd_.count_less_u32(v.data(), n, bound))
+          << "n=" << n << " bound=" << bound;
+    }
+    // Unaligned base pointers (the SIMD loads must not assume alignment).
+    for (std::size_t off = 1; off < std::min<std::size_t>(4, n); ++off) {
+      ASSERT_EQ(scalar_.count_less_u32(v.data() + off, n - off, 500),
+                simd_.count_less_u32(v.data() + off, n - off, 500))
+          << "n=" << n << " off=" << off;
+    }
+  }
+}
+
+TEST_F(KernelsDiffTest, CountLessIsLowerBoundRankOnSortedInput) {
+  // The property the figure passes rely on: on sorted data, count_less is
+  // the std::lower_bound rank, so [lo, hi) windows come from two calls.
+  auto v = RandomU32(4096, 100000);
+  std::sort(v.begin(), v.end());
+  for (const std::uint32_t bound : RandomU32(200, 110000)) {
+    const auto want = static_cast<std::size_t>(
+        std::lower_bound(v.begin(), v.end(), bound) - v.begin());
+    ASSERT_EQ(scalar_.count_less_u32(v.data(), v.size(), bound), want);
+    ASSERT_EQ(simd_.count_less_u32(v.data(), v.size(), bound), want);
+  }
+}
+
+TEST_F(KernelsDiffTest, SumMatchesIncludingWraparound) {
+  for (const std::size_t n : TailLengths()) {
+    const auto v = RandomU64(n);  // full-range values force u64 wrap-around
+    ASSERT_EQ(scalar_.sum_u64(v.data(), n), simd_.sum_u64(v.data(), n))
+        << "n=" << n;
+  }
+}
+
+TEST_F(KernelsDiffTest, MaskedSumMatchesOnAllMaskDensities) {
+  for (const std::size_t n : TailLengths()) {
+    const auto v = RandomU64(n);
+    for (const double density : {0.0, 0.03, 0.5, 0.97, 1.0}) {
+      const auto mask = RandomMask(n, density);
+      ASSERT_EQ(scalar_.masked_sum_u64(v.data(), mask.data(), n),
+                simd_.masked_sum_u64(v.data(), mask.data(), n))
+          << "n=" << n << " density=" << density;
+    }
+  }
+}
+
+TEST_F(KernelsDiffTest, MaskedRangeSumMatchesOnWindowExtremes) {
+  for (const std::size_t n : TailLengths()) {
+    const auto ts = RandomU32(n, 10000);
+    const auto bytes = RandomU64(n);
+    const auto mask = RandomMask(n, 0.7);
+    const std::uint32_t windows[][2] = {
+        {0, 0},          {0, 1},      {0, kU32Max}, {5000, 5000},
+        {2500, 7500},    {9999, 10001}, {kU32Max, kU32Max}, {10000, 0},
+    };
+    for (const auto& w : windows) {
+      ASSERT_EQ(
+          scalar_.masked_range_sum_u64(ts.data(), bytes.data(), mask.data(), n,
+                                       w[0], w[1]),
+          simd_.masked_range_sum_u64(ts.data(), bytes.data(), mask.data(), n,
+                                     w[0], w[1]))
+          << "n=" << n << " window=[" << w[0] << "," << w[1] << ")";
+    }
+  }
+}
+
+TEST_F(KernelsDiffTest, CountNonzeroMatches) {
+  for (const std::size_t n : TailLengths()) {
+    for (const double density : {0.0, 0.5, 1.0}) {
+      const auto mask = RandomMask(n, density);
+      ASSERT_EQ(scalar_.count_nonzero_u8(mask.data(), n),
+                simd_.count_nonzero_u8(mask.data(), n))
+          << "n=" << n << " density=" << density;
+    }
+  }
+}
+
+TEST_F(KernelsDiffTest, FlagMaskMatchesOnRandomIdsAndLuts) {
+  for (const std::size_t n : TailLengths()) {
+    for (const std::size_t lut_size :
+         {std::size_t{1}, std::size_t{7}, std::size_t{256}, std::size_t{5000}}) {
+      std::uniform_int_distribution<int> bit(0, 1);
+      const ByteLut lut(lut_size, [&](std::size_t) { return bit(rng_) != 0; });
+      const auto ids =
+          RandomU32(n, static_cast<std::uint32_t>(lut_size - 1));
+      std::vector<std::uint8_t> out_scalar(n, 0xAA);
+      std::vector<std::uint8_t> out_simd(n, 0x55);
+      scalar_.flag_mask_u8(ids.data(), n, lut.data(), lut.size(),
+                           out_scalar.data());
+      simd_.flag_mask_u8(ids.data(), n, lut.data(), lut.size(),
+                         out_simd.data());
+      ASSERT_EQ(out_scalar, out_simd) << "n=" << n << " lut=" << lut_size;
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(out_scalar[i], lut.data()[ids[i]] != 0 ? 1 : 0) << i;
+      }
+    }
+  }
+}
+
+TEST_F(KernelsDiffTest, DaySumsAndMarkDaysMatch) {
+  // These stay scalar in both tables (scatter writes), but the differential
+  // contract covers them anyway: a future vectorization must not change
+  // results, including the drop of out-of-range days.
+  constexpr std::uint32_t kDaySeconds = 86400;
+  for (const std::size_t n : TailLengths()) {
+    const auto ts = RandomU32(n, 40 * kDaySeconds);  // some beyond num_days
+    const auto bytes = RandomU64(n);
+    const auto mask = RandomMask(n, 0.6);
+    for (const std::uint32_t num_days : {0u, 1u, 30u}) {
+      std::vector<std::uint64_t> sums_a(num_days, 0);
+      std::vector<std::uint64_t> sums_b(num_days, 0);
+      scalar_.day_sums_u64(ts.data(), bytes.data(), n, kDaySeconds,
+                           sums_a.data(), num_days);
+      simd_.day_sums_u64(ts.data(), bytes.data(), n, kDaySeconds,
+                         sums_b.data(), num_days);
+      ASSERT_EQ(sums_a, sums_b) << "n=" << n << " days=" << num_days;
+
+      std::fill(sums_a.begin(), sums_a.end(), 0);
+      std::fill(sums_b.begin(), sums_b.end(), 0);
+      scalar_.masked_day_sums_u64(ts.data(), bytes.data(), mask.data(), n,
+                                  kDaySeconds, sums_a.data(), num_days);
+      simd_.masked_day_sums_u64(ts.data(), bytes.data(), mask.data(), n,
+                                kDaySeconds, sums_b.data(), num_days);
+      ASSERT_EQ(sums_a, sums_b) << "n=" << n << " days=" << num_days;
+
+      std::vector<std::uint8_t> days_a(num_days, 0);
+      std::vector<std::uint8_t> days_b(num_days, 0);
+      scalar_.mark_days_u8(ts.data(), n, kDaySeconds, days_a.data(), num_days);
+      simd_.mark_days_u8(ts.data(), n, kDaySeconds, days_b.data(), num_days);
+      ASSERT_EQ(days_a, days_b) << "n=" << n << " days=" << num_days;
+    }
+  }
+}
+
+// --- Golden fixtures: absolute expected values against BOTH tables ----------
+
+TEST(KernelFixtures, CountLess) {
+  const std::uint32_t v[] = {3, 1, 4, 1, 5, 9, 2, 6};
+  for (const KernelTable* t : {&Scalar(), Simd()}) {
+    if (t == nullptr) continue;
+    EXPECT_EQ(t->count_less_u32(v, 8, 0), 0u);
+    EXPECT_EQ(t->count_less_u32(v, 8, 4), 4u);   // 3,1,1,2
+    EXPECT_EQ(t->count_less_u32(v, 8, 10), 8u);
+    EXPECT_EQ(t->count_less_u32(v, 0, 4), 0u);
+    EXPECT_EQ(t->count_less_u32(nullptr, 0, 4), 0u);
+  }
+}
+
+TEST(KernelFixtures, MaskedSums) {
+  const std::uint64_t v[] = {10, 20, 30, 40};
+  const std::uint8_t mask[] = {1, 0, 255, 0};
+  const std::uint32_t ts[] = {5, 15, 25, 35};
+  for (const KernelTable* t : {&Scalar(), Simd()}) {
+    if (t == nullptr) continue;
+    EXPECT_EQ(t->sum_u64(v, 4), 100u);
+    EXPECT_EQ(t->masked_sum_u64(v, mask, 4), 40u);
+    EXPECT_EQ(t->masked_range_sum_u64(ts, v, mask, 4, 0, 26), 40u);
+    EXPECT_EQ(t->masked_range_sum_u64(ts, v, mask, 4, 10, 26), 30u);
+    EXPECT_EQ(t->masked_range_sum_u64(ts, v, mask, 4, 26, 10), 0u);
+    EXPECT_EQ(t->count_nonzero_u8(mask, 4), 2u);
+  }
+}
+
+TEST(KernelFixtures, DayScatter) {
+  const std::uint32_t ts[] = {0, 9, 10, 19, 20, 29, 1000};  // day_seconds=10
+  const std::uint64_t bytes[] = {1, 2, 4, 8, 16, 32, 64};
+  for (const KernelTable* t : {&Scalar(), Simd()}) {
+    if (t == nullptr) continue;
+    std::uint64_t sums[3] = {0, 0, 0};
+    t->day_sums_u64(ts, bytes, 7, 10, sums, 3);  // ts=1000 -> day 100, dropped
+    EXPECT_EQ(sums[0], 3u);
+    EXPECT_EQ(sums[1], 12u);
+    EXPECT_EQ(sums[2], 48u);
+    std::uint8_t days[3] = {0, 0, 0};
+    t->mark_days_u8(ts + 4, 3, 10, days, 3);  // ts 20,29 -> day 2; 1000 dropped
+    EXPECT_EQ(days[0], 0);
+    EXPECT_EQ(days[1], 0);
+    EXPECT_EQ(days[2], 1);
+  }
+}
+
+}  // namespace
+}  // namespace lockdown::query

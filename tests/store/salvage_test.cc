@@ -9,6 +9,8 @@
 // tier's main course.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -25,8 +27,11 @@ namespace {
 class SalvageTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    dir_ = new std::filesystem::path(std::filesystem::temp_directory_path() /
-                                     "lockdown_salvage_test");
+    // Per-process suite directory: gtest_discover_tests runs each TEST as
+    // its own process, and shared dirs race remove_all under parallel ctest.
+    dir_ = new std::filesystem::path(
+        std::filesystem::temp_directory_path() /
+        ("lockdown_salvage_test_" + std::to_string(::getpid())));
     std::filesystem::remove_all(*dir_);
     std::filesystem::create_directories(*dir_);
     // Smallest campus the config allows: the sweep reloads this file often.
@@ -148,19 +153,20 @@ TEST_F(SalvageTest, TruncatedFileThrows) {
 // hang, ASan report — fails the suite.
 TEST_F(SalvageTest, ByteSweepNeverCrashes) {
   const auto bytes = ReadAll(CleanPath());
-  ASSERT_GT(bytes.size(), kHeaderSize + kNumSections * kSectionDescSize);
+  const std::uint64_t structure_end =
+      kHeaderSize +
+      InspectSnapshot(CleanPath()).sections.size() * kSectionDescSize;
+  ASSERT_GT(bytes.size(), structure_end);
 
   std::vector<std::uint64_t> offsets;
   // Header + section table, exhaustively.
-  for (std::uint64_t i = 0; i < kHeaderSize + kNumSections * kSectionDescSize;
-       ++i) {
+  for (std::uint64_t i = 0; i < structure_end; ++i) {
     offsets.push_back(i);
   }
   // Payloads and trailer, strided (the per-section CRCs make every payload
   // byte equivalent to its neighbors; the structure bytes above are the
   // interesting ones).
-  for (std::uint64_t i = kHeaderSize + kNumSections * kSectionDescSize;
-       i < bytes.size(); i += 211) {
+  for (std::uint64_t i = structure_end; i < bytes.size(); i += 211) {
     offsets.push_back(i);
   }
   offsets.push_back(bytes.size() - 1);

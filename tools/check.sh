@@ -29,8 +29,16 @@
 # per-stage perf breakdown emitted by bench/perf_components through the obs
 # registry).
 #
+# The scalar tier reruns tier-1 with LOCKDOWN_NO_SIMD=1 so every figure and
+# differential test exercises the scalar kernel reference — the fallback
+# path for CPUs without AVX2 must stay exactly as green (and bit-identical)
+# as the SIMD path. The asan tier automatically covers the column-codec
+# fuzz and compressed byte-sweep tests (tests/store/codec_test.cc) since it
+# runs the full suite.
+#
 # Usage: tools/check.sh [--default-only | --asan-only | --tsan-only |
-#                        --fault-only | --stream-only | --obs-only]
+#                        --fault-only | --stream-only | --obs-only |
+#                        --scalar-only]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -51,6 +59,19 @@ run_pass() {
 
 if [[ "${mode}" == "all" || "${mode}" == "--default-only" ]]; then
   run_pass "default" build
+fi
+
+if [[ "${mode}" == "all" || "${mode}" == "--scalar-only" ]]; then
+  # Tier-1 with the SIMD kernels disabled: the dispatch test proves the env
+  # var selects the scalar table; this proves everything else stays green
+  # (and the golden/differential figure tests: bit-identical) on it.
+  echo "=== scalar: configure (build) ==="
+  cmake -B build -S . >/dev/null
+  echo "=== scalar: build ==="
+  cmake --build build -j "${jobs}"
+  echo "=== scalar: ctest (LOCKDOWN_NO_SIMD=1) ==="
+  (cd build && LOCKDOWN_NO_SIMD=1 ctest --output-on-failure -j "${jobs}")
+  echo "=== scalar: OK ==="
 fi
 
 if [[ "${mode}" == "all" || "${mode}" == "--asan-only" ]]; then

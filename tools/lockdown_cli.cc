@@ -21,9 +21,12 @@
 //       implies --streaming). Both modes report the process peak RSS.
 //
 //   lockdown_cli snapshot save --out FILE [--logs DIR] [--students N] [--seed S]
+//                              [--compress]
 //       Write an LDS snapshot of the processed dataset: simulate + process
 //       (or re-process exported logs with --logs) and persist the result.
-//       Analyses and benches then start from FILE in milliseconds.
+//       --compress stores the flows as dictionary/delta-varint coded columns
+//       (smaller file, no zero-copy load). Analyses and benches then start
+//       from FILE in milliseconds.
 //
 //   lockdown_cli snapshot info FILE
 //       Print snapshot header, provenance and section table.
@@ -69,6 +72,8 @@
 #include "core/offline.h"
 #include "core/study.h"
 #include "obs/obs.h"
+#include "snapshot_info.h"
+#include "store/format.h"
 #include "store/snapshot.h"
 #include "stream/streaming_study.h"
 #include "usage.h"
@@ -101,6 +106,7 @@ struct Options {
   double fault_rate = 0.01;
   std::string fault_kind = "mixed";
   bool streaming = false;
+  bool compress = false;  // snapshot save: columnar-coded v3 sections
   std::size_t memory_budget = stream::StreamingOptions{}.memory_budget_bytes;
   std::string metrics_out;  // --metrics-out FILE (obs metrics JSON at exit)
   std::string trace_out;    // --trace-out FILE (Chrome trace JSON at exit)
@@ -191,6 +197,8 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
       opts.trace_out = v;
     } else if (arg == "--streaming") {
       opts.streaming = true;
+    } else if (arg == "--compress") {
+      opts.compress = true;
     } else if (arg == "--memory-budget") {
       const char* v = next();
       if (!v) return false;
@@ -349,6 +357,21 @@ int RunAnalyze(const Options& opts) {
       for (const std::string& w : snap.warnings) {
         std::cerr << "salvage: " << w << "\n";
       }
+      // The day-run index (LDS v3, rebuilt on older files) makes day-windowed
+      // scans touch only their runs; surface its shape so users see what the
+      // figure queries iterate.
+      const core::Dataset& ds = snap.collection.dataset;
+      if (ds.has_day_runs()) {
+        const core::DayRunIndex& runs = ds.day_runs();
+        int active_days = 0;
+        for (int d = 0; d < runs.num_days(); ++d) {
+          active_days +=
+              runs.day_offsets[static_cast<std::size_t>(d)] !=
+              runs.day_offsets[static_cast<std::size_t>(d) + 1];
+        }
+        std::cout << "day index: " << runs.num_runs() << " device-day runs over "
+                  << active_days << " active days\n";
+      }
       PrintHeadline(snap.collection, opts.threads);
       return kExitOk;
     } catch (const store::Error& e) {
@@ -450,8 +473,11 @@ int RunSnapshotSave(const Options& opts) {
     meta.seed = opts.seed;
   }
   const auto t0 = std::chrono::steady_clock::now();
-  store::SaveSnapshot(opts.out, collection, meta);
-  std::cout << "wrote " << opts.out << "  ("
+  store::SaveSnapshot(opts.out, collection, meta,
+                      {.format_version = store::kFormatVersion,
+                       .compress = opts.compress});
+  std::cout << "wrote " << opts.out << (opts.compress ? " (compressed)" : "")
+            << "  ("
             << std::filesystem::file_size(opts.out) / 1024 << " KiB, "
             << collection.dataset.num_flows() << " flows, "
             << collection.dataset.num_devices() << " devices, "
@@ -465,29 +491,9 @@ int RunSnapshotInfo(const Options& opts) {
     return kExitUsage;
   }
   const store::SnapshotInfo info = store::InspectSnapshot(opts.file);
-  util::TablePrinter header({"field", "value"});
-  header.AddRow({"format version", std::to_string(info.version)});
-  header.AddRow({"file size", std::to_string(info.file_size) + " bytes"});
-  header.AddRow({"flows", std::to_string(info.num_flows)});
-  header.AddRow({"devices", std::to_string(info.num_devices)});
-  header.AddRow({"interned domains", std::to_string(info.num_domains)});
-  header.AddRow({"flow stride", std::to_string(info.flow_stride) + " bytes"});
-  header.AddRow({"students (provenance)",
-                 info.meta.num_students == 0
-                     ? std::string("unknown")
-                     : std::to_string(info.meta.num_students)});
-  header.AddRow({"seed (provenance)", info.meta.num_students == 0
-                                          ? std::string("unknown")
-                                          : std::to_string(info.meta.seed)});
-  header.Print(std::cout);
+  cli::RenderSnapshotHeader(info, std::cout);
   std::cout << "\n";
-  util::TablePrinter sections({"section", "offset", "size", "crc32c"});
-  for (const store::SectionInfo& s : info.sections) {
-    char crc[16];
-    std::snprintf(crc, sizeof(crc), "%08x", s.crc32c);
-    sections.AddRow({s.name, std::to_string(s.offset), std::to_string(s.size), crc});
-  }
-  sections.Print(std::cout);
+  cli::RenderSectionTable(info, std::cout);
   return 0;
 }
 

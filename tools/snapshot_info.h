@@ -1,0 +1,58 @@
+// Render helpers for `lockdown_cli snapshot info`, split out of the CLI so
+// the output shape is unit-testable (tests/tools/snapshot_info_test.cc).
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+#include "store/snapshot.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace lockdown::cli {
+
+/// The header/provenance table of `snapshot info`.
+inline void RenderSnapshotHeader(const store::SnapshotInfo& info,
+                                 std::ostream& out) {
+  util::TablePrinter header({"field", "value"});
+  header.AddRow({"format version", std::to_string(info.version)});
+  header.AddRow({"file size", std::to_string(info.file_size) + " bytes"});
+  header.AddRow({"flows", std::to_string(info.num_flows)});
+  header.AddRow({"devices", std::to_string(info.num_devices)});
+  header.AddRow({"interned domains", std::to_string(info.num_domains)});
+  header.AddRow({"flow stride", std::to_string(info.flow_stride) + " bytes"});
+  header.AddRow({"students (provenance)",
+                 info.meta.num_students == 0
+                     ? std::string("unknown")
+                     : std::to_string(info.meta.num_students)});
+  header.AddRow({"seed (provenance)", info.meta.num_students == 0
+                                          ? std::string("unknown")
+                                          : std::to_string(info.meta.seed)});
+  header.Print(out);
+}
+
+/// The per-section table: one row per section with the codec, the stored
+/// (on-disk) and raw (decoded) byte counts, and the stored/raw compression
+/// ratio ("1.00" for raw sections, "-" when the raw size is unknown).
+inline void RenderSectionTable(const store::SnapshotInfo& info,
+                               std::ostream& out) {
+  util::TablePrinter sections(
+      {"section", "codec", "offset", "stored", "raw", "ratio", "crc32c"});
+  for (const store::SectionInfo& s : info.sections) {
+    char crc[16];
+    std::snprintf(crc, sizeof(crc), "%08x", s.crc32c);
+    const std::string ratio =
+        s.raw_size == 0
+            ? std::string("-")
+            : util::FormatDouble(static_cast<double>(s.size) /
+                                     static_cast<double>(s.raw_size),
+                                 2);
+    sections.AddRow({s.name, s.codec_name, std::to_string(s.offset),
+                     std::to_string(s.size), std::to_string(s.raw_size), ratio,
+                     crc});
+  }
+  sections.Print(out);
+}
+
+}  // namespace lockdown::cli

@@ -32,9 +32,13 @@ commands:
       the engine's analysis state (binary suffixes accepted: 64M, 2G;
       default 32M, implies --streaming).
   snapshot save --out FILE [--logs DIR] [--students N] [--seed S] [--threads T]
-      Persist the processed dataset as an LDS snapshot.
+                [--compress]
+      Persist the processed dataset as an LDS snapshot. --compress stores
+      the flows as dictionary/delta-varint coded columns (smaller file, no
+      zero-copy load).
   snapshot info FILE
-      Print snapshot header, provenance and section table.
+      Print snapshot header, provenance and per-section table (codec,
+      stored vs raw bytes, compression ratio).
   snapshot verify FILE
       Full integrity check; exits non-zero on any corruption.
   fault --logs DIR --out DIR [--seed S] [--rate R] [--kind K]
@@ -45,6 +49,8 @@ commands:
       Dump the synthetic service catalog.
 
 flags:
+  --compress            snapshot save: columnar-coded sections instead of the
+                        raw flow array (smaller file, no zero-copy load)
   --out DIR|FILE        output directory (simulate, fault) or file (snapshot save)
   --logs DIR            input directory holding the collection logs
   --students N          simulated student count (default 400)
@@ -74,12 +80,13 @@ exit codes:
 )";
 
 /// Every public flag, for the help-drift test. Keep sorted.
-inline constexpr std::array<std::string_view, 15> kPublicFlags = {
-    "--help",          "--ingest-mode", "--kind",
-    "--logs",          "--max-error-rate", "--memory-budget",
-    "--metrics-out",   "--out",         "--quarantine-dir",
-    "--rate",          "--seed",        "--streaming",
-    "--students",      "--threads",     "--trace-out",
+inline constexpr std::array<std::string_view, 16> kPublicFlags = {
+    "--compress",      "--help",        "--ingest-mode",
+    "--kind",          "--logs",        "--max-error-rate",
+    "--memory-budget", "--metrics-out", "--out",
+    "--quarantine-dir", "--rate",       "--seed",
+    "--streaming",     "--students",    "--threads",
+    "--trace-out",
 };
 
 /// The exit codes kUsageText must document, matching lockdown_cli.cc.
