@@ -7,10 +7,12 @@
 #include <cstdio>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lockdown::obs {
 namespace {
@@ -72,7 +74,7 @@ class Registry {
   }
 
   Counter& GetCounter(std::string_view name, std::string_view unit) {
-    std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     auto it = counter_ids_.find(std::string(name));
     if (it != counter_ids_.end()) return counters_[it->second].handle;
     const auto id = static_cast<std::uint32_t>(counters_.size());
@@ -86,7 +88,7 @@ class Registry {
   }
 
   Gauge& GetGauge(std::string_view name, std::string_view unit) {
-    std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     auto it = gauge_ids_.find(std::string(name));
     if (it != gauge_ids_.end()) return gauges_[it->second].handle;
     const auto id = static_cast<std::uint32_t>(gauges_.size());
@@ -102,7 +104,7 @@ class Registry {
 
   Histogram& GetHistogram(std::string_view name, Buckets kind,
                           std::string_view unit) {
-    std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     auto it = hist_ids_.find(std::string(name));
     if (it != hist_ids_.end()) return hists_[it->second].handle;
     const auto id = static_cast<std::uint32_t>(hists_.size());
@@ -137,7 +139,7 @@ class Registry {
     if (shard == nullptr) {
       auto owned = std::make_unique<Shard>();  // atomics value-initialize to 0
       Shard* raw = owned.get();
-      std::lock_guard<std::mutex> lock(mu_);
+      const util::MutexLock lock(mu_);
       shards_.push_back(std::move(owned));
       shard = raw;
     }
@@ -151,7 +153,7 @@ class Registry {
   }
 
   MetricsSnapshot Snapshot() {
-    std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     MetricsSnapshot snap;
     snap.counters.reserve(counters_.size());
     for (std::size_t i = 0; i < counters_.size(); ++i) {
@@ -189,7 +191,7 @@ class Registry {
   }
 
   void Reset() noexcept {
-    std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     for (auto& shard : shards_) {
       for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
       for (auto& h : shard->hists) {
@@ -220,17 +222,20 @@ class Registry {
 
   Registry() = default;
 
-  std::mutex mu_;
+  util::Mutex mu_;
   // Deques: stable element addresses, so returned handle references and the
   // lock-free gauge store stay valid across registrations.
-  std::deque<CounterInfo> counters_;
-  std::deque<GaugeInfo> gauges_;
+  std::deque<CounterInfo> counters_ GUARDED_BY(mu_);
+  std::deque<GaugeInfo> gauges_ GUARDED_BY(mu_);
+  // NOT guarded: elements are relaxed atomics written lock-free by
+  // Gauge::Set; only the deque's *shape* (emplace_back in GetGauge) is
+  // protected by mu_, and a handle's id never races its own registration.
   std::deque<std::atomic<double>> gauge_values_;
-  std::deque<HistogramInfo> hists_;
-  std::unordered_map<std::string, std::uint32_t> counter_ids_;
-  std::unordered_map<std::string, std::uint32_t> gauge_ids_;
-  std::unordered_map<std::string, std::uint32_t> hist_ids_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  std::deque<HistogramInfo> hists_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::uint32_t> counter_ids_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::uint32_t> gauge_ids_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::uint32_t> hist_ids_ GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Shard>> shards_ GUARDED_BY(mu_);
 };
 
 bool MetricsEnabled() noexcept {

@@ -3,15 +3,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <mutex>
+#include <mutex>  // std::once_flag / std::call_once only
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lockdown::obs {
 namespace {
 
 struct OutputConfig {
-  std::mutex mu;
-  std::string metrics_path;
-  std::string trace_path;
+  util::Mutex mu;
+  std::string metrics_path GUARDED_BY(mu);
+  std::string trace_path GUARDED_BY(mu);
   std::once_flag exit_hook;
   std::once_flag env_once;
 };
@@ -29,7 +32,7 @@ void RegisterExitHook() {
 
 void EnableMetricsOutput(std::string_view path) {
   {
-    std::lock_guard<std::mutex> lock(Config().mu);
+    const util::MutexLock lock(Config().mu);
     Config().metrics_path = std::string(path);
   }
   SetMetricsEnabled(true);
@@ -38,7 +41,7 @@ void EnableMetricsOutput(std::string_view path) {
 
 void EnableTraceOutput(std::string_view path) {
   {
-    std::lock_guard<std::mutex> lock(Config().mu);
+    const util::MutexLock lock(Config().mu);
     Config().trace_path = std::string(path);
   }
   SetTracingEnabled(true);
@@ -59,12 +62,12 @@ void ConfigureFromEnv() {
 }
 
 std::string MetricsOutputPath() {
-  std::lock_guard<std::mutex> lock(Config().mu);
+  const util::MutexLock lock(Config().mu);
   return Config().metrics_path;
 }
 
 std::string TraceOutputPath() {
-  std::lock_guard<std::mutex> lock(Config().mu);
+  const util::MutexLock lock(Config().mu);
   return Config().trace_path;
 }
 
@@ -72,7 +75,7 @@ void FlushOutputs() noexcept {
   std::string metrics_path;
   std::string trace_path;
   {
-    std::lock_guard<std::mutex> lock(Config().mu);
+    const util::MutexLock lock(Config().mu);
     metrics_path = Config().metrics_path;
     trace_path = Config().trace_path;
   }

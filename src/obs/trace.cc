@@ -4,11 +4,12 @@
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
-#include <mutex>
 #include <ostream>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lockdown::obs {
 namespace {
@@ -28,11 +29,11 @@ struct TraceEvent {
 };
 
 struct TraceBuffer {
-  std::mutex mu;
-  std::vector<TraceEvent> events;
-  std::uint64_t dropped = 0;
-  std::int64_t epoch_ns = 0;  // set on first recorded span
-  std::uint32_t next_tid = 1;
+  util::Mutex mu;
+  std::vector<TraceEvent> events GUARDED_BY(mu);
+  std::uint64_t dropped GUARDED_BY(mu) = 0;
+  std::int64_t epoch_ns GUARDED_BY(mu) = 0;  // set on first recorded span
+  std::uint32_t next_tid GUARDED_BY(mu) = 1;
 };
 
 TraceBuffer& Buffer() {
@@ -52,7 +53,7 @@ std::uint32_t LocalTid() {
   thread_local std::uint32_t tid = 0;
   if (tid == 0) {
     TraceBuffer& buf = Buffer();
-    std::lock_guard<std::mutex> lock(buf.mu);
+    const util::MutexLock lock(buf.mu);
     tid = buf.next_tid++;
   }
   return tid;
@@ -92,7 +93,7 @@ ScopedSpan::~ScopedSpan() {
   if (!TracingEnabled()) return;
   TraceBuffer& buf = Buffer();
   const std::uint32_t tid = LocalTid();
-  std::lock_guard<std::mutex> lock(buf.mu);
+  const util::MutexLock lock(buf.mu);
   if (buf.events.size() >= kMaxTraceEvents) {
     ++buf.dropped;
     return;
@@ -109,19 +110,19 @@ ScopedSpan::~ScopedSpan() {
 
 std::size_t TraceEventCount() noexcept {
   TraceBuffer& buf = Buffer();
-  std::lock_guard<std::mutex> lock(buf.mu);
+  const util::MutexLock lock(buf.mu);
   return buf.events.size();
 }
 
 std::uint64_t TraceDroppedCount() noexcept {
   TraceBuffer& buf = Buffer();
-  std::lock_guard<std::mutex> lock(buf.mu);
+  const util::MutexLock lock(buf.mu);
   return buf.dropped;
 }
 
 void WriteChromeTrace(std::ostream& out) {
   TraceBuffer& buf = Buffer();
-  std::lock_guard<std::mutex> lock(buf.mu);
+  const util::MutexLock lock(buf.mu);
   std::string doc;
   doc += "{\"traceEvents\": [\n";
   std::uint32_t max_tid = 0;
@@ -157,7 +158,7 @@ void WriteChromeTrace(std::ostream& out) {
 
 void ResetTrace() noexcept {
   TraceBuffer& buf = Buffer();
-  std::lock_guard<std::mutex> lock(buf.mu);
+  const util::MutexLock lock(buf.mu);
   buf.events.clear();
   buf.dropped = 0;
   buf.epoch_ns = 0;

@@ -476,7 +476,7 @@ void StreamingStudy::FlushDevice(DeviceIndex dev, const DeviceScratch& s) {
   constexpr auto kH =
       static_cast<std::size_t>(analysis::HourOfWeekSeries::kHours);
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
 
   for (const auto& [day, bytes] : s.day_bytes) {
     fig1_hll_[Fig1Index(day, rc)].Add(dkey);

@@ -45,7 +45,6 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "analysis/stats.h"
@@ -57,6 +56,8 @@
 #include "sketch/reservoir.h"
 #include "sketch/windowed.h"
 #include "stream/budget.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace lockdown::stream {
@@ -171,7 +172,12 @@ class StreamingStudy {
   core::StudyContext ctx_;
   MemoryPlan plan_;
 
-  std::mutex mutex_;  ///< guards every global sketch during the pass
+  /// Guards every global sketch below during RunPass (FlushDevice drains a
+  /// device's scratch under it). The sketch fields themselves carry no
+  /// GUARDED_BY: after the pass the engine is immutable and every figure
+  /// query reads them lock-free from the construction thread — a phase
+  /// discipline the static analysis cannot express (DESIGN.md §11).
+  util::Mutex mutex_;
 
   // Figure 1 + distinct sites.
   std::vector<sketch::HyperLogLog> fig1_hll_;        // 121 x 4

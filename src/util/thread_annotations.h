@@ -1,0 +1,53 @@
+// Clang Thread Safety Analysis attribute macros (DESIGN.md §11).
+//
+// These expand to clang's `capability`-family attributes when the compiler
+// supports them and to nothing everywhere else, so the same headers compile
+// under GCC (this repo's default toolchain) and get full static lock-checking
+// under `clang++ -Wthread-safety -Werror` (the `lint` tier in
+// tools/check.sh). The vocabulary follows the clang documentation and the
+// abseil mutex annotations:
+//
+//   CAPABILITY("mutex")   on a lock class: instances are capabilities.
+//   SCOPED_CAPABILITY     on an RAII guard class.
+//   GUARDED_BY(mu)        on data members: reads/writes require mu held.
+//   PT_GUARDED_BY(mu)     on pointer members: the pointee requires mu.
+//   REQUIRES(mu)          on functions: caller must hold mu.
+//   ACQUIRE(mu)/RELEASE(mu) on functions that take/drop mu themselves.
+//   EXCLUDES(mu)          on functions that must NOT be called with mu held.
+//   ACQUIRED_BEFORE/AFTER declared lock ordering (deadlock detection).
+//   NO_THREAD_SAFETY_ANALYSIS  opt a function out (document why at the site).
+//
+// Never write `__attribute__((guarded_by(...)))` directly — always go
+// through these macros so non-clang builds stay clean.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define LOCKDOWN_TSA_HAS(x) __has_attribute(x)
+#else
+#define LOCKDOWN_TSA_HAS(x) 0
+#endif
+
+#if LOCKDOWN_TSA_HAS(capability)
+#define LOCKDOWN_TSA(x) __attribute__((x))
+#else
+#define LOCKDOWN_TSA(x)  // no-op outside clang
+#endif
+
+#define CAPABILITY(x) LOCKDOWN_TSA(capability(x))
+#define SCOPED_CAPABILITY LOCKDOWN_TSA(scoped_lockable)
+#define GUARDED_BY(x) LOCKDOWN_TSA(guarded_by(x))
+#define PT_GUARDED_BY(x) LOCKDOWN_TSA(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) LOCKDOWN_TSA(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) LOCKDOWN_TSA(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) LOCKDOWN_TSA(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) LOCKDOWN_TSA(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) LOCKDOWN_TSA(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) LOCKDOWN_TSA(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) LOCKDOWN_TSA(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) LOCKDOWN_TSA(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) LOCKDOWN_TSA(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) LOCKDOWN_TSA(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) LOCKDOWN_TSA(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) LOCKDOWN_TSA(assert_capability(x))
+#define RETURN_CAPABILITY(x) LOCKDOWN_TSA(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS LOCKDOWN_TSA(no_thread_safety_analysis)

@@ -78,9 +78,11 @@ struct ThreadPool::Job {
   std::size_t num_chunks = 0;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> finished{0};
-  int attached = 0;  // workers currently holding this job; guarded by mutex_
-  std::mutex error_mutex;
-  std::exception_ptr error;
+  int attached = 0;  // workers currently holding this job; guarded by the
+                     // owning pool's mutex_ (not expressible in GUARDED_BY:
+                     // Job is not a member of ThreadPool)
+  Mutex error_mutex;
+  std::exception_ptr error GUARDED_BY(error_mutex);
   // Lane accounting, populated only when obs_on. Each lane writes its own
   // slot; the caller reads after the done_ handshake, so no atomics needed.
   bool obs_on = false;
@@ -99,10 +101,10 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -118,7 +120,7 @@ void ThreadPool::RunChunks(Job& job, int lane) {
     try {
       (*job.fn)(chunk, begin, end);
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(job.error_mutex);
+      const MutexLock lock(job.error_mutex);
       if (!job.error) job.error = std::current_exception();
     }
     if (job.obs_on) {
@@ -138,8 +140,9 @@ void ThreadPool::WorkerLoop(int lane) {
   for (;;) {
     Job* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] { return stop_ || (job_ != nullptr && generation_ != seen); });
+      const MutexLock lock(mutex_);
+      wake_.Wait(mutex_,
+                 [&] { return stop_ || (job_ != nullptr && generation_ != seen); });
       if (stop_) return;
       seen = generation_;
       job = job_;
@@ -147,12 +150,12 @@ void ThreadPool::WorkerLoop(int lane) {
     }
     RunChunks(*job, lane);
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       --job->attached;
     }
     // The caller sleeps until every chunk is finished AND every attached
     // worker has let go of the job (it lives on the caller's stack).
-    done_.notify_one();
+    done_.NotifyOne();
   }
 }
 
@@ -192,15 +195,15 @@ void ThreadPool::ParallelFor(
   }
 
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     job_ = &job;
     ++generation_;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   RunChunks(job, /*lane=*/0);  // the caller is a lane too
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [&] {
+    const MutexLock lock(mutex_);
+    done_.Wait(mutex_, [&] {
       return job.attached == 0 &&
              job.finished.load(std::memory_order_acquire) == job.num_chunks;
     });
@@ -209,7 +212,14 @@ void ThreadPool::ParallelFor(
   if (job.obs_on) {
     RecordJobStats(job.busy_ns, job.lane_chunks, job.num_chunks);
   }
-  if (job.error) std::rethrow_exception(job.error);
+  // All workers detached: the caller owns job.error again, no lock needed —
+  // but take it anyway so the annotated contract has no analysis hole.
+  std::exception_ptr error;
+  {
+    const MutexLock lock(job.error_mutex);
+    error = job.error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace lockdown::util

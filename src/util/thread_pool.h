@@ -12,12 +12,13 @@
 // the whole pipeline to exactly this property.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace lockdown::util {
 
@@ -69,12 +70,13 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   // Job hand-off; mutable so ParallelFor can be const (a pool held by a
   // const study object is still usable — synchronization is internal).
-  mutable std::mutex mutex_;
-  mutable std::condition_variable wake_;
-  mutable std::condition_variable done_;
-  mutable Job* job_ = nullptr;  // non-null while a ParallelFor is in flight
-  mutable std::uint64_t generation_ = 0;
-  bool stop_ = false;
+  mutable Mutex mutex_;
+  mutable CondVar wake_;
+  mutable CondVar done_;
+  // Non-null while a ParallelFor is in flight.
+  mutable Job* job_ GUARDED_BY(mutex_) = nullptr;
+  mutable std::uint64_t generation_ GUARDED_BY(mutex_) = 0;
+  bool stop_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace lockdown::util

@@ -40,8 +40,8 @@ INSTANTIATE_TEST_SUITE_P(
         BorderCase{"mid-pacific", {35.0, -160.0}, false},
         BorderCase{"mid-atlantic", {35.0, -50.0}, false},
         BorderCase{"null-island", {0.0, 0.0}, false}),
-    [](const ::testing::TestParamInfo<BorderCase>& info) {
-      std::string name = info.param.name;
+    [](const ::testing::TestParamInfo<BorderCase>& param_info) {
+      std::string name = param_info.param.name;
       for (char& ch : name) {
         if (ch == '-') ch = '_';
       }
