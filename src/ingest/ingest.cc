@@ -1,7 +1,6 @@
 #include "ingest/ingest.h"
 
 #include <cerrno>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -31,7 +30,7 @@ const char* ToString(ErrorClass error) noexcept {
 }
 
 IoError::IoError(const std::filesystem::path& path, const char* op, int err)
-    : std::runtime_error(path.string() + ": " + op + ": " + std::strerror(err)) {}
+    : std::runtime_error(path.string() + ": " + op + ": " + util::ErrnoString(err)) {}
 
 void IngestReport::Merge(const IngestReport& other, std::size_t max_samples) {
   if (source.empty()) {

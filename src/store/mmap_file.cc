@@ -6,16 +6,16 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 
 #include "store/snapshot.h"
+#include "util/strings.h"
 
 namespace lockdown::store {
 
 namespace {
 
 [[noreturn]] void ThrowErrno(const std::filesystem::path& path, const char* op) {
-  throw Error(path.string() + ": " + op + ": " + std::strerror(errno));
+  throw Error(path.string() + ": " + op + ": " + util::ErrnoString(errno));
 }
 
 }  // namespace

@@ -5,7 +5,6 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
-#include <cstring>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
@@ -17,6 +16,7 @@
 #include "store/format.h"
 #include "store/snapshot.h"
 #include "util/crc32c.h"
+#include "util/strings.h"
 
 namespace lockdown::store {
 
@@ -66,7 +66,7 @@ class CrcTimer {
 };
 
 [[noreturn]] void ThrowErrno(const std::filesystem::path& path, const char* op) {
-  throw Error(path.string() + ": " + op + ": " + std::strerror(errno));
+  throw Error(path.string() + ": " + op + ": " + util::ErrnoString(errno));
 }
 
 void EncodeFlow(detail::Encoder& enc, const core::Flow& f) {

@@ -1,5 +1,7 @@
 #include "util/strings.h"
 
+#include <string.h>  // strerror_r (POSIX; <cstring> need not declare it)
+
 #include <cctype>
 #include <cstdio>
 
@@ -65,6 +67,26 @@ std::string_view LastLabels(std::string_view host, int labels) noexcept {
     }
   }
   return host;
+}
+
+namespace {
+
+// strerror_r differs by libc: XSI returns int (0 = success, message in buf),
+// GNU returns char* (may point into buf or at a static immutable string).
+// Overloading on the actual return type picks the right reading at compile
+// time without feature-test macro guesswork.
+[[maybe_unused]] const char* ResolveStrerror(int rc, const char* buf) {
+  return rc == 0 ? buf : "Unknown error";
+}
+[[maybe_unused]] const char* ResolveStrerror(const char* ret, const char*) {
+  return ret;
+}
+
+}  // namespace
+
+std::string ErrnoString(int err) {
+  char buf[256] = {};
+  return ResolveStrerror(strerror_r(err, buf, sizeof buf), buf);
 }
 
 std::string FormatBytes(double bytes) {

@@ -33,6 +33,11 @@ namespace lockdown::util {
 /// has fewer labels.
 [[nodiscard]] std::string_view LastLabels(std::string_view host, int labels) noexcept;
 
+/// Thread-safe strerror: formats an errno value via strerror_r. std::strerror
+/// shares a static buffer, and I/O errors here can surface from ParallelFor
+/// worker threads (concurrency-mt-unsafe).
+[[nodiscard]] std::string ErrnoString(int err);
+
 /// Human-readable byte count ("1.5 GB").
 [[nodiscard]] std::string FormatBytes(double bytes);
 

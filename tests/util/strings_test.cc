@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cerrno>
+#include <thread>
+#include <vector>
+
 namespace lockdown::util {
 namespace {
 
@@ -82,6 +87,42 @@ TEST(FormatBytes, Units) {
 TEST(FormatDouble, Precision) {
   EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
   EXPECT_EQ(FormatDouble(10.0, 0), "10");
+}
+
+TEST(ErrnoString, KnownErrnosAreNonEmptyAndDistinct) {
+  const std::string enoent = ErrnoString(ENOENT);
+  const std::string eacces = ErrnoString(EACCES);
+  EXPECT_FALSE(enoent.empty());
+  EXPECT_FALSE(eacces.empty());
+  EXPECT_NE(enoent, eacces);
+}
+
+// std::strerror shares one static buffer, so concurrent formatting from
+// ParallelFor worker threads (where IoError / store::Error messages are
+// built) could interleave messages. ErrnoString must return each thread its
+// own errno's text regardless of what the other threads are formatting.
+TEST(ErrnoString, ConcurrentCallsDoNotInterleave) {
+  static constexpr int kErrnos[] = {ENOENT, EACCES, EINVAL, ENOMEM};
+  std::array<std::string, std::size(kErrnos)> expected;
+  for (std::size_t i = 0; i < std::size(kErrnos); ++i) {
+    expected[i] = ErrnoString(kErrnos[i]);
+  }
+  std::array<int, std::size(kErrnos)> mismatches{};
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(std::size(kErrnos));
+    for (std::size_t i = 0; i < std::size(kErrnos); ++i) {
+      threads.emplace_back([i, &expected, &mismatches] {
+        for (int round = 0; round < 1000; ++round) {
+          if (ErrnoString(kErrnos[i]) != expected[i]) ++mismatches[i];
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  for (std::size_t i = 0; i < std::size(kErrnos); ++i) {
+    EXPECT_EQ(mismatches[i], 0) << "errno " << kErrnos[i];
+  }
 }
 
 }  // namespace
