@@ -1,5 +1,13 @@
 #include "core/study.h"
 
+// This TU is the figure boundary of DESIGN §5: every ParallelFor here fills
+// per-day / per-device slots with floating-point statistics (means, medians,
+// hour spreads) computed from the integer accumulators upstream. Per-slot FP
+// with a single writer per slot is deterministic, so the integer-only rule
+// does not apply — it keeps protecting src/stream and src/query, where
+// accumulation crosses flows and must stay integral.
+// lockdown-lint: disable-file(LD001)
+
 #include "obs/obs.h"
 
 #include <algorithm>

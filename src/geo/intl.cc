@@ -22,6 +22,9 @@ void InternationalClassifier::Observe(privacy::DeviceId device,
 }
 
 void InternationalClassifier::Merge(const InternationalClassifier& other) {
+  // Keyed merge: each device appears once per shard, so visiting shard
+  // entries in hash order never reorders any single device's accumulation.
+  // lockdown-lint: allow(LD002)
   for (const auto& [device, acc] : other.acc_) {
     const auto [it, inserted] = acc_.try_emplace(device, acc);
     if (!inserted) it->second.Merge(acc);

@@ -139,6 +139,7 @@ detail::Encoder EncodeDevices(const core::Dataset& ds, PoolBuilder& pool) {
     // Sorted by pool ref so identical datasets serialize identically no
     // matter what order the unordered_map happens to iterate in.
     by_domain.clear();
+    // lockdown-lint: allow(LD002) collected then sorted before encoding
     for (const auto& [domain, bytes] : obs.bytes_by_domain) {
       by_domain.emplace_back(pool.Ref(domain), bytes);
     }

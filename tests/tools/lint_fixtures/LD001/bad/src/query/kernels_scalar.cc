@@ -1,0 +1,5 @@
+namespace fx {
+
+float ScaleBy(float v) { return v * 2.0f; }
+
+}  // namespace fx

@@ -1,0 +1,19 @@
+#include <cstddef>
+
+namespace fx {
+
+// double in the signature is outside the lambda body: not a violation.
+void Fill(Pool& pool, double* out, unsigned long long* sums) {
+  pool.ParallelFor(8, 1, [&](std::size_t c, std::size_t b, std::size_t e) {
+    unsigned long long sum = 0;
+    for (std::size_t i = b; i < e; ++i) sum += i;
+    sums[c] = sum;
+  });
+  pool.ParallelFor(8, 1, [&](std::size_t c, std::size_t, std::size_t) {
+    // Reviewed figure-boundary statistic: one writer per slot.
+    const double mean = Finalize(sums[c]);  // lockdown-lint: allow(LD001)
+    out[c] = mean;
+  });
+}
+
+}  // namespace fx

@@ -1,0 +1,12 @@
+#include <cstdint>
+
+namespace fx {
+
+// Integer-only kernel: a comment mentioning double is fine.
+std::uint64_t SumU64(const std::uint64_t* v, std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += v[i];
+  return acc;
+}
+
+}  // namespace fx

@@ -1,0 +1,15 @@
+#include <unordered_map>
+
+namespace fx {
+
+struct Shard {
+  std::unordered_map<int, long> counts;
+};
+
+void MergeShards(Shard& dst, const Shard& src) {
+  for (const auto& kv : src.counts) {
+    dst.counts[kv.first] += kv.second;
+  }
+}
+
+}  // namespace fx

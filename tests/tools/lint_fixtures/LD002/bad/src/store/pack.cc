@@ -1,0 +1,12 @@
+#include <unordered_set>
+
+namespace fx {
+
+std::unordered_set<unsigned> live;
+
+void Emit(int* out) {
+  int i = 0;
+  for (const unsigned v : live) out[i++] = static_cast<int>(v);
+}
+
+}  // namespace fx

@@ -1,0 +1,31 @@
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace fx {
+
+struct Shard {
+  std::unordered_map<int, long> counts;
+};
+
+void MergeShards(Shard& dst, const Shard& src) {
+  std::vector<std::pair<int, long>> sorted(src.counts.begin(),
+                                           src.counts.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& kv : sorted) dst.counts[kv.first] += kv.second;
+}
+
+// Not a merge/serialization path: unordered iteration is allowed here.
+long Total(const Shard& s) {
+  long total = 0;
+  for (const auto& kv : s.counts) total += kv.second;
+  return total;
+}
+
+void MergeDirect(Shard& dst, const Shard& src) {
+  // lockdown-lint: allow(LD002) keyed union, order-independent
+  for (const auto& kv : src.counts) dst.counts[kv.first] += kv.second;
+}
+
+}  // namespace fx

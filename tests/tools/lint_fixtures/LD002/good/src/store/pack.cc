@@ -1,0 +1,16 @@
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+namespace fx {
+
+std::unordered_set<unsigned> live;
+
+void Emit(int* out) {
+  std::vector<unsigned> sorted(live.begin(), live.end());
+  std::sort(sorted.begin(), sorted.end());
+  int i = 0;
+  for (const unsigned v : sorted) out[i++] = static_cast<int>(v);
+}
+
+}  // namespace fx

@@ -1,0 +1,13 @@
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fx {
+
+unsigned Mix() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));
+  std::random_device rd;
+  return static_cast<unsigned>(std::rand()) ^ rd();
+}
+
+}  // namespace fx

@@ -1,0 +1,12 @@
+#include <cstdlib>
+#include <ctime>
+
+namespace fx {
+
+// The sanctioned randomness source: exempt from LD003 by path.
+unsigned SeedFromEnvironment() {
+  return static_cast<unsigned>(std::time(nullptr)) ^
+         static_cast<unsigned>(std::rand());
+}
+
+}  // namespace fx

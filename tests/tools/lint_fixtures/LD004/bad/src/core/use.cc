@@ -1,0 +1,10 @@
+#include "obs/trace.h"
+
+namespace fx {
+
+void Run() {
+  OBS_SPAN("core/pass");
+  OBS_SPAN("core/typo");
+}
+
+}  // namespace fx

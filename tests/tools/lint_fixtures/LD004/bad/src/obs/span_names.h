@@ -1,0 +1,10 @@
+#pragma once
+
+namespace fx {
+
+inline const char* kRegisteredSpanNames[] = {
+    "core/pass",
+    "core/dead",
+};
+
+}  // namespace fx

@@ -1,0 +1,7 @@
+#include "obs/trace.h"
+
+namespace fx {
+
+void Run() { OBS_SPAN("core/pass"); }
+
+}  // namespace fx

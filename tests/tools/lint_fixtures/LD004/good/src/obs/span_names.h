@@ -1,0 +1,9 @@
+#pragma once
+
+namespace fx {
+
+inline const char* kRegisteredSpanNames[] = {
+    "core/pass",
+};
+
+}  // namespace fx

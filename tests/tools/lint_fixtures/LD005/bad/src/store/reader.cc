@@ -1,0 +1,7 @@
+#include "store/format.h"
+
+namespace fx {
+
+bool Accept(SectionKind k) { return k == SectionKind::kMeta; }
+
+}  // namespace fx

@@ -1,0 +1,10 @@
+#include "store/format.h"
+
+namespace fx {
+
+void WriteAll(Out& out) {
+  out.sections.push_back(Section{SectionKind::kMeta});
+  out.sections.push_back(Section{SectionKind::kGhost});
+}
+
+}  // namespace fx

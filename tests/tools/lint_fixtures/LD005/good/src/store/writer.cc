@@ -1,0 +1,11 @@
+#include "store/format.h"
+
+namespace fx {
+
+void WriteAll(Out& out) {
+  Section s{SectionKind::kMeta};
+  s.crc = CrcOf(s.body);
+  out.sections.push_back(s);
+}
+
+}  // namespace fx

@@ -1,0 +1,14 @@
+#pragma once
+
+namespace fx {
+
+inline const char* kPublicFlags[] = {
+    "--out",
+    "--threads",
+};
+
+inline const char* kUsageText = R"(usage: tool [options]
+  --out PATH   write output
+)";
+
+}  // namespace fx

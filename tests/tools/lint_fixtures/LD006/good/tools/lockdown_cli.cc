@@ -1,0 +1,11 @@
+#include <string_view>
+
+namespace fx {
+
+int Parse(std::string_view arg) {
+  if (arg == "--out") return 1;
+  if (arg == "--seed") return 2;
+  return 0;
+}
+
+}  // namespace fx

@@ -1,0 +1,15 @@
+#pragma once
+
+namespace fx {
+
+inline const char* kPublicFlags[] = {
+    "--out",
+    "--seed",
+};
+
+inline const char* kUsageText = R"(usage: tool [options]
+  --out PATH   write output
+  --seed N     deterministic seed
+)";
+
+}  // namespace fx

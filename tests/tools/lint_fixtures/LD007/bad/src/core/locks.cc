@@ -1,0 +1,12 @@
+#include <mutex>
+
+namespace fx {
+
+std::mutex g_mu;
+
+void Touch(int* v) {
+  const std::lock_guard<std::mutex> lock(g_mu);
+  ++*v;
+}
+
+}  // namespace fx

@@ -1,0 +1,17 @@
+#include "util/mutex.h"
+
+namespace fx {
+
+util::Mutex g_mu;
+
+void Touch(int* v) {
+  const util::MutexLock lock(g_mu);
+  ++*v;
+}
+
+void Adapter() {
+  // Reviewed bridge to a third-party API wanting a std lock:
+  std::unique_lock<std::mutex> raw;  // lockdown-lint: allow(LD007)
+}
+
+}  // namespace fx

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <mutex>
+
+namespace fx {
+
+// The sanctioned wrapper file: exempt from LD007 by path.
+class Mutex {
+ public:
+  void Lock() { impl_.lock(); }
+  void Unlock() { impl_.unlock(); }
+
+ private:
+  std::mutex impl_;
+};
+
+}  // namespace fx

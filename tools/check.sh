@@ -36,9 +36,18 @@
 # fuzz and compressed byte-sweep tests (tests/store/codec_test.cc) since it
 # runs the full suite.
 #
+# The lint tier is the static-analysis gate (DESIGN.md §11): it runs
+# lockdown_lint (the project contract checker) over src/ + tools/ and proves
+# the fixture corpus still catches every registered rule, then — when a clang
+# toolchain is present — builds the tree under clang -Wthread-safety (the
+# util/mutex.h annotations) and runs clang-tidy with the curated .clang-tidy
+# set over the compilation database. The clang passes degrade to a loud
+# warning when clang/clang-tidy are not installed; the lockdown_lint passes
+# always run.
+#
 # Usage: tools/check.sh [--default-only | --asan-only | --tsan-only |
 #                        --fault-only | --stream-only | --obs-only |
-#                        --scalar-only]
+#                        --scalar-only | --lint-only | lint]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -249,6 +258,61 @@ assert doc['bench'] == 'perf_components'
 assert any(m['name'].endswith('_total_ms') for m in doc['metrics'])
 print(f\"ok: {len(doc['metrics'])} component metrics\")"
   echo "=== obs: OK ==="
+fi
+
+if [[ "${mode}" == "all" || "${mode}" == "--lint-only" || "${mode}" == "lint" ]]; then
+  echo "=== lint: build lockdown_lint ==="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${jobs}" --target lockdown_lint >/dev/null
+  lint=build/tools/lint/lockdown_lint
+
+  echo "=== lint: lockdown_lint over src/ + tools/ ==="
+  "${lint}" --root .
+
+  echo "=== lint: fixture corpus covers every registered rule ==="
+  fixtures=tests/tools/lint_fixtures
+  while read -r rule _; do
+    if [[ ! -f "${fixtures}/${rule}/bad/expected.txt" ]]; then
+      echo "FAIL: rule ${rule} has no bad fixture under ${fixtures}/${rule}" >&2
+      exit 1
+    fi
+    if "${lint}" --root "${fixtures}/${rule}/bad" >/dev/null 2>&1; then
+      echo "FAIL: ${rule} bad fixture is not caught" >&2
+      exit 1
+    fi
+    if ! "${lint}" --root "${fixtures}/${rule}/good" >/dev/null 2>&1; then
+      echo "FAIL: ${rule} good fixture is not clean" >&2
+      exit 1
+    fi
+  done < <("${lint}" --list-rules)
+  for dir in "${fixtures}"/*/; do
+    rule=$(basename "${dir}")
+    if ! "${lint}" --list-rules | grep -q "^${rule} "; then
+      echo "FAIL: fixture directory ${dir} names no registered rule" >&2
+      exit 1
+    fi
+  done
+
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "=== lint: clang -Wthread-safety build (build-tsa) ==="
+    cmake -B build-tsa -S . -DCMAKE_CXX_COMPILER=clang++ \
+      -DLOCKDOWN_BUILD_BENCH=OFF >/dev/null
+    cmake --build build-tsa -j "${jobs}"
+  else
+    echo "=== lint: WARNING: clang++ not found; skipping the" \
+         "-Wthread-safety annotation proof (install clang to run it) ==="
+  fi
+
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "=== lint: clang-tidy (curated .clang-tidy set) ==="
+    cmake -B build -S . >/dev/null  # refresh compile_commands.json
+    find src tools -name '*.cc' -print0 |
+      xargs -0 -n 4 -P "${jobs}" clang-tidy -p build --quiet --warnings-as-errors=''
+  else
+    echo "=== lint: WARNING: clang-tidy not found; skipping the" \
+         "bugprone/concurrency/performance pass (install clang-tidy to run it) ==="
+  fi
+  echo "=== lint: OK ==="
 fi
 
 echo "all requested passes green"
