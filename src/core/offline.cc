@@ -1,11 +1,12 @@
 #include "core/offline.h"
 
 #include <cerrno>
-#include <fstream>
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 
 #include "flow/assembler.h"
+#include "io/io.h"
 #include "flow/conn_log.h"
 #include "logs/dhcp_log.h"
 #include "logs/dns_log.h"
@@ -18,35 +19,32 @@ namespace lockdown::core {
 namespace {
 
 std::string ReadFileOrThrow(const std::filesystem::path& path) {
-  errno = 0;
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    // ENOENT ("no such file") and EACCES/EIO surface distinctly so callers
-    // and exit codes can tell a missing export from a failing disk.
-    throw ingest::IoError(path, "open", errno != 0 ? errno : ENOENT);
+  try {
+    // The shim keeps ENOENT/EACCES/EIO distinct, so callers and exit codes
+    // can still tell a missing export from a failing disk; transient
+    // EINTR/EAGAIN storms are absorbed before anything is thrown.
+    return io::ReadFileToString(path);
+  } catch (const io::IoError& e) {
+    throw ingest::IoError(e.path(), e.op().c_str(), e.error_code());
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  if (in.bad()) {
-    // The stream went bad mid-drain: a read error, not a short file.
-    throw ingest::IoError(path, "read", errno != 0 ? errno : EIO);
-  }
-  return std::move(buf).str();
 }
 
-/// Writes one log through `body`, then proves the bytes reached the stream:
-/// stream state is checked after the write and again after close, so a full
-/// disk throws instead of leaving a truncated log that "succeeded".
+/// Writes one log through `body` into an io::File-backed stream: formatting
+/// stays streaming (bounded FileStreamBuf buffer), the write path gets the
+/// shim's fault injection and retry, and a full disk throws instead of
+/// leaving a truncated log that "succeeded".
 template <typename Body>
 void WriteLogOrThrow(const std::filesystem::path& path, Body&& body) {
-  errno = 0;
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw ingest::IoError(path, "open", errno != 0 ? errno : EIO);
-  body(out);
-  out.flush();
-  if (!out) throw ingest::IoError(path, "write", errno != 0 ? errno : EIO);
-  out.close();
-  if (out.fail()) throw ingest::IoError(path, "close", errno != 0 ? errno : EIO);
+  try {
+    io::FileStreamBuf buf(io::File::Create(path));
+    std::ostream out(&buf);
+    out.exceptions(std::ios::badbit);  // surface IoError out of operator<<
+    body(out);
+    out.flush();
+    buf.file().Close();
+  } catch (const io::IoError& e) {
+    throw ingest::IoError(e.path(), e.op().c_str(), e.error_code());
+  }
 }
 
 /// Runs one tolerant/strict read and converts a whole-document rejection

@@ -1,9 +1,9 @@
 #include "ingest/ingest.h"
 
 #include <cerrno>
-#include <fstream>
 #include <sstream>
 
+#include "io/io.h"
 #include "obs/obs.h"
 #include "util/strings.h"
 
@@ -89,7 +89,7 @@ void RecordReport(const IngestReport& report) {
 namespace detail {
 
 struct QuarantineWriter::State {
-  std::ofstream out;
+  io::File out;
 };
 
 QuarantineWriter::QuarantineWriter(const IngestOptions& options) {
@@ -102,23 +102,28 @@ QuarantineWriter::~QuarantineWriter() { delete state_; }
 
 void QuarantineWriter::Add(std::string_view line) {
   if (target_.empty()) return;
-  if (state_ == nullptr) {
-    std::error_code ec;
-    std::filesystem::create_directories(target_.parent_path(), ec);
-    if (ec) throw IoError(target_.parent_path(), "mkdir", ec.value());
-    state_ = new State;
-    state_->out.open(target_, std::ios::binary | std::ios::trunc);
-    if (!state_->out) throw IoError(target_, "open", errno);
+  try {
+    if (state_ == nullptr) {
+      std::error_code ec;
+      std::filesystem::create_directories(target_.parent_path(), ec);
+      if (ec) throw IoError(target_.parent_path(), "mkdir", ec.value());
+      state_ = new State{io::File::Create(target_)};
+    }
+    state_->out.WriteAll(std::string(line) + '\n');
+  } catch (const io::IoError& e) {
+    // Ingest callers (and the CLI's exit-code mapping) speak
+    // ingest::IoError; re-badge the shim's exception at the boundary.
+    throw IoError(e.path(), e.op().c_str(), e.error_code());
   }
-  state_->out << line << '\n';
-  if (!state_->out) throw IoError(target_, "write", errno);
 }
 
 void QuarantineWriter::Finish(IngestReport& report) {
   if (state_ == nullptr) return;
-  state_->out.flush();
-  state_->out.close();
-  if (state_->out.fail()) throw IoError(target_, "close", errno);
+  try {
+    state_->out.Close();
+  } catch (const io::IoError& e) {
+    throw IoError(e.path(), e.op().c_str(), e.error_code());
+  }
   report.quarantine_file = target_;
 }
 

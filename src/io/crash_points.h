@@ -1,0 +1,27 @@
+// The crash-point registry (DESIGN.md §12).
+//
+// Every io::CrashPoint(name) site in the tree must name an entry here; the
+// crash harness (tests/store/crash_harness_test.cc) iterates this array and
+// proves, for each point, that killing the process there leaves the snapshot
+// target either old-valid or new-valid — never torn. ArmCrashPoint and the
+// CLI's --io-crash-at validate against the same list, so a typo'd point name
+// is a usage error instead of a silently-never-firing crash.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace lockdown::io {
+
+/// Registered crash-point names, sorted. The prefix is the subsystem and
+/// function that hosts the point; the suffix says where in the durability
+/// ordering (write -> fsync(file) -> rename -> fsync(dir)) it sits.
+inline constexpr std::array<std::string_view, 5> kCrashPoints = {
+    "store.writer.mid_write",    // flow section streamed, table not yet written
+    "store.writer.post_rename",  // new snapshot in place, dir not yet synced
+    "store.writer.pre_fsync",    // all bytes written, file not yet synced
+    "store.writer.pre_rename",   // tmp synced and closed, not yet renamed
+    "store.writer.pre_write",    // tmp created, nothing written
+};
+
+}  // namespace lockdown::io

@@ -1,0 +1,291 @@
+#include "io/fault.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
+
+#include "io/crash_points.h"
+#include "obs/obs.h"
+#include "util/mutex.h"
+#include "util/rng.h"
+
+namespace lockdown::io {
+
+namespace {
+
+/// One Pcg32 stream per operation kind, all forked off the plan seed, so a
+/// probability clause on reads draws the same sequence no matter how many
+/// writes interleave.
+constexpr std::uint64_t kStreamBase = 0x10FA;  // arbitrary, fixed forever
+
+struct InjectorState {
+  util::Mutex mu;
+  FaultPlan plan GUARDED_BY(mu);
+  std::uint64_t attempts[kNumOps] GUARDED_BY(mu) = {};
+  std::vector<util::Pcg32> rngs GUARDED_BY(mu);
+  std::string armed_point GUARDED_BY(mu);
+};
+
+InjectorState& State() {
+  static InjectorState* s = new InjectorState;  // never destroyed: see obs
+  return *s;
+}
+
+void CountInjected(Op op, FaultKind kind) {
+  if (!obs::MetricsEnabled()) return;
+  static obs::Counter& total = obs::GetCounter("io/faults_injected", "faults");
+  total.Increment();
+  obs::GetCounter(std::string("io/faults_injected_") + ToString(op) + "_" +
+                      ToString(kind),
+                  "faults")
+      .Increment();
+}
+
+std::optional<FaultKind> ParseKind(std::string_view s) noexcept {
+  if (s == "enospc") return FaultKind::kEnospc;
+  if (s == "eio") return FaultKind::kEio;
+  if (s == "eintr") return FaultKind::kEintr;
+  if (s == "eagain") return FaultKind::kEagain;
+  if (s == "short") return FaultKind::kShort;
+  return std::nullopt;
+}
+
+std::optional<Op> ParseOp(std::string_view s) noexcept {
+  for (int i = 0; i < kNumOps; ++i) {
+    if (s == ToString(static_cast<Op>(i))) return static_cast<Op>(i);
+  }
+  return std::nullopt;
+}
+
+bool Fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+bool ParseClause(std::string_view text, FaultClause& clause,
+                 std::string* error) {
+  const std::size_t at = text.find('@');
+  if (at == std::string_view::npos) {
+    return Fail(error, "clause '" + std::string(text) +
+                           "' is missing '@' (want <kind>@<op>[#N|%P])");
+  }
+  const auto kind = ParseKind(text.substr(0, at));
+  if (!kind) {
+    return Fail(error, "unknown fault kind '" + std::string(text.substr(0, at)) +
+                           "' (want enospc|eio|eintr|eagain|short)");
+  }
+  clause.kind = *kind;
+  std::string_view rest = text.substr(at + 1);
+  const std::size_t mark = rest.find_first_of("#%");
+  std::string_view op_token = rest.substr(0, mark);
+  if (op_token == "all") {
+    clause.all_ops = true;
+  } else {
+    const auto op = ParseOp(op_token);
+    if (!op) {
+      return Fail(error, "unknown operation '" + std::string(op_token) +
+                             "' (want open|read|write|fsync|rename|truncate|"
+                             "close|all)");
+    }
+    clause.op = *op;
+  }
+  if (clause.kind == FaultKind::kShort && !clause.all_ops &&
+      clause.op != Op::kRead && clause.op != Op::kWrite) {
+    return Fail(error, "short applies to read/write/all, not '" +
+                           std::string(op_token) + "'");
+  }
+  if (mark == std::string_view::npos) return true;  // fire on every attempt
+  const std::string_view value = rest.substr(mark + 1);
+  if (rest[mark] == '#') {
+    std::uint64_t n = 0;
+    const auto [p, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), n);
+    if (ec != std::errc() || p != value.data() + value.size() || n == 0) {
+      return Fail(error, "bad operation index '#" + std::string(value) +
+                             "' (want a positive integer)");
+    }
+    clause.at_index = n;
+  } else {
+    double p = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), p);
+    if (ec != std::errc() || ptr != value.data() + value.size() || p <= 0.0 ||
+        p > 1.0) {
+      return Fail(error, "bad probability '%" + std::string(value) +
+                             "' (want a value in (0,1])");
+    }
+    clause.probability = p;
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace internal {
+std::atomic<bool> g_faults_enabled{false};
+std::atomic<bool> g_crash_armed{false};
+}  // namespace internal
+
+const char* ToString(Op op) noexcept {
+  switch (op) {
+    case Op::kOpen: return "open";
+    case Op::kRead: return "read";
+    case Op::kWrite: return "write";
+    case Op::kFsync: return "fsync";
+    case Op::kRename: return "rename";
+    case Op::kTruncate: return "truncate";
+    case Op::kClose: return "close";
+  }
+  return "unknown";
+}
+
+const char* ToString(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kEnospc: return "enospc";
+    case FaultKind::kEio: return "eio";
+    case FaultKind::kEintr: return "eintr";
+    case FaultKind::kEagain: return "eagain";
+    case FaultKind::kShort: return "short";
+  }
+  return "unknown";
+}
+
+std::optional<FaultPlan> ParseFaultPlan(std::string_view spec,
+                                        std::string* error) {
+  FaultPlan plan;
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string_view::npos) {
+    Fail(error, "missing ':' (want <seed>:<kind>@<op>[#N|%P][,...])");
+    return std::nullopt;
+  }
+  const std::string_view seed_token = spec.substr(0, colon);
+  const auto [p, ec] = std::from_chars(
+      seed_token.data(), seed_token.data() + seed_token.size(), plan.seed);
+  if (ec != std::errc() || p != seed_token.data() + seed_token.size() ||
+      seed_token.empty()) {
+    Fail(error, "bad seed '" + std::string(seed_token) +
+                    "' (want an unsigned integer)");
+    return std::nullopt;
+  }
+  std::string_view rest = spec.substr(colon + 1);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view token = rest.substr(0, comma);
+    FaultClause clause;
+    if (!ParseClause(token, clause, error)) return std::nullopt;
+    plan.clauses.push_back(clause);
+    if (comma == std::string_view::npos) break;
+    rest = rest.substr(comma + 1);
+  }
+  if (plan.clauses.empty()) {
+    Fail(error, "no clauses after the seed");
+    return std::nullopt;
+  }
+  return plan;
+}
+
+void SetFaultPlan(const FaultPlan& plan) {
+  InjectorState& s = State();
+  util::MutexLock lock(s.mu);
+  s.plan = plan;
+  std::fill(std::begin(s.attempts), std::end(s.attempts), 0);
+  s.rngs.clear();
+  s.rngs.reserve(kNumOps);
+  for (int i = 0; i < kNumOps; ++i) {
+    s.rngs.emplace_back(plan.seed, kStreamBase + static_cast<std::uint64_t>(i));
+  }
+  internal::g_faults_enabled.store(!plan.clauses.empty(),
+                                   std::memory_order_relaxed);
+}
+
+void ClearFaultPlan() { SetFaultPlan(FaultPlan{}); }
+
+std::optional<Injected> NextFault(Op op) {
+  if (!FaultInjectionEnabled()) return std::nullopt;
+  InjectorState& s = State();
+  util::MutexLock lock(s.mu);
+  const int oi = static_cast<int>(op);
+  const std::uint64_t n = ++s.attempts[oi];
+  for (const FaultClause& c : s.plan.clauses) {
+    if (!c.all_ops && c.op != op) continue;
+    bool fire;
+    if (c.at_index > 0) {
+      fire = n == c.at_index;
+    } else if (c.probability > 0.0) {
+      fire = s.rngs[static_cast<std::size_t>(oi)].NextDouble() < c.probability;
+    } else {
+      fire = true;
+    }
+    if (!fire) continue;
+    Injected inj;
+    switch (c.kind) {
+      case FaultKind::kEnospc: inj.err = ENOSPC; break;
+      case FaultKind::kEio: inj.err = EIO; break;
+      case FaultKind::kEintr: inj.err = EINTR; break;
+      case FaultKind::kEagain: inj.err = EAGAIN; break;
+      case FaultKind::kShort:
+        // Short IO only makes sense where a byte count exists; an `all`
+        // clause hitting open/fsync/... degrades to "no fault".
+        if (op != Op::kRead && op != Op::kWrite) return std::nullopt;
+        inj.short_io = true;
+        break;
+    }
+    CountInjected(op, c.kind);
+    return inj;
+  }
+  return std::nullopt;
+}
+
+bool ArmCrashPoint(std::string_view name) {
+  if (std::find(kCrashPoints.begin(), kCrashPoints.end(), name) ==
+      kCrashPoints.end()) {
+    return false;
+  }
+  InjectorState& s = State();
+  util::MutexLock lock(s.mu);
+  s.armed_point.assign(name);
+  internal::g_crash_armed.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void DisarmCrashPoints() {
+  InjectorState& s = State();
+  util::MutexLock lock(s.mu);
+  s.armed_point.clear();
+  internal::g_crash_armed.store(false, std::memory_order_relaxed);
+}
+
+bool CrashPointArmed(std::string_view name) {
+  if (!internal::g_crash_armed.load(std::memory_order_relaxed)) return false;
+  InjectorState& s = State();
+  util::MutexLock lock(s.mu);
+  return s.armed_point == name;
+}
+
+void CrashPoint(std::string_view name) noexcept {
+  if (!internal::g_crash_armed.load(std::memory_order_relaxed)) return;
+  InjectorState& s = State();
+  util::MutexLock lock(s.mu);
+  if (s.armed_point == name) ::_exit(kCrashExitCode);
+}
+
+std::string ConfigureFromEnv() {
+  if (const char* spec = std::getenv("LOCKDOWN_IO_FAULT")) {
+    std::string error;
+    const auto plan = ParseFaultPlan(spec, &error);
+    if (!plan) return "LOCKDOWN_IO_FAULT: " + error;
+    SetFaultPlan(*plan);
+  }
+  if (const char* point = std::getenv("LOCKDOWN_IO_CRASH_AT")) {
+    if (!ArmCrashPoint(point)) {
+      return std::string("LOCKDOWN_IO_CRASH_AT: unknown crash point '") +
+             point + "' (see src/io/crash_points.h)";
+    }
+  }
+  return "";
+}
+
+}  // namespace lockdown::io

@@ -1,0 +1,147 @@
+// Deterministic syscall-level fault injection and crash points for the
+// io::File shim (DESIGN.md §12).
+//
+// A FaultPlan is a Pcg32 seed plus an ordered clause list. Each clause
+// matches one operation kind (or every kind) and fires either at the Nth
+// attempt of that kind (`#N`, 1-based, counted process-wide per kind — every
+// attempted syscall counts, so a retried operation is a fresh index) or with
+// a fixed probability per attempt (`%P`, drawn from a per-kind Pcg32 stream
+// so unrelated operations cannot shift each other's draws). The same seed
+// and spec therefore reproduce the same faults at the same operations every
+// run: the syscall analogue of util::FaultInjector's byte-level faults.
+//
+// Spec grammar (env var LOCKDOWN_IO_FAULT or ParseFaultPlan):
+//
+//   <seed>:<clause>[,<clause>...]
+//   clause := <kind>@<op>[#N|%P]
+//   kind   := enospc | eio | eintr | eagain | short
+//   op     := open | read | write | fsync | rename | truncate | close | all
+//
+//   LOCKDOWN_IO_FAULT=7:enospc@write#12       the 12th write fails ENOSPC
+//   LOCKDOWN_IO_FAULT=7:eintr@read%0.5        each read fails EINTR w.p. 0.5
+//   LOCKDOWN_IO_FAULT=7:short@write%0.25,eio@fsync#1
+//
+// `short` (read/write only) truncates the attempt to roughly half its byte
+// count instead of failing it — the shim's completion loops must finish the
+// transfer anyway. A clause with neither `#N` nor `%P` fires on every
+// attempt of its kind.
+//
+// Crash points are named process-exit sites: io::CrashPoint("name") is a
+// no-op until that exact name is armed (ArmCrashPoint, LOCKDOWN_IO_CRASH_AT,
+// or the CLI's --io-crash-at), then calls _exit(125) — simulating SIGKILL at
+// precisely that instruction for the crash harness. Names must be registered
+// in io/crash_points.h.
+//
+// Both features are inert behind one relaxed atomic load each when unused,
+// so the shim adds no measurable cost to clean runs (the PR 7 obs
+// discipline).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lockdown::io {
+
+/// The operation kinds the injector can distinguish. kWrite covers both
+/// write and pwrite; kOpen covers file and directory opens.
+enum class Op : std::uint8_t {
+  kOpen = 0,
+  kRead,
+  kWrite,
+  kFsync,
+  kRename,
+  kTruncate,
+  kClose,
+};
+inline constexpr int kNumOps = 7;
+[[nodiscard]] const char* ToString(Op op) noexcept;
+
+enum class FaultKind : std::uint8_t {
+  kEnospc = 0,  ///< permanent: no space left on device
+  kEio,         ///< disk error; transient only within RetryPolicy::eio_budget
+  kEintr,       ///< transient: interrupted by signal
+  kEagain,      ///< transient: resource temporarily unavailable
+  kShort,       ///< short read/write: the attempt moves ~half its bytes
+};
+[[nodiscard]] const char* ToString(FaultKind kind) noexcept;
+
+struct FaultClause {
+  FaultKind kind = FaultKind::kEio;
+  Op op = Op::kOpen;
+  bool all_ops = false;        ///< clause matches every operation kind
+  std::uint64_t at_index = 0;  ///< fire at the Nth attempt (1-based); 0 = unset
+  double probability = 0.0;    ///< fire per attempt w.p. p in (0,1]; 0 = unset
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultClause> clauses;  ///< first firing clause wins
+};
+
+/// Parses the `<seed>:<clause>[,...]` grammar above. On failure returns
+/// nullopt and, when `error` is non-null, a one-line description of the
+/// offending token.
+[[nodiscard]] std::optional<FaultPlan> ParseFaultPlan(std::string_view spec,
+                                                      std::string* error = nullptr);
+
+/// Installs `plan` process-wide: resets every per-kind attempt counter,
+/// reseeds the per-kind Pcg32 streams, and enables injection iff the plan
+/// has clauses. Thread-safe.
+void SetFaultPlan(const FaultPlan& plan);
+
+/// Disables injection and clears the plan (counters included).
+void ClearFaultPlan();
+
+namespace internal {
+extern std::atomic<bool> g_faults_enabled;
+extern std::atomic<bool> g_crash_armed;
+}  // namespace internal
+
+/// The shim's fast-path gate: one relaxed atomic load, false unless a
+/// non-empty FaultPlan is installed.
+[[nodiscard]] inline bool FaultInjectionEnabled() noexcept {
+  return internal::g_faults_enabled.load(std::memory_order_relaxed);
+}
+
+/// What the injector decided for one attempted operation.
+struct Injected {
+  int err = 0;            ///< errno to simulate; 0 = none
+  bool short_io = false;  ///< truncate this read/write attempt instead
+};
+
+/// Consults the installed plan for the next attempt of `op`, advancing the
+/// per-kind counter. Returns nullopt when no clause fires (or injection is
+/// off). Called by the io::File internals; exposed for the injector's own
+/// tests.
+[[nodiscard]] std::optional<Injected> NextFault(Op op);
+
+// --- Crash points ------------------------------------------------------------
+
+/// The exit status of a process killed at a crash point. 125 stays clear of
+/// the CLI's documented 0-4 range and of shell/POSIX 126/127/128+n.
+inline constexpr int kCrashExitCode = 125;
+
+/// Arms `name`; the next CrashPoint(name) call exits the process. Returns
+/// false (and arms nothing) when the name is not in io/crash_points.h.
+[[nodiscard]] bool ArmCrashPoint(std::string_view name);
+
+/// Disarms any armed crash point.
+void DisarmCrashPoints();
+
+/// True when `name` is currently armed.
+[[nodiscard]] bool CrashPointArmed(std::string_view name);
+
+/// Terminates via _exit(kCrashExitCode) when `name` is armed; otherwise a
+/// relaxed atomic load and out.
+void CrashPoint(std::string_view name) noexcept;
+
+/// Reads LOCKDOWN_IO_FAULT (fault plan spec) and LOCKDOWN_IO_CRASH_AT
+/// (crash-point name). Returns "" on success, else a one-line error message
+/// naming the bad variable — the CLI maps it to its usage exit code.
+[[nodiscard]] std::string ConfigureFromEnv();
+
+}  // namespace lockdown::io

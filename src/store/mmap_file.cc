@@ -1,47 +1,34 @@
 #include "store/mmap_file.h"
 
-#include <fcntl.h>
 #include <sys/mman.h>
-#include <sys/stat.h>
-#include <unistd.h>
 
 #include <cerrno>
 
+#include "io/io.h"
 #include "store/snapshot.h"
-#include "util/strings.h"
 
 namespace lockdown::store {
 
-namespace {
-
-[[noreturn]] void ThrowErrno(const std::filesystem::path& path, const char* op) {
-  throw Error(path.string() + ": " + op + ": " + util::ErrnoString(errno));
-}
-
-}  // namespace
-
 std::shared_ptr<const MmapFile> MmapFile::Open(const std::filesystem::path& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-  if (fd < 0) ThrowErrno(path, "open");
+  try {
+    io::File file = io::File::OpenRead(path);
+    const auto size = static_cast<std::size_t>(file.Size());
+    if (size == 0) throw Error(path.string() + ": empty file");
 
-  struct stat st {};
-  if (::fstat(fd, &st) != 0) {
-    const int saved = errno;
-    ::close(fd);
-    errno = saved;
-    ThrowErrno(path, "fstat");
+    void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, file.fd(), 0);
+    if (base == MAP_FAILED) throw io::IoError(path, "mmap", errno);
+    try {
+      file.Close();  // the mapping holds its own reference
+    } catch (...) {
+      ::munmap(base, size);
+      throw;
+    }
+    return std::shared_ptr<const MmapFile>(new MmapFile(base, size));
+  } catch (const io::IoError& e) {
+    // Reader-side failures stay store::Error: callers (and the CLI's
+    // tolerant analyze fallback) classify them as corrupt-snapshot, not IO.
+    throw Error(e.what());
   }
-  const auto size = static_cast<std::size_t>(st.st_size);
-  if (size == 0) {
-    ::close(fd);
-    throw Error(path.string() + ": empty file");
-  }
-
-  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
-  ::close(fd);  // the mapping holds its own reference
-  if (base == MAP_FAILED) ThrowErrno(path, "mmap");
-
-  return std::shared_ptr<const MmapFile>(new MmapFile(base, size));
 }
 
 MmapFile::~MmapFile() {

@@ -174,4 +174,16 @@ void SaveSnapshot(const std::filesystem::path& path,
 /// Throws Error describing the first problem found.
 void VerifySnapshot(const std::filesystem::path& path);
 
+/// Tmp files a crashed writer left next to `target` (the naming scheme is
+/// `<target>.tmp.<pid>`): every sibling matching the scheme whose writing
+/// process is no longer alive, sorted. Never lists a live writer's tmp.
+[[nodiscard]] std::vector<std::filesystem::path> FindOrphanTmpFiles(
+    const std::filesystem::path& target);
+
+/// Removes the orphans FindOrphanTmpFiles reports; returns the paths
+/// actually removed. Writer's constructor and the CLI's `snapshot save` run
+/// this, so a crashed save cannot strand disk space past the next save.
+std::vector<std::filesystem::path> SweepOrphanTmpFiles(
+    const std::filesystem::path& target);
+
 }  // namespace lockdown::store

@@ -1,22 +1,23 @@
-#include <fcntl.h>
-#include <sys/stat.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <charconv>
 #include <chrono>
 #include <string_view>
+#include <system_error>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "io/io.h"
 #include "obs/obs.h"
 #include "store/codec.h"
 #include "store/column_codec.h"
 #include "store/format.h"
 #include "store/snapshot.h"
 #include "util/crc32c.h"
-#include "util/strings.h"
 
 namespace lockdown::store {
 
@@ -64,10 +65,6 @@ class CrcTimer {
   bool on_;
   std::int64_t total_ns_ = 0;
 };
-
-[[noreturn]] void ThrowErrno(const std::filesystem::path& path, const char* op) {
-  throw Error(path.string() + ": " + op + ": " + util::ErrnoString(errno));
-}
 
 void EncodeFlow(detail::Encoder& enc, const core::Flow& f) {
   enc.U32(f.start_offset_s);
@@ -197,13 +194,18 @@ class Writer::Impl {
   explicit Impl(std::filesystem::path path)
       : target_(std::move(path)),
         tmp_(target_.string() + ".tmp." + std::to_string(::getpid())) {
-    fd_ = ::open(tmp_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-    if (fd_ < 0) ThrowErrno(tmp_, "open");
+    // A crashed predecessor may have left its tmp file behind; reclaim the
+    // space before laying down ours (the sweep never touches a live
+    // writer's tmp — see FindOrphanTmpFiles).
+    SweepOrphanTmpFiles(target_);
+    file_ = io::File::Create(tmp_);
   }
 
   ~Impl() {
-    if (fd_ >= 0) ::close(fd_);
-    if (!committed_) ::unlink(tmp_.c_str());
+    if (!committed_) {
+      file_ = io::File();  // close (best-effort) before unlinking
+      io::TryRemove(tmp_);
+    }
   }
 
   void WriteCollection(const core::CollectionResult& result,
@@ -304,9 +306,8 @@ class Writer::Impl {
     // (holes read back as the zero padding the format wants), flows stream
     // through a bounded chunk while accumulating their CRC, and the header +
     // table go in last, once every section CRC is known.
-    if (::ftruncate(fd_, static_cast<off_t>(file_size)) != 0) {
-      ThrowErrno(tmp_, "ftruncate");
-    }
+    io::CrashPoint("store.writer.pre_write");
+    file_.Truncate(file_size);
 
     Section* flow_section = nullptr;
     for (Section& s : sections) {
@@ -320,11 +321,13 @@ class Writer::Impl {
         chunk.Reserve((end - begin) * kFlowStride);
         for (std::size_t i = begin; i < end; ++i) EncodeFlow(chunk, flows[i]);
         crc_timer.Crc(chunk.bytes(), &flow_crc);
-        PWrite(chunk.bytes(), flow_section->offset +
-                                  static_cast<std::uint64_t>(begin) * kFlowStride);
+        file_.PWriteAll(chunk.bytes(),
+                        flow_section->offset +
+                            static_cast<std::uint64_t>(begin) * kFlowStride);
       }
       flow_section->crc = flow_crc.value();
     }
+    io::CrashPoint("store.writer.mid_write");
 
     detail::Encoder table;
     for (const char c : kMagic) table.U8(static_cast<std::uint8_t>(c));
@@ -343,16 +346,16 @@ class Writer::Impl {
       table.U32(s.crc);
       table.U32(0);  // reserved
     }
-    PWrite(table.bytes(), 0);
+    file_.PWriteAll(table.bytes(), 0);
     for (const Section& s : sections) {
-      if (s.body != nullptr) PWrite(s.body->bytes(), s.offset);
+      if (s.body != nullptr) file_.PWriteAll(s.body->bytes(), s.offset);
     }
 
     detail::Encoder trailer;
     for (const char c : kTrailerMagic) trailer.U8(static_cast<std::uint8_t>(c));
     trailer.U32(crc_timer.Crc(table.bytes()));
     trailer.U32(0);
-    PWrite(trailer.bytes(), trailer_offset);
+    file_.PWriteAll(trailer.bytes(), trailer_offset);
 
     crc_timer.Record();
     if (obs::MetricsEnabled()) {
@@ -366,43 +369,26 @@ class Writer::Impl {
   void Commit() {
     if (!written_) throw Error("Commit before WriteCollection");
     if (committed_) throw Error("Commit called twice");
-    if (::fsync(fd_) != 0) ThrowErrno(tmp_, "fsync");
-    if (::close(fd_) != 0) {
-      fd_ = -1;
-      ThrowErrno(tmp_, "close");
-    }
-    fd_ = -1;
-    if (::rename(tmp_.c_str(), target_.c_str()) != 0) ThrowErrno(target_, "rename");
+    io::CrashPoint("store.writer.pre_fsync");
+    file_.Fsync();
+    file_.Close();
+    io::CrashPoint("store.writer.pre_rename");
+    io::Rename(tmp_, target_);
     committed_ = true;
+    io::CrashPoint("store.writer.post_rename");
     // Durability of the rename itself: fsync the containing directory.
+    // Checked — an unsynced rename can vanish on power loss; only the
+    // cannot-sync-a-directory carve-out (EINVAL/ENOTSUP, handled inside
+    // FsyncDir) is tolerated.
     std::filesystem::path dir = target_.parent_path();
     if (dir.empty()) dir = ".";
-    const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-    if (dirfd >= 0) {
-      ::fsync(dirfd);
-      ::close(dirfd);
-    }
+    io::FsyncDir(dir);
   }
 
  private:
-  void PWrite(std::span<const std::byte> data, std::uint64_t offset) {
-    const std::byte* p = data.data();
-    std::size_t left = data.size();
-    while (left > 0) {
-      const ssize_t n = ::pwrite(fd_, p, left, static_cast<off_t>(offset));
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        ThrowErrno(tmp_, "pwrite");
-      }
-      p += n;
-      offset += static_cast<std::uint64_t>(n);
-      left -= static_cast<std::size_t>(n);
-    }
-  }
-
   std::filesystem::path target_;
   std::filesystem::path tmp_;
-  int fd_ = -1;
+  io::File file_;
   bool written_ = false;
   bool committed_ = false;
 };
@@ -418,6 +404,55 @@ void Writer::WriteCollection(const core::CollectionResult& result,
 }
 
 void Writer::Commit() { impl_->Commit(); }
+
+namespace {
+
+/// kill(pid, 0) probes existence without signalling; EPERM still means the
+/// process exists (it just isn't ours).
+bool PidAlive(pid_t pid) noexcept { return ::kill(pid, 0) == 0 || errno == EPERM; }
+
+}  // namespace
+
+std::vector<std::filesystem::path> FindOrphanTmpFiles(
+    const std::filesystem::path& target) {
+  std::vector<std::filesystem::path> orphans;
+  std::filesystem::path dir = target.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string prefix = target.filename().string() + ".tmp.";
+  std::error_code ec;
+  std::filesystem::directory_iterator dir_it(dir, ec);
+  if (ec) return orphans;  // no directory, no orphans
+  for (const std::filesystem::directory_entry& entry : dir_it) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    // The suffix is the writing process's pid. A tmp whose writer is still
+    // alive is in-flight, not orphaned; an unparseable suffix was never ours
+    // to begin with but matches our naming scheme, so sweep it too.
+    const std::string_view suffix =
+        std::string_view(name).substr(prefix.size());
+    long pid = 0;
+    const auto [p, pec] =
+        std::from_chars(suffix.data(), suffix.data() + suffix.size(), pid);
+    const bool parsed =
+        pec == std::errc() && p == suffix.data() + suffix.size() && pid > 0;
+    if (parsed && PidAlive(static_cast<pid_t>(pid))) continue;
+    orphans.push_back(entry.path());
+  }
+  std::sort(orphans.begin(), orphans.end());
+  return orphans;
+}
+
+std::vector<std::filesystem::path> SweepOrphanTmpFiles(
+    const std::filesystem::path& target) {
+  std::vector<std::filesystem::path> swept;
+  for (const std::filesystem::path& orphan : FindOrphanTmpFiles(target)) {
+    if (io::TryRemove(orphan)) swept.push_back(orphan);
+  }
+  return swept;
+}
 
 void SaveSnapshot(const std::filesystem::path& path,
                   const core::CollectionResult& result, const SnapshotMeta& meta,

@@ -1,0 +1,16 @@
+#include <fcntl.h>
+#include <fstream>
+
+namespace fx {
+
+int SaveRaw(const char* path) {
+  const int fd = ::open(path, O_WRONLY);
+  ::write(fd, "x", 1);
+  ::fsync(fd);
+  ::close(fd);
+  ::rename(path, "final");
+  std::ofstream log("save.log");
+  return fd;
+}
+
+}  // namespace fx

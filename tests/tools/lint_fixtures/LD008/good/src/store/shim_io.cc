@@ -1,0 +1,19 @@
+#include "io/io.h"
+
+namespace fx {
+
+void Save(const char* path) {
+  lockdown::io::File f = lockdown::io::File::Create(path);
+  f.WriteAll("x");
+  f.Fsync();
+  f.Close();
+  lockdown::io::Rename(path, "final");
+}
+
+void Probe(const char* path) {
+  // Reviewed bridge: a diagnostic that must not recurse into the shim.
+  const int fd = ::open(path, 0);  // lockdown-lint: allow(LD008)
+  ::close(fd);                     // lockdown-lint: allow(LD008)
+}
+
+}  // namespace fx

@@ -36,6 +36,15 @@
 # fuzz and compressed byte-sweep tests (tests/store/codec_test.cc) since it
 # runs the full suite.
 #
+# The crash tier is the kill-at-every-crash-point harness (DESIGN.md §12)
+# run with the allocator instrumented: it builds lockdown_cli and
+# crash_harness_test under ASan+UBSan (reusing build-asan) and executes the
+# harness, which forks the real CLI at every registered IO crash point
+# (src/io/crash_points.h) across several seeds and proves the snapshot
+# target is never torn — bit-identical to the old valid snapshot before the
+# rename, to the new one after — with the orphaned tmp file attributed,
+# swept, and the next save recovering bit-exactly.
+#
 # The lint tier is the static-analysis gate (DESIGN.md §11): it runs
 # lockdown_lint (the project contract checker) over src/ + tools/ and proves
 # the fixture corpus still catches every registered rule, then — when a clang
@@ -47,7 +56,7 @@
 #
 # Usage: tools/check.sh [--default-only | --asan-only | --tsan-only |
 #                        --fault-only | --stream-only | --obs-only |
-#                        --scalar-only | --lint-only | lint]
+#                        --scalar-only | --crash-only | --lint-only | lint]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -258,6 +267,24 @@ assert doc['bench'] == 'perf_components'
 assert any(m['name'].endswith('_total_ms') for m in doc['metrics'])
 print(f\"ok: {len(doc['metrics'])} component metrics\")"
   echo "=== obs: OK ==="
+fi
+
+if [[ "${mode}" == "all" || "${mode}" == "--crash-only" ]]; then
+  # Kill-at-every-crash-point harness under ASan+UBSan (reuses / creates the
+  # asan tree). The harness fork/execs the instrumented CLI with
+  # --io-crash-at for every point in src/io/crash_points.h x seeds {11,12,13}
+  # and proves the atomic-rename contract from the parent.
+  dir=build-asan
+  echo "=== crash: configure (${dir}) ==="
+  cmake -B "${dir}" -S . \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
+    -DLOCKDOWN_BUILD_BENCH=OFF >/dev/null
+  echo "=== crash: build ==="
+  cmake --build "${dir}" -j "${jobs}" --target lockdown_cli crash_harness_test
+  echo "=== crash: kill-at-every-crash-point harness (asan+ubsan) ==="
+  "${dir}/tests/crash_harness_test"
+  echo "=== crash: OK ==="
 fi
 
 if [[ "${mode}" == "all" || "${mode}" == "--lint-only" || "${mode}" == "lint" ]]; then

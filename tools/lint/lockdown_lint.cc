@@ -40,6 +40,14 @@
 //                                   condition_variable/... outside
 //                                   src/util/mutex.h — use the annotated
 //                                   util::Mutex wrappers.
+//   LD008 raw-io-outside-shim       global-scope file syscalls (::open/
+//                                   ::read/::write/::fsync/::rename/...) or
+//                                   iostream file types (std::ofstream/
+//                                   fopen/...) in src/store or src/ingest —
+//                                   all file IO there routes through
+//                                   io::File (src/io/io.h) so fault
+//                                   injection, retry and crash points see
+//                                   every byte.
 //
 // Suppressions:
 //   // lockdown-lint: allow(LD002)          this line (or, when the comment
@@ -85,6 +93,7 @@ constexpr RuleInfo kRules[] = {
     {"LD005", "section-crc-pairing"},
     {"LD006", "usage-flag-drift"},
     {"LD007", "raw-mutex-primitive"},
+    {"LD008", "raw-io-outside-shim"},
 };
 
 // ---------------------------------------------------------------------------
@@ -608,6 +617,64 @@ void RunLd003(const SourceFile& f, Sink& sink) {
 }
 
 // ---------------------------------------------------------------------------
+// LD008 — raw file IO outside the io::File shim (src/store, src/ingest)
+// ---------------------------------------------------------------------------
+
+void RunLd008(const SourceFile& f, Sink& sink) {
+  if (!StartsWith(f.rel, "src/store/") && !StartsWith(f.rel, "src/ingest/")) {
+    return;
+  }
+  // File syscalls, banned when called at global scope (`::name(...)`) —
+  // that spelling is how this tree invokes the raw kernel surface. mmap/
+  // munmap stay legal: mapping is a memory operation the shim hands off
+  // after opening through io::File.
+  constexpr std::string_view kSyscalls[] = {
+      "open",   "openat",   "creat",     "read",     "pread",
+      "readv",  "write",    "pwrite",    "writev",   "fsync",
+      "fdatasync", "sync_file_range",    "rename",   "renameat",
+      "ftruncate", "truncate", "close",  "unlink",   "unlinkat"};
+  for (const std::string_view word : kSyscalls) {
+    std::size_t pos = 0;
+    while ((pos = FindWord(f.code, word, pos)) != std::string::npos) {
+      const std::size_t hit = pos;
+      pos += 1;
+      // Global-scope qualifier only: `::open(` but not `io::...` or `File::`.
+      if (hit < 2 || f.code.compare(hit - 2, 2, "::") != 0) continue;
+      if (hit >= 3 && (IsWord(f.code[hit - 3]) || f.code[hit - 3] == ':')) {
+        continue;
+      }
+      std::size_t p = hit + word.size();
+      while (p < f.code.size() &&
+             std::isspace(static_cast<unsigned char>(f.code[p]))) {
+        ++p;
+      }
+      if (p >= f.code.size() || f.code[p] != '(') continue;
+      sink.Report(f, LineOf(f, hit), "LD008",
+                  "raw ::" + std::string(word) +
+                      " in the crash-safe zone — route file IO through "
+                      "io::File (src/io/io.h) so fault injection, retry and "
+                      "crash points cover it (DESIGN §12)");
+    }
+  }
+  // iostream file types and C stdio openers: banned on any mention (an
+  // #include <fstream> counts — there is nothing legitimate to do with it
+  // here).
+  constexpr std::string_view kStreamTokens[] = {"ofstream", "ifstream",
+                                                "fstream", "fopen", "freopen"};
+  for (const std::string_view word : kStreamTokens) {
+    std::size_t pos = 0;
+    while ((pos = FindWord(f.code, word, pos)) != std::string::npos) {
+      sink.Report(f, LineOf(f, pos), "LD008",
+                  "use of '" + std::string(word) +
+                      "' in the crash-safe zone — route file IO through "
+                      "io::File (src/io/io.h) so fault injection, retry and "
+                      "crash points cover it (DESIGN §12)");
+      pos += 1;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // LD004 — OBS_SPAN names vs src/obs/span_names.h registry
 // ---------------------------------------------------------------------------
 
@@ -878,6 +945,7 @@ int Run(const fs::path& root, const std::set<std::string>& only_rules) {
     if (enabled("LD001")) RunLd001(f, sink);
     if (enabled("LD003")) RunLd003(f, sink);
     if (enabled("LD007")) RunLd007(f, sink);
+    if (enabled("LD008")) RunLd008(f, sink);
   }
   if (enabled("LD002")) RunLd002(files, sink);
   if (enabled("LD004")) RunLd004(files, sink);

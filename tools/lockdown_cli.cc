@@ -71,6 +71,7 @@
 
 #include "core/offline.h"
 #include "core/study.h"
+#include "io/io.h"
 #include "obs/obs.h"
 #include "snapshot_info.h"
 #include "store/format.h"
@@ -110,6 +111,7 @@ struct Options {
   std::size_t memory_budget = stream::StreamingOptions{}.memory_budget_bytes;
   std::string metrics_out;  // --metrics-out FILE (obs metrics JSON at exit)
   std::string trace_out;    // --trace-out FILE (Chrome trace JSON at exit)
+  std::string io_crash_at;  // --io-crash-at POINT (crash-harness hook)
   bool help = false;
 };
 
@@ -195,6 +197,10 @@ bool ParseArgs(int argc, char** argv, Options& opts) {
       const char* v = next();
       if (!v) return false;
       opts.trace_out = v;
+    } else if (arg == "--io-crash-at") {
+      const char* v = next();
+      if (!v) return false;
+      opts.io_crash_at = v;
     } else if (arg == "--streaming") {
       opts.streaming = true;
     } else if (arg == "--compress") {
@@ -457,6 +463,9 @@ int RunSnapshotSave(const Options& opts) {
     std::cerr << "snapshot save requires --out FILE\n";
     return kExitUsage;
   }
+  for (const std::filesystem::path& stale : store::SweepOrphanTmpFiles(opts.out)) {
+    std::cout << "swept stale tmp file " << stale.string() << "\n";
+  }
   core::CollectionResult collection;
   store::SnapshotMeta meta;
   if (!opts.dir.empty()) {
@@ -501,6 +510,9 @@ int RunSnapshotVerify(const Options& opts) {
   if (opts.file.empty()) {
     std::cerr << "snapshot verify requires a FILE argument\n";
     return kExitUsage;
+  }
+  for (const std::filesystem::path& stale : store::FindOrphanTmpFiles(opts.file)) {
+    std::cerr << "warning: stale tmp file: " << stale.string() << "\n";
   }
   const auto t0 = std::chrono::steady_clock::now();
   store::VerifySnapshot(opts.file);  // throws on any problem -> exit 1 in main
@@ -565,6 +577,15 @@ int main(int argc, char** argv) {
   obs::ConfigureFromEnv();
   if (!opts.metrics_out.empty()) obs::EnableMetricsOutput(opts.metrics_out);
   if (!opts.trace_out.empty()) obs::EnableTraceOutput(opts.trace_out);
+  if (const std::string io_err = io::ConfigureFromEnv(); !io_err.empty()) {
+    std::cerr << "error: " << io_err << "\n";
+    return kExitUsage;
+  }
+  if (!opts.io_crash_at.empty() && !io::ArmCrashPoint(opts.io_crash_at)) {
+    std::cerr << "error: --io-crash-at: unknown crash point '"
+              << opts.io_crash_at << "' (see src/io/crash_points.h)\n";
+    return kExitUsage;
+  }
   try {
     int rc = kExitUsage;
     bool handled = true;
@@ -583,6 +604,11 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << e.what() << "\n";
     return kExitBudget;
   } catch (const ingest::IoError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitIo;
+  } catch (const io::IoError& e) {
+    // The shim already retried what was transient; what reaches here is a
+    // permanent IO failure (injected or real).
     std::cerr << "error: " << e.what() << "\n";
     return kExitIo;
   } catch (const std::filesystem::filesystem_error& e) {

@@ -69,6 +69,8 @@ flags:
                         histograms) as JSON to FILE at exit
   --trace-out FILE      write scoped-span timing as Chrome trace-event JSON
                         to FILE at exit (load in chrome://tracing or Perfetto)
+  --io-crash-at POINT   crash-harness hook: _exit(125) at the named IO crash
+                        point (registry: src/io/crash_points.h; DESIGN.md §12)
   --help                print this help and exit 0
 
 exit codes:
@@ -80,13 +82,13 @@ exit codes:
 )";
 
 /// Every public flag, for the help-drift test. Keep sorted.
-inline constexpr std::array<std::string_view, 16> kPublicFlags = {
+inline constexpr std::array<std::string_view, 17> kPublicFlags = {
     "--compress",      "--help",        "--ingest-mode",
-    "--kind",          "--logs",        "--max-error-rate",
-    "--memory-budget", "--metrics-out", "--out",
-    "--quarantine-dir", "--rate",       "--seed",
-    "--streaming",     "--students",    "--threads",
-    "--trace-out",
+    "--io-crash-at",   "--kind",        "--logs",
+    "--max-error-rate", "--memory-budget", "--metrics-out",
+    "--out",           "--quarantine-dir", "--rate",
+    "--seed",          "--streaming",   "--students",
+    "--threads",       "--trace-out",
 };
 
 /// The exit codes kUsageText must document, matching lockdown_cli.cc.
